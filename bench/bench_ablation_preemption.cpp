@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation of the §3.3 design choices (not a paper figure; supports
+ * the Fig. 13 discussion): (a) the SA context-saving strategy —
+ * V10's overlapped input-replay vs the naive drain-everything — and
+ * (b) the scheduling policy with and without the preemption module,
+ * including the non-paper RR+preemption combination.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace v10;
+
+RunStats
+runCombo(const NpuConfig &cfg, OperatorScheduler::PolicyKind policy,
+         bool preemption, const std::string &a, const std::string &b,
+         std::uint64_t requests)
+{
+    const Workload wa = Workload::fromName(a, 0, cfg);
+    const Workload wb = Workload::fromName(b, 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, preemption);
+    OperatorScheduler::Options opts;
+    opts.policy = policy;
+    opts.preemption = preemption;
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&wa, 1.0}, TenantSpec{&wb, 1.0}},
+        opts);
+    return sched.run(requests, 2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv,
+        "Ablation: preemption strategy and policy combinations");
+    banner(opts, "Preemption design ablation",
+           "§3.3 / Fig. 13 design choices");
+
+    using PK = OperatorScheduler::PolicyKind;
+    struct Combo
+    {
+        const char *name;
+        PK policy;
+        bool preemption;
+        SaPreemptStrategy strategy;
+    };
+    const Combo combos[] = {
+        {"RR, no preempt (V10-Base)", PK::RoundRobin, false,
+         SaPreemptStrategy::V10Replay},
+        {"Priority, no preempt (V10-Fair)", PK::Priority, false,
+         SaPreemptStrategy::V10Replay},
+        {"RR + preempt", PK::RoundRobin, true,
+         SaPreemptStrategy::V10Replay},
+        {"Priority + preempt (V10-Full)", PK::Priority, true,
+         SaPreemptStrategy::V10Replay},
+        {"Priority + preempt, naive drain", PK::Priority, true,
+         SaPreemptStrategy::NaiveDrain},
+    };
+
+    TextTable table({"combo", "ctx switch", "ctx bytes", "SA util",
+                     "overlap", "DNN2 lat (us)", "ovhd"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"combo", "switch_cycles", "ctx_bytes", "sa_util",
+                    "overlap", "dnn2_latency_us", "overhead_frac"});
+
+    for (const Combo &combo : combos) {
+        NpuConfig cfg;
+        cfg.saPreemptStrategy = combo.strategy;
+        const RunStats stats =
+            runCombo(cfg, combo.policy, combo.preemption, "BERT",
+                     "DLRM", opts.quick ? 5 : opts.requests);
+        const auto switch_cycles =
+            static_cast<long long>(cfg.saContextSwitchCycles());
+        if (opts.csv) {
+            csv.row({combo.name, std::to_string(switch_cycles),
+                     std::to_string(cfg.saContextBytes()),
+                     formatDouble(stats.saUtil, 4),
+                     formatDouble(stats.overlapBothFrac, 4),
+                     formatDouble(stats.workloads[1].avgLatencyUs, 1),
+                     formatDouble(stats.workloads[1].ctxOverheadFrac,
+                                  5)});
+        } else {
+            table.addRow();
+            table.cell(combo.name);
+            table.cell(std::to_string(switch_cycles) + " cyc");
+            table.cell(formatBytes(cfg.saContextBytes()));
+            table.cellPct(stats.saUtil);
+            table.cellPct(stats.overlapBothFrac);
+            table.cell(stats.workloads[1].avgLatencyUs, 1);
+            table.cellPct(stats.workloads[1].ctxOverheadFrac, 2);
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf(
+            "\nReading (BERT+DLRM): the preemption module, not the "
+            "policy, removes DLRM's starvation;\nV10's overlapped "
+            "replay halves the switch cost and saves 25%% context "
+            "storage vs the naive drain (Fig. 13).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation of the DMA operator-prefetch window (not a paper figure;
+ * quantifies the double-buffering assumption behind §3.2's Ready
+ * bit): single-tenant idle time and collocated throughput across
+ * prefetch depths.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "workload/model_zoo.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Ablation: DMA operator-prefetch depth");
+    banner(opts, "Prefetch-window ablation",
+           "§3.2 Ready-bit / double buffering");
+
+    const std::vector<std::uint32_t> depths = {1, 2, 3, 4, 8, 16};
+
+    TextTable table({"depth", "BERT idle", "RNRS idle",
+                     "BERT+NCF STP ratio", "BERT+DLRM STP ratio"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"depth", "bert_idle", "rnrs_idle",
+                    "bert_ncf_ratio", "bert_dlrm_ratio"});
+
+    for (std::uint32_t depth : depths) {
+        NpuConfig cfg;
+        cfg.dmaPrefetchDepth = depth;
+        ExperimentRunner runner(cfg);
+        const double bert_idle =
+            runner.singleTenant("BERT", 0).idleFrac;
+        const double rnrs_idle =
+            runner.singleTenant("RNRS", 0).idleFrac;
+        auto ratio = [&](const char *a, const char *b) {
+            const RunStats pmt = runner.runPair(
+                SchedulerKind::Pmt, a, b, 1.0, 1.0, opts.requests);
+            const RunStats full =
+                runner.runPair(SchedulerKind::V10Full, a, b, 1.0,
+                               1.0, opts.requests);
+            return pmt.stp() > 0.0 ? full.stp() / pmt.stp() : 0.0;
+        };
+        const double ncf_ratio = ratio("BERT", "NCF");
+        const double dlrm_ratio = ratio("BERT", "DLRM");
+        if (opts.csv) {
+            csv.row({std::to_string(depth),
+                     formatDouble(bert_idle, 4),
+                     formatDouble(rnrs_idle, 4),
+                     formatDouble(ncf_ratio, 3),
+                     formatDouble(dlrm_ratio, 3)});
+        } else {
+            table.addRow();
+            table.cell(static_cast<long long>(depth));
+            table.cellPct(bert_idle);
+            table.cellPct(rnrs_idle);
+            table.cell(formatDouble(ncf_ratio, 2) + "x");
+            table.cell(formatDouble(dlrm_ratio, 2) + "x");
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf(
+            "\nShallow windows leave single-tenant DMA stalls that "
+            "inflate V10's apparent gain; depth >= 4 removes the "
+            "artifact. The default is 8.\n");
+    }
+    return 0;
+}

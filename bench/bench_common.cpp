@@ -1,0 +1,131 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "workload/model_zoo.h"
+
+namespace v10::bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, const std::string &what)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opts.quick = true;
+            opts.requests = 8;
+        } else if (std::strcmp(arg, "--requests") == 0 &&
+                   i + 1 < argc) {
+            opts.requests =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf("%s\n\nOptions:\n"
+                        "  --csv             emit CSV rows\n"
+                        "  --requests <n>    measured requests per "
+                        "run (default 25)\n"
+                        "  --quick           fast mode (8 requests)\n",
+                        what.c_str());
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+void
+banner(const BenchOptions &opts, const std::string &title,
+       const std::string &paperRef)
+{
+    if (opts.csv)
+        return;
+    std::printf("== %s ==\n(reproduces %s of \"V10: "
+                "Hardware-Assisted NPU Multi-tenancy\", ISCA'23)\n\n",
+                title.c_str(), paperRef.c_str());
+}
+
+std::vector<PairRunSet>
+runEvaluationPairs(ExperimentRunner &runner,
+                   const std::vector<SchedulerKind> &kinds,
+                   std::uint64_t requests)
+{
+    std::vector<PairRunSet> out;
+    for (const auto &[a, b] : evaluationPairs()) {
+        PairRunSet set;
+        set.a = a;
+        set.b = b;
+        for (SchedulerKind kind : kinds)
+            set.byKind.emplace(
+                kind, runner.runPair(kind, a, b, 1.0, 1.0, requests));
+        out.push_back(std::move(set));
+    }
+    return out;
+}
+
+std::string
+pairLabel(const PairRunSet &set)
+{
+    return set.a + "+" + set.b;
+}
+
+void
+profileSweepBench(const BenchOptions &opts, const std::string &title,
+                  const std::string &paperRef,
+                  double (*metric)(const SingleProfile &),
+                  bool asPercent)
+{
+    banner(opts, title, paperRef);
+    const NpuConfig config;
+    const auto profiles =
+        profileAllModels(config, opts.quick ? 4 : opts.requests);
+
+    std::vector<std::string> headers = {"model"};
+    for (int b : standardBatchSweep())
+        headers.push_back("b" + std::to_string(b));
+    TextTable table(headers);
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header(headers);
+
+    std::string current;
+    std::vector<std::string> row;
+    auto flush = [&] {
+        if (current.empty())
+            return;
+        if (opts.csv) {
+            csv.row(row);
+        } else {
+            table.addRow();
+            for (const auto &cell : row)
+                table.cell(cell);
+        }
+    };
+    for (const SingleProfile &p : profiles) {
+        if (p.model != current) {
+            flush();
+            current = p.model;
+            row = {current};
+        }
+        if (p.oom) {
+            row.push_back("-");
+        } else {
+            const double v = metric(p);
+            row.push_back(asPercent ? formatPct(v)
+                                    : formatDouble(v, 3));
+        }
+    }
+    flush();
+    if (!opts.csv)
+        table.print();
+}
+
+} // namespace v10::bench

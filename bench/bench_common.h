@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries: common
+ * command-line handling (--csv, --requests, --quick), banner
+ * printing, and pair-list helpers.
+ */
+
+#ifndef V10_BENCH_BENCH_COMMON_H
+#define V10_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "v10/experiment.h"
+#include "v10/profiler.h"
+
+namespace v10::bench {
+
+/** Parsed common bench options. */
+struct BenchOptions
+{
+    bool csv = false;            ///< emit CSV instead of a table
+    std::uint64_t requests = 25; ///< measured requests per run
+    bool quick = false;          ///< --quick: fewer requests (CI)
+
+    /** Parse argv; exits on --help. @param what banner text. */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &what);
+};
+
+/** Print the figure banner unless in CSV mode. */
+void banner(const BenchOptions &opts, const std::string &title,
+            const std::string &paperRef);
+
+/** Results of one collocation pair across scheduler designs. */
+struct PairRunSet
+{
+    std::string a;
+    std::string b;
+    std::map<SchedulerKind, RunStats> byKind;
+};
+
+/**
+ * Run the paper's 11 evaluation pairs (Figs. 16-21) under the given
+ * designs; shared by all pair-based figure benches.
+ */
+std::vector<PairRunSet>
+runEvaluationPairs(ExperimentRunner &runner,
+                   const std::vector<SchedulerKind> &kinds,
+                   std::uint64_t requests);
+
+/** "BERT+NCF"-style pair label. */
+std::string pairLabel(const PairRunSet &set);
+
+/**
+ * Shared driver for the single-workload characterization figures
+ * (Figs. 3/4/5/6/7): profile every model over the batch sweep and
+ * print one row per model with one column per batch of
+ * @p metric(profile). OOM points print "-".
+ */
+void profileSweepBench(const BenchOptions &opts,
+                       const std::string &title,
+                       const std::string &paperRef,
+                       double (*metric)(const SingleProfile &),
+                       bool asPercent);
+
+} // namespace v10::bench
+
+#endif // V10_BENCH_BENCH_COMMON_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 13: the SA operator preemption and restoration procedure —
+ * the phase timeline ("1: preemption invoked" through "6: resume
+ * normal execution") with cycle counts for the paper's example
+ * 128x128 array (and the 3x3 didactic array), for both context
+ * strategies.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "npu/sa_preemption.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 13: SA preemption/restoration procedure");
+    banner(opts, "SA context-switch timeline", "Fig. 13");
+
+    TextTable table({"SA dim", "strategy", "exit", "restore",
+                     "overlapped", "switch total", "context"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"dim", "strategy", "exit_cycles",
+                    "restore_cycles", "overlap_cycles",
+                    "switch_cycles", "context_bytes"});
+
+    for (std::uint32_t dim : {8u, 128u, 256u}) {
+        for (auto [strategy, name] :
+             {std::pair{SaPreemptStrategy::V10Replay, "V10 replay"},
+              std::pair{SaPreemptStrategy::NaiveDrain,
+                        "naive drain"}}) {
+            const SaPreemptCost c = saPreemptCost(dim, strategy);
+            if (opts.csv) {
+                csv.row({std::to_string(dim), name,
+                         std::to_string(c.exitCycles),
+                         std::to_string(c.restoreCycles),
+                         std::to_string(c.overlappedCycles),
+                         std::to_string(c.switchCycles()),
+                         std::to_string(c.contextBytes)});
+            } else {
+                table.addRow();
+                table.cell(std::to_string(dim) + "x" +
+                           std::to_string(dim));
+                table.cell(name);
+                table.cell(static_cast<long long>(c.exitCycles));
+                table.cell(static_cast<long long>(c.restoreCycles));
+                table.cell(
+                    static_cast<long long>(c.overlappedCycles));
+                table.cell(std::to_string(c.switchCycles()) +
+                           " cyc");
+                table.cell(formatBytes(c.contextBytes));
+            }
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        const SaPreemptCost c =
+            saPreemptCost(128, SaPreemptStrategy::V10Replay);
+        std::printf(
+            "\nFig. 13 phases for the 128x128 array (V10 replay):\n"
+            "  (1) preemption invoked; execution continues — the SA "
+            "still pops valid outputs\n"
+            "  (2) further inputs are saved to vector memory as "
+            "they are pushed (no wasted cycles)\n"
+            "  (3) all partial sums depending on earlier inputs "
+            "popped; execution pauses\n"
+            "  (4) weight save of the preempted operator (%llu "
+            "cycles) overlaps the incoming weight load\n"
+            "  (5) preempted operator fully exited\n"
+            "  (6) incoming operator replays its saved inputs "
+            "(%llu cycles) and resumes\n"
+            "  => one context switch occupies the SA for %llu "
+            "cycles and stores %s per tenant\n"
+            "     (paper: 384 cycles, 96 KB — 25%% less than the "
+            "naive drain).\n",
+            static_cast<unsigned long long>(c.exitCycles),
+            static_cast<unsigned long long>(c.restoreCycles -
+                                            c.overlappedCycles),
+            static_cast<unsigned long long>(c.switchCycles()),
+            formatBytes(c.contextBytes).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 15: the clustering of the 11 ML models across batch sizes —
+ * each point is one (model, batch) workload, placed by its
+ * standardized features projected onto the first two principal
+ * components and labeled with its K-Means cluster (k = 5, as in the
+ * paper's figure).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "collocate/kmeans.h"
+#include "collocate/pca.h"
+#include "collocate/standardizer.h"
+#include "common/string_util.h"
+#include "v10/features.h"
+#include "workload/model_zoo.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 15: workload clustering scatter");
+    banner(opts, "Clustering of (model, batch) workloads", "Fig. 15");
+
+    const NpuConfig config;
+    std::vector<WorkloadFeatures> points;
+    for (const ModelProfile &m : modelZoo()) {
+        for (int batch : standardBatchSweep()) {
+            const SingleProfile p = profileSingle(
+                config, m, batch, opts.quick ? 3 : 6);
+            if (!p.oom)
+                points.push_back(extractFeatures(p));
+        }
+    }
+
+    std::vector<std::vector<double>> rows;
+    for (const auto &f : points)
+        rows.push_back(f.values);
+    const Matrix raw = Matrix::fromRows(rows);
+    const Standardizer standardizer(raw);
+    const Matrix standardized = standardizer.transform(raw);
+    const Pca pca(standardized, 2);
+    const Matrix projected = pca.transform(standardized);
+    KMeans km(5, 11);
+    const KMeansResult fit = km.fit(projected);
+
+    TextTable table({"model", "batch", "PC1", "PC2", "cluster",
+                     "SA util", "HBM util"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"model", "batch", "pc1", "pc2", "cluster",
+                    "sa_util", "hbm_util"});
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &f = points[i];
+        if (opts.csv) {
+            csv.row({f.model, std::to_string(f.batch),
+                     formatDouble(projected.at(i, 0), 4),
+                     formatDouble(projected.at(i, 1), 4),
+                     std::to_string(fit.labels[i]),
+                     formatDouble(f.values[0], 4),
+                     formatDouble(f.values[2], 4)});
+        } else {
+            table.addRow();
+            table.cell(f.model);
+            table.cell(static_cast<long long>(f.batch));
+            table.cell(projected.at(i, 0), 3);
+            table.cell(projected.at(i, 1), 3);
+            table.cell(static_cast<long long>(fit.labels[i]));
+            table.cellPct(f.values[0]);
+            table.cellPct(f.values[2]);
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf("\ncluster membership (models, collapsed over "
+                    "batches):\n");
+        for (std::size_t c = 0; c < 5; ++c) {
+            std::printf("  cluster %zu:", c);
+            std::vector<std::string> seen;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (fit.labels[i] != c)
+                    continue;
+                if (std::find(seen.begin(), seen.end(),
+                              points[i].model) == seen.end()) {
+                    seen.push_back(points[i].model);
+                    std::printf(" %s", points[i].model.c_str());
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\nPCA keeps %.0f%% of the feature variance in "
+                    "two components; batch variants of a model stay "
+                    "in or near one cluster (Fig. 15's structure).\n",
+                    100.0 * pca.explainedVariance());
+    }
+    return 0;
+}

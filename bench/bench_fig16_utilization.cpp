@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 16: SA (a), VU (b), and HBM bandwidth (c) utilization of the
+ * eleven collocated pairs under PMT and the three V10 variants.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv,
+        "Fig. 16: hardware utilization of collocated pairs");
+    banner(opts, "SA / VU / HBM utilization by design", "Fig. 16");
+
+    ExperimentRunner runner;
+    const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
+                                         opts.requests);
+
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"pair", "design", "sa_util", "vu_util",
+                    "hbm_util"});
+
+    const char *sections[] = {"(a) SA utilization",
+                              "(b) VU utilization",
+                              "(c) HBM bandwidth utilization"};
+    for (int section = 0; section < 3; ++section) {
+        TextTable table({"pair", "PMT", "V10-Base", "V10-Fair",
+                         "V10-Full"});
+        std::vector<double> pmt_vals;
+        std::vector<double> full_vals;
+        for (const PairRunSet &set : sets) {
+            table.addRow();
+            table.cell(pairLabel(set));
+            for (SchedulerKind kind : allSchedulerKinds()) {
+                const RunStats &s = set.byKind.at(kind);
+                const double v = section == 0   ? s.saUtil
+                                 : section == 1 ? s.vuUtil
+                                                : s.hbmUtil;
+                table.cellPct(v);
+                if (kind == SchedulerKind::Pmt)
+                    pmt_vals.push_back(v);
+                if (kind == SchedulerKind::V10Full)
+                    full_vals.push_back(v);
+            }
+        }
+        if (!opts.csv) {
+            std::printf("%s\n", sections[section]);
+            table.print();
+            std::vector<double> gains;
+            for (std::size_t i = 0; i < pmt_vals.size(); ++i) {
+                if (pmt_vals[i] > 0.0)
+                    gains.push_back(full_vals[i] / pmt_vals[i]);
+            }
+            std::printf("geomean V10-Full / PMT: %.2fx\n\n",
+                        geomean(gains));
+        }
+    }
+    if (opts.csv) {
+        for (const PairRunSet &set : sets) {
+            for (SchedulerKind kind : allSchedulerKinds()) {
+                const RunStats &s = set.byKind.at(kind);
+                csv.row({pairLabel(set), schedulerKindName(kind),
+                         formatDouble(s.saUtil, 4),
+                         formatDouble(s.vuUtil, 4),
+                         formatDouble(s.hbmUtil, 4)});
+            }
+        }
+    }
+    return 0;
+}

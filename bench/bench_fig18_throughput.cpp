@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 18: overall system throughput (sum of normalized per-tenant
+ * progress, STP) of the collocated pairs, normalized to PMT.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 18: system throughput vs PMT");
+    banner(opts, "Overall throughput (normalized to PMT)", "Fig. 18");
+
+    ExperimentRunner runner;
+    const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
+                                         opts.requests);
+
+    TextTable table({"pair", "PMT", "V10-Base", "V10-Fair",
+                     "V10-Full", "Full/PMT"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"pair", "pmt_stp", "base_stp", "fair_stp",
+                    "full_stp", "full_vs_pmt"});
+
+    std::vector<double> improvements;
+    for (const PairRunSet &set : sets) {
+        const double pmt = set.byKind.at(SchedulerKind::Pmt).stp();
+        const double base =
+            set.byKind.at(SchedulerKind::V10Base).stp();
+        const double fair =
+            set.byKind.at(SchedulerKind::V10Fair).stp();
+        const double full =
+            set.byKind.at(SchedulerKind::V10Full).stp();
+        const double ratio = pmt > 0.0 ? full / pmt : 0.0;
+        improvements.push_back(ratio);
+        if (opts.csv) {
+            csv.row({pairLabel(set), formatDouble(pmt, 4),
+                     formatDouble(base, 4), formatDouble(fair, 4),
+                     formatDouble(full, 4), formatDouble(ratio, 4)});
+        } else {
+            table.addRow();
+            table.cell(pairLabel(set));
+            table.cell(pmt, 3);
+            table.cell(base, 3);
+            table.cell(fair, 3);
+            table.cell(full, 3);
+            table.cell(formatDouble(ratio, 2) + "x");
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf("\ngeomean V10-Full throughput vs PMT: %.2fx "
+                    "(paper: 1.57x average).\n",
+                    geomean(improvements));
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 19: per-tenant average request latency of the collocated
+ * pairs, normalized to PMT (lower is better; values > 1 mean the
+ * design is slower than PMT for that tenant).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 19: average latency vs PMT");
+    banner(opts, "Average request latency (normalized to PMT)",
+           "Fig. 19");
+
+    ExperimentRunner runner;
+    const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
+                                         opts.requests);
+
+    TextTable table({"pair", "tenant", "PMT", "V10-Base", "V10-Fair",
+                     "V10-Full", "PMT/Full speedup"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"pair", "tenant", "pmt", "base", "fair", "full",
+                    "speedup_full_vs_pmt"});
+
+    std::vector<double> speedups;
+    for (const PairRunSet &set : sets) {
+        for (int tenant = 0; tenant < 2; ++tenant) {
+            const double pmt = set.byKind.at(SchedulerKind::Pmt)
+                                   .workloads[tenant]
+                                   .avgLatencyUs;
+            auto rel = [&](SchedulerKind kind) {
+                const double v = set.byKind.at(kind)
+                                     .workloads[tenant]
+                                     .avgLatencyUs;
+                return pmt > 0.0 ? v / pmt : 0.0;
+            };
+            const double full_rel = rel(SchedulerKind::V10Full);
+            if (full_rel > 0.0)
+                speedups.push_back(1.0 / full_rel);
+            const std::string label =
+                set.byKind.at(SchedulerKind::Pmt)
+                    .workloads[tenant]
+                    .label;
+            if (opts.csv) {
+                csv.row({pairLabel(set), label, "1.0",
+                         formatDouble(rel(SchedulerKind::V10Base), 4),
+                         formatDouble(rel(SchedulerKind::V10Fair), 4),
+                         formatDouble(full_rel, 4),
+                         formatDouble(1.0 / full_rel, 4)});
+            } else {
+                table.addRow();
+                table.cell(pairLabel(set));
+                table.cell(label);
+                table.cell(1.0, 2);
+                table.cell(rel(SchedulerKind::V10Base), 2);
+                table.cell(rel(SchedulerKind::V10Fair), 2);
+                table.cell(full_rel, 2);
+                table.cell(formatDouble(1.0 / full_rel, 2) + "x");
+            }
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf("\ngeomean V10-Full latency improvement over "
+                    "PMT: %.2fx (paper: 1.56x).\n",
+                    geomean(speedups));
+    }
+    return 0;
+}

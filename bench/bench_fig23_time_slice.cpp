@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 23: throughput of V10-Full across preemption-timer periods
+ * (512 .. 1048576 cycles), normalized to PMT. Small slices pay
+ * context-switch overhead; large slices reintroduce head-of-line
+ * blocking; ~32768 cycles (Table 5) balances both.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "workload/model_zoo.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 23: scheduler time-slice sweep");
+    banner(opts, "Throughput vs scheduler time slice", "Fig. 23");
+
+    const std::vector<Cycles> slices = {512,   1024,  4096,
+                                        32768, 65536, 1048576};
+
+    ExperimentRunner runner;
+    std::vector<std::string> headers = {"pair"};
+    for (Cycles s : slices)
+        headers.push_back(std::to_string(s));
+    TextTable table(headers);
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header(headers);
+
+    std::map<Cycles, std::vector<double>> per_slice;
+    for (const auto &[a, b] : evaluationPairs()) {
+        const RunStats pmt = runner.runPair(SchedulerKind::Pmt, a, b,
+                                            1.0, 1.0, opts.requests);
+        std::vector<std::string> row = {a + "+" + b};
+        for (Cycles s : slices) {
+            SchedulerOptions so;
+            so.sliceOverride = s;
+            const RunStats full =
+                runner.runPair(SchedulerKind::V10Full, a, b, 1.0, 1.0,
+                               opts.requests, so);
+            const double ratio =
+                pmt.stp() > 0.0 ? full.stp() / pmt.stp() : 0.0;
+            per_slice[s].push_back(ratio);
+            row.push_back(formatDouble(ratio, 2) + "x");
+        }
+        if (opts.csv) {
+            csv.row(row);
+        } else {
+            table.addRow();
+            for (const auto &cell : row)
+                table.cell(cell);
+        }
+    }
+    if (!opts.csv) {
+        table.print();
+        std::printf("\ngeomean by slice:");
+        for (Cycles s : slices)
+            std::printf("  %llu: %.2fx",
+                        static_cast<unsigned long long>(s),
+                        geomean(per_slice[s]));
+        std::printf("\n(paper: 32768 cycles ~ 46us is the sweet "
+                    "spot)\n");
+    }
+    return 0;
+}

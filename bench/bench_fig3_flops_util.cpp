@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fig. 3: overall FLOPS utilization of each DNN inference workload
+ * across batch sizes. Missing cells ("-") are batches that fail due
+ * to insufficient memory, as in the paper.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+metric(const v10::SingleProfile &p)
+{
+    return p.flopsUtil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = v10::bench::BenchOptions::parse(
+        argc, argv, "Fig. 3: FLOPS utilization vs batch size");
+    v10::bench::profileSweepBench(
+        opts, "Overall FLOPS utilization", "Fig. 3", metric, true);
+    return 0;
+}

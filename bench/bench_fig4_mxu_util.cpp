@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig. 4: MXU (systolic array) temporal utilization of each DNN
+ * inference workload across batch sizes.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+metric(const v10::SingleProfile &p)
+{
+    return p.mxuUtil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = v10::bench::BenchOptions::parse(
+        argc, argv, "Fig. 4: MXU temporal utilization vs batch size");
+    v10::bench::profileSweepBench(
+        opts, "MXU temporal utilization", "Fig. 4", metric, true);
+    return 0;
+}

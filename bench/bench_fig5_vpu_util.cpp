@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig. 5: VPU (vector unit) temporal utilization of each DNN
+ * inference workload across batch sizes.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+metric(const v10::SingleProfile &p)
+{
+    return p.vpuUtil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = v10::bench::BenchOptions::parse(
+        argc, argv, "Fig. 5: VPU temporal utilization vs batch size");
+    v10::bench::profileSweepBench(
+        opts, "VPU temporal utilization", "Fig. 5", metric, true);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 6: theoretical maximum speedup of a single DNN workload under
+ * perfect intra-workload operator parallelism — total operator time
+ * divided by the dependency-DAG critical path. The paper finds this
+ * marginal (6.7% on average), motivating cross-workload overlap.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+metric(const v10::SingleProfile &p)
+{
+    return p.idealSpeedup;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = v10::bench::BenchOptions::parse(
+        argc, argv,
+        "Fig. 6: ideal intra-workload operator-parallel speedup");
+    v10::bench::profileSweepBench(
+        opts, "Ideal speedup (DAG critical-path bound)", "Fig. 6",
+        metric, false);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fig. 7: HBM bandwidth utilization of each DNN inference workload
+ * across batch sizes (decreasing with batch except Transformer,
+ * whose beam-search decode grows memory traffic superlinearly).
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+double
+metric(const v10::SingleProfile &p)
+{
+    return p.hbmUtil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = v10::bench::BenchOptions::parse(
+        argc, argv, "Fig. 7: HBM bandwidth utilization vs batch size");
+    v10::bench::profileSweepBench(
+        opts, "HBM bandwidth utilization", "Fig. 7", metric, true);
+    return 0;
+}

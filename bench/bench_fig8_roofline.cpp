@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 8: roofline coordinates — operational intensity (FLOPs/byte)
+ * vs achieved TFLOP/s — for every (model, batch) point, plus the
+ * configured compute and bandwidth roofs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Fig. 8: roofline of DNN inference workloads");
+    banner(opts, "Roofline (operational intensity vs TFLOP/s)",
+           "Fig. 8");
+
+    const NpuConfig config;
+    if (!opts.csv) {
+        std::printf("Peak compute: %.1f TFLOP/s   Peak bandwidth: "
+                    "%.0f GB/s   Ridge point: %.1f FLOPs/byte\n\n",
+                    config.peakTflops(), config.hbmGBps,
+                    config.peakTflops() * 1e12 /
+                        (config.hbmGBps * 1e9));
+    }
+
+    const auto profiles =
+        profileAllModels(config, opts.quick ? 4 : opts.requests);
+
+    TextTable table({"model", "batch", "FLOPs/byte", "TFLOP/s",
+                     "% of compute roof", "% of bandwidth roof"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"model", "batch", "op_intensity", "tflops",
+                    "pct_compute_roof", "pct_bw_roof"});
+
+    for (const auto &p : profiles) {
+        if (p.oom)
+            continue;
+        // The bandwidth roof at this intensity (GB/s * OI).
+        const double bw_roof_tflops =
+            config.hbmGBps * 1e9 * p.opIntensity / 1e12;
+        if (opts.csv) {
+            csv.row({p.model, std::to_string(p.batch),
+                     formatDouble(p.opIntensity, 3),
+                     formatDouble(p.tflops, 4),
+                     formatDouble(
+                         100.0 * p.tflops / config.peakTflops(), 2),
+                     formatDouble(100.0 * p.tflops / bw_roof_tflops,
+                                  2)});
+        } else {
+            table.addRow();
+            table.cell(p.model);
+            table.cell(static_cast<long long>(p.batch));
+            table.cell(p.opIntensity, 3);
+            table.cell(p.tflops, 4);
+            table.cellPct(p.tflops / config.peakTflops());
+            table.cellPct(p.tflops / bw_roof_tflops);
+        }
+    }
+    if (!opts.csv)
+        table.print();
+    return 0;
+}

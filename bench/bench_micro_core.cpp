@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation core: event
+ * queue throughput, HBM processor-sharing updates, scheduler
+ * decision cost, and trace generation — the primitives whose speed
+ * bounds how many paper experiments the harness can run per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "npu/hbm.h"
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sched/priority_policy.h"
+#include "sched/rr_policy.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/trace_gen.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace v10;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        for (int i = 0; i < 1024; ++i)
+            sim.after(static_cast<Cycles>(i * 7 % 257),
+                      [] { benchmark::DoNotOptimize(0); });
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_HbmProcessorSharing(benchmark::State &state)
+{
+    const auto streams = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        HbmModel hbm(sim, 471.0);
+        int done = 0;
+        for (int i = 0; i < streams; ++i)
+            hbm.startTransfer(1_MiB + i * 1024, [&] { ++done; });
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * streams);
+}
+BENCHMARK(BM_HbmProcessorSharing)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const NpuConfig config;
+    const ModelProfile &model = findModel("RetinaNet");
+    for (auto _ : state) {
+        RequestTrace trace = generateTrace(model, 32, config);
+        benchmark::DoNotOptimize(trace.ops.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CollocatedPairRun(benchmark::State &state)
+{
+    const NpuConfig config;
+    const Workload bert(findModel("BERT"), 32, config);
+    const Workload ncf(findModel("NCF"), 32, config);
+    for (auto _ : state) {
+        Simulator sim;
+        NpuCore core(sim, config, 2, true);
+        OperatorScheduler sched(sim, core,
+                                {TenantSpec{&bert, 1.0},
+                                 TenantSpec{&ncf, 1.0}},
+                                OperatorScheduler::Variant::Full);
+        const RunStats stats = sched.run(3, 1);
+        benchmark::DoNotOptimize(stats.stp());
+    }
+}
+BENCHMARK(BM_CollocatedPairRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_PolicyDecision(benchmark::State &state)
+{
+    // Host-side cost of one Algorithm 1 scheduling decision over N
+    // tenants (the hardware pays Table 3's 22-284 cycles; this is
+    // the simulator's corresponding hot path).
+    const auto tenants = static_cast<std::uint32_t>(state.range(0));
+    ContextTable table(tenants);
+    for (WorkloadId i = 0; i < tenants; ++i) {
+        table.row(i).ready = (i % 2) == 0;
+        table.row(i).opType = (i % 3) ? OpKind::SA : OpKind::VU;
+        table.row(i).activeCycles = 1000 + i * 37;
+        table.row(i).totalCycles = 5000;
+    }
+    PriorityPolicy policy;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            policy.pickNext(table, OpKind::SA));
+    }
+}
+BENCHMARK(BM_PolicyDecision)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_RoundRobinDecision(benchmark::State &state)
+{
+    const auto tenants = static_cast<std::uint32_t>(state.range(0));
+    ContextTable table(tenants);
+    for (WorkloadId i = 0; i < tenants; ++i) {
+        table.row(i).ready = true;
+        table.row(i).opType = OpKind::SA;
+        table.row(i).totalCycles = 5000;
+    }
+    RoundRobinPolicy policy;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            policy.pickNext(table, OpKind::SA));
+    }
+}
+BENCHMARK(BM_RoundRobinDecision)->Arg(2)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

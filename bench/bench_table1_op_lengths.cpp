@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 1: average SA/VU operator lengths of the eleven DNN models
+ * at their reference batch sizes (32; ShapeMask 8, Mask-RCNN 16).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "npu/npu_config.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Table 1: average operator lengths per model");
+    banner(opts, "Average operator lengths", "Table 1");
+
+    const NpuConfig config;
+    TextTable table({"DNN Model", "Avg. SA Op. Len. (us)",
+                     "Avg. VU Op. Len. (us)", "Paper SA (us)",
+                     "Paper VU (us)"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"model", "sa_op_us", "vu_op_us", "paper_sa_us",
+                    "paper_vu_us"});
+
+    for (const ModelProfile &m : modelZoo()) {
+        const Workload wl(m, m.refBatch, config);
+        const double sa_us = config.cyclesToUs(
+            static_cast<Cycles>(wl.trace().meanSaOpCycles()));
+        const double vu_us = config.cyclesToUs(
+            static_cast<Cycles>(wl.trace().meanVuOpCycles()));
+        if (opts.csv) {
+            csv.row({m.name, formatDouble(sa_us, 2),
+                     formatDouble(vu_us, 2),
+                     formatDouble(m.saOpUsRef, 2),
+                     formatDouble(m.vuOpUsRef, 2)});
+        } else {
+            table.addRow();
+            table.cell(m.name);
+            table.cell(formatSci(sa_us));
+            table.cell(formatSci(vu_us));
+            table.cell(formatSci(m.saOpUsRef));
+            table.cell(formatSci(m.vuOpUsRef));
+        }
+    }
+    if (!opts.csv)
+        table.print();
+    return 0;
+}

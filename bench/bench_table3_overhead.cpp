@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 3: hardware overhead of the tensor operator scheduler —
+ * context-table storage, scheduling latency, and area/power
+ * normalized to a Google TPUv3 core — for the paper's four
+ * synthesized configurations plus extrapolated larger ones.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "v10/hw_cost.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Table 3: operator scheduler hardware overhead");
+    banner(opts, "Scheduler hardware overhead", "Table 3");
+
+    TextTable table({"# SAs", "# VUs", "# Workloads", "Context Table",
+                     "Latency", "Area", "Power", "Source"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"sas", "vus", "workloads", "table_bytes",
+                    "latency_cycles", "area_pct", "power_pct",
+                    "source"});
+
+    auto emit = [&](const SchedulerHwCost &c) {
+        if (opts.csv) {
+            csv.row({std::to_string(c.numSa), std::to_string(c.numVu),
+                     std::to_string(c.workloads),
+                     std::to_string(c.contextTableBytes),
+                     std::to_string(c.latencyCycles),
+                     formatDouble(c.areaPct, 4),
+                     formatDouble(c.powerPct, 4),
+                     c.synthesized ? "synthesized" : "model"});
+        } else {
+            table.addRow();
+            table.cell(static_cast<long long>(c.numSa));
+            table.cell(static_cast<long long>(c.numVu));
+            table.cell(static_cast<long long>(c.workloads));
+            table.cell(std::to_string(c.contextTableBytes) +
+                       " bytes");
+            table.cell(std::to_string(c.latencyCycles) + " cycles");
+            table.cell(formatDouble(c.areaPct, 3) + "%");
+            table.cell(formatDouble(c.powerPct, 3) + "%");
+            table.cell(c.synthesized ? "Table 3" : "extrapolated");
+        }
+    };
+
+    for (const SchedulerHwCost &c : table3Configs())
+        emit(c);
+    // Extrapolated points beyond the paper's synthesis runs.
+    emit(schedulerHwCost(8, 8, 16));
+    emit(schedulerHwCost(8, 8, 32));
+
+    if (!opts.csv)
+        table.print();
+    return 0;
+}

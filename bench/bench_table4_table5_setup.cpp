@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tables 4 and 5: the evaluation setup — the eleven ML models with
+ * their domains and reference batches, and the NPU simulator
+ * configuration.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace v10;
+    using namespace v10::bench;
+
+    const auto opts = BenchOptions::parse(
+        argc, argv, "Tables 4 & 5: evaluation setup");
+    banner(opts, "Evaluation setup", "Tables 4 and 5");
+
+    const NpuConfig cfg;
+    if (!opts.csv) {
+        std::printf("Table 5 — NPU simulator configuration:\n");
+        std::printf("  Systolic array (SA) dimension   %ux%u\n",
+                    cfg.saDim, cfg.saDim);
+        std::printf("  Vector unit (VU) dimension      8x128x%u "
+                    "FP32 operations/cycle\n",
+                    cfg.vuOpsPerLane);
+        std::printf("  Frequency                       %.0f MHz\n",
+                    cfg.freqGHz * 1e3);
+        std::printf("  Vector Memory                   %s\n",
+                    formatBytes(cfg.vmemBytes).c_str());
+        std::printf("  HBM Memory Size & Bandwidth     %s, %.0f "
+                    "GB/s\n",
+                    formatBytes(cfg.hbmBytes).c_str(), cfg.hbmGBps);
+        std::printf("  Scheduler Time Slice            %llu cycles "
+                    "(~%.0f us)\n\n",
+                    static_cast<unsigned long long>(cfg.timeSlice),
+                    cfg.cyclesToUs(cfg.timeSlice));
+        std::printf("Table 4 — ML models:\n");
+    }
+
+    TextTable table({"Name", "Abbrev.", "Description", "Batch",
+                     "ops/request", "request (ms)"});
+    CsvWriter csv(std::cout);
+    if (opts.csv)
+        csv.header({"name", "abbrev", "domain", "batch",
+                    "ops_per_request", "request_ms"});
+
+    for (const ModelProfile &m : modelZoo()) {
+        const Workload wl(m, m.refBatch, cfg);
+        const double ms =
+            cfg.cyclesToUs(wl.computeCycles()) / 1000.0;
+        if (opts.csv) {
+            csv.row({m.name, m.abbrev, m.domain,
+                     std::to_string(m.refBatch),
+                     std::to_string(wl.trace().ops.size()),
+                     formatDouble(ms, 2)});
+        } else {
+            table.addRow();
+            table.cell(m.name);
+            table.cell(m.abbrev);
+            table.cell(m.domain);
+            table.cell(static_cast<long long>(m.refBatch));
+            table.cell(
+                static_cast<long long>(wl.trace().ops.size()));
+            table.cell(ms, 2);
+        }
+    }
+    if (!opts.csv)
+        table.print();
+    return 0;
+}

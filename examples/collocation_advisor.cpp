@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Collocation advisor: the §3.4 clustering pipeline as an operator
+ * tool. Profiles the Table 4 model zoo, trains the PCA + K-Means
+ * collocator, prints the cluster map (Fig. 15 flavor), and then
+ * recommends the best-matching partner for each workload.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "v10/collocation_advisor.h"
+#include "workload/model_zoo.h"
+
+int
+main()
+{
+    using namespace v10;
+
+    std::printf("Training the clustering-based collocation advisor "
+                "on the model zoo...\n\n");
+
+    CollocationStudy study(NpuConfig{}, /*requests=*/8);
+    study.build();
+
+    // Train on every model (production use; Table 2's bench uses
+    // held-out cross validation instead).
+    std::vector<WorkloadFeatures> training;
+    for (const std::string &m : study.models())
+        training.push_back(study.features(m));
+    ClusteringCollocator collocator;
+    collocator.train(training,
+                     [&study](const std::string &a,
+                              const std::string &b) {
+                         return study.pairPerf(a, b);
+                     });
+
+    std::printf("Cluster map (PCA + K-Means over SA/VU/HBM "
+                "utilization and operator lengths):\n");
+    for (std::size_t c = 0; c < collocator.clusters(); ++c) {
+        std::printf("  cluster %zu:", c);
+        for (const std::string &m : study.models()) {
+            if (collocator.clusterOf(study.features(m)) == c)
+                std::printf(" %s", m.c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nBest predicted partner per workload (predicted "
+                "vs simulated V10-Full/PMT gain):\n");
+    for (const std::string &m : study.models()) {
+        std::string best;
+        double best_pred = 0.0;
+        for (const std::string &other : study.models()) {
+            if (other == m)
+                continue;
+            const double pred = collocator.predictPerf(
+                study.features(m), study.features(other));
+            if (pred > best_pred) {
+                best_pred = pred;
+                best = other;
+            }
+        }
+        std::printf("  %-5s -> %-5s  predicted %.2fx  simulated "
+                    "%.2fx\n",
+                    m.c_str(), best.c_str(), best_pred,
+                    study.pairPerf(m, best));
+    }
+
+    std::printf("\nDispatch rule (§3.4): collocate a pair on one "
+                "core when the prediction clears 1.3x;\notherwise "
+                "place them on separate cores.\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+#include "collocate/kmeans.h"
+
+#include <limits>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace v10 {
+
+KMeans::KMeans(std::size_t k, std::uint64_t seed, int maxIters,
+               int restarts)
+    : k_(k), seed_(seed), max_iters_(maxIters), restarts_(restarts)
+{
+    if (k_ == 0)
+        fatal("KMeans: k must be positive");
+    if (restarts_ <= 0)
+        fatal("KMeans: need at least one restart");
+}
+
+double
+KMeans::squaredDistance(const std::vector<double> &a,
+                        const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+std::size_t
+KMeans::assign(const KMeansResult &fit,
+               const std::vector<double> &sample)
+{
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < fit.centroids.rows(); ++c) {
+        const double d = squaredDistance(sample, fit.centroids.row(c));
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+KMeansResult
+KMeans::fitOnce(const Matrix &data, std::uint64_t seed) const
+{
+    const std::size_t n = data.rows();
+    const std::size_t dims = data.cols();
+    Rng rng(seed);
+
+    // --- k-means++ seeding. ---
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(data.row(rng.uniformInt(n)));
+    std::vector<double> dist2(n);
+    while (centroids.size() < k_) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            const auto sample = data.row(i);
+            for (const auto &c : centroids)
+                best = std::min(best, squaredDistance(sample, c));
+            dist2[i] = best;
+            total += best;
+        }
+        std::size_t pick = 0;
+        if (total <= 0.0) {
+            pick = rng.uniformInt(n);
+        } else {
+            double target = rng.uniform() * total;
+            for (std::size_t i = 0; i < n; ++i) {
+                target -= dist2[i];
+                if (target <= 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        centroids.push_back(data.row(pick));
+    }
+
+    // --- Lloyd iterations. ---
+    KMeansResult result;
+    result.labels.assign(n, 0);
+    for (int iter = 0; iter < max_iters_; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto sample = data.row(i);
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k_; ++c) {
+                const double d =
+                    squaredDistance(sample, centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.labels[i] != best) {
+                result.labels[i] = best;
+                changed = true;
+            }
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+
+        std::vector<std::vector<double>> sums(
+            k_, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(k_, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto sample = data.row(i);
+            auto &sum = sums[result.labels[i]];
+            for (std::size_t d = 0; d < dims; ++d)
+                sum[d] += sample[d];
+            ++counts[result.labels[i]];
+        }
+        for (std::size_t c = 0; c < k_; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster on a random sample.
+                centroids[c] = data.row(rng.uniformInt(n));
+                continue;
+            }
+            for (std::size_t d = 0; d < dims; ++d)
+                centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+    }
+
+    result.centroids = Matrix(k_, dims);
+    for (std::size_t c = 0; c < k_; ++c)
+        for (std::size_t d = 0; d < dims; ++d)
+            result.centroids.at(c, d) = centroids[c][d];
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia += squaredDistance(
+            data.row(i), centroids[result.labels[i]]);
+    return result;
+}
+
+KMeansResult
+KMeans::fit(const Matrix &data) const
+{
+    if (data.rows() < k_)
+        fatal("KMeans: ", data.rows(), " samples < k=", k_);
+    KMeansResult best;
+    bool have = false;
+    for (int r = 0; r < restarts_; ++r) {
+        KMeansResult cand =
+            fitOnce(data, seed_ + static_cast<std::uint64_t>(r) *
+                                      0x9E3779B97F4A7C15ull);
+        if (!have || cand.inertia < best.inertia) {
+            best = std::move(cand);
+            have = true;
+        }
+    }
+    return best;
+}
+
+} // namespace v10

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * K-Means clustering with k-means++ seeding — the grouping step of
+ * the collocation mechanism (§3.4, Fig. 15: workloads cluster by
+ * resource-utilization pattern). Deterministic given the seed.
+ */
+
+#ifndef V10_COLLOCATE_KMEANS_H
+#define V10_COLLOCATE_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "collocate/matrix.h"
+
+namespace v10 {
+
+/**
+ * K-Means fit result.
+ */
+struct KMeansResult
+{
+    Matrix centroids;                 ///< k x features
+    std::vector<std::size_t> labels;  ///< cluster of each sample
+    double inertia = 0.0;             ///< sum of squared distances
+    int iterations = 0;               ///< Lloyd iterations run
+};
+
+/**
+ * K-Means clusterer.
+ */
+class KMeans
+{
+  public:
+    /**
+     * @param k number of clusters
+     * @param seed PRNG seed (k-means++ initialization)
+     * @param maxIters Lloyd iteration cap
+     * @param restarts independent restarts; best inertia wins
+     */
+    explicit KMeans(std::size_t k, std::uint64_t seed = 7,
+                    int maxIters = 100, int restarts = 8);
+
+    /** Fit on @p data (rows = samples). Requires rows >= k. */
+    KMeansResult fit(const Matrix &data) const;
+
+    /** Nearest centroid of @p sample under a fitted result. */
+    static std::size_t assign(const KMeansResult &fit,
+                              const std::vector<double> &sample);
+
+    /** Squared Euclidean distance helper. */
+    static double squaredDistance(const std::vector<double> &a,
+                                  const std::vector<double> &b);
+
+  private:
+    KMeansResult fitOnce(const Matrix &data,
+                         std::uint64_t seed) const;
+
+    std::size_t k_;
+    std::uint64_t seed_;
+    int max_iters_;
+    int restarts_;
+};
+
+} // namespace v10
+
+#endif // V10_COLLOCATE_KMEANS_H

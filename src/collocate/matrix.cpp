@@ -1,0 +1,129 @@
+#include "collocate/matrix.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows[0].size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols_)
+            fatal("Matrix::fromRows: ragged rows");
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(", r, ",", c, ") out of ", rows_, "x",
+              cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(", r, ",", c, ") out of ", rows_, "x",
+              cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    std::vector<double> out(cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        out[c] = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        fatal("Matrix::multiply: ", rows_, "x", cols_, " * ",
+              other.rows_, "x", other.cols_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double v = at(r, k);
+            if (v == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out.at(r, c) += v * other.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+std::vector<double>
+Matrix::colMeans() const
+{
+    std::vector<double> means(cols_, 0.0);
+    if (rows_ == 0)
+        return means;
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            means[c] += at(r, c);
+    for (auto &m : means)
+        m /= static_cast<double>(rows_);
+    return means;
+}
+
+std::vector<double>
+Matrix::centerColumns()
+{
+    const auto means = colMeans();
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            at(r, c) -= means[c];
+    return means;
+}
+
+Matrix
+Matrix::covariance() const
+{
+    if (rows_ < 2)
+        fatal("Matrix::covariance: need at least two rows");
+    Matrix cov = transposed().multiply(*this);
+    const double denom = static_cast<double>(rows_ - 1);
+    for (std::size_t r = 0; r < cov.rows_; ++r)
+        for (std::size_t c = 0; c < cov.cols_; ++c)
+            cov.at(r, c) /= denom;
+    return cov;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+} // namespace v10

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal dense matrix support for the clustering pipeline (§3.4).
+ * Row-major doubles; only the operations PCA/K-Means need.
+ */
+
+#ifndef V10_COLLOCATE_MATRIX_H
+#define V10_COLLOCATE_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace v10 {
+
+/**
+ * Row-major dense matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer data (rows of equal length). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Element access. */
+    double &at(std::size_t r, std::size_t c);
+
+    /** Element access (const). */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** One row as a vector copy. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Matrix product this * other. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Column means. */
+    std::vector<double> colMeans() const;
+
+    /** Subtract column means in place; returns the means. */
+    std::vector<double> centerColumns();
+
+    /** Covariance matrix of the (centered) rows: X^T X / (n-1). */
+    Matrix covariance() const;
+
+    /** Identity matrix. */
+    static Matrix identity(std::size_t n);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace v10
+
+#endif // V10_COLLOCATE_MATRIX_H

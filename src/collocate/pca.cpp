@@ -1,0 +1,143 @@
+#include "collocate/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace v10 {
+
+EigenResult
+jacobiEigen(const Matrix &symmetric, int maxSweeps)
+{
+    const std::size_t n = symmetric.rows();
+    if (n == 0 || symmetric.cols() != n)
+        fatal("jacobiEigen: need a square matrix");
+
+    Matrix a = symmetric;
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < 1e-24)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                const double app = a.at(p, p);
+                const double aqq = a.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p);
+                    const double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k);
+                    const double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (std::size_t i = 0; i < n; ++i)
+        diag[i] = a.at(i, i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  return diag[x] > diag[y];
+              });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        result.values[j] = diag[order[j]];
+        for (std::size_t i = 0; i < n; ++i)
+            result.vectors.at(i, j) = v.at(i, order[j]);
+    }
+    return result;
+}
+
+Pca::Pca(const Matrix &data, std::size_t components)
+    : components_(components)
+{
+    if (components_ == 0 || components_ > data.cols())
+        fatal("Pca: bad component count ", components_, " for ",
+              data.cols(), " features");
+
+    Matrix centered = data;
+    means_ = centered.centerColumns();
+    const Matrix cov = centered.covariance();
+    const EigenResult eig = jacobiEigen(cov);
+
+    projection_ = Matrix(data.cols(), components_);
+    for (std::size_t f = 0; f < data.cols(); ++f)
+        for (std::size_t c = 0; c < components_; ++c)
+            projection_.at(f, c) = eig.vectors.at(f, c);
+
+    double total = 0.0;
+    double kept = 0.0;
+    for (std::size_t i = 0; i < eig.values.size(); ++i) {
+        const double v = std::max(eig.values[i], 0.0);
+        total += v;
+        if (i < components_)
+            kept += v;
+    }
+    explained_ = total > 0.0 ? kept / total : 0.0;
+}
+
+std::vector<double>
+Pca::transform(const std::vector<double> &sample) const
+{
+    if (sample.size() != means_.size())
+        fatal("Pca::transform: feature-count mismatch");
+    std::vector<double> out(components_, 0.0);
+    for (std::size_t c = 0; c < components_; ++c) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < sample.size(); ++f)
+            acc += (sample[f] - means_[f]) * projection_.at(f, c);
+        out[c] = acc;
+    }
+    return out;
+}
+
+Matrix
+Pca::transform(const Matrix &data) const
+{
+    Matrix out(data.rows(), components_);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const auto projected = transform(data.row(r));
+        for (std::size_t c = 0; c < components_; ++c)
+            out.at(r, c) = projected[c];
+    }
+    return out;
+}
+
+} // namespace v10

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Principal component analysis via cyclic Jacobi eigendecomposition
+ * of the covariance matrix — the feature-reduction step of the
+ * clustering-based collocation mechanism (§3.4, "we apply principal
+ * component analysis (PCA) to extract important features").
+ */
+
+#ifndef V10_COLLOCATE_PCA_H
+#define V10_COLLOCATE_PCA_H
+
+#include <vector>
+
+#include "collocate/matrix.h"
+
+namespace v10 {
+
+/**
+ * Symmetric eigendecomposition result, eigenvalues descending.
+ */
+struct EigenResult
+{
+    std::vector<double> values;   ///< eigenvalues, descending
+    Matrix vectors;               ///< columns are eigenvectors
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by the cyclic Jacobi
+ * method. Deterministic; converges for any symmetric input.
+ */
+EigenResult jacobiEigen(const Matrix &symmetric,
+                        int maxSweeps = 64);
+
+/**
+ * Fitted PCA projection.
+ */
+class Pca
+{
+  public:
+    /**
+     * Fit on @p data (rows = samples, cols = features), keeping
+     * @p components principal components.
+     */
+    Pca(const Matrix &data, std::size_t components);
+
+    /** Project one sample into the principal subspace. */
+    std::vector<double>
+    transform(const std::vector<double> &sample) const;
+
+    /** Project a whole matrix (rows = samples). */
+    Matrix transform(const Matrix &data) const;
+
+    /** Fraction of total variance captured by the kept components. */
+    double explainedVariance() const { return explained_; }
+
+    /** Number of kept components. */
+    std::size_t components() const { return components_; }
+
+  private:
+    std::size_t components_;
+    std::vector<double> means_;
+    Matrix projection_; ///< features x components
+    double explained_ = 0.0;
+};
+
+} // namespace v10
+
+#endif // V10_COLLOCATE_PCA_H

@@ -1,0 +1,51 @@
+#include "collocate/standardizer.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace v10 {
+
+Standardizer::Standardizer(const Matrix &data)
+{
+    if (data.rows() == 0)
+        fatal("Standardizer: empty data");
+    means_ = data.colMeans();
+    stds_.assign(data.cols(), 0.0);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            const double d = data.at(r, c) - means_[c];
+            stds_[c] += d * d;
+        }
+    }
+    for (auto &s : stds_) {
+        s = std::sqrt(s / static_cast<double>(data.rows()));
+        if (s < 1e-12)
+            s = 1.0; // constant feature: leave centered only
+    }
+}
+
+std::vector<double>
+Standardizer::transform(const std::vector<double> &sample) const
+{
+    if (sample.size() != means_.size())
+        fatal("Standardizer::transform: feature-count mismatch");
+    std::vector<double> out(sample.size());
+    for (std::size_t c = 0; c < sample.size(); ++c)
+        out[c] = (sample[c] - means_[c]) / stds_[c];
+    return out;
+}
+
+Matrix
+Standardizer::transform(const Matrix &data) const
+{
+    Matrix out(data.rows(), data.cols());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const auto t = transform(data.row(r));
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            out.at(r, c) = t[c];
+    }
+    return out;
+}
+
+} // namespace v10

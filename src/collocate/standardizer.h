@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Feature standardization (zero mean, unit variance) applied before
+ * PCA/K-Means so that heterogeneous feature scales (utilization
+ * fractions vs log operator lengths) contribute comparably.
+ */
+
+#ifndef V10_COLLOCATE_STANDARDIZER_H
+#define V10_COLLOCATE_STANDARDIZER_H
+
+#include <vector>
+
+#include "collocate/matrix.h"
+
+namespace v10 {
+
+/**
+ * Per-column z-score transform fitted on training data.
+ */
+class Standardizer
+{
+  public:
+    /** Fit on @p data (rows = samples). */
+    explicit Standardizer(const Matrix &data);
+
+    /** Transform one sample. */
+    std::vector<double>
+    transform(const std::vector<double> &sample) const;
+
+    /** Transform a matrix of samples. */
+    Matrix transform(const Matrix &data) const;
+
+    /** Column means. */
+    const std::vector<double> &means() const { return means_; }
+
+    /** Column standard deviations (>= epsilon). */
+    const std::vector<double> &stddevs() const { return stds_; }
+
+  private:
+    std::vector<double> means_;
+    std::vector<double> stds_;
+};
+
+} // namespace v10
+
+#endif // V10_COLLOCATE_STANDARDIZER_H

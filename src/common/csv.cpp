@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+namespace v10 {
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os) {}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    bool needs_quote = false;
+    for (char ch : cell) {
+        if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+            needs_quote = true;
+            break;
+        }
+    }
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << quote(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace v10

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator (trace length spread, PMT
+ * context-switch cost, K-Means initialization) draws from a seeded
+ * Xoshiro256** instance so that experiments are reproducible
+ * bit-for-bit across runs and platforms. We deliberately avoid
+ * std::mt19937 + std::*_distribution because the distributions are
+ * not specified to be identical across standard libraries.
+ */
+
+#ifndef V10_COMMON_RNG_H
+#define V10_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace v10 {
+
+/**
+ * Xoshiro256** PRNG with SplitMix64 seeding.
+ *
+ * Public-domain algorithm by Blackman & Vigna. Deterministic across
+ * platforms; all derived distributions are implemented locally.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds yield identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 expansion of the 64-bit seed into 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire-style rejection-free-enough reduction; bias is
+        // negligible for the n used here (n << 2^64).
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (deterministic given stream). */
+    double
+    normal()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = 0.0;
+        // Avoid log(0).
+        do { u1 = uniform(); } while (u1 <= 0.0);
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586476925286766559 * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /**
+     * Exponential inter-arrival sample with the given mean (Poisson
+     * process; used by the open-loop load generator).
+     */
+    double
+    exponential(double mean)
+    {
+        double u = 0.0;
+        do { u = uniform(); } while (u <= 0.0);
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Lognormal sample with the given *linear-space* mean and
+     * coefficient of variation (stddev / mean). Used for operator
+     * duration spread around the published per-model means.
+     */
+    double
+    lognormal(double mean, double cv)
+    {
+        if (cv <= 0.0 || mean <= 0.0)
+            return mean;
+        const double sigma2 = std::log(1.0 + cv * cv);
+        const double mu = std::log(mean) - 0.5 * sigma2;
+        return std::exp(normal(mu, std::sqrt(sigma2)));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+} // namespace v10
+
+#endif // V10_COMMON_RNG_H

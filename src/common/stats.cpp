@@ -1,0 +1,205 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace v10 {
+
+void
+OnlineStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    dirty_ = true;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (p <= 0.0)
+        return sorted_.front();
+    if (p >= 100.0)
+        return sorted_.back();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo_idx);
+    if (lo_idx + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo_idx] * (1.0 - frac) + sorted_[lo_idx + 1] * frac;
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.front();
+}
+
+void
+SampleSet::reset()
+{
+    samples_.clear();
+    sorted_.clear();
+    dirty_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        fatal("Histogram: need bins > 0 and hi > lo");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    return i < counts_.size() ? counts_[i] : 0;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "hist[" << lo_ << "," << hi_ << ") n=" << total_
+       << " under=" << underflow_ << " over=" << overflow_ << " bins=";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ',';
+        os << counts_[i];
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace v10

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by the metrics layer and the
+ * bench harness: streaming moments, percentile estimation over stored
+ * samples, and fixed-bin histograms.
+ */
+
+#ifndef V10_COMMON_STATS_H
+#define V10_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace v10 {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * O(1) memory; suitable for per-operator statistics over long runs.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sample store with exact percentile queries. Stores every sample;
+ * intended for per-request latencies (thousands of samples), not
+ * per-cycle data.
+ */
+class SampleSet
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Convenience: 95th percentile (the paper's tail metric). */
+    double p95() const { return percentile(95.0); }
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** All samples in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    /** Sort the mutable cache if new samples arrived. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi) with under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first regular bin
+     * @param hi upper edge of the last regular bin
+     * @param bins number of regular bins (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in regular bin i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Samples below lo. */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi. */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Total samples added. */
+    std::size_t total() const { return total_; }
+
+    /** Number of regular bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Lower edge of bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Render a compact single-line summary, for logs. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+/** Geometric mean of a vector; 0 if empty or any element <= 0. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace v10
+
+#endif // V10_COMMON_STATS_H

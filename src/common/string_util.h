@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string formatting/parsing helpers shared by benches and
+ * examples.
+ */
+
+#ifndef V10_COMMON_STRING_UTIL_H
+#define V10_COMMON_STRING_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** "1.5 GiB"-style human-readable byte count. */
+std::string formatBytes(Bytes bytes);
+
+/** Fixed-precision double formatting ("%.3f"-style). */
+std::string formatDouble(double value, int precision = 2);
+
+/** "12.3%"-style percentage from a [0,1] fraction. */
+std::string formatPct(double fraction, int precision = 1);
+
+/** Scientific-style "8.77e+02" formatting used by Table 1. */
+std::string formatSci(double value, int precision = 2);
+
+/** Split on a delimiter; empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace v10
+
+#endif // V10_COMMON_STRING_UTIL_H

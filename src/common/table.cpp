@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace v10 {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &value)
+{
+    if (rows_.empty())
+        panic("TextTable::cell called before addRow");
+    rows_.back().push_back(value);
+}
+
+void
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    cell(os.str());
+}
+
+void
+TextTable::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TextTable::cellPct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << '%';
+    cell(os.str());
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : "";
+            os << (c ? "  " : "") << std::left
+               << std::setw(static_cast<int>(widths[c])) << v;
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace v10

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The simulator counts time in NPU core cycles (see NpuConfig for the
+ * cycle <-> wall-clock conversion, which depends on the configured
+ * frequency). Identifiers are small integers wrapped in enums-like
+ * aliases so call sites stay readable.
+ */
+
+#ifndef V10_COMMON_TYPES_H
+#define V10_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace v10 {
+
+/** Simulated time measured in NPU core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A signed cycle delta, for arithmetic that may go negative. */
+using CycleDelta = std::int64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Cycles kCycleMax = std::numeric_limits<Cycles>::max();
+
+/** Index of a tenant workload on a shared NPU core. */
+using WorkloadId = std::uint32_t;
+
+/** Index of a functional unit (systolic array or vector unit). */
+using FuId = std::uint32_t;
+
+/** Monotonically increasing operator sequence number within a trace. */
+using OpId = std::uint64_t;
+
+/** Invalid-id sentinels. */
+inline constexpr WorkloadId kNoWorkload =
+    std::numeric_limits<WorkloadId>::max();
+inline constexpr FuId kNoFu = std::numeric_limits<FuId>::max();
+
+/** Bytes, used for memory capacities and DMA volumes. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 10;
+}
+
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 20;
+}
+
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 30;
+}
+
+} // namespace v10
+
+#endif // V10_COMMON_TYPES_H

@@ -1,0 +1,69 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace v10 {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::PushW: return "pushw";
+      case Opcode::Push:  return "push";
+      case Opcode::Pop:   return "pop";
+      case Opcode::Ld:    return "ld";
+      case Opcode::St:    return "st";
+      case Opcode::Valu:  return "valu";
+      case Opcode::Sync:  return "sync";
+    }
+    panic("opcodeName: bad opcode");
+}
+
+Cycles
+opcodeCycles(Opcode op)
+{
+    switch (op) {
+      case Opcode::PushW:
+      case Opcode::Push:
+      case Opcode::Pop:
+        return 8; // eight 128-wide vectors, one per cycle (§2.1)
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Valu:
+      case Opcode::Sync:
+        return 1;
+    }
+    panic("opcodeCycles: bad opcode");
+}
+
+std::string
+Instruction::disassemble() const
+{
+    std::ostringstream os;
+    os << opcodeName(opcode);
+    switch (opcode) {
+      case Opcode::PushW:
+      case Opcode::Push:
+        os << " v" << src;
+        break;
+      case Opcode::Pop:
+        os << " v" << dst;
+        break;
+      case Opcode::Ld:
+        os << " v" << dst << ", [vmem+" << vmemOffset << "]";
+        break;
+      case Opcode::St:
+        os << " v" << src << ", [vmem+" << vmemOffset << "]";
+        break;
+      case Opcode::Valu:
+        os << " v" << dst << ", v" << src;
+        break;
+      case Opcode::Sync:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace v10

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * NPU instruction definitions, following the ISA sketched in §2.1 of
+ * the paper:
+ *
+ *  - pushw %src      send eight 128-wide weight vectors to the SA
+ *  - push  %src      send eight 128-wide input vectors to the SA
+ *  - pop   %dst      read eight 128-wide vectors out of the SA
+ *  - ld    %dst,[m]  load a vector register from vector memory
+ *  - st    %src,[m]  store a vector register to vector memory
+ *  - valu  op        element-wise SIMD operation in the vector unit
+ *  - sync            barrier between dependent operators
+ *
+ * push/pushw/pop each take 8 cycles (one 128-wide vector per cycle);
+ * ld/st take 1 cycle against the software-managed vector memory; a
+ * valu instruction performs one 8x128x2-FLOP SIMD step per cycle.
+ */
+
+#ifndef V10_ISA_INSTRUCTION_H
+#define V10_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** NPU opcode set. */
+enum class Opcode : std::uint8_t {
+    PushW, ///< stream a weight block into the systolic array
+    Push,  ///< stream an input block into the systolic array
+    Pop,   ///< drain an output block from the systolic array
+    Ld,    ///< vector-memory load into a vector register
+    St,    ///< vector-register store to vector memory
+    Valu,  ///< element-wise SIMD ALU operation
+    Sync,  ///< dependency barrier between operators
+};
+
+/** Human-readable mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Cycle cost of one instruction of the given opcode. */
+Cycles opcodeCycles(Opcode op);
+
+/**
+ * One decoded NPU instruction. Operands are register indices or
+ * vector-memory offsets; the simulator executes instruction *streams*
+ * at phase granularity, so this struct exists for trace inspection,
+ * the disassembler, and the preemption module's context accounting.
+ */
+struct Instruction
+{
+    Opcode opcode = Opcode::Sync;
+    /** Destination vector register (Pop/Ld) or 0. */
+    std::uint16_t dst = 0;
+    /** Source vector register (Push/PushW/St/Valu) or 0. */
+    std::uint16_t src = 0;
+    /** Vector-memory byte offset for Ld/St. */
+    std::uint32_t vmemOffset = 0;
+
+    /** Cycle cost of this instruction. */
+    Cycles cycles() const { return opcodeCycles(opcode); }
+
+    /** "push v3"-style disassembly. */
+    std::string disassemble() const;
+};
+
+} // namespace v10
+
+#endif // V10_ISA_INSTRUCTION_H

@@ -1,0 +1,163 @@
+#include "isa/instruction_stream.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+namespace {
+
+/** Vector-register file size (32 8x128 registers, §2.1). */
+constexpr std::uint16_t kNumVregs = 32;
+
+} // namespace
+
+InstructionStream
+InstructionStream::forSaOp(const SaOpShape &shape)
+{
+    if (shape.dim == 0 || shape.dim % 8 != 0)
+        fatal("SA dim must be a positive multiple of 8, got ",
+              shape.dim);
+    InstructionStream s;
+    s.kind_ = Kind::SA;
+    s.sa_ = shape;
+
+    const std::uint64_t weight_blocks = shape.dim / 8;
+    const std::uint64_t input_blocks = (shape.rows + 7) / 8;
+    // ld+pushw per weight block, ld+push+pop+st per input block,
+    // one trailing sync.
+    s.count_ = 2 * weight_blocks + 4 * input_blocks + 1;
+    // Weight-stationary pipeline: dim cycles of weight load, rows
+    // cycles of streaming (push/pop overlap), 2*dim cycles of drain.
+    s.total_cycles_ = static_cast<Cycles>(shape.dim) + shape.rows +
+                      2 * static_cast<Cycles>(shape.dim);
+    return s;
+}
+
+InstructionStream
+InstructionStream::forVuOp(const VuOpShape &shape)
+{
+    if (shape.laneWidth == 0)
+        fatal("VU lane width must be positive");
+    if (shape.aluSteps == 0)
+        fatal("VU op needs at least one ALU step");
+    InstructionStream s;
+    s.kind_ = Kind::VU;
+    s.vu_ = shape;
+
+    const std::uint64_t tiles =
+        (shape.elements + shape.laneWidth - 1) / shape.laneWidth;
+    // ld + aluSteps*valu + st per tile, one trailing sync.
+    s.count_ = tiles * (2 + shape.aluSteps) + 1;
+    s.total_cycles_ = s.count_; // every VU-side instruction is 1 cycle
+    return s;
+}
+
+Instruction
+InstructionStream::at(std::uint64_t index) const
+{
+    if (index >= count_)
+        panic("InstructionStream::at: index ", index, " >= ", count_);
+
+    Instruction inst;
+    if (kind_ == Kind::SA) {
+        const std::uint64_t weight_blocks = sa_.dim / 8;
+        if (index < 2 * weight_blocks) {
+            const std::uint64_t block = index / 2;
+            const auto reg =
+                static_cast<std::uint16_t>(block % kNumVregs);
+            if (index % 2 == 0) {
+                inst.opcode = Opcode::Ld;
+                inst.dst = reg;
+                inst.vmemOffset =
+                    static_cast<std::uint32_t>(block * 8 * sa_.dim * 2);
+            } else {
+                inst.opcode = Opcode::PushW;
+                inst.src = reg;
+            }
+            return inst;
+        }
+        index -= 2 * weight_blocks;
+        const std::uint64_t input_blocks = (sa_.rows + 7) / 8;
+        if (index < 4 * input_blocks) {
+            const std::uint64_t block = index / 4;
+            const auto in_reg =
+                static_cast<std::uint16_t>(block % (kNumVregs / 2));
+            const auto out_reg = static_cast<std::uint16_t>(
+                kNumVregs / 2 + block % (kNumVregs / 2));
+            switch (index % 4) {
+              case 0:
+                inst.opcode = Opcode::Ld;
+                inst.dst = in_reg;
+                inst.vmemOffset =
+                    static_cast<std::uint32_t>(block * 8 * sa_.dim * 2);
+                break;
+              case 1:
+                inst.opcode = Opcode::Push;
+                inst.src = in_reg;
+                break;
+              case 2:
+                inst.opcode = Opcode::Pop;
+                inst.dst = out_reg;
+                break;
+              default:
+                inst.opcode = Opcode::St;
+                inst.src = out_reg;
+                inst.vmemOffset =
+                    static_cast<std::uint32_t>(block * 8 * sa_.dim * 4);
+                break;
+            }
+            return inst;
+        }
+        inst.opcode = Opcode::Sync;
+        return inst;
+    }
+
+    // VU operator: [ld, valu*aluSteps, st] per tile, then sync.
+    const std::uint64_t group = 2 + vu_.aluSteps;
+    const std::uint64_t tiles =
+        (vu_.elements + vu_.laneWidth - 1) / vu_.laneWidth;
+    if (index < tiles * group) {
+        const std::uint64_t tile = index / group;
+        const std::uint64_t pos = index % group;
+        const auto reg = static_cast<std::uint16_t>(tile % kNumVregs);
+        if (pos == 0) {
+            inst.opcode = Opcode::Ld;
+            inst.dst = reg;
+            inst.vmemOffset =
+                static_cast<std::uint32_t>(tile * vu_.laneWidth * 4);
+        } else if (pos == group - 1) {
+            inst.opcode = Opcode::St;
+            inst.src = reg;
+            inst.vmemOffset =
+                static_cast<std::uint32_t>(tile * vu_.laneWidth * 4);
+        } else {
+            inst.opcode = Opcode::Valu;
+            inst.dst = reg;
+            inst.src = reg;
+        }
+        return inst;
+    }
+    inst.opcode = Opcode::Sync;
+    return inst;
+}
+
+std::vector<Instruction>
+InstructionStream::prefix(std::uint64_t n) const
+{
+    const std::uint64_t limit = std::min(n, count_);
+    std::vector<Instruction> out;
+    out.reserve(limit);
+    for (std::uint64_t i = 0; i < limit; ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+InstructionStream::forEach(
+    const std::function<void(const Instruction &)> &fn) const
+{
+    for (std::uint64_t i = 0; i < count_; ++i)
+        fn(at(i));
+}
+
+} // namespace v10

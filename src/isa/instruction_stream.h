@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lazy expansion of a tensor operator into its NPU instruction
+ * stream.
+ *
+ * Long operators expand to hundreds of thousands of instructions, so
+ * the stream is a generator rather than a materialized vector: the
+ * instruction count and total cycle cost are computed analytically
+ * (and are what the timing model charges), while individual
+ * instructions can be enumerated on demand for the disassembler,
+ * tests, and the preemption module.
+ */
+
+#ifndef V10_ISA_INSTRUCTION_STREAM_H
+#define V10_ISA_INSTRUCTION_STREAM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace v10 {
+
+/**
+ * Shape parameters of a systolic-array operator: a weight-stationary
+ * matmul/convolution streaming @p rows input rows through a
+ * dim x dim array.
+ */
+struct SaOpShape
+{
+    std::uint32_t dim = 128; ///< systolic array dimension
+    std::uint64_t rows = 0;  ///< input rows streamed through the SA
+};
+
+/**
+ * Shape parameters of a vector-unit operator: an element-wise /
+ * reduction kernel over @p elements values, with one Ld + one St per
+ * register-file tile.
+ */
+struct VuOpShape
+{
+    std::uint64_t elements = 0;  ///< total elements processed
+    std::uint32_t laneWidth = 1024; ///< elements per SIMD step (8x128)
+    std::uint32_t aluSteps = 1;  ///< Valu instructions per tile
+};
+
+/**
+ * Generator over the instruction stream of one operator.
+ */
+class InstructionStream
+{
+  public:
+    /** Build the stream of a systolic-array operator. */
+    static InstructionStream forSaOp(const SaOpShape &shape);
+
+    /** Build the stream of a vector-unit operator. */
+    static InstructionStream forVuOp(const VuOpShape &shape);
+
+    /** Total number of instructions in the stream. */
+    std::uint64_t instructionCount() const { return count_; }
+
+    /**
+     * Total cycle cost of executing the stream back to back. For SA
+     * operators this matches the weight-stationary pipeline model
+     * (dim weight-load cycles + rows streaming cycles + 2*dim drain)
+     * because push and pop overlap in steady state.
+     */
+    Cycles totalCycles() const { return total_cycles_; }
+
+    /** Instruction at stream position @p index (0-based). */
+    Instruction at(std::uint64_t index) const;
+
+    /** Materialize the first @p n instructions (for tests/tools). */
+    std::vector<Instruction> prefix(std::uint64_t n) const;
+
+    /**
+     * Invoke @p fn for every instruction; intended only for short
+     * streams (tools and tests).
+     */
+    void forEach(const std::function<void(const Instruction &)> &fn)
+        const;
+
+  private:
+    InstructionStream() = default;
+
+    enum class Kind { SA, VU };
+
+    Kind kind_ = Kind::SA;
+    SaOpShape sa_{};
+    VuOpShape vu_{};
+    std::uint64_t count_ = 0;
+    Cycles total_cycles_ = 0;
+};
+
+} // namespace v10
+
+#endif // V10_ISA_INSTRUCTION_STREAM_H

@@ -1,0 +1,53 @@
+#include "metrics/latency_recorder.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+LatencyRecorder::LatencyRecorder(std::uint32_t tenants)
+    : per_tenant_(tenants)
+{
+}
+
+void
+LatencyRecorder::record(WorkloadId tenant, Cycles latency)
+{
+    if (tenant >= per_tenant_.size())
+        panic("LatencyRecorder: tenant ", tenant, " out of range");
+    per_tenant_[tenant].add(static_cast<double>(latency));
+}
+
+void
+LatencyRecorder::reset()
+{
+    for (auto &set : per_tenant_)
+        set.reset();
+}
+
+const SampleSet &
+LatencyRecorder::samples(WorkloadId tenant) const
+{
+    if (tenant >= per_tenant_.size())
+        panic("LatencyRecorder: tenant ", tenant, " out of range");
+    return per_tenant_[tenant];
+}
+
+std::size_t
+LatencyRecorder::requests(WorkloadId tenant) const
+{
+    return samples(tenant).count();
+}
+
+double
+LatencyRecorder::meanCycles(WorkloadId tenant) const
+{
+    return samples(tenant).mean();
+}
+
+double
+LatencyRecorder::p95Cycles(WorkloadId tenant) const
+{
+    return samples(tenant).p95();
+}
+
+} // namespace v10

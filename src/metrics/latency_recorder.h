@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-tenant request latency recording (Figs. 19/20: average and
+ * 95th-percentile latency of inference requests).
+ */
+
+#ifndef V10_METRICS_LATENCY_RECORDER_H
+#define V10_METRICS_LATENCY_RECORDER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace v10 {
+
+/**
+ * Records per-request latencies for a fixed set of tenants.
+ */
+class LatencyRecorder
+{
+  public:
+    /** @param tenants number of collocated workloads */
+    explicit LatencyRecorder(std::uint32_t tenants);
+
+    /** Record one completed request of @p tenant. */
+    void record(WorkloadId tenant, Cycles latency);
+
+    /** All samples of one tenant. */
+    const SampleSet &samples(WorkloadId tenant) const;
+
+    /** Completed requests of one tenant. */
+    std::size_t requests(WorkloadId tenant) const;
+
+    /** Mean latency in cycles. */
+    double meanCycles(WorkloadId tenant) const;
+
+    /** 95th-percentile latency in cycles. */
+    double p95Cycles(WorkloadId tenant) const;
+
+    /** Drop all samples (start of the measured window). */
+    void reset();
+
+    /** Number of tenants. */
+    std::uint32_t tenants() const
+    {
+        return static_cast<std::uint32_t>(per_tenant_.size());
+    }
+
+  private:
+    std::vector<SampleSet> per_tenant_;
+};
+
+} // namespace v10
+
+#endif // V10_METRICS_LATENCY_RECORDER_H

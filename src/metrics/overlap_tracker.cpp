@@ -1,0 +1,79 @@
+#include "metrics/overlap_tracker.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+OverlapTracker::OverlapTracker(Simulator &sim) : sim_(sim)
+{
+}
+
+OverlapTracker::Bucket
+OverlapTracker::currentBucket() const
+{
+    if (sa_busy_ > 0 && vu_busy_ > 0)
+        return Bucket::Both;
+    if (sa_busy_ > 0)
+        return Bucket::SaOnly;
+    if (vu_busy_ > 0)
+        return Bucket::VuOnly;
+    return Bucket::Idle;
+}
+
+void
+OverlapTracker::accumulate()
+{
+    const Cycles now = sim_.now();
+    if (now > last_change_) {
+        buckets_[static_cast<int>(currentBucket())] +=
+            now - last_change_;
+        last_change_ = now;
+    }
+}
+
+void
+OverlapTracker::fuBusyChanged(const FunctionalUnit &fu, bool busy)
+{
+    accumulate();
+    int &counter =
+        fu.kind() == FunctionalUnit::Kind::SA ? sa_busy_ : vu_busy_;
+    counter += busy ? 1 : -1;
+    if (counter < 0)
+        panic("OverlapTracker: busy counter underflow on ",
+              fu.name());
+}
+
+void
+OverlapTracker::startWindow()
+{
+    window_start_ = sim_.now();
+    last_change_ = window_start_;
+    for (auto &b : buckets_)
+        b = 0;
+    finished_ = false;
+}
+
+void
+OverlapTracker::finish()
+{
+    accumulate();
+    window_ = sim_.now() - window_start_;
+    finished_ = true;
+}
+
+Cycles
+OverlapTracker::bucketCycles(Bucket bucket) const
+{
+    return buckets_[static_cast<int>(bucket)];
+}
+
+double
+OverlapTracker::bucketFrac(Bucket bucket) const
+{
+    if (window_ == 0)
+        return 0.0;
+    return static_cast<double>(bucketCycles(bucket)) /
+           static_cast<double>(window_);
+}
+
+} // namespace v10

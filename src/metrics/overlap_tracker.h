@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SA/VU overlap accounting for the Fig. 17 breakdown: how much of the
+ * measurement window had both unit kinds busy ("SA Op & VU Op"),
+ * only the systolic arrays busy, only the vector units busy, or
+ * everything idle.
+ */
+
+#ifndef V10_METRICS_OVERLAP_TRACKER_H
+#define V10_METRICS_OVERLAP_TRACKER_H
+
+#include "npu/functional_unit.h"
+#include "sim/simulator.h"
+
+namespace v10 {
+
+/**
+ * Observes busy/idle transitions on every functional unit and
+ * accumulates window time into four mutually exclusive buckets.
+ */
+class OverlapTracker : public FuObserver
+{
+  public:
+    /** Time-bucket classification of an instant. */
+    enum class Bucket { Idle = 0, SaOnly, VuOnly, Both };
+
+    explicit OverlapTracker(Simulator &sim);
+
+    /** FuObserver hook. */
+    void fuBusyChanged(const FunctionalUnit &fu, bool busy) override;
+
+    /** Begin the measurement window at the current cycle. */
+    void startWindow();
+
+    /** Close the window (accumulate the final segment) at now. */
+    void finish();
+
+    /** Accumulated cycles in a bucket. */
+    Cycles bucketCycles(Bucket bucket) const;
+
+    /** Window length in cycles (valid after finish()). */
+    Cycles windowCycles() const { return window_; }
+
+    /** Fraction of the window spent in @p bucket. */
+    double bucketFrac(Bucket bucket) const;
+
+    /** Fraction of the window where both SA and VU were busy. */
+    double bothFrac() const { return bucketFrac(Bucket::Both); }
+
+  private:
+    /** Accumulate the time since the last transition. */
+    void accumulate();
+
+    /** Current bucket from the busy counters. */
+    Bucket currentBucket() const;
+
+    Simulator &sim_;
+    int sa_busy_ = 0;
+    int vu_busy_ = 0;
+    Cycles last_change_ = 0;
+    Cycles window_start_ = 0;
+    Cycles window_ = 0;
+    Cycles buckets_[4] = {0, 0, 0, 0};
+    bool finished_ = false;
+};
+
+} // namespace v10
+
+#endif // V10_METRICS_OVERLAP_TRACKER_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Operator-timeline tracing: records every operator execution slice
+ * (functional unit, tenant, operator, context-switch penalty,
+ * preempted-or-completed) and renders it as a Chrome trace-event
+ * JSON file (load in chrome://tracing or https://ui.perfetto.dev)
+ * — Fig. 12's timelines, reconstructed from an actual run.
+ */
+
+#ifndef V10_METRICS_TIMELINE_H
+#define V10_METRICS_TIMELINE_H
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/**
+ * Collects operator execution slices for offline visualization.
+ */
+class TimelineTracer
+{
+  public:
+    /** @param cyclesPerUs core cycles per microsecond (freq * 1e3) */
+    explicit TimelineTracer(double cyclesPerUs);
+
+    /** An operator started on a unit (after @p penalty overhead). */
+    void opBegin(Cycles now, const std::string &fu,
+                 const std::string &tenant, const std::string &op,
+                 Cycles penalty);
+
+    /** The unit's in-flight operator ended.
+     * @param preempted true when ended by preemption (§3.3) */
+    void opEnd(Cycles now, const std::string &fu, bool preempted);
+
+    /** Close any still-open slices at @p now (end of run). */
+    void finish(Cycles now);
+
+    /** Recorded slice count. */
+    std::size_t sliceCount() const { return slices_.size(); }
+
+    /** Recorded preemption count. */
+    std::size_t preemptionCount() const;
+
+    /**
+     * Compact per-slice labels ("sa0:BERT@32:matmul.0@700") in
+     * recording order — for golden-sequence regression tests.
+     */
+    std::vector<std::string> sliceLabels() const;
+
+    /** Emit Chrome trace-event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** writeChromeTrace() to a file path; fatal() if unwritable. */
+    void writeChromeTraceFile(const std::string &path) const;
+
+  private:
+    struct Slice
+    {
+        std::string fu;
+        std::string tenant;
+        std::string op;
+        Cycles start = 0;
+        Cycles end = 0;
+        Cycles penalty = 0;
+        bool preempted = false;
+    };
+
+    double cycles_per_us_;
+    std::vector<Slice> slices_;
+    std::unordered_map<std::string, std::size_t> open_; ///< fu -> idx
+};
+
+} // namespace v10
+
+#endif // V10_METRICS_TIMELINE_H

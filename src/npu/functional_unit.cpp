@@ -1,0 +1,128 @@
+#include "npu/functional_unit.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace v10 {
+
+const char *
+fuKindName(FunctionalUnit::Kind kind)
+{
+    return kind == FunctionalUnit::Kind::SA ? "SA" : "VU";
+}
+
+FunctionalUnit::FunctionalUnit(Simulator &sim, Kind kind, FuId id,
+                               std::string name)
+    : sim_(sim), kind_(kind), id_(id), name_(std::move(name))
+{
+}
+
+void
+FunctionalUnit::begin(WorkloadId workload, OpId op,
+                      Cycles computeCycles, Cycles overheadCycles,
+                      CompletionCb cb)
+{
+    if (busy_)
+        panic(name_, ": begin while busy (op ", op_id_, " of wl ",
+              workload_, " still in flight)");
+    if (computeCycles == 0)
+        panic(name_, ": zero-cycle operator");
+
+    busy_ = true;
+    workload_ = workload;
+    op_id_ = op;
+    start_cycle_ = sim_.now();
+    compute_cycles_ = computeCycles;
+    overhead_cycles_ = overheadCycles;
+    completion_cb_ = std::move(cb);
+
+    completion_event_ =
+        sim_.after(overheadCycles + computeCycles, [this] {
+            completion_event_ = kNoEvent;
+            CompletionCb cb_copy = std::move(completion_cb_);
+            retire(true);
+            if (cb_copy)
+                cb_copy(*this);
+        });
+
+    if (observer_)
+        observer_->fuBusyChanged(*this, true);
+}
+
+Cycles
+FunctionalUnit::inflightComputeDone() const
+{
+    if (!busy_)
+        return 0;
+    const Cycles elapsed = sim_.now() - start_cycle_;
+    if (elapsed <= overhead_cycles_)
+        return 0;
+    return std::min(elapsed - overhead_cycles_, compute_cycles_);
+}
+
+void
+FunctionalUnit::retire(bool completed)
+{
+    const Cycles elapsed = sim_.now() - start_cycle_;
+    const Cycles overhead_done = std::min(elapsed, overhead_cycles_);
+    const Cycles compute_done =
+        completed ? compute_cycles_ : inflightComputeDone();
+
+    compute_accum_ += compute_done;
+    overhead_accum_ += overhead_done;
+    compute_by_workload_[workload_] += compute_done;
+    overhead_by_workload_[workload_] += overhead_done;
+
+    busy_ = false;
+    const WorkloadId prev = workload_;
+    (void)prev;
+    workload_ = kNoWorkload;
+    op_id_ = 0;
+    compute_cycles_ = 0;
+    overhead_cycles_ = 0;
+
+    if (observer_)
+        observer_->fuBusyChanged(*this, false);
+}
+
+Cycles
+FunctionalUnit::preempt()
+{
+    if (!busy_)
+        panic(name_, ": preempt while idle");
+    const Cycles done = inflightComputeDone();
+    const Cycles remaining = compute_cycles_ - done;
+    sim_.cancel(completion_event_);
+    completion_event_ = kNoEvent;
+    completion_cb_ = nullptr;
+    retire(false);
+    // A fully-drained operator still "remains" for its final cycle;
+    // callers treat remaining == 0 as a completed op.
+    return remaining;
+}
+
+Cycles
+FunctionalUnit::busyComputeFor(WorkloadId workload) const
+{
+    auto it = compute_by_workload_.find(workload);
+    return it == compute_by_workload_.end() ? 0 : it->second;
+}
+
+Cycles
+FunctionalUnit::overheadFor(WorkloadId workload) const
+{
+    auto it = overhead_by_workload_.find(workload);
+    return it == overhead_by_workload_.end() ? 0 : it->second;
+}
+
+void
+FunctionalUnit::resetStats()
+{
+    compute_accum_ = 0;
+    overhead_accum_ = 0;
+    compute_by_workload_.clear();
+    overhead_by_workload_.clear();
+}
+
+} // namespace v10

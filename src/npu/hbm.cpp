@@ -1,0 +1,130 @@
+#include "npu/hbm.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+
+namespace v10 {
+
+namespace {
+
+/** Bytes below which a stream counts as drained (fp slack). */
+constexpr double kDrainEpsilon = 1e-3;
+
+} // namespace
+
+HbmModel::HbmModel(Simulator &sim, double bytesPerCycle)
+    : sim_(sim), peak_(bytesPerCycle)
+{
+    if (peak_ <= 0.0)
+        fatal("HbmModel: peak bandwidth must be positive");
+}
+
+void
+HbmModel::advance()
+{
+    const Cycles now = sim_.now();
+    if (now <= last_advance_) {
+        last_advance_ = now;
+        return;
+    }
+    const auto elapsed = static_cast<double>(now - last_advance_);
+    last_advance_ = now;
+    if (streams_.empty())
+        return;
+    const double share =
+        peak_ / static_cast<double>(streams_.size());
+    const double budget = elapsed * share;
+    for (auto &[id, stream] : streams_) {
+        const double used = std::min(stream.remaining, budget);
+        stream.remaining -= used;
+        bytes_moved_ += used;
+    }
+}
+
+void
+HbmModel::scheduleNext()
+{
+    if (pending_event_ != kNoEvent) {
+        sim_.cancel(pending_event_);
+        pending_event_ = kNoEvent;
+    }
+    if (streams_.empty())
+        return;
+    double min_remaining = streams_.begin()->second.remaining;
+    for (const auto &[id, stream] : streams_)
+        min_remaining = std::min(min_remaining, stream.remaining);
+    const double share =
+        peak_ / static_cast<double>(streams_.size());
+    const double cycles_needed = min_remaining / share;
+    const Cycles delta = std::max<Cycles>(
+        1, static_cast<Cycles>(std::ceil(cycles_needed)));
+    pending_event_ =
+        sim_.after(delta, [this] { onCompletionEvent(); });
+}
+
+void
+HbmModel::onCompletionEvent()
+{
+    pending_event_ = kNoEvent;
+    advance();
+
+    std::vector<DoneCallback> completed;
+    for (auto it = streams_.begin(); it != streams_.end();) {
+        if (it->second.remaining <= kDrainEpsilon) {
+            completed.push_back(std::move(it->second.done));
+            it = streams_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    scheduleNext();
+    // Fire after membership is settled; callbacks may start new
+    // transfers, which re-advance and re-schedule on their own.
+    for (auto &cb : completed) {
+        if (cb)
+            cb();
+    }
+}
+
+DmaStreamId
+HbmModel::startTransfer(Bytes bytes, DoneCallback done)
+{
+    advance();
+    const DmaStreamId id = next_id_++;
+    streams_.emplace(
+        id, Stream{static_cast<double>(bytes), std::move(done)});
+    scheduleNext();
+    return id;
+}
+
+void
+HbmModel::cancel(DmaStreamId id)
+{
+    auto it = streams_.find(id);
+    if (it == streams_.end())
+        return;
+    advance();
+    streams_.erase(it);
+    scheduleNext();
+}
+
+double
+HbmModel::utilization(Cycles windowStart)
+{
+    advance();
+    const Cycles now = sim_.now();
+    if (now <= windowStart)
+        return 0.0;
+    const double window = static_cast<double>(now - windowStart);
+    return windowBytes() / (window * peak_);
+}
+
+void
+HbmModel::markWindow()
+{
+    window_base_ = bytes_moved_;
+}
+
+} // namespace v10

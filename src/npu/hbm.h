@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Off-chip HBM bandwidth model.
+ *
+ * Concurrent DMA streams share the peak bandwidth equally
+ * (processor-sharing): with n active streams each progresses at
+ * peak/n bytes per cycle. Whenever the set of active streams changes,
+ * remaining bytes are advanced and the next completion event is
+ * recomputed. This captures the HBM contention effects of §5.6/§5.8
+ * (e.g. DLRM+RsNt oversubscribing bandwidth) while staying O(#streams)
+ * per membership change.
+ */
+
+#ifndef V10_NPU_HBM_H
+#define V10_NPU_HBM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace v10 {
+
+/** Handle identifying an in-flight DMA transfer. */
+using DmaStreamId = std::uint64_t;
+
+/**
+ * Processor-sharing HBM bandwidth model.
+ */
+class HbmModel
+{
+  public:
+    using DoneCallback = std::function<void()>;
+
+    /**
+     * @param sim the simulation kernel (not owned)
+     * @param bytesPerCycle peak bandwidth in bytes per core cycle
+     */
+    HbmModel(Simulator &sim, double bytesPerCycle);
+
+    HbmModel(const HbmModel &) = delete;
+    HbmModel &operator=(const HbmModel &) = delete;
+
+    /**
+     * Begin a DMA transfer of @p bytes; @p done fires at completion.
+     * Zero-byte transfers complete on the next cycle boundary.
+     * @return a handle usable with cancel().
+     */
+    DmaStreamId startTransfer(Bytes bytes, DoneCallback done);
+
+    /** Abort an in-flight transfer; its callback never fires. */
+    void cancel(DmaStreamId id);
+
+    /** Number of in-flight transfers. */
+    std::size_t activeStreams() const { return streams_.size(); }
+
+    /** Total bytes fully transferred so far. */
+    double bytesMoved() const { return bytes_moved_; }
+
+    /**
+     * Average bandwidth utilization over [windowStart, now]:
+     * bytes moved in the window / (window cycles * peak). Advances
+     * in-flight streams to now first. The caller must have called
+     * markWindow() at @p windowStart.
+     */
+    double utilization(Cycles windowStart);
+
+    /** Record the current bytesMoved() as a measurement baseline. */
+    void markWindow();
+
+    /** bytesMoved() at the last markWindow() call. */
+    double windowBytes() const { return bytes_moved_ - window_base_; }
+
+    /** Peak bandwidth in bytes per cycle. */
+    double peakBytesPerCycle() const { return peak_; }
+
+  private:
+    struct Stream
+    {
+        double remaining = 0.0;
+        DoneCallback done;
+    };
+
+    /** Advance all streams to the current cycle. */
+    void advance();
+
+    /** Recompute and schedule the next completion event. */
+    void scheduleNext();
+
+    /** Fire completions for streams that have drained. */
+    void onCompletionEvent();
+
+    Simulator &sim_;
+    double peak_;
+    std::map<DmaStreamId, Stream> streams_;
+    DmaStreamId next_id_ = 1;
+    Cycles last_advance_ = 0;
+    EventId pending_event_ = kNoEvent;
+    double bytes_moved_ = 0.0;
+    double window_base_ = 0.0;
+};
+
+} // namespace v10
+
+#endif // V10_NPU_HBM_H

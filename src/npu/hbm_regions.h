@@ -1,0 +1,82 @@
+/**
+ * @file
+ * §3.6's HBM memory management: "V10 uses the conventional
+ * segmentation scheme to divide the address space into several
+ * memory regions to host one workload per region. The region size
+ * depends on the workload memory allocation (e.g., batch size and
+ * model size)."
+ *
+ * The allocator hands out contiguous regions sized to each tenant's
+ * footprint and rejects deployments that do not fit the device —
+ * the mechanism behind the out-of-memory bars of Fig. 3.
+ */
+
+#ifndef V10_NPU_HBM_REGIONS_H
+#define V10_NPU_HBM_REGIONS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** One allocated HBM region. */
+struct HbmRegion
+{
+    std::string owner; ///< workload label
+    Bytes base = 0;
+    Bytes size = 0;
+
+    /** One past the last byte. */
+    Bytes end() const { return base + size; }
+};
+
+/**
+ * Bump allocator over the HBM address space, one region per tenant.
+ */
+class HbmRegionAllocator
+{
+  public:
+    /** @param capacity device HBM bytes */
+    explicit HbmRegionAllocator(Bytes capacity);
+
+    /**
+     * Allocate a region for @p owner.
+     * @return index of the region
+     * @note fatal() when the remaining space is insufficient — the
+     *       §3.6 deployment-time OOM check.
+     */
+    std::size_t allocate(const std::string &owner, Bytes size);
+
+    /** True if a region of @p size still fits. */
+    bool fits(Bytes size) const;
+
+    /** Allocated regions in allocation order. */
+    const std::vector<HbmRegion> &regions() const { return regions_; }
+
+    /** Bytes not yet allocated. */
+    Bytes freeBytes() const { return capacity_ - used_; }
+
+    /** Device capacity. */
+    Bytes capacity() const { return capacity_; }
+
+    /**
+     * Translate an owner-relative address to a device address (the
+     * "negligible address translation" of §3.6: one base add).
+     */
+    Bytes translate(std::size_t region, Bytes offset) const;
+
+    /** Release every region (workload pool redeployment). */
+    void reset();
+
+  private:
+    Bytes capacity_;
+    Bytes used_ = 0;
+    std::vector<HbmRegion> regions_;
+};
+
+} // namespace v10
+
+#endif // V10_NPU_HBM_REGIONS_H

@@ -1,0 +1,149 @@
+#include "npu/npu_config.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace v10 {
+
+void
+NpuConfig::validate() const
+{
+    if (saDim == 0 || saDim % 8 != 0)
+        fatal("NpuConfig: saDim must be a positive multiple of 8");
+    if (numSa == 0 || numVu == 0)
+        fatal("NpuConfig: need at least one SA and one VU");
+    if (vuLanes == 0 || vuOpsPerLane == 0)
+        fatal("NpuConfig: VU lanes/ops must be positive");
+    if (freqGHz <= 0.0)
+        fatal("NpuConfig: frequency must be positive");
+    if (vmemBytes == 0 || hbmBytes == 0)
+        fatal("NpuConfig: memory capacities must be positive");
+    if (hbmGBps <= 0.0)
+        fatal("NpuConfig: HBM bandwidth must be positive");
+    if (timeSlice == 0)
+        fatal("NpuConfig: time slice must be positive");
+    if (dmaPrefetchDepth == 0)
+        fatal("NpuConfig: prefetch depth must be positive");
+}
+
+double
+NpuConfig::peakSaFlopsPerCycle() const
+{
+    // One multiply-accumulate (2 FLOPs) per PE per cycle.
+    return 2.0 * saDim * saDim * numSa;
+}
+
+double
+NpuConfig::peakVuFlopsPerCycle() const
+{
+    return static_cast<double>(vuLanes) * vuOpsPerLane * numVu;
+}
+
+double
+NpuConfig::peakFlopsPerCycle() const
+{
+    return peakSaFlopsPerCycle() + peakVuFlopsPerCycle();
+}
+
+double
+NpuConfig::peakTflops() const
+{
+    return peakFlopsPerCycle() * freqGHz * 1e9 / 1e12;
+}
+
+Cycles
+NpuConfig::usToCycles(double us) const
+{
+    return static_cast<Cycles>(std::llround(us * freqGHz * 1e3));
+}
+
+double
+NpuConfig::cyclesToUs(Cycles cycles) const
+{
+    return static_cast<double>(cycles) / (freqGHz * 1e3);
+}
+
+double
+NpuConfig::cyclesToSeconds(Cycles cycles) const
+{
+    return static_cast<double>(cycles) / (freqGHz * 1e9);
+}
+
+double
+NpuConfig::hbmBytesPerCycle() const
+{
+    return hbmGBps * 1e9 / (freqGHz * 1e9);
+}
+
+Cycles
+NpuConfig::saContextSwitchCycles() const
+{
+    return saPreemptCost(saDim, saPreemptStrategy).switchCycles();
+}
+
+Bytes
+NpuConfig::saContextBytes() const
+{
+    return saPreemptCost(saDim, saPreemptStrategy).contextBytes;
+}
+
+Cycles
+NpuConfig::vuContextSwitchCycles() const
+{
+    // 32 vector registers spilled and refilled through the vmem
+    // port (one 8x128 register per 2 cycles each way).
+    return 128;
+}
+
+NpuConfig
+NpuConfig::scaledForFus(std::uint32_t sas, std::uint32_t vus) const
+{
+    // Scale the shared memories with the compute, as NPU designers
+    // do (§5.9): HBM bandwidth and vector-memory capacity grow with
+    // the SA count.
+    NpuConfig scaled = *this;
+    scaled.numSa = sas;
+    scaled.numVu = vus;
+    scaled.hbmGBps = hbmGBps * sas;
+    scaled.hbmBytes = hbmBytes * sas;
+    scaled.vmemBytes = vmemBytes * sas;
+    return scaled;
+}
+
+double
+NpuConfig::vmemPeakDemandBytesPerCycle() const
+{
+    // Each SA simultaneously streams one 2-byte input row element
+    // per column and drains one 4-byte output element per column;
+    // each VU moves one 4-byte word per lane per cycle (ld or st).
+    const double sa_stream =
+        static_cast<double>(saDim) * (2.0 + 4.0) * numSa;
+    const double vu_ports =
+        static_cast<double>(vuLanes) * 4.0 * numVu;
+    return sa_stream + vu_ports;
+}
+
+double
+NpuConfig::vmemBandwidthProvisioned() const
+{
+    // Designed to satisfy the combined peak (§5.8), with the usual
+    // 2x banking margin against conflicts.
+    return 2.0 * vmemPeakDemandBytesPerCycle();
+}
+
+std::string
+NpuConfig::summary() const
+{
+    std::ostringstream os;
+    os << numSa << "x SA(" << saDim << "x" << saDim << ") + " << numVu
+       << "x VU(" << vuLanes << "x" << vuOpsPerLane << ") @ "
+       << freqGHz << " GHz, vmem " << formatBytes(vmemBytes)
+       << ", HBM " << formatBytes(hbmBytes) << " @ " << hbmGBps
+       << " GB/s, slice " << timeSlice << " cyc";
+    return os.str();
+}
+
+} // namespace v10

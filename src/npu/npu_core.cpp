@@ -1,0 +1,56 @@
+#include "npu/npu_core.h"
+
+namespace v10 {
+
+NpuCore::NpuCore(Simulator &sim, const NpuConfig &config,
+                 std::uint32_t tenants, bool reserveSaContexts)
+    : sim_(sim), config_(config),
+      hbm_(sim, config.hbmBytesPerCycle()),
+      vmem_(config.vmemBytes, tenants == 0 ? 1 : tenants,
+            reserveSaContexts
+                ? config.saContextBytes() * config.numSa
+                : 0),
+      hbm_regions_(config.hbmBytes)
+{
+    config_.validate();
+    for (FuId i = 0; i < config_.numSa; ++i)
+        sas_.push_back(
+            std::make_unique<SystolicArray>(sim_, i, config_.saDim));
+    for (FuId i = 0; i < config_.numVu; ++i)
+        vus_.push_back(std::make_unique<VectorUnit>(
+            sim_, i, config_.vuLanes, config_.vuOpsPerLane));
+}
+
+std::vector<FunctionalUnit *>
+NpuCore::units(FunctionalUnit::Kind kind)
+{
+    std::vector<FunctionalUnit *> out;
+    if (kind == FunctionalUnit::Kind::SA) {
+        for (auto &sa : sas_)
+            out.push_back(sa.get());
+    } else {
+        for (auto &vu : vus_)
+            out.push_back(vu.get());
+    }
+    return out;
+}
+
+void
+NpuCore::observeAll(FuObserver *observer)
+{
+    for (auto &sa : sas_)
+        sa->setObserver(observer);
+    for (auto &vu : vus_)
+        vu->setObserver(observer);
+}
+
+void
+NpuCore::resetStats()
+{
+    for (auto &sa : sas_)
+        sa->resetStats();
+    for (auto &vu : vus_)
+        vu->resetStats();
+}
+
+} // namespace v10

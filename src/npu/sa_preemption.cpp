@@ -1,0 +1,50 @@
+#include "npu/sa_preemption.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+SaPreemptCost
+saPreemptCost(std::uint32_t dim, SaPreemptStrategy strategy,
+              std::uint32_t bf16Bytes, std::uint32_t accBytes)
+{
+    if (dim == 0)
+        fatal("saPreemptCost: dim must be positive");
+    SaPreemptCost cost;
+    const auto d = static_cast<Cycles>(dim);
+    const auto bytes_dim = static_cast<Bytes>(dim);
+
+    switch (strategy) {
+      case SaPreemptStrategy::NaiveDrain:
+        // Pause immediately; clock the full PE state (inputs,
+        // weights, partial sums) out through the column FIFOs: a
+        // 2*dim diagonal drain plus dim cycles for the weight
+        // plane. Restoration reloads everything, and nothing can
+        // overlap because the array must be empty first.
+        cost.exitCycles = 3 * d;
+        cost.restoreCycles = 3 * d;
+        cost.overlappedCycles = 0;
+        cost.contextBytes =
+            2 * bytes_dim * bytes_dim * bf16Bytes + // inputs+weights
+            bytes_dim * bytes_dim * accBytes;       // partial sums
+        break;
+
+      case SaPreemptStrategy::V10Replay:
+        // §3.3 / Fig. 13: keep streaming until in-flight inputs
+        // complete (the SA still pops valid outputs, so those
+        // cycles are not overhead), save the weight plane while the
+        // incoming operator's weights load (dim cycles, fully
+        // overlapped), then replay the saved inputs (2*dim) after
+        // the dim-cycle weight load.
+        cost.exitCycles = d;          // weight save
+        cost.restoreCycles = 3 * d;   // weight load + input replay
+        cost.overlappedCycles = d;    // save || load
+        cost.contextBytes =
+            bytes_dim * 2 * bytes_dim * bf16Bytes + // future inputs
+            bytes_dim * bytes_dim * bf16Bytes;      // weights
+        break;
+    }
+    return cost;
+}
+
+} // namespace v10

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Systolic-array compute unit: a dim x dim weight-stationary MAC
+ * array (§2.1). Besides acting as a FunctionalUnit, it owns the
+ * analytic timing model for matmul/conv operators and the
+ * operator-preemption cost model of §3.3.
+ */
+
+#ifndef V10_NPU_SYSTOLIC_ARRAY_H
+#define V10_NPU_SYSTOLIC_ARRAY_H
+
+#include "isa/instruction_stream.h"
+#include "npu/functional_unit.h"
+#include "npu/sa_preemption.h"
+
+namespace v10 {
+
+/**
+ * Weight-stationary systolic array model.
+ */
+class SystolicArray : public FunctionalUnit
+{
+  public:
+    /**
+     * @param sim simulation kernel
+     * @param id unit index
+     * @param dim array dimension (dim x dim PEs)
+     */
+    SystolicArray(Simulator &sim, FuId id, std::uint32_t dim);
+
+    /** Array dimension. */
+    std::uint32_t dim() const { return dim_; }
+
+    /**
+     * Execution cycles of an operator streaming @p rows input rows:
+     * dim weight-load cycles + rows streaming cycles + 2*dim drain.
+     */
+    Cycles opCycles(std::uint64_t rows) const;
+
+    /** Inverse of opCycles(): rows for a duration (>= minOpCycles). */
+    std::uint64_t rowsForCycles(Cycles cycles) const;
+
+    /** Shortest representable operator (rows = 1). */
+    Cycles minOpCycles() const { return opCycles(1); }
+
+    /**
+     * Peak FLOPs per busy cycle: 2 * dim * dim (one MAC per PE per
+     * cycle). Real operators achieve a fraction of this (padding).
+     */
+    double peakFlopsPerCycle() const;
+
+    /**
+     * Context-switch cost of §3.3: save of in-flight inputs overlaps
+     * the incoming operator's weight load and input replay; the FU is
+     * occupied for 3*dim cycles (384 for 128x128).
+     */
+    Cycles contextSwitchCycles() const;
+
+    /**
+     * On-chip bytes checkpointed per preempted operator: dim x 2dim
+     * bf16 inputs + dim x dim bf16 weights (96 KB at dim 128) —
+     * 25% smaller than the naive partial-sum save (§3.3).
+     */
+    Bytes contextBytes() const;
+
+    /** Bytes the naive drain-everything approach would checkpoint. */
+    Bytes naiveContextBytes() const;
+
+    /** Instruction stream of an operator with @p rows input rows. */
+    InstructionStream opStream(std::uint64_t rows) const;
+
+  private:
+    std::uint32_t dim_;
+};
+
+} // namespace v10
+
+#endif // V10_NPU_SYSTOLIC_ARRAY_H

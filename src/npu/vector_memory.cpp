@@ -1,0 +1,45 @@
+#include "npu/vector_memory.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace v10 {
+
+VectorMemory::VectorMemory(Bytes capacity, std::uint32_t tenants,
+                           Bytes saContextBytes)
+    : capacity_(capacity), tenants_(tenants),
+      context_reserve_(saContextBytes)
+{
+    if (tenants_ == 0)
+        fatal("VectorMemory: need at least one tenant");
+    const Bytes per_tenant = capacity_ / tenants_;
+    if (per_tenant <= context_reserve_)
+        fatal("VectorMemory: partition of ", per_tenant,
+              " bytes cannot hold the ", context_reserve_,
+              "-byte SA preemption context");
+    partition_ = per_tenant - context_reserve_;
+}
+
+double
+VectorMemory::dmaInflation(Bytes workingSet) const
+{
+    if (workingSet <= partition_ || partition_ == 0)
+        return 1.0;
+    const double overflow = static_cast<double>(workingSet) /
+                            static_cast<double>(partition_);
+    // Halving the on-chip tile roughly doubles input re-fetches for
+    // matmul-like reuse patterns; model linear growth, capped.
+    const double inflation = 1.0 + 0.5 * (overflow - 1.0);
+    return std::min(inflation, maxInflation());
+}
+
+Bytes
+VectorMemory::partitionBase(std::uint32_t tenant) const
+{
+    if (tenant >= tenants_)
+        panic("VectorMemory: tenant ", tenant, " out of range");
+    return static_cast<Bytes>(tenant) * (capacity_ / tenants_);
+}
+
+} // namespace v10

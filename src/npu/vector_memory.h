@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software-managed on-chip vector memory (SRAM), with V10's
+ * multi-tenant partitioning (§3.6): the address space is divided
+ * evenly among collocated workloads, and each tenant additionally
+ * reserves space for preempted-SA contexts (96 KB per SA, §3.3).
+ *
+ * The capacity model also implements the Fig. 24 effect: when an
+ * operator's working set exceeds the tenant's partition, the compiler
+ * would tile it with less on-chip reuse, which inflates its off-chip
+ * DMA traffic.
+ */
+
+#ifndef V10_NPU_VECTOR_MEMORY_H
+#define V10_NPU_VECTOR_MEMORY_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/**
+ * Vector-memory capacity partitioning and spill model.
+ */
+class VectorMemory
+{
+  public:
+    /**
+     * @param capacity total SRAM bytes
+     * @param tenants number of collocated workloads (>= 1)
+     * @param saContextBytes bytes reserved per tenant for preempted
+     *        SA contexts (0 when preemption is disabled)
+     */
+    VectorMemory(Bytes capacity, std::uint32_t tenants,
+                 Bytes saContextBytes);
+
+    /** Total SRAM capacity. */
+    Bytes capacity() const { return capacity_; }
+
+    /** Bytes available to one tenant after context reservation. */
+    Bytes partitionBytes() const { return partition_; }
+
+    /** Bytes reserved per tenant for SA preemption contexts. */
+    Bytes contextReserveBytes() const { return context_reserve_; }
+
+    /**
+     * DMA inflation factor for an operator with the given working
+     * set: 1.0 when it fits the partition, growing linearly with the
+     * overflow ratio (tiling with less reuse re-fetches inputs),
+     * capped at maxInflation().
+     */
+    double dmaInflation(Bytes workingSet) const;
+
+    /** Upper bound of dmaInflation(). */
+    static double maxInflation() { return 3.0; }
+
+    /**
+     * Base address of a tenant's partition; accesses are offset by
+     * this at runtime (§3.6's partition-offset scheme).
+     */
+    Bytes partitionBase(std::uint32_t tenant) const;
+
+    /** Number of tenant partitions. */
+    std::uint32_t tenants() const { return tenants_; }
+
+  private:
+    Bytes capacity_;
+    std::uint32_t tenants_;
+    Bytes context_reserve_;
+    Bytes partition_;
+};
+
+} // namespace v10
+
+#endif // V10_NPU_VECTOR_MEMORY_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Vector unit: the SIMD engine executing element-wise and reduction
+ * operators (§2.1). 8x128 FP32 lanes, two ALU ops per lane per cycle.
+ * VU preemption only needs the PC and the 32-entry vector register
+ * file saved, so its context switch is cheap.
+ */
+
+#ifndef V10_NPU_VECTOR_UNIT_H
+#define V10_NPU_VECTOR_UNIT_H
+
+#include "isa/instruction_stream.h"
+#include "npu/functional_unit.h"
+
+namespace v10 {
+
+/**
+ * SIMD vector unit model.
+ */
+class VectorUnit : public FunctionalUnit
+{
+  public:
+    /**
+     * @param sim simulation kernel
+     * @param id unit index
+     * @param lanes SIMD lanes (8x128 by default)
+     * @param opsPerLane FP32 ops per lane per cycle
+     */
+    VectorUnit(Simulator &sim, FuId id, std::uint32_t lanes,
+               std::uint32_t opsPerLane);
+
+    /** SIMD lane count. */
+    std::uint32_t lanes() const { return lanes_; }
+
+    /** Peak FLOPs per busy cycle (lanes * opsPerLane). */
+    double peakFlopsPerCycle() const;
+
+    /** Execution cycles for an operator of @p flops FLOPs. */
+    Cycles opCyclesForFlops(double flops) const;
+
+    /** FLOPs representable in @p cycles at peak SIMD issue. */
+    double flopsForCycles(Cycles cycles) const;
+
+    /**
+     * Context-switch cost: spill + refill of the PC and the 32-entry
+     * 8x128 vector register file through the vmem ports.
+     */
+    Cycles contextSwitchCycles() const { return 128; }
+
+    /** Bytes checkpointed per preempted VU operator (vregs + PC). */
+    Bytes contextBytes() const;
+
+    /** Instruction stream of an operator over @p elements values. */
+    InstructionStream opStream(std::uint64_t elements) const;
+
+  private:
+    std::uint32_t lanes_;
+    std::uint32_t ops_per_lane_;
+};
+
+} // namespace v10
+
+#endif // V10_NPU_VECTOR_UNIT_H

@@ -1,0 +1,76 @@
+#include "sched/context_table.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace v10 {
+
+double
+ContextRow::activeRate()
+ const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(activeCycles) /
+           static_cast<double>(totalCycles);
+}
+
+double
+ContextRow::activeRateP() const
+{
+    if (priority <= 0.0)
+        panic("ContextRow: non-positive priority");
+    return activeRate() / priority;
+}
+
+ContextTable::ContextTable(std::uint32_t tenants) : rows_(tenants)
+{
+    if (tenants == 0)
+        fatal("ContextTable: need at least one tenant");
+}
+
+ContextRow &
+ContextTable::row(WorkloadId tenant)
+{
+    if (tenant >= rows_.size())
+        panic("ContextTable: tenant ", tenant, " out of range");
+    return rows_[tenant];
+}
+
+const ContextRow &
+ContextTable::row(WorkloadId tenant) const
+{
+    if (tenant >= rows_.size())
+        panic("ContextTable: tenant ", tenant, " out of range");
+    return rows_[tenant];
+}
+
+void
+ContextTable::tick(Cycles delta)
+{
+    for (auto &r : rows_)
+        r.totalCycles += delta;
+}
+
+std::uint32_t
+ContextTable::rowBits(std::uint32_t numFus)
+{
+    std::uint32_t fu_bits = 1;
+    while ((1u << fu_bits) < numFus)
+        ++fu_bits;
+    // 32b op id + 1b op type + 1b active + 1b ready + FU id +
+    // 64b active cycles + 64b total cycles + 7b priority (Fig. 11).
+    return 32 + 1 + 1 + 1 + fu_bits + 64 + 64 + 7;
+}
+
+Bytes
+ContextTable::storageBytes(std::uint32_t tenants,
+                           std::uint32_t numFus)
+{
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(tenants) * rowBits(numFus);
+    return (bits + 7) / 8;
+}
+
+} // namespace v10

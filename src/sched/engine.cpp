@@ -1,0 +1,522 @@
+#include "sched/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace v10 {
+
+SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
+                                 std::vector<TenantSpec> tenants,
+                                 std::uint64_t seed)
+    : sim_(sim), core_(core), rng_(seed), overlap_(sim),
+      latency_(static_cast<std::uint32_t>(tenants.size()))
+{
+    if (tenants.empty())
+        fatal("SchedulerEngine: need at least one tenant");
+
+    tenants_.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec &spec = tenants[i];
+        if (spec.workload == nullptr)
+            fatal("SchedulerEngine: tenant ", i, " has no workload");
+        if (spec.workload->trace().ops.size() < 2)
+            fatal("SchedulerEngine: trace of ",
+                  spec.workload->label(), " too short");
+        if (spec.priority <= 0.0)
+            fatal("SchedulerEngine: non-positive priority");
+        if (spec.arrivalRps < 0.0)
+            fatal("SchedulerEngine: negative arrival rate");
+        Tenant t;
+        t.wl = spec.workload;
+        t.id = static_cast<WorkloadId>(i);
+        t.priority = spec.priority;
+        t.arrivalRps = spec.arrivalRps;
+        tenants_.push_back(std::move(t));
+    }
+
+    // §3.6: host each tenant in its own HBM segment; deployment
+    // fails when the device cannot hold the pool.
+    for (auto &t : tenants_) {
+        const Bytes footprint = t.wl->memFootprint();
+        if (core_.hbmRegions().fits(footprint)) {
+            core_.hbmRegions().allocate(t.wl->label(), footprint);
+        } else if (core_.config().enforceHbmFit) {
+            fatal("SchedulerEngine: ", t.wl->label(), " (",
+                  formatBytes(footprint),
+                  ") does not fit the remaining HBM — ",
+                  formatBytes(core_.hbmRegions().freeBytes()),
+                  " of ", formatBytes(core_.config().hbmBytes),
+                  " free");
+        } else {
+            warn("HBM oversubscribed by ", t.wl->label(),
+                 " (capacity check disabled)");
+        }
+    }
+
+    for (auto &sa : core_.sas())
+        fu_index_.push_back(sa.get());
+    for (auto &vu : core_.vus())
+        fu_index_.push_back(vu.get());
+    fu_last_preempted_.assign(fu_index_.size(), false);
+
+    core_.observeAll(&overlap_);
+}
+
+SchedulerEngine::~SchedulerEngine()
+{
+    core_.observeAll(nullptr);
+}
+
+std::size_t
+SchedulerEngine::fuIndex(const FunctionalUnit &fu) const
+{
+    for (std::size_t i = 0; i < fu_index_.size(); ++i) {
+        if (fu_index_[i] == &fu)
+            return i;
+    }
+    panic("SchedulerEngine: unknown functional unit ", fu.name());
+}
+
+const TensorOperator &
+SchedulerEngine::currentOp(const Tenant &tenant) const
+{
+    return tenant.wl->trace().ops[tenant.opIndex];
+}
+
+double
+SchedulerEngine::dmaInflation(const TensorOperator &op) const
+{
+    return core_.vmem().dmaInflation(op.workingSetBytes);
+}
+
+Cycles
+SchedulerEngine::contextSwitchCycles(FunctionalUnit::Kind kind) const
+{
+    if (kind == FunctionalUnit::Kind::SA)
+        return core_.config().saContextSwitchCycles();
+    return core_.config().vuContextSwitchCycles();
+}
+
+Cycles
+SchedulerEngine::ctxPenaltyFor(const Tenant &tenant,
+                               const FunctionalUnit &fu) const
+{
+    if (tenant.opPreempted || fu_last_preempted_[fuIndex(fu)])
+        return contextSwitchCycles(fu.kind());
+    return 0;
+}
+
+SchedulerEngine::Tenant *
+SchedulerEngine::tenantOn(const FunctionalUnit &fu)
+{
+    for (auto &t : tenants_) {
+        if (t.running && t.fu == &fu)
+            return &t;
+    }
+    return nullptr;
+}
+
+void
+SchedulerEngine::pumpDma(Tenant &tenant)
+{
+    if (tenant.dmaInFlight ||
+        tenant.dmaStaged >=
+            tenant.execCursor + core_.config().dmaPrefetchDepth)
+        return;
+    const std::size_t trace_pos = static_cast<std::size_t>(
+        tenant.dmaStaged % tenant.wl->trace().ops.size());
+    const TensorOperator &op = tenant.wl->trace().ops[trace_pos];
+    const auto bytes = static_cast<Bytes>(
+        static_cast<double>(op.dmaBytes) * dmaInflation(op));
+    tenant.dmaInFlight = true;
+    tenant.dma = core_.hbm().startTransfer(
+        bytes, [this, &tenant] { onDmaDone(tenant); });
+}
+
+void
+SchedulerEngine::onDmaDone(Tenant &tenant)
+{
+    tenant.dmaInFlight = false;
+    ++tenant.dmaStaged;
+    pumpDma(tenant);
+    maybeBecomeReady(tenant);
+}
+
+void
+SchedulerEngine::scheduleArrival(Tenant &tenant)
+{
+    if (tenant.arrivalRps <= 0.0 || stopping_)
+        return;
+    const double mean_cycles =
+        core_.config().freqGHz * 1e9 / tenant.arrivalRps;
+    const Cycles delta = std::max<Cycles>(
+        1, static_cast<Cycles>(rng_.exponential(mean_cycles)));
+    sim_.after(delta, [this, &tenant] {
+        tenant.arrivalQueue.push_back(sim_.now());
+        scheduleArrival(tenant);
+        maybeBecomeReady(tenant);
+    });
+}
+
+void
+SchedulerEngine::maybeBecomeReady(Tenant &tenant)
+{
+    if (tenant.running || tenant.ready)
+        return;
+    if (tenant.dmaStaged <= tenant.execCursor)
+        return; // still waiting on the prefetch DMA
+    // Open loop: a fresh request may only start once it has arrived.
+    if (tenant.arrivalRps > 0.0 && tenant.opIndex == 0 &&
+        !tenant.opPreempted && tenant.arrivalQueue.empty())
+        return;
+    const Cycles now = sim_.now();
+    if (now < tenant.gapUntil) {
+        // Dispatch gap still draining; wake up when it ends.
+        if (!tenant.gapEventPending) {
+            tenant.gapEventPending = true;
+            sim_.at(tenant.gapUntil, [this, &tenant] {
+                tenant.gapEventPending = false;
+                maybeBecomeReady(tenant);
+            });
+        }
+        return;
+    }
+    tenant.ready = true;
+    onTenantReady(tenant);
+}
+
+void
+SchedulerEngine::dispatch(Tenant &tenant, FunctionalUnit &fu,
+                          Cycles ctxPenalty)
+{
+    if (tenant.running)
+        panic("dispatch: tenant ", tenant.wl->label(),
+              " already running");
+    if (fu.busy())
+        panic("dispatch: ", fu.name(), " is busy");
+    const TensorOperator &op = currentOp(tenant);
+    const bool kind_matches =
+        (op.kind == OpKind::SA) ==
+        (fu.kind() == FunctionalUnit::Kind::SA);
+    if (!kind_matches)
+        panic("dispatch: op kind mismatch on ", fu.name());
+
+    const Cycles compute =
+        tenant.opPreempted ? tenant.opRemaining : op.computeCycles;
+
+    tenant.running = true;
+    tenant.ready = false;
+    tenant.fu = &fu;
+    tenant.lastDispatch = sim_.now();
+    if (measuring_)
+        tenant.ctxOverheadCycles += ctxPenalty;
+
+    fu_last_preempted_[fuIndex(fu)] = false;
+
+    if (timeline_)
+        timeline_->opBegin(sim_.now(), fu.name(),
+                           tenant.wl->label(), op.name, ctxPenalty);
+
+    fu.begin(tenant.id, op.id, compute, ctxPenalty,
+             [this, &tenant](FunctionalUnit &unit) {
+                 onFuComplete(unit, tenant);
+             });
+}
+
+SchedulerEngine::Tenant &
+SchedulerEngine::preemptFu(FunctionalUnit &fu)
+{
+    Tenant *tenant = tenantOn(fu);
+    if (tenant == nullptr)
+        panic("preemptFu: nothing running on ", fu.name());
+
+    if (timeline_)
+        timeline_->opEnd(sim_.now(), fu.name(), true);
+
+    const Cycles remaining = fu.preempt();
+    tenant->activeCycles += sim_.now() - tenant->lastDispatch;
+    tenant->opRemaining = std::max<Cycles>(remaining, 1);
+    tenant->opPreempted = true;
+    tenant->running = false;
+    tenant->fu = nullptr;
+    tenant->ready = true; // operator is staged; re-dispatchable
+    if (measuring_)
+        ++tenant->preemptions;
+    fu_last_preempted_[fuIndex(fu)] = true;
+    return *tenant;
+}
+
+void
+SchedulerEngine::onFuComplete(FunctionalUnit &fu, Tenant &tenant)
+{
+    if (timeline_)
+        timeline_->opEnd(sim_.now(), fu.name(), false);
+    tenant.activeCycles += sim_.now() - tenant.lastDispatch;
+    tenant.running = false;
+    tenant.fu = nullptr;
+    tenant.opPreempted = false;
+    tenant.opRemaining = 0;
+    if (measuring_)
+        tenant.doneFlops += currentOp(tenant).flops;
+
+    advancePastCurrentOp(tenant);
+    onOpComplete(tenant, fu);
+}
+
+void
+SchedulerEngine::advancePastCurrentOp(Tenant &tenant)
+{
+    const std::size_t trace_len = tenant.wl->trace().ops.size();
+    // The completed operator's dispatch gap gates the next one.
+    tenant.gapUntil =
+        sim_.now() + currentOp(tenant).gapCycles;
+    ++tenant.execCursor;
+    const std::size_t next =
+        static_cast<std::size_t>(tenant.execCursor % trace_len);
+    if (next == 0) {
+        // Request boundary: closed-loop replay, or (open loop) the
+        // completion of a queued arrival.
+        ++tenant.requestsDone;
+        Cycles request_start = tenant.requestStart;
+        if (tenant.arrivalRps > 0.0) {
+            if (tenant.arrivalQueue.empty())
+                panic("advancePastCurrentOp: open-loop request "
+                      "completed without an arrival");
+            request_start = tenant.arrivalQueue.front();
+            tenant.arrivalQueue.pop_front();
+            // Warmup reset clamps latency to the window start.
+            request_start = std::max(request_start, window_start_);
+        }
+        if (measuring_) {
+            ++tenant.windowRequests;
+            if (tenant.skipNextLatency)
+                tenant.skipNextLatency = false;
+            else
+                latency_.record(tenant.id,
+                                sim_.now() - request_start);
+            if (!stopping_) {
+                bool all = true;
+                for (const auto &t : tenants_)
+                    all = all && t.windowRequests >= stop_requests_;
+                if (all)
+                    stopping_ = true;
+            }
+        } else {
+            bool all = true;
+            for (const auto &t : tenants_)
+                all = all && t.requestsDone >= warmup_requests_;
+            if (all)
+                resetMeasurement();
+        }
+        tenant.requestStart = sim_.now();
+    }
+    tenant.opIndex = next;
+    tenant.ready = false;
+    pumpDma(tenant);
+    maybeBecomeReady(tenant);
+}
+
+void
+SchedulerEngine::resetMeasurement()
+{
+    measuring_ = true;
+    window_start_ = sim_.now();
+    core_.resetStats();
+    core_.hbm().markWindow();
+    overlap_.startWindow();
+    latency_.reset();
+
+    // In-flight operators will credit their full compute at
+    // completion; remember the pre-window part so the window's
+    // busy-cycle accounting stays exact.
+    window_debts_.clear();
+    for (auto *fu : fu_index_) {
+        if (!fu->busy())
+            continue;
+        const Cycles done = fu->inflightComputeDone();
+        if (done == 0)
+            continue;
+        WindowDebt debt;
+        debt.workload = fu->workload();
+        debt.cycles = done;
+        debt.isSa = fu->kind() == FunctionalUnit::Kind::SA;
+        const Tenant *t = tenantOn(*fu);
+        if (t != nullptr && fu->inflightComputeTotal() > 0)
+            debt.flops =
+                currentOp(*t).flops * static_cast<double>(done) /
+                static_cast<double>(fu->inflightComputeTotal());
+        window_debts_.push_back(debt);
+    }
+
+    for (auto &t : tenants_) {
+        t.preemptions = 0;
+        t.ctxOverheadCycles = 0;
+        t.doneFlops = 0.0;
+        t.windowRequests = 0;
+        // A request in progress spans the boundary; its truncated
+        // latency would bias the samples, so it is not recorded.
+        if (t.requestStart < window_start_) {
+            t.skipNextLatency = true;
+            t.requestStart = window_start_;
+        }
+    }
+}
+
+bool
+SchedulerEngine::allDone() const
+{
+    return stopping_;
+}
+
+void
+SchedulerEngine::chargeCtxOverhead(Tenant &tenant, Cycles cycles)
+{
+    if (measuring_)
+        tenant.ctxOverheadCycles += cycles;
+}
+
+void
+SchedulerEngine::countPreemption(Tenant &tenant)
+{
+    if (measuring_)
+        ++tenant.preemptions;
+}
+
+RunStats
+SchedulerEngine::run(std::uint64_t targetRequests,
+                     std::uint64_t warmupRequests)
+{
+    if (targetRequests == 0)
+        fatal("SchedulerEngine::run: need targetRequests > 0");
+    warmup_requests_ = warmupRequests;
+    stop_requests_ = targetRequests;
+    stopping_ = false;
+    measuring_ = false;
+    window_start_ = sim_.now();
+
+    for (auto &t : tenants_) {
+        t.arrivalCycle = sim_.now();
+        t.requestStart = sim_.now();
+        pumpDma(t);
+        scheduleArrival(t);
+    }
+    if (warmup_requests_ == 0)
+        resetMeasurement();
+
+    onStart();
+
+    sim_.run([this] { return stopping_; });
+
+    if (!stopping_)
+        panic("SchedulerEngine::run: event queue drained before all "
+              "tenants finished — scheduler deadlock");
+
+    // Flush in-flight operators so their partial compute lands in
+    // the per-FU accumulators (not counted as preemptions).
+    for (auto *fu : fu_index_) {
+        if (fu->busy()) {
+            Tenant *t = tenantOn(*fu);
+            fu->preempt();
+            if (t != nullptr) {
+                t->activeCycles += sim_.now() - t->lastDispatch;
+                t->running = false;
+                t->fu = nullptr;
+            }
+        }
+    }
+    overlap_.finish();
+    if (timeline_)
+        timeline_->finish(sim_.now());
+
+    return collectStats();
+}
+
+RunStats
+SchedulerEngine::collectStats()
+{
+    const NpuConfig &cfg = core_.config();
+    RunStats stats;
+    stats.windowCycles = sim_.now() - window_start_;
+    stats.windowSeconds = cfg.cyclesToSeconds(stats.windowCycles);
+    const auto window = static_cast<double>(stats.windowCycles);
+    if (stats.windowCycles == 0)
+        return stats;
+
+    Cycles sa_busy = 0;
+    Cycles vu_busy = 0;
+    for (auto &sa : core_.sas())
+        sa_busy += sa->busyComputeCycles();
+    for (auto &vu : core_.vus())
+        vu_busy += vu->busyComputeCycles();
+    // Settle the pre-window compute of operators that straddled the
+    // measurement boundary (credited in full at completion).
+    double flops_debt_total = 0.0;
+    for (const WindowDebt &debt : window_debts_) {
+        Cycles &bucket = debt.isSa ? sa_busy : vu_busy;
+        bucket -= std::min(bucket, debt.cycles);
+        flops_debt_total += debt.flops;
+    }
+    stats.saUtil =
+        static_cast<double>(sa_busy) / (window * cfg.numSa);
+    stats.vuUtil =
+        static_cast<double>(vu_busy) / (window * cfg.numVu);
+    stats.combinedUtil = (static_cast<double>(sa_busy) +
+                          static_cast<double>(vu_busy)) /
+                         (window * (cfg.numSa + cfg.numVu));
+    stats.hbmUtil = core_.hbm().utilization(window_start_);
+
+    stats.overlapBothFrac =
+        overlap_.bucketFrac(OverlapTracker::Bucket::Both);
+    stats.saOnlyFrac =
+        overlap_.bucketFrac(OverlapTracker::Bucket::SaOnly);
+    stats.vuOnlyFrac =
+        overlap_.bucketFrac(OverlapTracker::Bucket::VuOnly);
+    stats.idleFrac =
+        overlap_.bucketFrac(OverlapTracker::Bucket::Idle);
+
+    double total_flops = 0.0;
+    for (auto &t : tenants_) {
+        WorkloadRunStats ws;
+        ws.label = t.wl->label();
+        ws.requests = t.windowRequests;
+        ws.avgLatencyUs = cfg.cyclesToUs(
+            static_cast<Cycles>(latency_.meanCycles(t.id)));
+        ws.p95LatencyUs = cfg.cyclesToUs(
+            static_cast<Cycles>(latency_.p95Cycles(t.id)));
+        ws.requestsPerSec =
+            static_cast<double>(ws.requests) / stats.windowSeconds;
+        for (auto &sa : core_.sas())
+            ws.saComputeCycles += sa->busyComputeFor(t.id);
+        for (auto &vu : core_.vus())
+            ws.vuComputeCycles += vu->busyComputeFor(t.id);
+        for (const WindowDebt &debt : window_debts_) {
+            if (debt.workload != t.id)
+                continue;
+            Cycles &bucket = debt.isSa ? ws.saComputeCycles
+                                       : ws.vuComputeCycles;
+            bucket -= std::min(bucket, debt.cycles);
+        }
+        ws.saUtil = static_cast<double>(ws.saComputeCycles) /
+                    (window * cfg.numSa);
+        ws.vuUtil = static_cast<double>(ws.vuComputeCycles) /
+                    (window * cfg.numVu);
+        ws.overheadCycles = t.ctxOverheadCycles;
+        ws.preemptions = t.preemptions;
+        ws.ctxOverheadFrac =
+            ws.requests == 0
+                ? 0.0
+                : static_cast<double>(t.ctxOverheadCycles) /
+                      (static_cast<double>(ws.requests) *
+                       static_cast<double>(t.wl->computeCycles()));
+        total_flops += t.doneFlops;
+        stats.workloads.push_back(std::move(ws));
+    }
+    total_flops = std::max(0.0, total_flops - flops_debt_total);
+    stats.flopsUtil =
+        total_flops / (window * cfg.peakFlopsPerCycle());
+    return stats;
+}
+
+} // namespace v10

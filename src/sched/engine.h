@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Shared machinery for every scheduler design under evaluation (PMT,
+ * V10-Base, V10-Fair, V10-Full, single-tenant): tenant lifecycle,
+ * closed-loop request replay, double-buffered operator DMA through
+ * the HBM model, preemption bookkeeping, and end-of-run statistics.
+ *
+ * Subclasses implement the actual dispatch logic via the hook
+ * methods.
+ */
+
+#ifndef V10_SCHED_ENGINE_H
+#define V10_SCHED_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/overlap_tracker.h"
+#include "metrics/run_stats.h"
+#include "metrics/timeline.h"
+#include "npu/npu_core.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace v10 {
+
+/**
+ * One tenant's deployment parameters.
+ */
+struct TenantSpec
+{
+    const Workload *workload = nullptr;
+
+    /** Relative priority (Algorithm 1 divisor / PMT slice share). */
+    double priority = 1.0;
+
+    /**
+     * Open-loop offered load in requests per second (Poisson
+     * arrivals). 0 selects the paper's closed-loop replay (§5.1:
+     * the next request starts when the previous one completes).
+     * Under open loop, request latency includes queueing delay.
+     */
+    double arrivalRps = 0.0;
+};
+
+/**
+ * Base scheduler engine: owns per-tenant execution state and the run
+ * loop; subclasses decide who runs where and when.
+ */
+class SchedulerEngine
+{
+  public:
+    /**
+     * @param sim simulation kernel
+     * @param core hardware assembly
+     * @param tenants tenant deployment specs (workloads not owned)
+     * @param seed engine-level RNG seed (PMT context-switch draw)
+     */
+    SchedulerEngine(Simulator &sim, NpuCore &core,
+                    std::vector<TenantSpec> tenants,
+                    std::uint64_t seed = 1);
+
+    virtual ~SchedulerEngine();
+
+    SchedulerEngine(const SchedulerEngine &) = delete;
+    SchedulerEngine &operator=(const SchedulerEngine &) = delete;
+
+    /** Display name ("PMT", "V10-Full", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Run until every tenant has completed @p targetRequests
+     * measured requests. The first @p warmupRequests requests per
+     * tenant are excluded from every statistic (steady-state
+     * measurement, §5.1).
+     */
+    RunStats run(std::uint64_t targetRequests,
+                 std::uint64_t warmupRequests = 2);
+
+    /** Attach an operator-timeline tracer (not owned; may be
+     * nullptr). Slices are recorded for the whole run. */
+    void setTimeline(TimelineTracer *timeline)
+    {
+        timeline_ = timeline;
+    }
+
+  protected:
+    /**
+     * Per-tenant execution state: the software side of the workload
+     * context table row.
+     */
+    struct Tenant
+    {
+        const Workload *wl = nullptr;
+        WorkloadId id = 0;
+        double priority = 1.0;
+
+        /** Absolute index of the current operator (monotonic across
+         * request replays; trace position is execCursor % length). */
+        std::uint64_t execCursor = 0;
+
+        /** Trace position of the current operator. */
+        std::size_t opIndex = 0;
+
+        /** Remaining compute of a preempted operator. */
+        Cycles opRemaining = 0;
+
+        /** Current operator was preempted mid-flight. */
+        bool opPreempted = false;
+
+        /** Current operator's DMA finished. */
+        bool ready = false;
+
+        /** Operator is executing on an FU. */
+        bool running = false;
+
+        /** FU occupied while running. */
+        FunctionalUnit *fu = nullptr;
+
+        /** Operators [0, dmaStaged) are staged on chip; the DMA
+         * engine runs up to kPrefetchDepth operators ahead. */
+        std::uint64_t dmaStaged = 0;
+
+        /** A prefetch DMA is in flight. */
+        bool dmaInFlight = false;
+        DmaStreamId dma = 0;
+
+        /** The previous operator's dispatch gap ends here; the
+         * current operator cannot start earlier. */
+        Cycles gapUntil = 0;
+
+        /** A gap-expiry event is scheduled. */
+        bool gapEventPending = false;
+
+        /** Open-loop offered load (0 = closed loop). */
+        double arrivalRps = 0.0;
+
+        /** The in-flight request spans the warmup boundary; its
+         * latency sample would be truncated, so it is skipped. */
+        bool skipNextLatency = false;
+
+        /** Arrival cycles of requests not yet completed (FIFO);
+         * open-loop latency is measured from these. */
+        std::deque<Cycles> arrivalQueue;
+
+        /** Cycle of the most recent dispatch (occupancy metric). */
+        Cycles lastDispatch = 0;
+
+        /** Accumulated FU occupancy since arrival (policy metric). */
+        Cycles activeCycles = 0;
+        Cycles arrivalCycle = 0;
+
+        /** Request accounting. */
+        std::uint64_t requestsDone = 0;
+        Cycles requestStart = 0;
+
+        /** Requests completed inside the measured window (may
+         * exceed the latency sample count by one: the request that
+         * straddles the warmup boundary completes but its truncated
+         * latency is not sampled). */
+        std::uint64_t windowRequests = 0;
+
+        /** Preemption statistics (measured window only). */
+        std::uint64_t preemptions = 0;
+        Cycles ctxOverheadCycles = 0;
+
+        /** FLOPs of operators completed in the measured window. */
+        double doneFlops = 0.0;
+    };
+
+    // ------------------------------------------------------------
+    // Hooks for subclasses.
+    // ------------------------------------------------------------
+
+    /** Called once at run start, after all tenants begin DMA. */
+    virtual void onStart() = 0;
+
+    /** A tenant's current operator became ready (DMA done). */
+    virtual void onTenantReady(Tenant &tenant) = 0;
+
+    /** A tenant's operator completed on @p fu; the tenant has
+     * already advanced to its next operator. */
+    virtual void onOpComplete(Tenant &tenant, FunctionalUnit &fu) = 0;
+
+    // ------------------------------------------------------------
+    // Services for subclasses.
+    // ------------------------------------------------------------
+
+    /** All tenants. */
+    std::vector<Tenant> &tenants() { return tenants_; }
+
+    /** The current operator of a tenant. */
+    const TensorOperator &currentOp(const Tenant &tenant) const;
+
+    /**
+     * Dispatch a tenant's current operator onto @p fu, charging
+     * @p ctxPenalty overhead cycles up front. Handles prefetch of
+     * the next operator's DMA and completion plumbing.
+     */
+    void dispatch(Tenant &tenant, FunctionalUnit &fu,
+                  Cycles ctxPenalty);
+
+    /**
+     * Preempt the operator running on @p fu (§3.3). The tenant
+     * returns to the ready set with its remaining compute; the next
+     * dispatch on this FU pays the context-switch penalty.
+     * @return the tenant that was preempted.
+     */
+    Tenant &preemptFu(FunctionalUnit &fu);
+
+    /** Context-switch penalty for dispatching @p tenant on @p fu
+     * right now (resume-of-preempted or switch-after-preemption). */
+    Cycles ctxPenaltyFor(const Tenant &tenant,
+                         const FunctionalUnit &fu) const;
+
+    /** The per-FU-kind context-switch cost (§3.3 cost model). */
+    Cycles contextSwitchCycles(FunctionalUnit::Kind kind) const;
+
+    /** Engine RNG (deterministic per seed). */
+    Rng &rng() { return rng_; }
+
+    /** True once every tenant finished its measured requests. */
+    bool allDone() const;
+
+    /** Hardware under management. */
+    NpuCore &core() { return core_; }
+
+    /** Simulation kernel. */
+    Simulator &sim() { return sim_; }
+
+    /** DMA inflation factor for an operator (Fig. 24 spill model). */
+    double dmaInflation(const TensorOperator &op) const;
+
+    /** Tenant whose operator occupies @p fu, or nullptr. */
+    Tenant *tenantOn(const FunctionalUnit &fu);
+
+    /** True while inside the measured window (after warmup). */
+    bool measuring() const { return measuring_; }
+
+    /** Charge @p cycles of context-switch overhead to a tenant
+     * (used by schedulers whose switch cost is not FU-attached). */
+    void chargeCtxOverhead(Tenant &tenant, Cycles cycles);
+
+    /** Count a task-level preemption that did not interrupt an
+     * in-flight operator (PMT switching between operators). */
+    void countPreemption(Tenant &tenant);
+
+  private:
+    /** Issue the next prefetch DMA if the window has room. */
+    void pumpDma(Tenant &tenant);
+
+    /** Prefetch DMA completed: mark ready, notify subclass. */
+    void onDmaDone(Tenant &tenant);
+
+    /** Set the Ready bit and notify once the current operator is
+     * staged, the dispatch gap has elapsed, and (open loop) a
+     * request has arrived. */
+    void maybeBecomeReady(Tenant &tenant);
+
+    /** Schedule the next Poisson arrival of an open-loop tenant. */
+    void scheduleArrival(Tenant &tenant);
+
+    /** Operator finished: account request wrap, advance, notify. */
+    void onFuComplete(FunctionalUnit &fu, Tenant &tenant);
+
+    /** Advance a tenant past its completed current operator. */
+    void advancePastCurrentOp(Tenant &tenant);
+
+    /** Zero every measured statistic (end of warmup). */
+    void resetMeasurement();
+
+    /** Collect the RunStats at the end of the measured window. */
+    RunStats collectStats();
+
+    Simulator &sim_;
+    NpuCore &core_;
+    std::vector<Tenant> tenants_;
+    Rng rng_;
+
+    OverlapTracker overlap_;
+    LatencyRecorder latency_;
+
+    /** Per-FU flag: last op on this unit ended in a preemption. */
+    std::vector<bool> fu_last_preempted_;
+
+    /** Compute an in-flight operator had already finished when the
+     * measurement window opened; subtracted from the window's
+     * busy-cycle accounting (the FU credits the whole operator at
+     * completion). */
+    struct WindowDebt
+    {
+        WorkloadId workload = kNoWorkload;
+        Cycles cycles = 0;
+        double flops = 0.0;
+        bool isSa = false;
+    };
+    std::vector<WindowDebt> window_debts_;
+
+    TimelineTracer *timeline_ = nullptr;
+
+    std::uint64_t warmup_requests_ = 0;
+    std::uint64_t stop_requests_ = 0;
+    bool measuring_ = false;
+    bool stopping_ = false;
+    Cycles window_start_ = 0;
+
+    /** FU pointer -> dense index for fu_last_preempted_. */
+    std::size_t fuIndex(const FunctionalUnit &fu) const;
+    std::vector<FunctionalUnit *> fu_index_;
+};
+
+} // namespace v10
+
+#endif // V10_SCHED_ENGINE_H

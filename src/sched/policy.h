@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scheduling-policy interface for V10's tensor operator scheduler
+ * (§3.2): given the workload context table and a free functional
+ * unit's kind, pick the workload whose ready operator should run
+ * next, and decide preemption contests between a running and a
+ * waiting workload.
+ */
+
+#ifndef V10_SCHED_POLICY_H
+#define V10_SCHED_POLICY_H
+
+#include "common/types.h"
+#include "sched/context_table.h"
+
+namespace v10 {
+
+/**
+ * Pluggable operator scheduling policy.
+ */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Display name ("round-robin", "priority"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the next workload to dispatch on a unit of kind
+     * @p fuType. Candidates are rows that are ready, not active,
+     * and whose current operator matches @p fuType.
+     *
+     * @return the chosen tenant, or kNoWorkload when no candidate
+     *         exists.
+     */
+    virtual WorkloadId pickNext(const ContextTable &table,
+                                OpKind fuType) = 0;
+
+    /**
+     * Preemption contest (invoked by the preemption timer, §3.3):
+     * should the waiting @p candidate displace the running
+     * @p running on a unit they both need?
+     */
+    virtual bool shouldPreempt(const ContextTable &table,
+                               WorkloadId running,
+                               WorkloadId candidate) = 0;
+};
+
+} // namespace v10
+
+#endif // V10_SCHED_POLICY_H

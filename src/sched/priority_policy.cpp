@@ -1,0 +1,34 @@
+#include "sched/priority_policy.h"
+
+namespace v10 {
+
+WorkloadId
+PriorityPolicy::pickNext(const ContextTable &table, OpKind fuType)
+{
+    // Algorithm 1: scan workloads in ascending active_rate_p order
+    // and return the first dispatchable one. With one pass we track
+    // the minimum directly.
+    WorkloadId best = kNoWorkload;
+    double best_arp = 0.0;
+    for (WorkloadId i = 0; i < table.size(); ++i) {
+        const ContextRow &row = table.row(i);
+        if (!row.ready || row.active || row.opType != fuType)
+            continue;
+        const double arp = row.activeRateP();
+        if (best == kNoWorkload || arp < best_arp) {
+            best = i;
+            best_arp = arp;
+        }
+    }
+    return best;
+}
+
+bool
+PriorityPolicy::shouldPreempt(const ContextTable &table,
+                              WorkloadId running, WorkloadId candidate)
+{
+    return table.row(candidate).activeRateP() <
+           table.row(running).activeRateP();
+}
+
+} // namespace v10

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The priority-based scheduling policy of Algorithm 1: keep each
+ * workload's active_rate (active_time / total_time) proportional to
+ * its priority by always serving the workload with the smallest
+ * active_rate / priority. This is V10-Fair's policy, and with the
+ * preemption module enabled, V10-Full's.
+ */
+
+#ifndef V10_SCHED_PRIORITY_POLICY_H
+#define V10_SCHED_PRIORITY_POLICY_H
+
+#include "sched/policy.h"
+
+namespace v10 {
+
+/**
+ * Algorithm 1: minimum active_rate_p first.
+ */
+class PriorityPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "priority"; }
+
+    WorkloadId pickNext(const ContextTable &table,
+                        OpKind fuType) override;
+
+    /**
+     * Preempt when the waiting candidate's active_rate_p is strictly
+     * below the running workload's — it is receiving less than its
+     * priority-proportional share (§3.3).
+     */
+    bool shouldPreempt(const ContextTable &table, WorkloadId running,
+                       WorkloadId candidate) override;
+};
+
+} // namespace v10
+
+#endif // V10_SCHED_PRIORITY_POLICY_H

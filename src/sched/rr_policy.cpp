@@ -1,0 +1,30 @@
+#include "sched/rr_policy.h"
+
+namespace v10 {
+
+WorkloadId
+RoundRobinPolicy::pickNext(const ContextTable &table, OpKind fuType)
+{
+    const std::uint32_t n = table.size();
+    WorkloadId &cursor = cursor_[static_cast<int>(fuType)];
+    for (std::uint32_t step = 1; step <= n; ++step) {
+        const WorkloadId cand = (cursor + step) % n;
+        const ContextRow &row = table.row(cand);
+        if (row.ready && !row.active && row.opType == fuType) {
+            cursor = cand;
+            return cand;
+        }
+    }
+    return kNoWorkload;
+}
+
+bool
+RoundRobinPolicy::shouldPreempt(const ContextTable &table,
+                                WorkloadId running,
+                                WorkloadId candidate)
+{
+    return table.row(candidate).activeCycles <
+           table.row(running).activeCycles;
+}
+
+} // namespace v10

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Round-robin operator scheduling (§3.2 policy 1): circulate through
+ * workloads with ready operators. Balances operator *counts*, not
+ * execution time, and ignores priorities — the paper's V10-Base.
+ */
+
+#ifndef V10_SCHED_RR_POLICY_H
+#define V10_SCHED_RR_POLICY_H
+
+#include "sched/policy.h"
+
+namespace v10 {
+
+/**
+ * Round-robin policy with a per-kind rotating cursor.
+ */
+class RoundRobinPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    WorkloadId pickNext(const ContextTable &table,
+                        OpKind fuType) override;
+
+    /**
+     * RR has no fairness metric; a contest is won only when the
+     * candidate has strictly less accumulated FU time (pure
+     * time-balance, used when preemption is force-enabled on top of
+     * RR for ablations).
+     */
+    bool shouldPreempt(const ContextTable &table, WorkloadId running,
+                       WorkloadId candidate) override;
+
+  private:
+    WorkloadId cursor_[2] = {0, 0}; // per OpKind
+};
+
+} // namespace v10
+
+#endif // V10_SCHED_RR_POLICY_H

@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace v10 {
+
+bool
+EventQueue::later(const Entry &a, const Entry &b)
+{
+    // std::push_heap builds a max-heap; invert for min-heap order.
+    if (a.when != b.when)
+        return a.when > b.when;
+    return a.seq > b.seq;
+}
+
+EventId
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    const EventId id = next_id_++;
+    if (cancelled_.size() <= id)
+        cancelled_.resize(id + 1, false);
+    heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    ++live_;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == kNoEvent || id >= cancelled_.size() || cancelled_[id])
+        return;
+    cancelled_[id] = true;
+    if (live_ == 0)
+        panic("EventQueue::cancel: live count underflow");
+    --live_;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && cancelled_[heap_.front().id]) {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+    }
+}
+
+Cycles
+EventQueue::nextCycle() const
+{
+    skipDead();
+    return heap_.empty() ? kCycleMax : heap_.front().when;
+}
+
+Cycles
+EventQueue::popAndRun()
+{
+    skipDead();
+    if (heap_.empty())
+        return kCycleMax;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    cancelled_[entry.id] = true; // mark fired
+    --live_;
+    entry.cb();
+    return entry.when;
+}
+
+void
+EventQueue::clear()
+{
+    // Mark everything cancelled so stale handles stay harmless.
+    for (const Entry &entry : heap_)
+        cancelled_[entry.id] = true;
+    heap_.clear();
+    live_ = 0;
+}
+
+} // namespace v10

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discrete-event queue ordered by (cycle, insertion sequence).
+ *
+ * Ties at the same cycle fire in insertion order, which makes the
+ * simulator deterministic: the scheduler's dispatch decisions at a
+ * cycle never depend on heap internals.
+ */
+
+#ifndef V10_SIM_EVENT_QUEUE_H
+#define V10_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** Opaque handle used to cancel a pending event. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * Min-heap of (cycle, seq) ordered events with O(log n) insert/pop
+ * and lazy cancellation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb to fire at absolute cycle @p when.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Cycles when, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * id is a harmless no-op (lazy deletion).
+     */
+    void cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return live_; }
+
+    /** Cycle of the earliest live event; kCycleMax when empty. */
+    Cycles nextCycle() const;
+
+    /**
+     * Pop and run the earliest live event.
+     * @return the cycle it fired at, or kCycleMax when empty.
+     */
+    Cycles popAndRun();
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    /** Min-heap ordering on (when, seq). */
+    static bool later(const Entry &a, const Entry &b);
+
+    /** Pop cancelled entries off the heap top. */
+    void skipDead() const;
+
+    mutable std::vector<Entry> heap_;
+    mutable std::vector<bool> cancelled_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace v10
+
+#endif // V10_SIM_EVENT_QUEUE_H

@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+EventId
+Simulator::at(Cycles when, EventQueue::Callback cb)
+{
+    if (when < now_)
+        panic("Simulator::at: scheduling into the past (", when,
+              " < ", now_, ")");
+    return events_.schedule(when, std::move(cb));
+}
+
+EventId
+Simulator::after(Cycles delta, EventQueue::Callback cb)
+{
+    if (delta > kCycleMax - now_)
+        panic("Simulator::after: cycle overflow");
+    return events_.schedule(now_ + delta, std::move(cb));
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    events_.cancel(id);
+}
+
+bool
+Simulator::step()
+{
+    const Cycles next = events_.nextCycle();
+    if (next == kCycleMax)
+        return false;
+    now_ = next;
+    events_.popAndRun();
+    ++events_run_;
+    return true;
+}
+
+Cycles
+Simulator::run(const std::function<bool()> &stop)
+{
+    while (step()) {
+        if (stop && stop())
+            break;
+    }
+    return now_;
+}
+
+Cycles
+Simulator::runUntil(Cycles limit)
+{
+    while (true) {
+        const Cycles next = events_.nextCycle();
+        if (next == kCycleMax || next > limit)
+            break;
+        step();
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace v10

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The simulation kernel: a cycle clock plus the event queue, with the
+ * run loop used by every experiment. Components schedule callbacks at
+ * absolute or relative cycles; the kernel advances the clock to each
+ * event in order.
+ */
+
+#ifndef V10_SIM_SIMULATOR_H
+#define V10_SIM_SIMULATOR_H
+
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace v10 {
+
+/**
+ * Discrete-event simulation kernel.
+ *
+ * Single-threaded, deterministic. The clock only moves inside run()
+ * / runUntil() / step(); callbacks observe a consistent now().
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated cycle. */
+    Cycles now() const { return now_; }
+
+    /** Schedule @p cb at absolute cycle @p when (>= now). */
+    EventId at(Cycles when, EventQueue::Callback cb);
+
+    /** Schedule @p cb @p delta cycles from now. */
+    EventId after(Cycles delta, EventQueue::Callback cb);
+
+    /** Cancel a pending event (no-op if already fired). */
+    void cancel(EventId id);
+
+    /**
+     * Run until the event queue drains or @p stop returns true
+     * (checked after each event).
+     * @return the final cycle.
+     */
+    Cycles run(const std::function<bool()> &stop = nullptr);
+
+    /**
+     * Run until the clock reaches @p limit or the queue drains.
+     * Events at exactly @p limit still fire.
+     */
+    Cycles runUntil(Cycles limit);
+
+    /**
+     * Fire exactly one event.
+     * @return true if an event fired, false if the queue was empty.
+     */
+    bool step();
+
+    /** True when no events are pending. */
+    bool idle() const { return events_.empty(); }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsRun() const { return events_run_; }
+
+    /** Access the raw queue (tests and advanced components). */
+    EventQueue &queue() { return events_; }
+
+  private:
+    EventQueue events_;
+    Cycles now_ = 0;
+    std::uint64_t events_run_ = 0;
+};
+
+} // namespace v10
+
+#endif // V10_SIM_SIMULATOR_H

@@ -1,0 +1,392 @@
+#include "v10/collocation_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+
+ClusteringCollocator::ClusteringCollocator(Options options)
+    : options_(options)
+{
+    if (options_.clusters == 0 || options_.pcaComponents == 0)
+        fatal("ClusteringCollocator: bad hyper-parameters");
+}
+
+ClusteringCollocator::ClusteringCollocator()
+    : ClusteringCollocator(Options{})
+{
+}
+
+void
+ClusteringCollocator::train(
+    const std::vector<WorkloadFeatures> &training,
+    const PairPerfFn &perf)
+{
+    if (training.size() < options_.clusters)
+        fatal("ClusteringCollocator: ", training.size(),
+              " training workloads < k=", options_.clusters);
+
+    std::vector<std::vector<double>> rows;
+    rows.reserve(training.size());
+    for (const auto &f : training)
+        rows.push_back(f.values);
+    const Matrix raw = Matrix::fromRows(rows);
+
+    standardizer_ = std::make_unique<Standardizer>(raw);
+    const Matrix standardized = standardizer_->transform(raw);
+    pca_ = std::make_unique<Pca>(
+        standardized,
+        std::min(options_.pcaComponents, standardized.cols()));
+    const Matrix projected = pca_->transform(standardized);
+
+    KMeans km(options_.clusters, options_.seed);
+    kmeans_ = km.fit(projected);
+    training_labels_ = kmeans_.labels;
+
+    // Inter-cluster pairwise collocation profiling (Fig. 14): the
+    // profiled performance of clusters (i, j) is the mean measured
+    // performance over all training pairs spanning them.
+    const std::size_t k = options_.clusters;
+    cluster_perf_.assign(k, std::vector<double>(k, 0.0));
+    cluster_perf_count_.assign(k, std::vector<int>(k, 0));
+    double global_sum = 0.0;
+    int global_count = 0;
+    for (std::size_t i = 0; i < training.size(); ++i) {
+        for (std::size_t j = i + 1; j < training.size(); ++j) {
+            // Two batch variants of the same model are not a
+            // collocation candidate.
+            if (training[i].model == training[j].model)
+                continue;
+            const double p =
+                perf(training[i].model, training[j].model);
+            const std::size_t ci = training_labels_[i];
+            const std::size_t cj = training_labels_[j];
+            cluster_perf_[ci][cj] += p;
+            cluster_perf_count_[ci][cj] += 1;
+            if (ci != cj) {
+                cluster_perf_[cj][ci] += p;
+                cluster_perf_count_[cj][ci] += 1;
+            }
+            global_sum += p;
+            ++global_count;
+        }
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) {
+            if (cluster_perf_count_[a][b] > 0)
+                cluster_perf_[a][b] /= cluster_perf_count_[a][b];
+        }
+    }
+    global_mean_perf_ =
+        global_count > 0 ? global_sum / global_count : 1.0;
+    trained_ = true;
+}
+
+std::size_t
+ClusteringCollocator::clusterOf(const WorkloadFeatures &features) const
+{
+    if (!trained_)
+        fatal("ClusteringCollocator: not trained");
+    const auto projected =
+        pca_->transform(standardizer_->transform(features.values));
+    return KMeans::assign(kmeans_, projected);
+}
+
+double
+ClusteringCollocator::clusterPairPerf(std::size_t a,
+                                      std::size_t b) const
+{
+    if (a >= options_.clusters || b >= options_.clusters)
+        panic("clusterPairPerf: cluster index out of range");
+    if (cluster_perf_count_[a][b] == 0)
+        return std::nan("");
+    return cluster_perf_[a][b];
+}
+
+double
+ClusteringCollocator::predictPerf(const WorkloadFeatures &a,
+                                  const WorkloadFeatures &b) const
+{
+    const std::size_t ca = clusterOf(a);
+    const std::size_t cb = clusterOf(b);
+    const double p = clusterPairPerf(ca, cb);
+    // No training pair spanned these clusters: fall back to the
+    // global training mean (a conservative prior).
+    return std::isnan(p) ? global_mean_perf_ : p;
+}
+
+bool
+ClusteringCollocator::predictBeneficial(const WorkloadFeatures &a,
+                                        const WorkloadFeatures &b)
+    const
+{
+    return predictPerf(a, b) >= options_.threshold;
+}
+
+bool
+heuristicPredict(const WorkloadFeatures &a, const WorkloadFeatures &b)
+{
+    // Capacity check per resource dimension (§3.4's "aggregated
+    // resource utilization should not exceed the total available
+    // resource"). A small slack accounts for the dispatch bubbles
+    // that overlapped execution recovers; the check still ignores
+    // dynamic contention (operator-length mismatch), which is what
+    // makes it inaccurate.
+    constexpr double kCapacity = 1.40;
+    const double sa = a.values[0] + b.values[0];
+    const double vu = a.values[1] + b.values[1];
+    const double hbm = a.values[2] + b.values[2];
+    return sa <= kCapacity && vu <= kCapacity && hbm <= 1.05;
+}
+
+double
+SchemeOutcome::accuracy() const
+{
+    const int total = tp + tn + fp + fn;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(tp + tn) / total;
+}
+
+double
+SchemeOutcome::tpRate() const
+{
+    const int pos = tp + fn;
+    return pos == 0 ? 0.0 : static_cast<double>(tp) / pos;
+}
+
+double
+SchemeOutcome::tnRate() const
+{
+    const int neg = tn + fp;
+    return neg == 0 ? 0.0 : static_cast<double>(tn) / neg;
+}
+
+double
+SchemeOutcome::fpRate() const
+{
+    const int neg = tn + fp;
+    return neg == 0 ? 0.0 : static_cast<double>(fp) / neg;
+}
+
+double
+SchemeOutcome::fnRate() const
+{
+    const int pos = tp + fn;
+    return pos == 0 ? 0.0 : static_cast<double>(fn) / pos;
+}
+
+CollocationStudy::CollocationStudy(const NpuConfig &config,
+                                   std::uint64_t requests,
+                                   double threshold)
+    : runner_(config), requests_(requests), threshold_(threshold)
+{
+    for (const ModelProfile &m : modelZoo())
+        models_.push_back(m.abbrev);
+}
+
+std::string
+CollocationStudy::pairKey(const std::string &a,
+                          const std::string &b) const
+{
+    return a < b ? a + "+" + b : b + "+" + a;
+}
+
+void
+CollocationStudy::build()
+{
+    if (built_)
+        return;
+    // Featurize several batch variants per model: the clustering of
+    // Fig. 15 places one point per (model, batch size).
+    for (const std::string &m : models_) {
+        const ModelProfile &profile = findModel(m);
+        std::vector<int> batches = {profile.refBatch / 4,
+                                    profile.refBatch,
+                                    profile.refBatch * 4};
+        for (int batch : batches) {
+            if (batch < 1 ||
+                !profile.fitsMemory(batch, kHbmRegionBytes))
+                continue;
+            const SingleProfile sp = profileSingle(
+                runner_.config(), profile, batch, requests_);
+            variant_features_.push_back(extractFeatures(sp));
+            if (batch == profile.refBatch)
+                features_.emplace(m, variant_features_.back());
+        }
+    }
+    for (std::size_t i = 0; i < models_.size(); ++i)
+        for (std::size_t j = i + 1; j < models_.size(); ++j)
+            pairPerf(models_[i], models_[j]);
+    built_ = true;
+}
+
+double
+CollocationStudy::pairPerf(const std::string &a, const std::string &b)
+{
+    const std::string k = pairKey(a, b);
+    auto it = perf_.find(k);
+    if (it != perf_.end())
+        return it->second;
+
+    const RunStats v10_full = runner_.runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, requests_);
+    const RunStats pmt = runner_.runPair(SchedulerKind::Pmt, a, b,
+                                         1.0, 1.0, requests_);
+    const double pmt_stp = pmt.stp();
+    const double ratio =
+        pmt_stp > 0.0 ? v10_full.stp() / pmt_stp : 0.0;
+    perf_.emplace(k, ratio);
+    return ratio;
+}
+
+const WorkloadFeatures &
+CollocationStudy::features(const std::string &model)
+{
+    build();
+    auto it = features_.find(model);
+    if (it == features_.end())
+        fatal("CollocationStudy: unknown model ", model);
+    return it->second;
+}
+
+void
+CollocationStudy::score(SchemeOutcome &outcome, double actual,
+                        bool predicted) const
+{
+    const bool positive = actual >= threshold_;
+    if (predicted) {
+        if (outcome.tp + outcome.fp == 0 ||
+            actual < outcome.worstPerf)
+            outcome.worstPerf = actual;
+    }
+    if (positive && predicted)
+        ++outcome.tp;
+    else if (positive && !predicted)
+        ++outcome.fn;
+    else if (!positive && predicted)
+        ++outcome.fp;
+    else
+        ++outcome.tn;
+}
+
+SchemeOutcome
+CollocationStudy::evaluateRandom()
+{
+    build();
+    SchemeOutcome outcome;
+    outcome.scheme = "Random";
+    outcome.worstPerf = 1.0;
+    for (std::size_t i = 0; i < models_.size(); ++i)
+        for (std::size_t j = i + 1; j < models_.size(); ++j)
+            score(outcome, pairPerf(models_[i], models_[j]), true);
+    return outcome;
+}
+
+SchemeOutcome
+CollocationStudy::evaluateHeuristic()
+{
+    build();
+    SchemeOutcome outcome;
+    outcome.scheme = "Heuristic";
+    outcome.worstPerf = 1.0;
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+        for (std::size_t j = i + 1; j < models_.size(); ++j) {
+            const bool predicted = heuristicPredict(
+                features(models_[i]), features(models_[j]));
+            score(outcome, pairPerf(models_[i], models_[j]),
+                  predicted);
+        }
+    }
+    return outcome;
+}
+
+SchemeOutcome
+CollocationStudy::evaluateClustering()
+{
+    return evaluateClustering(ClusteringCollocator::Options{});
+}
+
+SchemeOutcome
+CollocationStudy::evaluateClustering(
+    ClusteringCollocator::Options options)
+{
+    build();
+    options.threshold = threshold_;
+    SchemeOutcome outcome;
+    outcome.scheme = "Clustering";
+    outcome.worstPerf = 1.0;
+
+    // Leave-two-models-out cross validation: every split holds out
+    // two models, trains on the rest, and predicts every pair that
+    // involves a held-out model.
+    for (std::size_t a = 0; a < models_.size(); ++a) {
+        for (std::size_t b = a + 1; b < models_.size(); ++b) {
+            std::vector<WorkloadFeatures> training;
+            for (const WorkloadFeatures &f : variant_features_) {
+                if (f.model != models_[a] && f.model != models_[b])
+                    training.push_back(f);
+            }
+            ClusteringCollocator collocator(options);
+            collocator.train(
+                training,
+                [this](const std::string &x, const std::string &y) {
+                    return pairPerf(x, y);
+                });
+
+            for (std::size_t i = 0; i < models_.size(); ++i) {
+                for (std::size_t j = i + 1; j < models_.size(); ++j) {
+                    const bool involves_test =
+                        i == a || i == b || j == a || j == b;
+                    if (!involves_test)
+                        continue;
+                    const bool predicted =
+                        collocator.predictBeneficial(
+                            features(models_[i]),
+                            features(models_[j]));
+                    score(outcome,
+                          pairPerf(models_[i], models_[j]),
+                          predicted);
+                }
+            }
+        }
+    }
+    return outcome;
+}
+
+std::vector<std::pair<std::string, double>>
+CollocationStudy::groundTruth()
+{
+    build();
+    std::vector<std::pair<std::string, double>> out;
+    for (std::size_t i = 0; i < models_.size(); ++i)
+        for (std::size_t j = i + 1; j < models_.size(); ++j)
+            out.emplace_back(models_[i] + "+" + models_[j],
+                             pairPerf(models_[i], models_[j]));
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return out;
+}
+
+double
+CollocationStudy::positiveRate()
+{
+    build();
+    int positives = 0;
+    int total = 0;
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+        for (std::size_t j = i + 1; j < models_.size(); ++j) {
+            positives +=
+                pairPerf(models_[i], models_[j]) >= threshold_;
+            ++total;
+        }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(positives) / total;
+}
+
+} // namespace v10

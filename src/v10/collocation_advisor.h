@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The clustering-based workload collocation mechanism of §3.4, plus
+ * the Random and Heuristic baselines and the cross-validation study
+ * behind Table 2.
+ *
+ * Training: standardize features -> PCA -> K-Means -> profile the
+ * average pairwise collocation performance between clusters.
+ * Inference: map both workloads to clusters and predict the cluster
+ * pair's profiled performance; collocate when it clears the 1.3x
+ * threshold.
+ */
+
+#ifndef V10_V10_COLLOCATION_ADVISOR_H
+#define V10_V10_COLLOCATION_ADVISOR_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collocate/kmeans.h"
+#include "collocate/pca.h"
+#include "collocate/standardizer.h"
+#include "npu/npu_config.h"
+#include "v10/experiment.h"
+#include "v10/features.h"
+
+namespace v10 {
+
+/** Measured collocation performance of a model pair (by abbrev). */
+using PairPerfFn =
+    std::function<double(const std::string &, const std::string &)>;
+
+/**
+ * The trained clustering collocator.
+ */
+class ClusteringCollocator
+{
+  public:
+    /** Training hyper-parameters. */
+    struct Options
+    {
+        std::size_t clusters = 5;      ///< K-Means k (Fig. 15)
+        std::size_t pcaComponents = 2; ///< kept principal components
+        double threshold = 1.3;        ///< beneficial-pair cutoff
+        std::uint64_t seed = 11;
+    };
+
+    explicit ClusteringCollocator(Options options);
+
+    /** Defaults: Options{}. */
+    ClusteringCollocator();
+
+    /**
+     * Offline training (Fig. 14 left): cluster the training
+     * workloads and profile inter-cluster pair performance via
+     * @p perf (which sees only training workloads).
+     */
+    void train(const std::vector<WorkloadFeatures> &training,
+               const PairPerfFn &perf);
+
+    /** Online inference: predicted collocation performance. */
+    double predictPerf(const WorkloadFeatures &a,
+                       const WorkloadFeatures &b) const;
+
+    /** Collocate? (predicted perf >= threshold) */
+    bool predictBeneficial(const WorkloadFeatures &a,
+                           const WorkloadFeatures &b) const;
+
+    /** Cluster of a workload under the trained model. */
+    std::size_t clusterOf(const WorkloadFeatures &features) const;
+
+    /** Number of clusters. */
+    std::size_t clusters() const { return options_.clusters; }
+
+    /** Profiled mean performance of a cluster pair (NaN if the
+     * training set had no sample pair). */
+    double clusterPairPerf(std::size_t a, std::size_t b) const;
+
+    /** Labels of the training samples (Fig. 15 scatter). */
+    const std::vector<std::size_t> &trainingLabels() const
+    {
+        return training_labels_;
+    }
+
+  private:
+    Options options_;
+    bool trained_ = false;
+    std::unique_ptr<Standardizer> standardizer_;
+    std::unique_ptr<Pca> pca_;
+    KMeansResult kmeans_;
+    std::vector<std::size_t> training_labels_;
+    std::vector<std::vector<double>> cluster_perf_;
+    std::vector<std::vector<int>> cluster_perf_count_;
+    double global_mean_perf_ = 1.0;
+};
+
+/** Heuristic baseline: collocate when aggregated SA, VU, and HBM
+ * utilizations each stay within capacity (§3.4). */
+bool heuristicPredict(const WorkloadFeatures &a,
+                      const WorkloadFeatures &b);
+
+/**
+ * Confusion-matrix outcome of one collocation scheme (Table 2).
+ * Rates follow the paper's convention: TP+FN = 100% of actual
+ * positives, TN+FP = 100% of actual negatives.
+ */
+struct SchemeOutcome
+{
+    std::string scheme;
+    int tp = 0, tn = 0, fp = 0, fn = 0;
+    double worstPerf = 0.0; ///< worst actual perf among predicted
+                            ///< positives (1.0 if none predicted)
+
+    double accuracy() const;
+    double tpRate() const;
+    double tnRate() const;
+    double fpRate() const;
+    double fnRate() const;
+};
+
+/**
+ * The Table 2 study: ground-truth collocation performance for every
+ * model pair (brute force), and leave-two-models-out cross
+ * validation of the three schemes.
+ */
+class CollocationStudy
+{
+  public:
+    /**
+     * @param config hardware configuration
+     * @param requests measured requests per simulation (larger =
+     *        slower, steadier ground truth)
+     * @param threshold beneficial-pair cutoff (paper: 1.3x)
+     */
+    explicit CollocationStudy(const NpuConfig &config,
+                              std::uint64_t requests = 12,
+                              double threshold = 1.3);
+
+    /** Profile all models, simulate all pair perfs (idempotent). */
+    void build();
+
+    /** Ground truth: STP(V10-Full) / STP(PMT) for a model pair. */
+    double pairPerf(const std::string &a, const std::string &b);
+
+    /** Features of one model at its reference batch. */
+    const WorkloadFeatures &features(const std::string &model);
+
+    /** All model abbreviations under study. */
+    const std::vector<std::string> &models() const { return models_; }
+
+    /** Evaluate the always-collocate Random baseline on all pairs. */
+    SchemeOutcome evaluateRandom();
+
+    /** Evaluate the Heuristic baseline on all pairs. */
+    SchemeOutcome evaluateHeuristic();
+
+    /**
+     * Evaluate the clustering scheme with leave-two-models-out cross
+     * validation: for every pair of held-out models, train on the
+     * remaining nine and predict every pair that involves a held-out
+     * model (§3.4's protocol).
+     */
+    SchemeOutcome evaluateClustering();
+
+    /** evaluateClustering with explicit hyper-parameters. */
+    SchemeOutcome
+    evaluateClustering(ClusteringCollocator::Options options);
+
+    /** Fraction of pairs that are actually beneficial. */
+    double positiveRate();
+
+    /** All pairs with their ground-truth performance, sorted
+     * ascending (for inspection and the bench's --truth mode). */
+    std::vector<std::pair<std::string, double>> groundTruth();
+
+  private:
+    /** Record one prediction into an outcome. */
+    void score(SchemeOutcome &outcome, double actual,
+               bool predicted) const;
+
+    ExperimentRunner runner_;
+    std::uint64_t requests_;
+    double threshold_;
+    bool built_ = false;
+    std::vector<std::string> models_;
+    std::map<std::string, WorkloadFeatures> features_;
+    /** One feature point per (model, batch) variant (Fig. 15). */
+    std::vector<WorkloadFeatures> variant_features_;
+    std::map<std::string, double> perf_;
+
+    std::string pairKey(const std::string &a,
+                        const std::string &b) const;
+};
+
+} // namespace v10
+
+#endif // V10_V10_COLLOCATION_ADVISOR_H

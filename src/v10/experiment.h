@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The experiment runner: builds a fresh simulator + NPU core +
+ * scheduler for a set of tenant workloads, runs the closed-loop
+ * measurement of §5.1, and normalizes per-tenant progress against
+ * cached single-tenant (dedicated core) references.
+ */
+
+#ifndef V10_V10_EXPERIMENT_H
+#define V10_V10_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/run_stats.h"
+#include "npu/npu_config.h"
+#include "sched/scheduler_factory.h"
+#include "workload/workload.h"
+
+namespace v10 {
+
+/** One tenant request: model, batch, priority, offered load. */
+struct TenantRequest
+{
+    std::string model;     ///< name or abbreviation (Table 4)
+    int batch = 0;         ///< 0 = the model's reference batch
+    double priority = 1.0; ///< relative priority
+    /** Open-loop offered load in requests/s (0 = closed loop). */
+    double arrivalRps = 0.0;
+};
+
+/**
+ * Runs experiments over one hardware configuration, caching
+ * workload compilation and single-tenant references.
+ */
+class ExperimentRunner
+{
+  public:
+    /** @param config hardware configuration (validated) */
+    explicit ExperimentRunner(NpuConfig config = NpuConfig{});
+
+    /** Default measured requests per tenant per run. */
+    static constexpr std::uint64_t kDefaultRequests = 25;
+
+    /** Default warmup requests per tenant per run. */
+    static constexpr std::uint64_t kDefaultWarmup = 3;
+
+    /** The hardware configuration. */
+    const NpuConfig &config() const { return config_; }
+
+    /**
+     * Run @p kind over the given tenants; fills each workload's
+     * normalizedProgress from the cached single-tenant rate.
+     */
+    RunStats run(SchedulerKind kind,
+                 const std::vector<TenantRequest> &tenants,
+                 std::uint64_t requests = kDefaultRequests,
+                 std::uint64_t warmup = kDefaultWarmup,
+                 const SchedulerOptions &options = SchedulerOptions{});
+
+    /** Two-tenant convenience used by the pair figures. */
+    RunStats runPair(SchedulerKind kind, const std::string &modelA,
+                     const std::string &modelB,
+                     double priorityA = 1.0, double priorityB = 1.0,
+                     std::uint64_t requests = kDefaultRequests,
+                     const SchedulerOptions &options =
+                         SchedulerOptions{});
+
+    /**
+     * Single-tenant (dedicated core) reference run for a workload;
+     * cached per (model, batch).
+     */
+    const RunStats &singleTenant(const std::string &model, int batch);
+
+    /** Single-tenant request completion rate (requests/second). */
+    double singleTenantRps(const std::string &model, int batch);
+
+    /** Compiled workload, cached per (model, batch). */
+    const Workload &workload(const std::string &model, int batch);
+
+    /** Resolve batch 0 to the model's reference batch. */
+    int resolveBatch(const std::string &model, int batch) const;
+
+  private:
+    NpuConfig config_;
+    std::map<std::string, std::unique_ptr<Workload>> workloads_;
+    std::map<std::string, RunStats> single_cache_;
+
+    std::string key(const std::string &model, int batch) const;
+};
+
+} // namespace v10
+
+#endif // V10_V10_EXPERIMENT_H

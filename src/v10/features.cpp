@@ -1,0 +1,54 @@
+#include "v10/features.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace v10 {
+
+namespace {
+
+/** log10 with a floor to keep tiny operator lengths finite. */
+double
+safeLog10(double v)
+{
+    return std::log10(std::max(v, 1e-3));
+}
+
+} // namespace
+
+const std::vector<std::string> &
+WorkloadFeatures::names()
+{
+    static const std::vector<std::string> names = {
+        "sa_util",       "vu_util",       "hbm_util",
+        "log_sa_op_us",  "log_vu_op_us",  "log_max_sa_op_us",
+        "log_max_vu_op_us", "sa_share",
+    };
+    return names;
+}
+
+WorkloadFeatures
+extractFeatures(const SingleProfile &profile)
+{
+    if (profile.oom)
+        fatal("extractFeatures: cannot featurize an OOM profile (",
+              profile.model, "@", profile.batch, ")");
+    WorkloadFeatures f;
+    f.model = profile.model;
+    f.batch = profile.batch;
+    const double busy = profile.mxuUtil + profile.vpuUtil;
+    f.values = {
+        profile.mxuUtil,
+        profile.vpuUtil,
+        profile.hbmUtil,
+        safeLog10(profile.meanSaOpUs),
+        safeLog10(profile.meanVuOpUs),
+        safeLog10(profile.maxSaOpUs),
+        safeLog10(profile.maxVuOpUs),
+        busy > 0.0 ? profile.mxuUtil / busy : 0.0,
+    };
+    return f;
+}
+
+} // namespace v10

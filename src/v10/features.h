@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Workload featurization for the clustering-based collocation
+ * mechanism (§3.4): "workload features related to resource
+ * contentions, including SA/VU utilizations, HBM bandwidth
+ * consumption, and operator length statistics".
+ */
+
+#ifndef V10_V10_FEATURES_H
+#define V10_V10_FEATURES_H
+
+#include <string>
+#include <vector>
+
+#include "v10/profiler.h"
+
+namespace v10 {
+
+/**
+ * Feature vector of one workload (model @ batch).
+ */
+struct WorkloadFeatures
+{
+    std::string model; ///< abbreviation
+    int batch = 0;
+    std::vector<double> values;
+
+    /** Feature names, in vector order. */
+    static const std::vector<std::string> &names();
+};
+
+/** Extract the §3.4 feature vector from a single-tenant profile. */
+WorkloadFeatures extractFeatures(const SingleProfile &profile);
+
+} // namespace v10
+
+#endif // V10_V10_FEATURES_H

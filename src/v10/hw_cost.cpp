@@ -1,0 +1,87 @@
+#include "v10/hw_cost.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "sched/context_table.h"
+
+namespace v10 {
+
+namespace {
+
+/** One synthesized data point from the paper's Table 3. */
+struct SynthPoint
+{
+    std::uint32_t sas, vus, workloads;
+    Cycles latency;
+    double areaPct, powerPct;
+};
+
+/** FreePDK-15nm synthesis results reported in Table 3. */
+constexpr SynthPoint kSynthesized[] = {
+    {1, 1, 2, 22, 0.001, 0.303},
+    {1, 1, 4, 24, 0.002, 0.324},
+    {2, 2, 4, 82, 0.002, 0.325},
+    {4, 4, 8, 284, 0.003, 0.346},
+};
+
+} // namespace
+
+SchedulerHwCost
+schedulerHwCost(std::uint32_t numSa, std::uint32_t numVu,
+                std::uint32_t workloads)
+{
+    if (numSa == 0 || numVu == 0 || workloads == 0)
+        fatal("schedulerHwCost: counts must be positive");
+
+    SchedulerHwCost cost;
+    cost.numSa = numSa;
+    cost.numVu = numVu;
+    cost.workloads = workloads;
+    cost.contextTableBytes =
+        ContextTable::storageBytes(workloads, numSa + numVu);
+
+    for (const SynthPoint &p : kSynthesized) {
+        if (p.sas == numSa && p.vus == numVu &&
+            p.workloads == workloads) {
+            cost.latencyCycles = p.latency;
+            cost.areaPct = p.areaPct;
+            cost.powerPct = p.powerPct;
+            cost.synthesized = true;
+            return cost;
+        }
+    }
+
+    // Extrapolation calibrated on the synthesized points:
+    //  - latency: one comparator pass per tenant plus an arbitration
+    //    network that grows ~3.6x per doubling of FU pairs;
+    //  - area: dominated by the context-table SRAM;
+    //  - power: clocking baseline + comparator activity.
+    const double pairs = 0.5 * (numSa + numVu);
+    const double lat =
+        22.0 * std::pow(3.6, std::log2(std::max(pairs, 1.0))) +
+        (static_cast<double>(workloads) - 2.0 * pairs);
+    cost.latencyCycles =
+        static_cast<Cycles>(std::max(1.0, std::round(lat)));
+    cost.areaPct =
+        0.0005 + 0.0005 * static_cast<double>(cost.contextTableBytes) /
+                     43.0;
+    cost.powerPct = 0.282 + 0.021 * std::log2(workloads) +
+                    0.001 * (pairs - 1.0);
+    cost.synthesized = false;
+    return cost;
+}
+
+const std::vector<SchedulerHwCost> &
+table3Configs()
+{
+    static const std::vector<SchedulerHwCost> configs = [] {
+        std::vector<SchedulerHwCost> out;
+        for (const SynthPoint &p : kSynthesized)
+            out.push_back(schedulerHwCost(p.sas, p.vus, p.workloads));
+        return out;
+    }();
+    return configs;
+}
+
+} // namespace v10

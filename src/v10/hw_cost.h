@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hardware cost model of V10's tensor operator scheduler (Table 3).
+ *
+ * The paper prototyped the scheduler in Verilog and synthesized it
+ * with the FreePDK-15nm library; without the flow we embed the four
+ * synthesized design points verbatim and extrapolate the same trends
+ * for other configurations:
+ *  - context-table storage from the Fig. 11 row layout (exact),
+ *  - arbitration latency growing with tenants and FU-port count,
+ *  - area/power linear in table size and logarithmic in tenants,
+ * all normalized to a Google TPUv3 core.
+ */
+
+#ifndef V10_V10_HW_COST_H
+#define V10_V10_HW_COST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/**
+ * Table 3 row: cost of one scheduler configuration.
+ */
+struct SchedulerHwCost
+{
+    std::uint32_t numSa = 1;
+    std::uint32_t numVu = 1;
+    std::uint32_t workloads = 2;
+
+    Bytes contextTableBytes = 0; ///< Fig. 11 layout, exact
+    Cycles latencyCycles = 0;    ///< scheduling-decision latency
+    double areaPct = 0.0;        ///< % of a TPUv3 core
+    double powerPct = 0.0;       ///< % of a TPUv3 core
+
+    /** True if this point was synthesized in the paper (vs
+     * extrapolated by the model). */
+    bool synthesized = false;
+};
+
+/**
+ * Cost of a scheduler with the given FU counts and tenant count.
+ */
+SchedulerHwCost schedulerHwCost(std::uint32_t numSa,
+                                std::uint32_t numVu,
+                                std::uint32_t workloads);
+
+/** The four synthesized configurations of Table 3, in order. */
+const std::vector<SchedulerHwCost> &table3Configs();
+
+} // namespace v10
+
+#endif // V10_V10_HW_COST_H

@@ -1,0 +1,44 @@
+#include "v10/multi_tenant_npu.h"
+
+#include "common/log.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+
+MultiTenantNpu::MultiTenantNpu(NpuConfig config, SchedulerKind kind)
+    : runner_(config), kind_(kind)
+{
+}
+
+void
+MultiTenantNpu::addWorkload(const std::string &model, int batch,
+                            double priority)
+{
+    if (!hasModel(model))
+        fatal("MultiTenantNpu: unknown model '", model,
+              "'; see Table 4 for supported models");
+    tenants_.push_back(TenantRequest{model, batch, priority});
+}
+
+void
+MultiTenantNpu::clearWorkloads()
+{
+    tenants_.clear();
+}
+
+RunStats
+MultiTenantNpu::run(std::uint64_t requests, std::uint64_t warmup)
+{
+    if (tenants_.empty())
+        fatal("MultiTenantNpu::run: no workloads deployed");
+    return runner_.run(kind_, tenants_, requests, warmup, options_);
+}
+
+const RunStats &
+MultiTenantNpu::singleTenantReference(const std::string &model,
+                                      int batch)
+{
+    return runner_.singleTenant(model, batch);
+}
+
+} // namespace v10

@@ -1,0 +1,79 @@
+#include "v10/profiler.h"
+
+#include "common/log.h"
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+
+SingleProfile
+profileSingle(const NpuConfig &config, const ModelProfile &model,
+              int batch, std::uint64_t requests)
+{
+    SingleProfile p;
+    p.model = model.abbrev;
+    p.batch = batch;
+
+    if (!model.fitsMemory(batch, kHbmRegionBytes)) {
+        p.oom = true;
+        return p;
+    }
+
+    Workload wl(model, batch, config);
+    const RequestTrace &trace = wl.trace();
+
+    Simulator sim;
+    NpuCore core(sim, config, 1, false);
+    OperatorScheduler sched(sim, core, {TenantSpec{&wl, 1.0}},
+                            OperatorScheduler::Variant::Base);
+    const RunStats stats = sched.run(requests, 1);
+
+    p.flopsUtil = stats.flopsUtil;
+    p.mxuUtil = stats.saUtil;
+    p.vpuUtil = stats.vuUtil;
+    p.hbmUtil = stats.hbmUtil;
+    p.idealSpeedup = wl.graph().idealSpeedup();
+
+    const double bytes = static_cast<double>(trace.totalDmaBytes);
+    p.opIntensity = bytes > 0.0 ? trace.totalFlops / bytes : 0.0;
+    if (!stats.workloads.empty()) {
+        const auto &w = stats.workloads[0];
+        p.requestLatencyUs = w.avgLatencyUs;
+        p.requestsPerSec = w.requestsPerSec;
+        p.tflops = trace.totalFlops * w.requestsPerSec / 1e12;
+    }
+
+    double max_sa = 0.0;
+    double max_vu = 0.0;
+    for (const auto &op : trace.ops) {
+        const double us = config.cyclesToUs(op.computeCycles);
+        if (op.kind == OpKind::SA)
+            max_sa = std::max(max_sa, us);
+        else
+            max_vu = std::max(max_vu, us);
+    }
+    p.meanSaOpUs = config.cyclesToUs(
+        static_cast<Cycles>(trace.meanSaOpCycles()));
+    p.meanVuOpUs = config.cyclesToUs(
+        static_cast<Cycles>(trace.meanVuOpCycles()));
+    p.maxSaOpUs = max_sa;
+    p.maxVuOpUs = max_vu;
+    return p;
+}
+
+std::vector<SingleProfile>
+profileAllModels(const NpuConfig &config, std::uint64_t requests)
+{
+    std::vector<SingleProfile> out;
+    for (const ModelProfile &model : modelZoo()) {
+        for (int batch : standardBatchSweep())
+            out.push_back(
+                profileSingle(config, model, batch, requests));
+    }
+    return out;
+}
+
+} // namespace v10

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Single-workload profiler: the §2.2 characterization study. Runs
+ * each (model, batch) dedicated on one core and extracts the metrics
+ * behind Figs. 3-8 (FLOPS utilization, MXU/VPU temporal utilization,
+ * HBM bandwidth, roofline coordinates, DAG ideal speedup).
+ */
+
+#ifndef V10_V10_PROFILER_H
+#define V10_V10_PROFILER_H
+
+#include <string>
+#include <vector>
+
+#include "npu/npu_config.h"
+#include "workload/model_profile.h"
+
+namespace v10 {
+
+/**
+ * Characterization results of one (model, batch) point.
+ */
+struct SingleProfile
+{
+    std::string model;  ///< abbreviation
+    int batch = 0;
+    bool oom = false;   ///< did not fit the HBM region (skipped)
+
+    double flopsUtil = 0.0;   ///< Fig. 3
+    double mxuUtil = 0.0;     ///< Fig. 4 (SA temporal utilization)
+    double vpuUtil = 0.0;     ///< Fig. 5 (VU temporal utilization)
+    double idealSpeedup = 1.0;///< Fig. 6 (DAG bound)
+    double hbmUtil = 0.0;     ///< Fig. 7
+    double opIntensity = 0.0; ///< Fig. 8 x-axis (FLOPs/byte)
+    double tflops = 0.0;      ///< Fig. 8 y-axis (achieved TFLOP/s)
+
+    double meanSaOpUs = 0.0;  ///< Table 1
+    double meanVuOpUs = 0.0;  ///< Table 1
+    double maxSaOpUs = 0.0;
+    double maxVuOpUs = 0.0;
+
+    double requestLatencyUs = 0.0;
+    double requestsPerSec = 0.0;
+};
+
+/**
+ * HBM region available to one hosted workload for the out-of-memory
+ * check (§3.6 segments the HBM; we host two tenants per device).
+ */
+inline constexpr Bytes kHbmRegionBytes = 16_GiB;
+
+/** Profile one (model, batch); sets oom instead of running when the
+ * footprint exceeds kHbmRegionBytes. */
+SingleProfile profileSingle(const NpuConfig &config,
+                            const ModelProfile &model, int batch,
+                            std::uint64_t requests = 8);
+
+/** Profile every Table 4 model over the standard batch sweep. */
+std::vector<SingleProfile>
+profileAllModels(const NpuConfig &config, std::uint64_t requests = 8);
+
+} // namespace v10
+
+#endif // V10_V10_PROFILER_H

@@ -1,0 +1,108 @@
+#include "workload/model_profile.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace v10 {
+
+double
+ModelProfile::saOpUs(int batch) const
+{
+    const double scale = static_cast<double>(batch) / refBatch;
+    return saOpUsRef * (saFixedFrac + (1.0 - saFixedFrac) * scale);
+}
+
+double
+ModelProfile::vuOpUs(int batch) const
+{
+    const double scale = static_cast<double>(batch) / refBatch;
+    return vuOpUsRef * (vuFixedFrac + (1.0 - vuFixedFrac) * scale);
+}
+
+double
+ModelProfile::saEff(int batch) const
+{
+    const double b = static_cast<double>(batch);
+    return saEffMax * b / (b + saEffBatchHalf);
+}
+
+Bytes
+ModelProfile::memFootprint(int batch) const
+{
+    return modelBytes +
+           actBytesPerSample * static_cast<Bytes>(batch);
+}
+
+bool
+ModelProfile::fitsMemory(int batch, Bytes regionBytes) const
+{
+    return memFootprint(batch) <= regionBytes;
+}
+
+int
+ModelProfile::maxBatch(Bytes regionBytes) const
+{
+    int best = 0;
+    for (int b : standardBatchSweep()) {
+        if (fitsMemory(b, regionBytes))
+            best = b;
+    }
+    return best;
+}
+
+double
+ModelProfile::requestBytes(int batch) const
+{
+    const double cyc_per_us = kRefFreqGHz * 1e3;
+    const double ref_cycles =
+        (saOpsPerRequest * saOpUs(refBatch) +
+         vuOpsPerRequest * vuOpUs(refBatch)) *
+        cyc_per_us;
+    const double ref_bytes =
+        hbmBwUtilRef * kRefHbmBytesPerCycle * ref_cycles;
+    const double growth =
+        std::pow(static_cast<double>(batch) / refBatch, memGrowthExp);
+    return ref_bytes *
+           (weightBytesFrac + (1.0 - weightBytesFrac) * growth);
+}
+
+void
+ModelProfile::validate() const
+{
+    if (name.empty() || abbrev.empty())
+        fatal("ModelProfile: missing name");
+    if (refBatch <= 0)
+        fatal(name, ": refBatch must be positive");
+    if (saOpUsRef <= 0.0 || vuOpUsRef <= 0.0)
+        fatal(name, ": Table 1 operator lengths must be positive");
+    if (saOpsPerRequest <= 0 || vuOpsPerRequest <= 0)
+        fatal(name, ": operator counts must be positive");
+    if (saEffMax <= 0.0 || saEffMax > 1.0)
+        fatal(name, ": saEffMax must be in (0, 1]");
+    if (vuEff <= 0.0 || vuEff > 1.0)
+        fatal(name, ": vuEff must be in (0, 1]");
+    if (hbmBwUtilRef <= 0.0 || hbmBwUtilRef >= 1.0)
+        fatal(name, ": hbmBwUtilRef must be in (0, 1)");
+    if (weightBytesFrac < 0.0 || weightBytesFrac > 1.0)
+        fatal(name, ": weightBytesFrac must be in [0, 1]");
+    if (branchProb < 0.0 || branchProb > 0.5)
+        fatal(name, ": branchProb must be in [0, 0.5]");
+    if (saFixedFrac < 0.0 || saFixedFrac >= 1.0 ||
+        vuFixedFrac < 0.0 || vuFixedFrac >= 1.0)
+        fatal(name, ": fixed-time fractions must be in [0, 1)");
+    if (vuByteRate <= 0.0)
+        fatal(name, ": vuByteRate must be positive");
+    if (opGapFrac < 0.0 || opGapFrac >= 1.0)
+        fatal(name, ": opGapFrac must be in [0, 1)");
+}
+
+const std::vector<int> &
+standardBatchSweep()
+{
+    static const std::vector<int> sweep = {1,   8,   32,  64,  128,
+                                           256, 512, 1024, 2048};
+    return sweep;
+}
+
+} // namespace v10

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-model calibration profile.
+ *
+ * The paper's artifact replays instruction traces captured on real
+ * Google Cloud TPUs; those captures are not public. Each ModelProfile
+ * instead encodes every per-model statistic the paper publishes —
+ * Table 1 operator lengths, the SA/VU intensity split behind
+ * Figs. 4/5, the Fig. 3 FLOPS-efficiency ceiling, the Fig. 7 HBM
+ * bandwidth target, and memory footprints behind the OOM notes — and
+ * the trace generator synthesizes operator streams matching them.
+ * See DESIGN.md §2 for the substitution rationale.
+ */
+
+#ifndef V10_WORKLOAD_MODEL_PROFILE_H
+#define V10_WORKLOAD_MODEL_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/**
+ * Calibration parameters for one DNN inference model (Table 4).
+ */
+struct ModelProfile
+{
+    std::string name;   ///< "BERT", "ResNet-RS", ...
+    std::string abbrev; ///< "BERT", "RNRS", ... (Table 4)
+    std::string domain; ///< "NLP", "Recommendation", ...
+
+    /** Reference batch size (32; ShapeMask 8, Mask-RCNN 16). */
+    int refBatch = 32;
+
+    /** Mean SA operator length at refBatch, microseconds (Table 1). */
+    double saOpUsRef = 0.0;
+
+    /** Mean VU operator length at refBatch, microseconds (Table 1). */
+    double vuOpUsRef = 0.0;
+
+    /** SA operators per inference request (batch-invariant). */
+    int saOpsPerRequest = 0;
+
+    /** VU operators per inference request (batch-invariant). */
+    int vuOpsPerRequest = 0;
+
+    /** Coefficient of variation of SA operator lengths. */
+    double saOpCv = 1.0;
+
+    /** Coefficient of variation of VU operator lengths. */
+    double vuOpCv = 0.7;
+
+    /** Batch-invariant fraction of SA operator time (weight load,
+     * pipeline fill; the rest scales linearly with batch). */
+    double saFixedFrac = 0.25;
+
+    /** Batch-invariant fraction of VU operator time. */
+    double vuFixedFrac = 0.10;
+
+    /** Asymptotic SA FLOPS efficiency (padding limit, Fig. 3). */
+    double saEffMax = 0.7;
+
+    /** Batch at which SA efficiency reaches half of saEffMax. */
+    double saEffBatchHalf = 24.0;
+
+    /** VU achieved fraction of peak SIMD issue while busy. */
+    double vuEff = 0.8;
+
+    /** Target HBM bandwidth utilization at refBatch (Fig. 7). */
+    double hbmBwUtilRef = 0.3;
+
+    /** Fraction of DMA traffic that is batch-invariant (weights). */
+    double weightBytesFrac = 0.5;
+
+    /** Activation-byte growth exponent in batch (Transformer's beam
+     * search makes this superlinear, footnote 1). */
+    double memGrowthExp = 1.0;
+
+    /** VU-to-SA ratio of DMA bytes per busy cycle (element-wise
+     * operators are memory-hungrier). */
+    double vuByteRate = 3.0;
+
+    /** Per-operator on-chip working-set cap (Fig. 24 spill model). */
+    Bytes workingSetCap = 4_MiB;
+
+    /** Resident model bytes in HBM (weights, embeddings). */
+    Bytes modelBytes = 512_MiB;
+
+    /** Activation bytes per batched sample. */
+    Bytes actBytesPerSample = 16_MiB;
+
+    /** Probability that an operator forms a parallel side branch in
+     * the dependency DAG (Fig. 6 slack). */
+    double branchProb = 0.08;
+
+    /**
+     * Post-operator dispatch gap as a fraction of the operator's
+     * duration (kernel launch / infeed / sync bubbles). Calibrates
+     * the single-tenant MXU/VPU temporal utilization of Figs. 4/5
+     * ("MXU idle for 48% of the total execution time on average").
+     */
+    double opGapFrac = 0.15;
+
+    /** Fixed per-operator dispatch gap in cycles. */
+    Cycles opGapFixedCycles = 300;
+
+    /** Per-model RNG seed for deterministic trace synthesis. */
+    std::uint64_t seed = 1;
+
+    /** Mean SA operator length at @p batch, microseconds. */
+    double saOpUs(int batch) const;
+
+    /** Mean VU operator length at @p batch, microseconds. */
+    double vuOpUs(int batch) const;
+
+    /** SA FLOPS efficiency (fraction of peak while busy) at batch. */
+    double saEff(int batch) const;
+
+    /** HBM footprint of the workload at @p batch. */
+    Bytes memFootprint(int batch) const;
+
+    /**
+     * True if @p batch fits the per-tenant HBM region (half the
+     * 32 GB device by default, §3.6's segmentation scheme).
+     */
+    bool fitsMemory(int batch, Bytes regionBytes) const;
+
+    /**
+     * Largest batch from the standard sweep (1..2048) that fits the
+     * given HBM region.
+     */
+    int maxBatch(Bytes regionBytes) const;
+
+    /**
+     * Total DMA bytes for one request at @p batch. The volume is a
+     * property of the model: hbmBwUtilRef is defined against the
+     * reference Table 5 core (330 GB/s at 700 MHz), so the bytes do
+     * not change when the workload is compiled for a scaled core.
+     */
+    double requestBytes(int batch) const;
+
+    /** Sanity-check parameter ranges; fatal() on nonsense. */
+    void validate() const;
+};
+
+/** The standard batch-size sweep used by the characterization figs. */
+const std::vector<int> &standardBatchSweep();
+
+/** Reference core bandwidth (Table 5): 330 GB/s at 700 MHz. */
+inline constexpr double kRefHbmBytesPerCycle = 330.0 / 0.7;
+
+/** Reference core frequency in GHz (Table 5). */
+inline constexpr double kRefFreqGHz = 0.7;
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_MODEL_PROFILE_H

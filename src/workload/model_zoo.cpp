@@ -1,0 +1,353 @@
+#include "workload/model_zoo.h"
+
+#include "common/log.h"
+
+namespace v10 {
+
+namespace {
+
+/**
+ * Build the Table 4 model list. Per-model numbers trace back to the
+ * paper as follows:
+ *  - saOpUsRef / vuOpUsRef: Table 1 verbatim.
+ *  - operator counts: chosen so the SA-vs-VU busy-time split matches
+ *    the Figs. 4/5 narrative (BERT/ResNet/ResNet-RS/Transformer are
+ *    MXU-intensive; DLRM/NCF/ShapeMask are VPU-intensive).
+ *  - saEffMax/saEffBatchHalf: tuned so Fig. 3 FLOPS utilization at
+ *    the reference batch lands where the paper reports it (< 50%).
+ *  - hbmBwUtilRef: Fig. 7 at the reference batch.
+ *  - memGrowthExp > 1 only for Transformer (footnote 1: beam search
+ *    grows memory traffic with batch).
+ *  - modelBytes/actBytesPerSample: sized so the largest batch that
+ *    fits a 16 GiB HBM region matches the batches that "fail due to
+ *    insufficient memory" in Fig. 3.
+ */
+std::vector<ModelProfile>
+buildZoo()
+{
+    std::vector<ModelProfile> zoo;
+
+    ModelProfile m;
+
+    // --- BERT: NLP, heavily MXU-bound, long SA operators. ---
+    m = ModelProfile{};
+    m.name = "BERT";
+    m.abbrev = "BERT";
+    m.domain = "Natural Language Processing";
+    m.refBatch = 32;
+    m.saOpUsRef = 877.0;
+    m.vuOpUsRef = 34.7;
+    m.saOpsPerRequest = 24;
+    m.vuOpsPerRequest = 53;
+    m.saOpCv = 0.9;
+    m.vuOpCv = 0.7;
+    m.saEffMax = 0.75;
+    m.saEffBatchHalf = 20.0;
+    m.hbmBwUtilRef = 0.25;
+    m.weightBytesFrac = 0.45;
+    m.workingSetCap = 12_MiB;
+    m.modelBytes = 680_MiB;
+    m.actBytesPerSample = 24_MiB;
+    m.branchProb = 0.04;
+    m.opGapFrac = 0.05;
+    m.seed = 0xB3470001;
+    zoo.push_back(m);
+
+    // --- DLRM: recommendation, VPU/memory-bound, tiny operators. ---
+    m = ModelProfile{};
+    m.name = "DLRM";
+    m.abbrev = "DLRM";
+    m.domain = "Recommendation";
+    m.refBatch = 32;
+    m.saOpUsRef = 17.0;
+    m.vuOpUsRef = 4.43;
+    m.saOpsPerRequest = 2;
+    m.vuOpsPerRequest = 62;
+    m.saOpCv = 0.5;
+    m.vuOpCv = 0.6;
+    m.saEffMax = 0.5;
+    m.saEffBatchHalf = 32.0;
+    m.hbmBwUtilRef = 0.70;
+    m.weightBytesFrac = 0.55; // embedding-table reads dominate
+    m.vuByteRate = 4.0;
+    m.workingSetCap = 2_MiB;
+    m.modelBytes = 2_GiB; // embedding tables
+    m.actBytesPerSample = 4_MiB;
+    m.branchProb = 0.20;
+    m.opGapFrac = 0.08;
+    m.seed = 0xB3470002;
+    zoo.push_back(m);
+
+    // --- EfficientNet: balanced image classifier. ---
+    m = ModelProfile{};
+    m.name = "EfficientNet";
+    m.abbrev = "ENet";
+    m.domain = "Image Classification";
+    m.refBatch = 32;
+    m.saOpUsRef = 105.0;
+    m.vuOpUsRef = 69.0;
+    m.saOpsPerRequest = 40;
+    m.vuOpsPerRequest = 26;
+    m.saOpCv = 0.8;
+    m.vuOpCv = 0.8;
+    m.saEffMax = 0.65;
+    m.saEffBatchHalf = 28.0;
+    m.hbmBwUtilRef = 0.35;
+    m.workingSetCap = 6_MiB;
+    m.modelBytes = 100_MiB;
+    m.actBytesPerSample = 12_MiB;
+    m.branchProb = 0.08;
+    m.opGapFrac = 0.08;
+    m.seed = 0xB3470003;
+    zoo.push_back(m);
+
+    // --- Mask-RCNN: detection+segmentation, reference batch 16. ---
+    m = ModelProfile{};
+    m.name = "Mask-RCNN";
+    m.abbrev = "MRCN";
+    m.domain = "Object Detection & Segmentation";
+    m.refBatch = 16;
+    m.saOpUsRef = 138.0;
+    m.vuOpUsRef = 14.6;
+    m.saOpsPerRequest = 60;
+    m.vuOpsPerRequest = 142;
+    m.saOpCv = 1.0;
+    m.vuOpCv = 0.9;
+    m.saEffMax = 0.6;
+    m.saEffBatchHalf = 16.0;
+    m.hbmBwUtilRef = 0.30;
+    m.workingSetCap = 8_MiB;
+    m.modelBytes = 512_MiB;
+    m.actBytesPerSample = 200_MiB;
+    m.branchProb = 0.10;
+    m.opGapFrac = 0.06;
+    m.seed = 0xB3470004;
+    zoo.push_back(m);
+
+    // --- MNIST: tiny classifier, few operators. ---
+    m = ModelProfile{};
+    m.name = "MNIST";
+    m.abbrev = "MNST";
+    m.domain = "Image Classification";
+    m.refBatch = 32;
+    m.saOpUsRef = 180.0;
+    m.vuOpUsRef = 202.0;
+    m.saOpsPerRequest = 6;
+    m.vuOpsPerRequest = 4;
+    m.saOpCv = 0.6;
+    m.vuOpCv = 0.6;
+    m.saEffMax = 0.45;
+    m.saEffBatchHalf = 48.0;
+    m.hbmBwUtilRef = 0.45;
+    m.workingSetCap = 1_MiB;
+    m.modelBytes = 16_MiB;
+    m.actBytesPerSample = 512_KiB;
+    m.branchProb = 0.05;
+    m.opGapFrac = 0.08;
+    m.seed = 0xB3470005;
+    zoo.push_back(m);
+
+    // --- NCF: recommendation, VPU-intensive (pairs with BERT). ---
+    m = ModelProfile{};
+    m.name = "NCF";
+    m.abbrev = "NCF";
+    m.domain = "Recommendation";
+    m.refBatch = 32;
+    m.saOpUsRef = 430.0;
+    m.vuOpUsRef = 17.1;
+    m.saOpsPerRequest = 2;
+    m.vuOpsPerRequest = 150;
+    m.saOpCv = 0.5;
+    m.vuOpCv = 0.7;
+    m.saEffMax = 0.5;
+    m.saEffBatchHalf = 32.0;
+    m.hbmBwUtilRef = 0.60;
+    m.vuByteRate = 3.5;
+    m.workingSetCap = 2_MiB;
+    m.modelBytes = 1_GiB;
+    m.actBytesPerSample = 2_MiB;
+    m.branchProb = 0.15;
+    m.opGapFrac = 0.10;
+    m.seed = 0xB3470006;
+    zoo.push_back(m);
+
+    // --- ResNet: convolution-heavy classifier. ---
+    m = ModelProfile{};
+    m.name = "ResNet";
+    m.abbrev = "RsNt";
+    m.domain = "Image Classification";
+    m.refBatch = 32;
+    m.saOpUsRef = 154.0;
+    m.vuOpUsRef = 12.8;
+    m.saOpsPerRequest = 53;
+    m.vuOpsPerRequest = 112;
+    m.saOpCv = 0.8;
+    m.vuOpCv = 0.7;
+    m.saEffMax = 0.80;
+    m.saEffBatchHalf = 24.0;
+    m.hbmBwUtilRef = 0.35;
+    m.workingSetCap = 6_MiB;
+    m.modelBytes = 100_MiB;
+    m.actBytesPerSample = 12_MiB;
+    m.branchProb = 0.06;
+    m.opGapFrac = 0.05;
+    m.seed = 0xB3470007;
+    zoo.push_back(m);
+
+    // --- ResNet-RS: scaled-up ResNet, very long SA operators. ---
+    m = ModelProfile{};
+    m.name = "ResNet-RS";
+    m.abbrev = "RNRS";
+    m.domain = "Image Classification";
+    m.refBatch = 32;
+    m.saOpUsRef = 3200.0;
+    m.vuOpUsRef = 61.9;
+    m.saOpsPerRequest = 14;
+    m.vuOpsPerRequest = 80;
+    m.saOpCv = 1.1;
+    m.vuOpCv = 0.8;
+    m.saEffMax = 0.85;
+    m.saEffBatchHalf = 20.0;
+    m.hbmBwUtilRef = 0.20;
+    m.workingSetCap = 16_MiB;
+    m.modelBytes = 400_MiB;
+    m.actBytesPerSample = 48_MiB;
+    m.branchProb = 0.05;
+    m.opGapFrac = 0.04;
+    m.seed = 0xB3470008;
+    zoo.push_back(m);
+
+    // --- RetinaNet: detection, many tiny VU operators. ---
+    m = ModelProfile{};
+    m.name = "RetinaNet";
+    m.abbrev = "RtNt";
+    m.domain = "Object Detection";
+    m.refBatch = 32;
+    m.saOpUsRef = 157.0;
+    m.vuOpUsRef = 4.08;
+    m.saOpsPerRequest = 20;
+    m.vuOpsPerRequest = 380;
+    m.saOpCv = 0.9;
+    m.vuOpCv = 0.8;
+    m.saEffMax = 0.7;
+    m.saEffBatchHalf = 24.0;
+    m.hbmBwUtilRef = 0.40;
+    m.workingSetCap = 4_MiB;
+    m.modelBytes = 300_MiB;
+    m.actBytesPerSample = 50_MiB;
+    m.branchProb = 0.12;
+    m.opGapFrac = 0.08;
+    m.seed = 0xB3470009;
+    zoo.push_back(m);
+
+    // --- ShapeMask: segmentation, VPU-bound, reference batch 8. ---
+    m = ModelProfile{};
+    m.name = "ShapeMask";
+    m.abbrev = "SMask";
+    m.domain = "Object Detection & Segmentation";
+    m.refBatch = 8;
+    m.saOpUsRef = 1910.0;
+    m.vuOpUsRef = 20.2;
+    m.saOpsPerRequest = 3;
+    m.vuOpsPerRequest = 392;
+    m.saOpCv = 0.8;
+    m.vuOpCv = 0.9;
+    m.saEffMax = 0.6;
+    m.saEffBatchHalf = 12.0;
+    m.hbmBwUtilRef = 0.50;
+    m.workingSetCap = 10_MiB;
+    m.modelBytes = 512_MiB;
+    m.actBytesPerSample = 400_MiB;
+    m.branchProb = 0.12;
+    m.opGapFrac = 0.08;
+    m.seed = 0xB347000A;
+    zoo.push_back(m);
+
+    // --- Transformer: NLP with beam-search decode (footnote 1). ---
+    m = ModelProfile{};
+    m.name = "Transformer";
+    m.abbrev = "TFMR";
+    m.domain = "Natural Language Processing";
+    m.refBatch = 32;
+    m.saOpUsRef = 6650.0;
+    m.vuOpUsRef = 55.4;
+    m.saOpsPerRequest = 4;
+    m.vuOpsPerRequest = 65;
+    m.saOpCv = 1.0;
+    m.vuOpCv = 0.8;
+    m.saEffMax = 0.55;
+    m.saEffBatchHalf = 24.0;
+    m.hbmBwUtilRef = 0.45;
+    m.weightBytesFrac = 0.30;
+    m.memGrowthExp = 1.35;
+    m.workingSetCap = 20_MiB;
+    m.modelBytes = 1200_MiB;
+    m.actBytesPerSample = 45_MiB;
+    m.branchProb = 0.03;
+    m.opGapFrac = 0.04;
+    m.seed = 0xB347000B;
+    zoo.push_back(m);
+
+    for (const auto &profile : zoo)
+        profile.validate();
+    return zoo;
+}
+
+} // namespace
+
+const std::vector<ModelProfile> &
+modelZoo()
+{
+    static const std::vector<ModelProfile> zoo = buildZoo();
+    return zoo;
+}
+
+const ModelProfile &
+findModel(const std::string &nameOrAbbrev)
+{
+    for (const ModelProfile &m : modelZoo()) {
+        if (m.name == nameOrAbbrev || m.abbrev == nameOrAbbrev)
+            return m;
+    }
+    fatal("findModel: unknown model '", nameOrAbbrev, "'");
+}
+
+bool
+hasModel(const std::string &nameOrAbbrev)
+{
+    for (const ModelProfile &m : modelZoo()) {
+        if (m.name == nameOrAbbrev || m.abbrev == nameOrAbbrev)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+evaluationPairs()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        pairs = {
+            {"BERT", "NCF"},   {"BERT", "RtNt"},  {"RsNt", "RtNt"},
+            {"NCF", "RsNt"},   {"BERT", "TFMR"},  {"BERT", "DLRM"},
+            {"RNRS", "SMask"}, {"ENet", "RsNt"},  {"MNST", "NCF"},
+            {"DLRM", "RsNt"},  {"RNRS", "MRCN"},
+        };
+    return pairs;
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+characterizationPairs()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        pairs = [] {
+            auto all = evaluationPairs();
+            all.insert(all.end(), {{"MNST", "RNRS"},
+                                   {"BERT", "RsNt"},
+                                   {"DLRM", "RtNt"},
+                                   {"DLRM", "NCF"}});
+            return all;
+        }();
+    return pairs;
+}
+
+} // namespace v10

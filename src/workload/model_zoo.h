@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The eleven MLPerf / TPU-reference inference models of Table 4, with
+ * calibration parameters matching every per-model statistic published
+ * in the paper (see ModelProfile and DESIGN.md §2).
+ */
+
+#ifndef V10_WORKLOAD_MODEL_ZOO_H
+#define V10_WORKLOAD_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "workload/model_profile.h"
+
+namespace v10 {
+
+/** All Table 4 models, in the paper's order. */
+const std::vector<ModelProfile> &modelZoo();
+
+/** Lookup by full name or abbreviation; fatal() if unknown. */
+const ModelProfile &findModel(const std::string &nameOrAbbrev);
+
+/** True if a model with this name/abbreviation exists. */
+bool hasModel(const std::string &nameOrAbbrev);
+
+/**
+ * The 11 collocation pairs of the evaluation figures (Figs. 16-24),
+ * in the paper's order, as (DNN1, DNN2) abbreviations.
+ */
+const std::vector<std::pair<std::string, std::string>> &
+evaluationPairs();
+
+/**
+ * The 15 pairs of the Fig. 9 characterization (evaluationPairs plus
+ * the four contention-heavy pairs).
+ */
+const std::vector<std::pair<std::string, std::string>> &
+characterizationPairs();
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_MODEL_ZOO_H

@@ -1,0 +1,54 @@
+#include "workload/op_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace v10 {
+
+OpGraph::OpGraph(const std::vector<TensorOperator> &ops)
+{
+    earliest_start_.assign(ops.size(), 0);
+    std::vector<Cycles> finish(ops.size(), 0);
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const TensorOperator &op = ops[i];
+        total_ += op.computeCycles;
+        Cycles start = 0;
+        for (std::uint32_t dep : op.deps) {
+            if (dep >= i)
+                fatal("OpGraph: op ", i, " depends on op ", dep,
+                      " which is not earlier in the trace");
+            start = std::max(start, finish[dep]);
+        }
+        earliest_start_[i] = start;
+        finish[i] = start + op.computeCycles;
+        critical_ = std::max(critical_, finish[i]);
+    }
+
+    // Estimate peak width: count operators whose [start, finish)
+    // windows overlap, sweeping event boundaries.
+    std::map<Cycles, int> delta;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        delta[earliest_start_[i]] += 1;
+        delta[finish[i]] -= 1;
+    }
+    int width = 0;
+    int peak = 0;
+    for (const auto &[cycle, d] : delta) {
+        width += d;
+        peak = std::max(peak, width);
+    }
+    max_parallelism_ = static_cast<std::size_t>(peak);
+}
+
+double
+OpGraph::idealSpeedup() const
+{
+    if (critical_ == 0)
+        return 1.0;
+    return static_cast<double>(total_) / static_cast<double>(critical_);
+}
+
+} // namespace v10

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Operator dependency DAG analysis, used for the Fig. 6 study: the
+ * critical path (longest dependency chain, weighted by operator
+ * duration) lower-bounds execution time under perfect operator-level
+ * parallelism, so total/critical is the "ideal speedup" a compiler
+ * could extract from a single workload.
+ */
+
+#ifndef V10_WORKLOAD_OP_GRAPH_H
+#define V10_WORKLOAD_OP_GRAPH_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "workload/operator.h"
+
+namespace v10 {
+
+/**
+ * Dependency analysis over a request's operator list. Non-owning
+ * view; the operator vector must outlive the graph.
+ */
+class OpGraph
+{
+  public:
+    /** Build over @p ops; validates that deps are acyclic-by-index
+     * (every edge points to an earlier operator). */
+    explicit OpGraph(const std::vector<TensorOperator> &ops);
+
+    /** Sum of all operator durations (sequential execution time). */
+    Cycles totalCycles() const { return total_; }
+
+    /** Longest dependency chain, weighted by duration. */
+    Cycles criticalPathCycles() const { return critical_; }
+
+    /**
+     * Ideal speedup of perfect intra-workload operator parallelism
+     * over sequential execution (Fig. 6): total / critical, >= 1.
+     */
+    double idealSpeedup() const;
+
+    /**
+     * Width histogram helper: the maximum number of operators with
+     * no mutual dependency path that could run concurrently
+     * (antichain bound via level population).
+     */
+    std::size_t maxParallelism() const { return max_parallelism_; }
+
+    /** Per-operator earliest start times under ideal parallelism. */
+    const std::vector<Cycles> &earliestStarts() const
+    {
+        return earliest_start_;
+    }
+
+  private:
+    Cycles total_ = 0;
+    Cycles critical_ = 0;
+    std::size_t max_parallelism_ = 0;
+    std::vector<Cycles> earliest_start_;
+};
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_OP_GRAPH_H

@@ -1,0 +1,20 @@
+#include "workload/operator.h"
+
+namespace v10 {
+
+const char *
+opKindName(OpKind kind)
+{
+    return kind == OpKind::SA ? "SA" : "VU";
+}
+
+double
+TensorOperator::efficiencyVsPeak(double peakFlopsPerCycle) const
+{
+    if (computeCycles == 0 || peakFlopsPerCycle <= 0.0)
+        return 0.0;
+    return flops /
+           (static_cast<double>(computeCycles) * peakFlopsPerCycle);
+}
+
+} // namespace v10

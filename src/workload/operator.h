@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The tensor operator: V10's unit of scheduling and preemption. A
+ * compiled DNN model is a stream of operators, each of which executes
+ * either on the systolic array (matmul/convolution) or on the vector
+ * unit (element-wise, reduction, shuffle, ...), per §2.1.
+ */
+
+#ifndef V10_WORKLOAD_OPERATOR_H
+#define V10_WORKLOAD_OPERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** Which functional-unit kind an operator executes on. */
+enum class OpKind : std::uint8_t { SA, VU };
+
+/** Printable name of an operator kind ("SA"/"VU"). */
+const char *opKindName(OpKind kind);
+
+/**
+ * One tensor operator of a compiled inference request.
+ *
+ * Timing is phase-granular: computeCycles is the busy time on the
+ * owning functional unit; dmaBytes is the off-chip traffic needed to
+ * stage its inputs/instructions (prefetched by the DMA engine while
+ * the previous operator executes, §3.2).
+ */
+struct TensorOperator
+{
+    /** Position within the request trace. */
+    OpId id = 0;
+
+    /** Functional-unit kind this operator requires. */
+    OpKind kind = OpKind::SA;
+
+    /** Mnemonic ("matmul.3", "eltwise.17"). */
+    std::string name;
+
+    /** Busy cycles on the functional unit. */
+    Cycles computeCycles = 0;
+
+    /**
+     * Dispatch gap after this operator: kernel launch, infeed sync
+     * and pipeline bubbles on the workload's own critical path. The
+     * functional unit is free during the gap (another tenant can use
+     * it), but this workload's next operator cannot start — the
+     * source of the single-tenant temporal idleness in Figs. 4/5.
+     */
+    Cycles gapCycles = 0;
+
+    /** Achieved FLOPs (below peak * cycles due to padding). */
+    double flops = 0.0;
+
+    /** Off-chip bytes staged before execution (pre-inflation). */
+    Bytes dmaBytes = 0;
+
+    /** On-chip working set; drives the Fig. 24 spill model. */
+    Bytes workingSetBytes = 0;
+
+    /** SA operators: input rows streamed (consistent with cycles). */
+    std::uint64_t saRows = 0;
+
+    /** VU operators: elements processed. */
+    std::uint64_t vuElements = 0;
+
+    /**
+     * Dependency edges: indices (into the request's operator list)
+     * of operators that must complete first. Used by the DAG
+     * analysis (Fig. 6); execution itself is sequential per §3.2.
+     */
+    std::vector<std::uint32_t> deps;
+
+    /** Achieved fraction of the FU's peak FLOPs while busy. */
+    double efficiencyVsPeak(double peakFlopsPerCycle) const;
+};
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_OPERATOR_H

@@ -1,0 +1,213 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace v10 {
+
+std::size_t
+RequestTrace::saOpCount() const
+{
+    std::size_t n = 0;
+    for (const auto &op : ops)
+        n += op.kind == OpKind::SA;
+    return n;
+}
+
+std::size_t
+RequestTrace::vuOpCount() const
+{
+    return ops.size() - saOpCount();
+}
+
+double
+RequestTrace::meanSaOpCycles() const
+{
+    const std::size_t n = saOpCount();
+    return n ? static_cast<double>(saCycles) / static_cast<double>(n)
+             : 0.0;
+}
+
+double
+RequestTrace::meanVuOpCycles() const
+{
+    const std::size_t n = vuOpCount();
+    return n ? static_cast<double>(vuCycles) / static_cast<double>(n)
+             : 0.0;
+}
+
+namespace {
+
+/** SA operator mnemonics, cycled deterministically. */
+const char *const kSaNames[] = {"matmul", "conv2d", "fc", "einsum"};
+
+/** VU operator mnemonics, cycled deterministically. */
+const char *const kVuNames[] = {"relu",    "add",     "reduce",
+                                "softmax", "shuffle", "reshape",
+                                "mul",     "layernorm"};
+
+/**
+ * Sample @p n lognormal durations around @p meanUs with coefficient
+ * of variation @p cv, then rescale so the sample mean is exactly
+ * meanUs (Table 1 reports means; the bench must reproduce them).
+ */
+std::vector<double>
+sampleDurationsUs(Rng &rng, int n, double meanUs, double cv)
+{
+    std::vector<double> out(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (auto &d : out) {
+        d = rng.lognormal(meanUs, cv);
+        sum += d;
+    }
+    const double actual_mean = sum / static_cast<double>(n);
+    const double scale = actual_mean > 0.0 ? meanUs / actual_mean : 1.0;
+    for (auto &d : out)
+        d *= scale;
+    return out;
+}
+
+} // namespace
+
+RequestTrace
+generateTrace(const ModelProfile &profile, int batch,
+              const NpuConfig &config)
+{
+    profile.validate();
+    if (batch <= 0)
+        fatal("generateTrace: batch must be positive");
+
+    Rng rng(profile.seed ^
+            (static_cast<std::uint64_t>(batch) * 0x9E3779B97F4A7C15ull));
+
+    const Cycles sa_min =
+        3 * static_cast<Cycles>(config.saDim) + 1; // rows >= 1
+    const Cycles vu_min = 4; // one tile: ld + valu + st + sync
+
+    // --- Operator durations. ---
+    const auto sa_us = sampleDurationsUs(
+        rng, profile.saOpsPerRequest, profile.saOpUs(batch),
+        profile.saOpCv);
+    const auto vu_us = sampleDurationsUs(
+        rng, profile.vuOpsPerRequest, profile.vuOpUs(batch),
+        profile.vuOpCv);
+
+    const double sa_eff = profile.saEff(batch);
+    const double vu_lane_flops =
+        static_cast<double>(config.vuLanes) * config.vuOpsPerLane;
+
+    std::vector<TensorOperator> sa_ops;
+    sa_ops.reserve(sa_us.size());
+    for (std::size_t i = 0; i < sa_us.size(); ++i) {
+        TensorOperator op;
+        op.kind = OpKind::SA;
+        op.name = std::string(kSaNames[i % std::size(kSaNames)]) +
+                  "." + std::to_string(i);
+        Cycles cycles = std::max(sa_min, config.usToCycles(sa_us[i]));
+        op.saRows = cycles - 3 * static_cast<Cycles>(config.saDim);
+        op.computeCycles =
+            3 * static_cast<Cycles>(config.saDim) + op.saRows;
+        // Achieved FLOPs: one dim x dim MAC block per streamed row,
+        // derated by the padding efficiency.
+        op.flops = static_cast<double>(op.saRows) * config.saDim *
+                   config.saDim * 2.0 * sa_eff;
+        sa_ops.push_back(std::move(op));
+    }
+
+    std::vector<TensorOperator> vu_ops;
+    vu_ops.reserve(vu_us.size());
+    for (std::size_t i = 0; i < vu_us.size(); ++i) {
+        TensorOperator op;
+        op.kind = OpKind::VU;
+        op.name = std::string(kVuNames[i % std::size(kVuNames)]) +
+                  "." + std::to_string(i);
+        const Cycles target =
+            std::max(vu_min, config.usToCycles(vu_us[i]));
+        // [ld, valu, st] per tile plus a trailing sync.
+        const std::uint64_t tiles = std::max<std::uint64_t>(
+            1, (static_cast<std::uint64_t>(target) - 1) / 3);
+        op.vuElements = tiles * config.vuLanes;
+        op.computeCycles = tiles * 3 + 1;
+        op.flops = static_cast<double>(tiles) * vu_lane_flops *
+                   profile.vuEff;
+        vu_ops.push_back(std::move(op));
+    }
+
+    // --- Interleave: spread VU operators across the SA stream the
+    // way fused DNN layers do (matmul -> activations -> ...). ---
+    RequestTrace trace;
+    trace.ops.reserve(sa_ops.size() + vu_ops.size());
+    const std::size_t n_sa = sa_ops.size();
+    const std::size_t n_vu = vu_ops.size();
+    std::size_t vu_next = 0;
+    for (std::size_t i = 0; i < n_sa; ++i) {
+        trace.ops.push_back(std::move(sa_ops[i]));
+        // VU ops following SA op i: even split with remainder spread
+        // over the earliest layers.
+        const std::size_t until = n_vu * (i + 1) / n_sa;
+        while (vu_next < until)
+            trace.ops.push_back(std::move(vu_ops[vu_next++]));
+    }
+    while (vu_next < n_vu)
+        trace.ops.push_back(std::move(vu_ops[vu_next++]));
+
+    // --- Dependencies: a chain with occasional side branches
+    // (residual connections, parallel heads), Fig. 6. ---
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+        trace.ops[i].id = static_cast<OpId>(i);
+        if (i == 0)
+            continue;
+        if (i >= 2 && rng.uniform() < profile.branchProb) {
+            trace.ops[i].deps = {static_cast<std::uint32_t>(i - 2)};
+        } else {
+            trace.ops[i].deps = {static_cast<std::uint32_t>(i - 1)};
+        }
+    }
+
+    // --- Dispatch gaps and aggregate cycles/flops. ---
+    Cycles gap_total = 0;
+    for (auto &op : trace.ops) {
+        op.gapCycles =
+            profile.opGapFixedCycles +
+            static_cast<Cycles>(profile.opGapFrac *
+                                static_cast<double>(op.computeCycles));
+        gap_total += op.gapCycles;
+        if (op.kind == OpKind::SA)
+            trace.saCycles += op.computeCycles;
+        else
+            trace.vuCycles += op.computeCycles;
+        trace.totalFlops += op.flops;
+    }
+
+    // --- DMA bytes: distribute the Fig. 7 bandwidth target across
+    // operators proportionally to duration, with VU operators
+    // vuByteRate x hungrier per cycle. The wall-clock base includes
+    // the dispatch gaps so the measured utilization hits the target.
+    const double wall_scale =
+        static_cast<double>(trace.computeCycles() + gap_total) /
+        std::max<double>(1.0,
+                         static_cast<double>(trace.computeCycles()));
+    const double total_bytes =
+        wall_scale * profile.requestBytes(batch);
+    const double denom =
+        static_cast<double>(trace.saCycles) +
+        profile.vuByteRate * static_cast<double>(trace.vuCycles);
+    const double sa_rate = denom > 0.0 ? total_bytes / denom : 0.0;
+    for (auto &op : trace.ops) {
+        const double rate = op.kind == OpKind::SA
+                                ? sa_rate
+                                : sa_rate * profile.vuByteRate;
+        op.dmaBytes = static_cast<Bytes>(
+            rate * static_cast<double>(op.computeCycles));
+        op.workingSetBytes =
+            std::min<Bytes>(op.dmaBytes, profile.workingSetCap);
+        trace.totalDmaBytes += op.dmaBytes;
+    }
+
+    return trace;
+}
+
+} // namespace v10

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic operator-trace generation.
+ *
+ * Given a ModelProfile and a batch size, emits the operator stream of
+ * one inference request such that:
+ *  - the sample means of SA/VU operator lengths match the profile's
+ *    Table 1 values exactly at the reference batch (durations are
+ *    lognormally spread and then rescaled);
+ *  - SA operator cycles are consistent with the weight-stationary
+ *    pipeline model (dim + rows + 2*dim);
+ *  - total DMA bytes hit the profile's Fig. 7 bandwidth target;
+ *  - the dependency DAG carries the small residual parallelism that
+ *    bounds Fig. 6's ideal speedup.
+ *
+ * Generation is deterministic: (model seed, batch) fully determine
+ * the trace.
+ */
+
+#ifndef V10_WORKLOAD_TRACE_GEN_H
+#define V10_WORKLOAD_TRACE_GEN_H
+
+#include <vector>
+
+#include "npu/npu_config.h"
+#include "workload/model_profile.h"
+#include "workload/operator.h"
+
+namespace v10 {
+
+/**
+ * One inference request's compiled operator stream plus aggregate
+ * statistics (cached at generation time).
+ */
+struct RequestTrace
+{
+    std::vector<TensorOperator> ops;
+
+    Cycles saCycles = 0;      ///< total SA busy cycles
+    Cycles vuCycles = 0;      ///< total VU busy cycles
+    double totalFlops = 0.0;  ///< achieved FLOPs per request
+    Bytes totalDmaBytes = 0;  ///< off-chip traffic per request
+
+    /** Sum of all operator durations (no stalls). */
+    Cycles computeCycles() const { return saCycles + vuCycles; }
+
+    /** Number of SA operators. */
+    std::size_t saOpCount() const;
+
+    /** Number of VU operators. */
+    std::size_t vuOpCount() const;
+
+    /** Mean SA operator length in cycles (0 if none). */
+    double meanSaOpCycles() const;
+
+    /** Mean VU operator length in cycles (0 if none). */
+    double meanVuOpCycles() const;
+};
+
+/**
+ * Generate the request trace of @p profile at @p batch on hardware
+ * @p config.
+ */
+RequestTrace generateTrace(const ModelProfile &profile, int batch,
+                           const NpuConfig &config);
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_TRACE_GEN_H

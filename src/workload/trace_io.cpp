@@ -1,0 +1,104 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace v10 {
+
+void
+saveTrace(std::ostream &os, const TraceHeader &header,
+          const RequestTrace &trace)
+{
+    os << "# v10-trace v1\n";
+    os << "model " << header.model << " batch " << header.batch
+       << " ops " << trace.ops.size() << '\n';
+    for (const TensorOperator &op : trace.ops) {
+        os << "op " << op.id << ' ' << opKindName(op.kind) << ' '
+           << op.name << ' ' << op.computeCycles << ' ' << op.flops
+           << ' ' << op.dmaBytes << ' ' << op.workingSetBytes << ' '
+           << (op.kind == OpKind::SA ? op.saRows : op.vuElements)
+           << " deps";
+        for (auto d : op.deps)
+            os << ' ' << d;
+        os << '\n';
+    }
+}
+
+RequestTrace
+loadTrace(std::istream &is, TraceHeader &header)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "# v10-trace v1")
+        fatal("loadTrace: bad magic line");
+    if (!std::getline(is, line))
+        fatal("loadTrace: missing header line");
+    {
+        std::istringstream hs(line);
+        std::string kw_model, kw_batch, kw_ops;
+        std::size_t op_count = 0;
+        hs >> kw_model >> header.model >> kw_batch >> header.batch >>
+            kw_ops >> op_count;
+        if (!hs || kw_model != "model" || kw_batch != "batch" ||
+            kw_ops != "ops")
+            fatal("loadTrace: malformed header: ", line);
+    }
+
+    RequestTrace trace;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw_op, kind_str, kw_deps;
+        TensorOperator op;
+        std::uint64_t geometry = 0;
+        ls >> kw_op >> op.id >> kind_str >> op.name >>
+            op.computeCycles >> op.flops >> op.dmaBytes >>
+            op.workingSetBytes >> geometry >> kw_deps;
+        if (!ls || kw_op != "op" || kw_deps != "deps")
+            fatal("loadTrace: malformed op line: ", line);
+        if (kind_str == "SA") {
+            op.kind = OpKind::SA;
+            op.saRows = geometry;
+        } else if (kind_str == "VU") {
+            op.kind = OpKind::VU;
+            op.vuElements = geometry;
+        } else {
+            fatal("loadTrace: bad op kind '", kind_str, "'");
+        }
+        std::uint32_t dep = 0;
+        while (ls >> dep)
+            op.deps.push_back(dep);
+
+        if (op.kind == OpKind::SA)
+            trace.saCycles += op.computeCycles;
+        else
+            trace.vuCycles += op.computeCycles;
+        trace.totalFlops += op.flops;
+        trace.totalDmaBytes += op.dmaBytes;
+        trace.ops.push_back(std::move(op));
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const TraceHeader &header,
+              const RequestTrace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("saveTraceFile: cannot open ", path);
+    saveTrace(os, header, trace);
+}
+
+RequestTrace
+loadTraceFile(const std::string &path, TraceHeader &header)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("loadTraceFile: cannot open ", path);
+    return loadTrace(is, header);
+}
+
+} // namespace v10

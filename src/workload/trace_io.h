@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text serialization of request traces, mirroring the paper's
+ * trace-replay workflow: traces can be generated once, saved, and
+ * replayed by the simulator (or inspected/edited by hand).
+ *
+ * Format (one operator per line):
+ *
+ *   # v10-trace v1
+ *   model <name> batch <batch> ops <count>
+ *   op <id> <SA|VU> <name> <cycles> <flops> <dmaBytes> <wsBytes>
+ *      <rowsOrElements> deps <d0> <d1> ...
+ */
+
+#ifndef V10_WORKLOAD_TRACE_IO_H
+#define V10_WORKLOAD_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace_gen.h"
+
+namespace v10 {
+
+/** Metadata carried alongside a serialized trace. */
+struct TraceHeader
+{
+    std::string model;
+    int batch = 0;
+};
+
+/** Write @p trace with @p header to @p os. */
+void saveTrace(std::ostream &os, const TraceHeader &header,
+               const RequestTrace &trace);
+
+/**
+ * Parse a trace written by saveTrace().
+ * @param os input stream
+ * @param header receives the metadata
+ * @return the reconstructed trace (aggregates recomputed)
+ * @note fatal() on malformed input.
+ */
+RequestTrace loadTrace(std::istream &is, TraceHeader &header);
+
+/** saveTrace() to a file path; fatal() if unwritable. */
+void saveTraceFile(const std::string &path, const TraceHeader &header,
+                   const RequestTrace &trace);
+
+/** loadTrace() from a file path; fatal() if unreadable. */
+RequestTrace loadTraceFile(const std::string &path,
+                           TraceHeader &header);
+
+} // namespace v10
+
+#endif // V10_WORKLOAD_TRACE_IO_H

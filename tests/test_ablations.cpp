@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the ablation knobs: decoupled policy/preemption
+ * combinations, SA preemption-strategy impact, and the DMA
+ * prefetch-depth sensitivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+RunStats
+runCombo(OperatorScheduler::PolicyKind policy, bool preemption,
+         const NpuConfig &cfg, const std::string &a,
+         const std::string &b)
+{
+    const Workload wa = Workload::fromName(a, 0, cfg);
+    const Workload wb = Workload::fromName(b, 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, preemption);
+    OperatorScheduler::Options opts;
+    opts.policy = policy;
+    opts.preemption = preemption;
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&wa, 1.0}, TenantSpec{&wb, 1.0}},
+        opts);
+    return sched.run(5, 1);
+}
+
+TEST(Ablation, AblationCtorMatchesVariantCtor)
+{
+    const NpuConfig cfg;
+    const RunStats via_options =
+        runCombo(OperatorScheduler::PolicyKind::Priority, true, cfg,
+                 "BERT", "DLRM");
+
+    const Workload wa = Workload::fromName("BERT", 0, cfg);
+    const Workload wb = Workload::fromName("DLRM", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, true);
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&wa, 1.0}, TenantSpec{&wb, 1.0}},
+        OperatorScheduler::Variant::Full);
+    const RunStats via_variant = sched.run(5, 1);
+
+    EXPECT_EQ(via_options.windowCycles, via_variant.windowCycles);
+    EXPECT_DOUBLE_EQ(via_options.saUtil, via_variant.saUtil);
+}
+
+TEST(Ablation, SchedulerNamesForAllCombos)
+{
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    auto name_of = [&](OperatorScheduler::PolicyKind p, bool pre) {
+        Simulator sim;
+        NpuCore core(sim, cfg, 1, pre);
+        OperatorScheduler::Options opts;
+        opts.policy = p;
+        opts.preemption = pre;
+        OperatorScheduler sched(sim, core, {TenantSpec{&wl, 1.0}},
+                                opts);
+        return std::string(sched.name());
+    };
+    using PK = OperatorScheduler::PolicyKind;
+    EXPECT_EQ(name_of(PK::RoundRobin, false), "V10-Base");
+    EXPECT_EQ(name_of(PK::Priority, false), "V10-Fair");
+    EXPECT_EQ(name_of(PK::Priority, true), "V10-Full");
+    EXPECT_EQ(name_of(PK::RoundRobin, true), "V10-RR+Preempt");
+}
+
+TEST(Ablation, PreemptionHelpsEvenUnderRoundRobin)
+{
+    // The preemption module is the dominant fix for operator-length
+    // starvation (Fig. 12): even RR + preemption rescues DLRM.
+    const NpuConfig cfg;
+    const RunStats rr_plain =
+        runCombo(OperatorScheduler::PolicyKind::RoundRobin, false,
+                 cfg, "BERT", "DLRM");
+    const RunStats rr_pre =
+        runCombo(OperatorScheduler::PolicyKind::RoundRobin, true,
+                 cfg, "BERT", "DLRM");
+    EXPECT_LT(rr_pre.workloads[1].avgLatencyUs,
+              rr_plain.workloads[1].avgLatencyUs * 0.7);
+}
+
+TEST(Ablation, NaiveDrainCostsMoreButStillWorks)
+{
+    NpuConfig naive_cfg;
+    naive_cfg.saPreemptStrategy = SaPreemptStrategy::NaiveDrain;
+    const NpuConfig v10_cfg;
+
+    const RunStats naive =
+        runCombo(OperatorScheduler::PolicyKind::Priority, true,
+                 naive_cfg, "BERT", "DLRM");
+    const RunStats replay =
+        runCombo(OperatorScheduler::PolicyKind::Priority, true,
+                 v10_cfg, "BERT", "DLRM");
+    // Same scheduling behavior; the drain strategy only charges more
+    // context-switch cycles.
+    EXPECT_GE(naive.workloads[0].ctxOverheadFrac,
+              replay.workloads[0].ctxOverheadFrac);
+    // Both strategies still deliver overlapped multi-tenancy
+    // (normalized progress is an experiment-layer metric, so check
+    // the engine-level signals here).
+    EXPECT_GT(replay.overlapBothFrac, 0.02);
+    EXPECT_GT(naive.overlapBothFrac, 0.02);
+    EXPECT_GT(replay.saUtil, 0.5);
+}
+
+TEST(Ablation, ShallowPrefetchStallsSingleTenant)
+{
+    NpuConfig shallow;
+    shallow.dmaPrefetchDepth = 1;
+    const NpuConfig deep; // default 8
+
+    auto idle_of = [](const NpuConfig &cfg) {
+        const Workload wl = Workload::fromName("BERT", 0, cfg);
+        Simulator sim;
+        NpuCore core(sim, cfg, 1, false);
+        OperatorScheduler sched(sim, core, {TenantSpec{&wl, 1.0}},
+                                OperatorScheduler::Variant::Base);
+        return sched.run(5, 1).idleFrac;
+    };
+    // A one-deep window cannot hide a long operator's DMA behind
+    // short predecessors; the deep window can.
+    EXPECT_GT(idle_of(shallow), idle_of(deep) + 0.02);
+}
+
+TEST(Ablation, PrefetchDepthValidated)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NpuConfig cfg;
+    cfg.dmaPrefetchDepth = 0;
+    EXPECT_DEATH(cfg.validate(), "prefetch");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property-style sweep over the full (model x batch) grid: the
+ * batch-scaling laws behind Figs. 3-8 must hold for every surviving
+ * point of the standard sweep, not just spot-checked models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace v10 {
+namespace {
+
+const NpuConfig &
+config()
+{
+    static const NpuConfig cfg;
+    return cfg;
+}
+
+class BatchSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    /** Traces for every batch of the sweep (OOM points skipped —
+     * generation itself has no memory limit, the deployment does,
+     * so the sweep covers all batches here). */
+    std::vector<std::pair<int, RequestTrace>>
+    traces() const
+    {
+        std::vector<std::pair<int, RequestTrace>> out;
+        const ModelProfile &m = findModel(GetParam());
+        for (int batch : standardBatchSweep())
+            out.emplace_back(batch,
+                             generateTrace(m, batch, config()));
+        return out;
+    }
+};
+
+TEST_P(BatchSweep, ComputeTimeIsMonotoneInBatch)
+{
+    Cycles prev = 0;
+    for (const auto &[batch, trace] : traces()) {
+        EXPECT_GT(trace.computeCycles(), prev)
+            << GetParam() << "@" << batch;
+        prev = trace.computeCycles();
+    }
+}
+
+TEST_P(BatchSweep, FlopsGrowFasterThanTime)
+{
+    // FLOPS utilization rises with batch (Fig. 3): flops per busy
+    // cycle is non-decreasing along the sweep.
+    double prev = 0.0;
+    for (const auto &[batch, trace] : traces()) {
+        const double per_cycle =
+            trace.totalFlops /
+            static_cast<double>(trace.computeCycles());
+        EXPECT_GE(per_cycle, prev * 0.999)
+            << GetParam() << "@" << batch;
+        prev = per_cycle;
+    }
+}
+
+TEST_P(BatchSweep, OperationalIntensityRises)
+{
+    // Fig. 8: FLOPs/byte increases with batch — except for models
+    // whose memory traffic grows superlinearly (Transformer's beam
+    // search, footnote 1).
+    if (findModel(GetParam()).memGrowthExp > 1.0)
+        GTEST_SKIP() << "superlinear memory growth by design";
+    double prev = 0.0;
+    for (const auto &[batch, trace] : traces()) {
+        const double oi =
+            trace.totalFlops /
+            static_cast<double>(trace.totalDmaBytes);
+        EXPECT_GT(oi, prev * 0.999) << GetParam() << "@" << batch;
+        prev = oi;
+    }
+}
+
+TEST_P(BatchSweep, OperatorCountIsArchitectural)
+{
+    // The model architecture fixes the operator count; batch only
+    // scales the operator shapes.
+    std::size_t count = 0;
+    for (const auto &[batch, trace] : traces()) {
+        if (count == 0)
+            count = trace.ops.size();
+        EXPECT_EQ(trace.ops.size(), count)
+            << GetParam() << "@" << batch;
+    }
+}
+
+TEST_P(BatchSweep, SaShareStaysCharacteristic)
+{
+    // A model's SA-vs-VU character (Figs. 4/5) does not flip with
+    // batch. Tiny batches shift the split toward the unit with the
+    // larger fixed-time fraction, so the band is generous; the
+    // point is that an MXU-bound model never reads as VPU-bound.
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace ref =
+        generateTrace(m, m.refBatch, config());
+    const double ref_share =
+        static_cast<double>(ref.saCycles) /
+        static_cast<double>(ref.computeCycles());
+    for (const auto &[batch, trace] : traces()) {
+        const double share =
+            static_cast<double>(trace.saCycles) /
+            static_cast<double>(trace.computeCycles());
+        EXPECT_NEAR(share, ref_share, 0.25)
+            << GetParam() << "@" << batch;
+    }
+}
+
+TEST_P(BatchSweep, BytesConsistentWithOps)
+{
+    for (const auto &[batch, trace] : traces()) {
+        Bytes sum = 0;
+        for (const auto &op : trace.ops)
+            sum += op.dmaBytes;
+        EXPECT_EQ(sum, trace.totalDmaBytes)
+            << GetParam() << "@" << batch;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BatchSweep,
+    ::testing::Values("BERT", "DLRM", "ENet", "MRCN", "MNST", "NCF",
+                      "RsNt", "RNRS", "RtNt", "SMask", "TFMR"));
+
+} // namespace
+} // namespace v10

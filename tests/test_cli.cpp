@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end tests of the v10sim command-line tool, driving the
+ * real binary (path injected by CMake) through its subcommands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace v10 {
+namespace {
+
+#ifndef V10SIM_PATH
+#error "V10SIM_PATH must be defined by the build"
+#endif
+
+/** Run the CLI and capture stdout (stderr discarded). */
+std::pair<int, std::string>
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(V10SIM_PATH) + " " + args + " 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 4096> buf{};
+    while (fgets(buf.data(), buf.size(), pipe) != nullptr)
+        out += buf.data();
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+TEST(Cli, ZooListsElevenModels)
+{
+    const auto [rc, out] = runCli("zoo");
+    EXPECT_EQ(rc, 0);
+    for (const char *name : {"BERT", "DLRM", "Transformer",
+                             "ShapeMask", "ResNet-RS"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, ProfilePrintsUtilization)
+{
+    const auto [rc, out] = runCli("profile --model NCF");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("FLOPS utilization"), std::string::npos);
+    EXPECT_NE(out.find("MXU / VPU temporal"), std::string::npos);
+}
+
+TEST(Cli, ProfileReportsOom)
+{
+    const auto [rc, out] =
+        runCli("profile --model SMask --batch 2048");
+    EXPECT_EQ(rc, 1);
+    EXPECT_NE(out.find("does not fit"), std::string::npos);
+}
+
+TEST(Cli, RunPairPrintsStp)
+{
+    const auto [rc, out] =
+        runCli("run --models MNST,NCF --requests 4");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("STP"), std::string::npos);
+    EXPECT_NE(out.find("MNST@32"), std::string::npos);
+    EXPECT_NE(out.find("NCF@32"), std::string::npos);
+}
+
+TEST(Cli, RunWithSchedulerSelection)
+{
+    const auto [rc, out] = runCli(
+        "run --models MNST,NCF --scheduler PMT --requests 4");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("PMT"), std::string::npos);
+    // PMT never overlaps.
+    EXPECT_NE(out.find("overlap 0.0%"), std::string::npos);
+}
+
+TEST(Cli, TraceWritesFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cli_trace.txt";
+    const auto [rc, out] =
+        runCli("trace --model MNST --out " + path);
+    EXPECT_EQ(rc, 0);
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+}
+
+TEST(Cli, UnknownCommandShowsUsage)
+{
+    const auto [rc, out] = runCli("frobnicate --x 1");
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(out.find("v10sim"), std::string::npos);
+}
+
+TEST(Cli, NoArgsShowsUsage)
+{
+    const auto [rc, out] = runCli("");
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(out.find("profile"), std::string::npos);
+}
+
+} // namespace
+} // namespace v10

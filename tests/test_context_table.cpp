@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the workload context table (Fig. 11): row layout sizing
+ * (which must reproduce the Table 3 storage numbers exactly) and the
+ * active-rate arithmetic of Algorithm 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/context_table.h"
+
+namespace v10 {
+namespace {
+
+TEST(ContextTable, StorageMatchesTable3)
+{
+    // Paper Table 3: (SAs, VUs, workloads) -> context table bytes.
+    EXPECT_EQ(ContextTable::storageBytes(2, 2), 43u);
+    EXPECT_EQ(ContextTable::storageBytes(4, 2), 86u);
+    EXPECT_EQ(ContextTable::storageBytes(4, 4), 86u);
+    EXPECT_EQ(ContextTable::storageBytes(8, 8), 173u);
+}
+
+TEST(ContextTable, RowBitsLayout)
+{
+    // 32b op id + 1b type + 1b active + 1b ready + fu bits +
+    // 2x64b counters + 7b priority.
+    EXPECT_EQ(ContextTable::rowBits(2), 171u);
+    EXPECT_EQ(ContextTable::rowBits(4), 172u);
+    EXPECT_EQ(ContextTable::rowBits(8), 173u);
+    // Fig. 11: "With 4 FUs, each row will only require 22 bytes".
+    EXPECT_EQ((ContextTable::rowBits(4) + 7) / 8, 22u);
+}
+
+TEST(ContextRow, ActiveRate)
+{
+    ContextRow row;
+    EXPECT_DOUBLE_EQ(row.activeRate(), 0.0); // no time elapsed
+    row.activeCycles = 50;
+    row.totalCycles = 100;
+    EXPECT_DOUBLE_EQ(row.activeRate(), 0.5);
+    row.priority = 0.5;
+    EXPECT_DOUBLE_EQ(row.activeRateP(), 1.0);
+    row.priority = 2.0;
+    EXPECT_DOUBLE_EQ(row.activeRateP(), 0.25);
+}
+
+TEST(ContextTable, TickAdvancesTotals)
+{
+    ContextTable table(3);
+    table.tick(100);
+    table.row(1).activeCycles = 40;
+    table.tick(100);
+    EXPECT_EQ(table.row(0).totalCycles, 200u);
+    EXPECT_DOUBLE_EQ(table.row(1).activeRate(), 0.2);
+}
+
+TEST(ContextTable, RowAccessAndSize)
+{
+    ContextTable table(4);
+    EXPECT_EQ(table.size(), 4u);
+    table.row(2).priority = 0.7;
+    const ContextTable &ct = table;
+    EXPECT_DOUBLE_EQ(ct.row(2).priority, 0.7);
+}
+
+TEST(ContextTableDeath, Misuse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(ContextTable(0), "tenant");
+    ContextTable table(2);
+    EXPECT_DEATH(table.row(2), "out of range");
+    ContextRow row;
+    row.priority = 0.0;
+    row.totalCycles = 1;
+    EXPECT_DEATH(row.activeRateP(), "priority");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, tie-breaking,
+ * cancellation, and clearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace v10 {
+namespace {
+
+TEST(EventQueue, EmptyByDefault)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextCycle(), kCycleMax);
+    EXPECT_EQ(q.popAndRun(), kCycleMax);
+}
+
+TEST(EventQueue, FiresInCycleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.popAndRun();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsFiringCycle)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextCycle(), 42u);
+    EXPECT_EQ(q.popAndRun(), 42u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&] { fired = true; });
+    q.schedule(11, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextCycle)
+{
+    EventQueue q;
+    const EventId id = q.schedule(5, [] {});
+    q.schedule(9, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextCycle(), 9u);
+}
+
+TEST(EventQueue, DoubleCancelIsHarmless)
+{
+    EventQueue q;
+    const EventId id = q.schedule(3, [] {});
+    q.cancel(id);
+    q.cancel(id); // no-op, no underflow
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless)
+{
+    EventQueue q;
+    const EventId id = q.schedule(3, [] {});
+    q.popAndRun();
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsHarmless)
+{
+    EventQueue q;
+    q.schedule(3, [] {});
+    q.cancel(9999);
+    q.cancel(kNoEvent);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(1, [&] { fired = true; });
+    q.schedule(2, [&] { fired = true; });
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.popAndRun(), kCycleMax);
+    EXPECT_FALSE(fired);
+    q.cancel(id); // stale handle after clear: harmless
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<Cycles> fired;
+    q.schedule(1, [&] {
+        fired.push_back(1);
+        q.schedule(2, [&] { fired.push_back(2); });
+    });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, (std::vector<Cycles>{1, 2}));
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Cycles last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(static_cast<Cycles>((i * 7919) % 257), [] {});
+    while (!q.empty()) {
+        const Cycles c = q.nextCycle();
+        monotonic = monotonic && c >= last;
+        last = c;
+        q.popAndRun();
+    }
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the §3.6 HBM segmentation: region allocation, address
+ * translation, the deployment-time OOM check, and its integration
+ * with the scheduler engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/hbm_regions.h"
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+TEST(HbmRegions, BumpAllocation)
+{
+    HbmRegionAllocator alloc(1_GiB);
+    const std::size_t a = alloc.allocate("A", 256_MiB);
+    const std::size_t b = alloc.allocate("B", 512_MiB);
+    EXPECT_EQ(alloc.regions()[a].base, 0u);
+    EXPECT_EQ(alloc.regions()[b].base, 256_MiB);
+    EXPECT_EQ(alloc.regions()[b].end(), 768_MiB);
+    EXPECT_EQ(alloc.freeBytes(), 256_MiB);
+    EXPECT_TRUE(alloc.fits(256_MiB));
+    EXPECT_FALSE(alloc.fits(256_MiB + 1));
+}
+
+TEST(HbmRegions, TranslationAddsBase)
+{
+    HbmRegionAllocator alloc(1_GiB);
+    alloc.allocate("A", 128_MiB);
+    const std::size_t b = alloc.allocate("B", 128_MiB);
+    EXPECT_EQ(alloc.translate(b, 0), 128_MiB);
+    EXPECT_EQ(alloc.translate(b, 100), 128_MiB + 100);
+}
+
+TEST(HbmRegions, ResetReleasesEverything)
+{
+    HbmRegionAllocator alloc(1_GiB);
+    alloc.allocate("A", 512_MiB);
+    alloc.reset();
+    EXPECT_EQ(alloc.freeBytes(), 1_GiB);
+    EXPECT_TRUE(alloc.regions().empty());
+}
+
+TEST(HbmRegionsDeath, Misuse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(HbmRegionAllocator(0), "capacity");
+    HbmRegionAllocator alloc(1_GiB);
+    EXPECT_DEATH(alloc.allocate("A", 0), "zero-sized");
+    EXPECT_DEATH(alloc.allocate("A", 2_GiB), "remain");
+    const std::size_t a = alloc.allocate("A", 1_MiB);
+    EXPECT_DEATH(alloc.translate(a + 1, 0), "out of range");
+    EXPECT_DEATH(alloc.translate(a, 1_MiB), "outside region");
+}
+
+TEST(HbmRegionsEngine, DeploymentAllocatesPerTenant)
+{
+    const NpuConfig cfg;
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    const Workload b = Workload::fromName("NCF", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, false);
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&a, 1.0}, TenantSpec{&b, 1.0}},
+        OperatorScheduler::Variant::Base);
+    ASSERT_EQ(core.hbmRegions().regions().size(), 2u);
+    EXPECT_EQ(core.hbmRegions().regions()[0].size,
+              a.memFootprint());
+    EXPECT_EQ(core.hbmRegions().regions()[1].owner, b.label());
+}
+
+TEST(HbmRegionsEngineDeath, OversubscriptionIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NpuConfig cfg;
+    cfg.hbmBytes = 1_GiB; // too small for BERT@32 (~1.4 GiB)
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    EXPECT_DEATH(OperatorScheduler(sim, core, {TenantSpec{&a, 1.0}},
+                                   OperatorScheduler::Variant::Base),
+                 "does not fit");
+}
+
+TEST(HbmRegionsEngine, CheckCanBeWaived)
+{
+    NpuConfig cfg;
+    cfg.hbmBytes = 1_GiB;
+    cfg.enforceHbmFit = false;
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    OperatorScheduler sched(sim, core, {TenantSpec{&a, 1.0}},
+                            OperatorScheduler::Variant::Base);
+    const RunStats stats = sched.run(3, 1);
+    EXPECT_EQ(stats.workloads[0].requests, 3u);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Table 3 hardware cost model: the four synthesized
+ * configurations must match the paper verbatim; extrapolated points
+ * must follow the same trends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "v10/hw_cost.h"
+
+namespace v10 {
+namespace {
+
+TEST(HwCost, Table3RowsMatchPaperExactly)
+{
+    struct Expected
+    {
+        std::uint32_t sas, vus, wl;
+        Bytes bytes;
+        Cycles latency;
+        double area, power;
+    };
+    const Expected rows[] = {
+        {1, 1, 2, 43, 22, 0.001, 0.303},
+        {1, 1, 4, 86, 24, 0.002, 0.324},
+        {2, 2, 4, 86, 82, 0.002, 0.325},
+        {4, 4, 8, 173, 284, 0.003, 0.346},
+    };
+    for (const auto &e : rows) {
+        const SchedulerHwCost c = schedulerHwCost(e.sas, e.vus, e.wl);
+        EXPECT_EQ(c.contextTableBytes, e.bytes);
+        EXPECT_EQ(c.latencyCycles, e.latency);
+        EXPECT_DOUBLE_EQ(c.areaPct, e.area);
+        EXPECT_DOUBLE_EQ(c.powerPct, e.power);
+        EXPECT_TRUE(c.synthesized);
+    }
+}
+
+TEST(HwCost, Table3ConfigsList)
+{
+    const auto &configs = table3Configs();
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0].workloads, 2u);
+    EXPECT_EQ(configs[3].numSa, 4u);
+}
+
+TEST(HwCost, ExtrapolationGrowsWithScale)
+{
+    const SchedulerHwCost small = schedulerHwCost(1, 1, 3);
+    const SchedulerHwCost big = schedulerHwCost(8, 8, 32);
+    EXPECT_FALSE(small.synthesized);
+    EXPECT_FALSE(big.synthesized);
+    EXPECT_GT(big.contextTableBytes, small.contextTableBytes);
+    EXPECT_GT(big.latencyCycles, small.latencyCycles);
+    EXPECT_GT(big.areaPct, small.areaPct);
+    EXPECT_GT(big.powerPct, small.powerPct);
+}
+
+TEST(HwCost, ExtrapolationStaysNegligible)
+{
+    // §3.6: the scheduler must remain a rounding error of a TPU core
+    // even at the largest Fig. 25 configuration.
+    const SchedulerHwCost big = schedulerHwCost(8, 8, 32);
+    EXPECT_LT(big.areaPct, 0.1);
+    EXPECT_LT(big.powerPct, 1.0);
+    // Latency still far below the ~10us (7000-cycle) operator floor.
+    EXPECT_LT(big.latencyCycles, 7000u);
+}
+
+TEST(HwCost, ExtrapolationContinuousWithSynthesizedPoints)
+{
+    // A near-neighbor of a synthesized point lands near it.
+    const SchedulerHwCost synth = schedulerHwCost(1, 1, 4);
+    const SchedulerHwCost nearby = schedulerHwCost(1, 1, 5);
+    EXPECT_NEAR(static_cast<double>(nearby.latencyCycles),
+                static_cast<double>(synth.latencyCycles), 3.0);
+}
+
+TEST(HwCostDeath, ZeroCountsRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(schedulerHwCost(0, 1, 2), "positive");
+    EXPECT_DEATH(schedulerHwCost(1, 1, 0), "positive");
+}
+
+} // namespace
+} // namespace v10

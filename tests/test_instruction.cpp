@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the NPU ISA layer: opcode costs, disassembly, and the
+ * lazy instruction-stream expansion of SA/VU operators, including a
+ * parameterized consistency sweep over operator shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.h"
+#include "isa/instruction_stream.h"
+
+namespace v10 {
+namespace {
+
+TEST(Instruction, OpcodeCyclesMatchIsaSpec)
+{
+    // push/pushw/pop move eight 128-wide vectors in 8 cycles (§2.1).
+    EXPECT_EQ(opcodeCycles(Opcode::Push), 8u);
+    EXPECT_EQ(opcodeCycles(Opcode::PushW), 8u);
+    EXPECT_EQ(opcodeCycles(Opcode::Pop), 8u);
+    EXPECT_EQ(opcodeCycles(Opcode::Ld), 1u);
+    EXPECT_EQ(opcodeCycles(Opcode::St), 1u);
+    EXPECT_EQ(opcodeCycles(Opcode::Valu), 1u);
+}
+
+TEST(Instruction, Disassembly)
+{
+    Instruction push{Opcode::Push, 0, 3, 0};
+    EXPECT_EQ(push.disassemble(), "push v3");
+    Instruction ld{Opcode::Ld, 5, 0, 128};
+    EXPECT_EQ(ld.disassemble(), "ld v5, [vmem+128]");
+    Instruction st{Opcode::St, 0, 7, 64};
+    EXPECT_EQ(st.disassemble(), "st v7, [vmem+64]");
+    Instruction sync{Opcode::Sync, 0, 0, 0};
+    EXPECT_EQ(sync.disassemble(), "sync");
+}
+
+TEST(InstructionStream, SaOpCyclesMatchPipelineModel)
+{
+    // dim weight-load + rows streaming + 2*dim drain.
+    const auto s = InstructionStream::forSaOp(SaOpShape{128, 1000});
+    EXPECT_EQ(s.totalCycles(), 128u + 1000u + 256u);
+}
+
+TEST(InstructionStream, SaOpInstructionLayout)
+{
+    const auto s = InstructionStream::forSaOp(SaOpShape{16, 8});
+    // 2 weight blocks (ld+pushw each) + 1 input block
+    // (ld+push+pop+st) + sync.
+    EXPECT_EQ(s.instructionCount(), 2u * 2 + 4 + 1);
+    EXPECT_EQ(s.at(0).opcode, Opcode::Ld);
+    EXPECT_EQ(s.at(1).opcode, Opcode::PushW);
+    EXPECT_EQ(s.at(4).opcode, Opcode::Ld);
+    EXPECT_EQ(s.at(5).opcode, Opcode::Push);
+    EXPECT_EQ(s.at(6).opcode, Opcode::Pop);
+    EXPECT_EQ(s.at(7).opcode, Opcode::St);
+    EXPECT_EQ(s.at(8).opcode, Opcode::Sync);
+}
+
+TEST(InstructionStream, VuOpLayoutAndCycles)
+{
+    const auto s =
+        InstructionStream::forVuOp(VuOpShape{3000, 1024, 1});
+    // ceil(3000/1024) = 3 tiles of [ld, valu, st] + sync.
+    EXPECT_EQ(s.instructionCount(), 3u * 3 + 1);
+    EXPECT_EQ(s.totalCycles(), s.instructionCount());
+    EXPECT_EQ(s.at(0).opcode, Opcode::Ld);
+    EXPECT_EQ(s.at(1).opcode, Opcode::Valu);
+    EXPECT_EQ(s.at(2).opcode, Opcode::St);
+    EXPECT_EQ(s.at(9).opcode, Opcode::Sync);
+}
+
+TEST(InstructionStream, PrefixMatchesAt)
+{
+    const auto s = InstructionStream::forSaOp(SaOpShape{32, 40});
+    const auto prefix = s.prefix(10);
+    ASSERT_EQ(prefix.size(), 10u);
+    for (std::uint64_t i = 0; i < prefix.size(); ++i)
+        EXPECT_EQ(prefix[i].disassemble(), s.at(i).disassemble());
+}
+
+TEST(InstructionStream, ForEachVisitsAll)
+{
+    const auto s = InstructionStream::forVuOp(VuOpShape{2048, 1024, 2});
+    std::uint64_t count = 0;
+    Cycles cycles = 0;
+    s.forEach([&](const Instruction &inst) {
+        ++count;
+        cycles += inst.cycles();
+    });
+    EXPECT_EQ(count, s.instructionCount());
+    // VU-side instructions are all 1 cycle, so forEach total matches.
+    EXPECT_EQ(cycles, s.totalCycles());
+}
+
+/** Shape-consistency property across operator sizes. */
+class SaStreamShape : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SaStreamShape, CountAndDurationConsistent)
+{
+    const std::uint64_t rows = GetParam();
+    const auto s = InstructionStream::forSaOp(SaOpShape{128, rows});
+    const std::uint64_t input_blocks = (rows + 7) / 8;
+    EXPECT_EQ(s.instructionCount(), 2u * 16 + 4 * input_blocks + 1);
+    EXPECT_EQ(s.totalCycles(), 128 + rows + 256);
+    // Last instruction is always the sync barrier.
+    EXPECT_EQ(s.at(s.instructionCount() - 1).opcode, Opcode::Sync);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, SaStreamShape,
+                         ::testing::Values(1, 7, 8, 9, 128, 1000,
+                                           32768, 613800));
+
+TEST(InstructionStreamDeath, BadShapesRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(InstructionStream::forSaOp(SaOpShape{12, 8}),
+                 "multiple of 8");
+    EXPECT_DEATH(InstructionStream::forVuOp(VuOpShape{100, 0, 1}),
+                 "lane width");
+    const auto s = InstructionStream::forSaOp(SaOpShape{8, 1});
+    EXPECT_DEATH(s.at(s.instructionCount()), "index");
+}
+
+} // namespace
+} // namespace v10

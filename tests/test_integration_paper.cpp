@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Integration tests asserting the paper's headline result shapes
+ * across the full stack: for every evaluation pair, V10-Full must
+ * beat PMT on throughput and utilization; preemption must fix the
+ * V10-Base unfairness; priorities must be enforced; scaling must
+ * track FU counts (Figs. 16-25 in miniature).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "v10/experiment.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+namespace {
+
+/** Shared runner so single-tenant references are computed once. */
+ExperimentRunner &
+runner()
+{
+    static ExperimentRunner instance;
+    return instance;
+}
+
+constexpr std::uint64_t kRequests = 8;
+
+/** One paper evaluation pair per test instance. */
+class EvalPair
+    : public ::testing::TestWithParam<
+          std::pair<std::string, std::string>>
+{
+};
+
+TEST_P(EvalPair, V10FullBeatsPmtOnThroughput)
+{
+    const auto &[a, b] = GetParam();
+    const RunStats pmt =
+        runner().runPair(SchedulerKind::Pmt, a, b, 1.0, 1.0,
+                         kRequests);
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+    EXPECT_GT(full.stp(), 1.1 * pmt.stp()) << a << "+" << b;
+}
+
+TEST_P(EvalPair, V10FullRaisesCombinedUtilization)
+{
+    const auto &[a, b] = GetParam();
+    const RunStats pmt =
+        runner().runPair(SchedulerKind::Pmt, a, b, 1.0, 1.0,
+                         kRequests);
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+    EXPECT_GT(full.combinedUtil, pmt.combinedUtil) << a << "+" << b;
+}
+
+TEST_P(EvalPair, V10FullOverlapsExecution)
+{
+    const auto &[a, b] = GetParam();
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+    const RunStats pmt =
+        runner().runPair(SchedulerKind::Pmt, a, b, 1.0, 1.0,
+                         kRequests);
+    EXPECT_DOUBLE_EQ(pmt.overlapBothFrac, 0.0);
+    EXPECT_GT(full.overlapBothFrac, 0.02) << a << "+" << b;
+}
+
+TEST_P(EvalPair, V10FullImprovesBothTenantsLatency)
+{
+    const auto &[a, b] = GetParam();
+    const RunStats pmt =
+        runner().runPair(SchedulerKind::Pmt, a, b, 1.0, 1.0,
+                         kRequests);
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+    // §5.4: with preemption, *both* collocated workloads see better
+    // latency than under PMT.
+    for (int t = 0; t < 2; ++t) {
+        EXPECT_LT(full.workloads[t].avgLatencyUs,
+                  pmt.workloads[t].avgLatencyUs * 1.05)
+            << a << "+" << b << " tenant " << t;
+    }
+}
+
+TEST_P(EvalPair, PreemptionOverheadStaysNegligible)
+{
+    const auto &[a, b] = GetParam();
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+    for (const auto &w : full.workloads)
+        EXPECT_LT(w.ctxOverheadFrac, 0.02) << w.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPairs, EvalPair,
+    ::testing::ValuesIn(evaluationPairs()),
+    [](const auto &info) {
+        std::string name =
+            info.param.first + "_" + info.param.second;
+        return name;
+    });
+
+TEST(PaperShape, AverageImprovementsInPaperRange)
+{
+    std::vector<double> stp_gains;
+    std::vector<double> lat_gains;
+    for (const auto &[a, b] : evaluationPairs()) {
+        const RunStats pmt = runner().runPair(
+            SchedulerKind::Pmt, a, b, 1.0, 1.0, kRequests);
+        const RunStats full = runner().runPair(
+            SchedulerKind::V10Full, a, b, 1.0, 1.0, kRequests);
+        stp_gains.push_back(full.stp() / pmt.stp());
+        for (int t = 0; t < 2; ++t)
+            lat_gains.push_back(pmt.workloads[t].avgLatencyUs /
+                                full.workloads[t].avgLatencyUs);
+    }
+    // Paper: 1.57x throughput, 1.56x latency on average. The
+    // synthetic traces land in the same band.
+    EXPECT_GT(geomean(stp_gains), 1.3);
+    EXPECT_LT(geomean(stp_gains), 1.8);
+    EXPECT_GT(geomean(lat_gains), 1.25);
+}
+
+TEST(PaperShape, BertDlrmStarvationStory)
+{
+    // §5.2/§5.4: without preemption BERT starves DLRM (latency blows
+    // up vs PMT); V10-Full fixes it while keeping BERT fast.
+    const RunStats pmt = runner().runPair(
+        SchedulerKind::Pmt, "BERT", "DLRM", 1.0, 1.0, kRequests);
+    const RunStats base = runner().runPair(
+        SchedulerKind::V10Base, "BERT", "DLRM", 1.0, 1.0, kRequests);
+    const RunStats full = runner().runPair(
+        SchedulerKind::V10Full, "BERT", "DLRM", 1.0, 1.0, kRequests);
+
+    const double base_dlrm_vs_pmt = base.workloads[1].avgLatencyUs /
+                                    pmt.workloads[1].avgLatencyUs;
+    const double full_dlrm_vs_pmt = full.workloads[1].avgLatencyUs /
+                                    pmt.workloads[1].avgLatencyUs;
+    EXPECT_GT(base_dlrm_vs_pmt, 1.3); // starved without preemption
+    EXPECT_LT(full_dlrm_vs_pmt, 1.0); // rescued by preemption
+    EXPECT_GT(full.stp(), 1.4 * pmt.stp());
+}
+
+TEST(PaperShape, PriorityEnforcementFig22)
+{
+    // Prioritized tenant keeps most of its dedicated-core
+    // performance while the low-priority one harvests idle units.
+    const RunStats skew = runner().runPair(
+        SchedulerKind::V10Full, "BERT", "NCF", 0.9, 0.1, kRequests);
+    const RunStats even = runner().runPair(
+        SchedulerKind::V10Full, "BERT", "NCF", 0.5, 0.5, kRequests);
+    EXPECT_GT(skew.workloads[0].normalizedProgress,
+              even.workloads[0].normalizedProgress);
+    EXPECT_GT(skew.workloads[0].normalizedProgress, 0.75);
+    EXPECT_GT(skew.workloads[1].normalizedProgress, 0.1);
+}
+
+TEST(PaperShape, TimeSliceSweetSpotFig23)
+{
+    auto gain = [&](Cycles slice) {
+        SchedulerOptions so;
+        so.sliceOverride = slice;
+        const RunStats full =
+            runner().runPair(SchedulerKind::V10Full, "BERT", "DLRM",
+                             1.0, 1.0, kRequests, so);
+        const RunStats pmt = runner().runPair(
+            SchedulerKind::Pmt, "BERT", "DLRM", 1.0, 1.0, kRequests);
+        return full.stp() / pmt.stp();
+    };
+    const double tiny = gain(512);
+    const double sweet = gain(32768);
+    const double huge = gain(1048576);
+    // The Table 5 slice beats the extremes (Fig. 23's bathtub).
+    EXPECT_GE(sweet, tiny * 0.98);
+    EXPECT_GT(sweet, huge);
+}
+
+TEST(PaperShape, ScalingWithFusFig25)
+{
+    // Throughput scales with FU count when enough tenants exist.
+    const std::vector<std::string> models = {
+        "BERT", "NCF", "RsNt", "DLRM", "ENet", "RtNt", "MNST",
+        "SMask"};
+    auto stp_for = [&](std::uint32_t fus, int tenants) {
+        ExperimentRunner scaled(NpuConfig{}.scaledForFus(fus, fus));
+        std::vector<TenantRequest> reqs;
+        for (int i = 0; i < tenants; ++i)
+            reqs.push_back(TenantRequest{
+                models[static_cast<std::size_t>(i) % models.size()],
+                0, 1.0});
+        return scaled.run(SchedulerKind::V10Full, reqs, 4, 1).stp();
+    };
+    const double one_fu = stp_for(1, 4);
+    const double two_fu = stp_for(2, 4);
+    const double four_fu = stp_for(4, 8);
+    EXPECT_GT(two_fu, 1.4 * one_fu);
+    EXPECT_GT(four_fu, 1.4 * two_fu);
+}
+
+TEST(PaperShape, VmemCapacitySweepFig24)
+{
+    // V10-Full beats PMT at every vector-memory capacity.
+    for (Bytes cap : {8_MiB, 32_MiB, 64_MiB}) {
+        NpuConfig cfg;
+        cfg.vmemBytes = cap;
+        ExperimentRunner r(cfg);
+        const RunStats pmt = r.runPair(SchedulerKind::Pmt, "BERT",
+                                       "NCF", 1.0, 1.0, 5);
+        const RunStats full = r.runPair(SchedulerKind::V10Full,
+                                        "BERT", "NCF", 1.0, 1.0, 5);
+        EXPECT_GT(full.stp(), pmt.stp()) << cap;
+    }
+}
+
+TEST(PaperShape, Fig9PmtBalancedButLow)
+{
+    // Fig. 9's observation O4: PMT "balances" utilization across
+    // tenants without raising the total.
+    const RunStats pmt = runner().runPair(
+        SchedulerKind::Pmt, "BERT", "NCF", 1.0, 1.0, kRequests);
+    EXPECT_LT(pmt.saUtil, 0.7);
+    EXPECT_LT(pmt.vuUtil, 0.7);
+    EXPECT_GT(pmt.saUtil, 0.2);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for K-Means and the feature standardizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collocate/kmeans.h"
+#include "collocate/standardizer.h"
+#include "common/rng.h"
+
+namespace v10 {
+namespace {
+
+Matrix
+threeBlobs(int per_cluster, double spread)
+{
+    Rng rng(41);
+    std::vector<std::vector<double>> rows;
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < per_cluster; ++i)
+            rows.push_back({centers[c][0] + rng.normal(0.0, spread),
+                            centers[c][1] + rng.normal(0.0, spread)});
+    return Matrix::fromRows(rows);
+}
+
+TEST(KMeans, RecoversSeparableClusters)
+{
+    const Matrix data = threeBlobs(30, 0.5);
+    KMeans km(3, 7);
+    const KMeansResult fit = km.fit(data);
+    ASSERT_EQ(fit.labels.size(), 90u);
+    // All members of a blob share a label, and blobs get distinct
+    // labels.
+    std::set<std::size_t> blob_labels;
+    for (int c = 0; c < 3; ++c) {
+        const std::size_t label =
+            fit.labels[static_cast<std::size_t>(c * 30)];
+        blob_labels.insert(label);
+        for (int i = 0; i < 30; ++i)
+            EXPECT_EQ(fit.labels[static_cast<std::size_t>(
+                          c * 30 + i)],
+                      label);
+    }
+    EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, DeterministicPerSeed)
+{
+    const Matrix data = threeBlobs(20, 1.0);
+    KMeans km(3, 99);
+    const KMeansResult a = km.fit(data);
+    const KMeansResult b = km.fit(data);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, AssignMapsToNearestCentroid)
+{
+    const Matrix data = threeBlobs(20, 0.5);
+    KMeans km(3, 7);
+    const KMeansResult fit = km.fit(data);
+    const std::size_t near_origin =
+        KMeans::assign(fit, {0.2, -0.1});
+    EXPECT_EQ(near_origin, fit.labels[0]);
+    const std::size_t near_right = KMeans::assign(fit, {9.8, 0.3});
+    EXPECT_EQ(near_right, fit.labels[20]);
+}
+
+TEST(KMeans, InertiaIsSumOfSquaredDistances)
+{
+    const Matrix data = Matrix::fromRows({{0.0}, {2.0}});
+    KMeans km(1, 3);
+    const KMeansResult fit = km.fit(data);
+    EXPECT_DOUBLE_EQ(fit.centroids.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(fit.inertia, 2.0);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia)
+{
+    const Matrix data =
+        Matrix::fromRows({{0.0, 0.0}, {5.0, 5.0}, {9.0, 1.0}});
+    KMeans km(3, 5);
+    const KMeansResult fit = km.fit(data);
+    EXPECT_NEAR(fit.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, SquaredDistance)
+{
+    EXPECT_DOUBLE_EQ(
+        KMeans::squaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(KMeansDeath, TooFewSamples)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const Matrix data = Matrix::fromRows({{1.0}, {2.0}});
+    KMeans km(3, 7);
+    EXPECT_DEATH(km.fit(data), "samples");
+    EXPECT_DEATH(KMeans(0, 1), "positive");
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance)
+{
+    Rng rng(43);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i)
+        rows.push_back({rng.normal(100.0, 7.0),
+                        rng.normal(-3.0, 0.01)});
+    const Matrix data = Matrix::fromRows(rows);
+    const Standardizer std_(data);
+    const Matrix z = std_.transform(data);
+    const auto means = z.colMeans();
+    EXPECT_NEAR(means[0], 0.0, 1e-9);
+    EXPECT_NEAR(means[1], 0.0, 1e-9);
+    double var0 = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r)
+        var0 += z.at(r, 0) * z.at(r, 0);
+    EXPECT_NEAR(var0 / static_cast<double>(z.rows()), 1.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantFeatureLeftCentered)
+{
+    const Matrix data =
+        Matrix::fromRows({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+    const Standardizer std_(data);
+    const auto t = std_.transform(std::vector<double>{5.0, 2.0});
+    EXPECT_DOUBLE_EQ(t[0], 0.0); // centered, not divided by ~0
+    EXPECT_DOUBLE_EQ(t[1], 0.0);
+}
+
+TEST(StandardizerDeath, Misuse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(Standardizer{Matrix{}}, "empty");
+    const Matrix data = Matrix::fromRows({{1.0, 2.0}});
+    const Standardizer std_(data);
+    EXPECT_DEATH(std_.transform(std::vector<double>{1.0}),
+                 "mismatch");
+}
+
+} // namespace
+} // namespace v10

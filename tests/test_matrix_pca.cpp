@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the dense-matrix helpers and the Jacobi-based PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collocate/matrix.h"
+#include "collocate/pca.h"
+#include "common/rng.h"
+
+namespace v10 {
+namespace {
+
+TEST(Matrix, BasicOps)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    const Matrix t = m.transposed();
+    EXPECT_DOUBLE_EQ(t.at(0, 1), 3.0);
+    const Matrix p = m.multiply(t);
+    EXPECT_DOUBLE_EQ(p.at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(p.at(0, 1), 11.0);
+    EXPECT_DOUBLE_EQ(p.at(1, 1), 25.0);
+}
+
+TEST(Matrix, Identity)
+{
+    const Matrix i = Matrix::identity(3);
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6},
+                                       {7, 8, 9}});
+    const Matrix p = m.multiply(i);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(p.at(r, c), m.at(r, c));
+}
+
+TEST(Matrix, CenterColumns)
+{
+    Matrix m = Matrix::fromRows({{1, 10}, {3, 20}, {5, 30}});
+    const auto means = m.centerColumns();
+    EXPECT_DOUBLE_EQ(means[0], 3.0);
+    EXPECT_DOUBLE_EQ(means[1], 20.0);
+    const auto new_means = m.colMeans();
+    EXPECT_NEAR(new_means[0], 0.0, 1e-12);
+    EXPECT_NEAR(new_means[1], 0.0, 1e-12);
+}
+
+TEST(Matrix, CovarianceOfKnownData)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 6}, {5, 10}});
+    m.centerColumns();
+    const Matrix cov = m.covariance();
+    EXPECT_DOUBLE_EQ(cov.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(cov.at(1, 1), 16.0);
+    EXPECT_DOUBLE_EQ(cov.at(0, 1), 8.0); // perfectly correlated
+}
+
+TEST(MatrixDeath, ShapeErrors)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(Matrix::fromRows({{1, 2}, {3}}), "ragged");
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_DEATH(a.multiply(b), "multiply");
+    EXPECT_DEATH(a.at(2, 0), "out of");
+}
+
+TEST(Jacobi, DiagonalMatrix)
+{
+    const Matrix m = Matrix::fromRows({{3, 0}, {0, 1}});
+    const EigenResult e = jacobiEigen(m);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, KnownSymmetricMatrix)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    const Matrix m = Matrix::fromRows({{2, 1}, {1, 2}});
+    const EigenResult e = jacobiEigen(m);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    const double v0 = e.vectors.at(0, 0);
+    const double v1 = e.vectors.at(1, 0);
+    EXPECT_NEAR(std::abs(v0), std::sqrt(0.5), 1e-8);
+    EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(Jacobi, ReconstructsMatrix)
+{
+    const Matrix m = Matrix::fromRows(
+        {{4, 1, 0.5}, {1, 3, 0.25}, {0.5, 0.25, 2}});
+    const EigenResult e = jacobiEigen(m);
+    // Verify A*v = lambda*v for each eigenpair.
+    for (std::size_t j = 0; j < 3; ++j) {
+        for (std::size_t i = 0; i < 3; ++i) {
+            double av = 0.0;
+            for (std::size_t k = 0; k < 3; ++k)
+                av += m.at(i, k) * e.vectors.at(k, j);
+            EXPECT_NEAR(av, e.values[j] * e.vectors.at(i, j), 1e-8);
+        }
+    }
+}
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points spread along the (1, 1) diagonal with small noise:
+    // the first principal component captures nearly all variance.
+    Rng rng(31);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i) {
+        const double t = rng.normal(0.0, 10.0);
+        rows.push_back({t + rng.normal(0.0, 0.1),
+                        t + rng.normal(0.0, 0.1)});
+    }
+    const Pca pca(Matrix::fromRows(rows), 1);
+    EXPECT_GT(pca.explainedVariance(), 0.99);
+    // Two diagonal points project 10*sqrt(2) apart along the first
+    // component (projection is relative to the sample mean, so the
+    // difference, not the individual values, is the invariant).
+    const auto p1 = pca.transform(std::vector<double>{5.0, 5.0});
+    const auto p2 = pca.transform(std::vector<double>{-5.0, -5.0});
+    EXPECT_NEAR(std::abs(p1[0] - p2[0]), 10.0 * std::sqrt(2.0),
+                0.2);
+}
+
+TEST(Pca, ProjectionPreservesSampleCount)
+{
+    Rng rng(37);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 50; ++i)
+        rows.push_back({rng.uniform(), rng.uniform(), rng.uniform(),
+                        rng.uniform()});
+    const Matrix data = Matrix::fromRows(rows);
+    const Pca pca(data, 2);
+    const Matrix projected = pca.transform(data);
+    EXPECT_EQ(projected.rows(), 50u);
+    EXPECT_EQ(projected.cols(), 2u);
+    EXPECT_EQ(pca.components(), 2u);
+    EXPECT_GT(pca.explainedVariance(), 0.0);
+    EXPECT_LE(pca.explainedVariance(), 1.0 + 1e-12);
+}
+
+TEST(PcaDeath, BadComponentCount)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const Matrix data = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_DEATH(Pca(data, 0), "component");
+    EXPECT_DEATH(Pca(data, 3), "component");
+    const Pca pca(data, 1);
+    EXPECT_DEATH(pca.transform(std::vector<double>{1.0, 2.0, 3.0}),
+                 "mismatch");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Table 4 model zoo: completeness, Table 1 values,
+ * reference batches, memory-footprint (OOM) calibration, and the
+ * evaluation pair lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "v10/profiler.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+namespace {
+
+TEST(ModelZoo, ElevenModelsInPaperOrder)
+{
+    const auto &zoo = modelZoo();
+    ASSERT_EQ(zoo.size(), 11u);
+    EXPECT_EQ(zoo[0].abbrev, "BERT");
+    EXPECT_EQ(zoo[1].abbrev, "DLRM");
+    EXPECT_EQ(zoo[10].abbrev, "TFMR");
+}
+
+TEST(ModelZoo, ReferenceBatchesMatchTable1Caption)
+{
+    // Batch 32 except ShapeMask (8) and Mask-RCNN (16).
+    for (const auto &m : modelZoo()) {
+        if (m.abbrev == "SMask")
+            EXPECT_EQ(m.refBatch, 8);
+        else if (m.abbrev == "MRCN")
+            EXPECT_EQ(m.refBatch, 16);
+        else
+            EXPECT_EQ(m.refBatch, 32);
+    }
+}
+
+TEST(ModelZoo, Table1OperatorLengths)
+{
+    EXPECT_DOUBLE_EQ(findModel("BERT").saOpUsRef, 877.0);
+    EXPECT_DOUBLE_EQ(findModel("BERT").vuOpUsRef, 34.7);
+    EXPECT_DOUBLE_EQ(findModel("DLRM").saOpUsRef, 17.0);
+    EXPECT_DOUBLE_EQ(findModel("DLRM").vuOpUsRef, 4.43);
+    EXPECT_DOUBLE_EQ(findModel("Transformer").saOpUsRef, 6650.0);
+    EXPECT_DOUBLE_EQ(findModel("ResNet-RS").saOpUsRef, 3200.0);
+    EXPECT_DOUBLE_EQ(findModel("ShapeMask").saOpUsRef, 1910.0);
+}
+
+TEST(ModelZoo, LookupByNameAndAbbrev)
+{
+    EXPECT_EQ(findModel("ResNet").abbrev, "RsNt");
+    EXPECT_EQ(findModel("RsNt").name, "ResNet");
+    EXPECT_TRUE(hasModel("NCF"));
+    EXPECT_FALSE(hasModel("GPT-3"));
+}
+
+TEST(ModelZoo, AllProfilesValidate)
+{
+    for (const auto &m : modelZoo())
+        EXPECT_NO_FATAL_FAILURE(m.validate()) << m.name;
+}
+
+TEST(ModelZoo, SaVuIntensityNarrative)
+{
+    // §2.2: BERT and ResNet are MXU-intensive; DLRM and ShapeMask
+    // are VPU-bound.
+    auto sa_frac = [](const ModelProfile &m) {
+        const double sa = m.saOpsPerRequest * m.saOpUsRef;
+        const double vu = m.vuOpsPerRequest * m.vuOpUsRef;
+        return sa / (sa + vu);
+    };
+    EXPECT_GT(sa_frac(findModel("BERT")), 0.8);
+    EXPECT_GT(sa_frac(findModel("ResNet")), 0.8);
+    EXPECT_GT(sa_frac(findModel("ResNet-RS")), 0.8);
+    EXPECT_GT(sa_frac(findModel("Transformer")), 0.8);
+    EXPECT_LT(sa_frac(findModel("DLRM")), 0.25);
+    EXPECT_LT(sa_frac(findModel("ShapeMask")), 0.5);
+    EXPECT_LT(sa_frac(findModel("NCF")), 0.35);
+}
+
+TEST(ModelZoo, MemoryFootprintGrowsWithBatch)
+{
+    for (const auto &m : modelZoo()) {
+        EXPECT_LT(m.memFootprint(1), m.memFootprint(256)) << m.name;
+        EXPECT_TRUE(m.fitsMemory(1, kHbmRegionBytes)) << m.name;
+    }
+}
+
+TEST(ModelZoo, OomCalibration)
+{
+    // Heavy models fail at large batches (Fig. 3's missing bars);
+    // light models sweep the whole range.
+    EXPECT_LT(findModel("SMask").maxBatch(kHbmRegionBytes), 256);
+    EXPECT_LT(findModel("MRCN").maxBatch(kHbmRegionBytes), 256);
+    EXPECT_EQ(findModel("MNST").maxBatch(kHbmRegionBytes), 2048);
+    EXPECT_EQ(findModel("NCF").maxBatch(kHbmRegionBytes), 2048);
+    EXPECT_LE(findModel("BERT").maxBatch(kHbmRegionBytes), 1024);
+    EXPECT_GE(findModel("BERT").maxBatch(kHbmRegionBytes), 256);
+}
+
+TEST(ModelZoo, EvaluationPairsMatchFigures)
+{
+    const auto &pairs = evaluationPairs();
+    ASSERT_EQ(pairs.size(), 11u);
+    EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{
+                            "BERT", "NCF"}));
+    EXPECT_EQ(pairs[10], (std::pair<std::string, std::string>{
+                             "RNRS", "MRCN"}));
+    for (const auto &[a, b] : pairs) {
+        EXPECT_TRUE(hasModel(a)) << a;
+        EXPECT_TRUE(hasModel(b)) << b;
+    }
+}
+
+TEST(ModelZoo, CharacterizationPairsExtendEvaluationPairs)
+{
+    const auto &pairs = characterizationPairs();
+    ASSERT_EQ(pairs.size(), 15u);
+    for (const auto &[a, b] : pairs) {
+        EXPECT_TRUE(hasModel(a)) << a;
+        EXPECT_TRUE(hasModel(b)) << b;
+    }
+}
+
+TEST(ModelProfile, BatchScalingShapes)
+{
+    const ModelProfile &bert = findModel("BERT");
+    // Operator time grows with batch but sub-linearly at first
+    // (fixed weight-load fraction).
+    EXPECT_LT(bert.saOpUs(1), bert.saOpUs(32));
+    EXPECT_LT(bert.saOpUs(32), bert.saOpUs(256));
+    EXPECT_GT(bert.saOpUs(1) * 32, bert.saOpUs(32));
+    // Efficiency saturates with batch.
+    EXPECT_LT(bert.saEff(1), bert.saEff(32));
+    EXPECT_LT(bert.saEff(32), bert.saEff(2048));
+    EXPECT_LE(bert.saEff(100000), bert.saEffMax);
+}
+
+TEST(ModelProfile, RequestBytesGrowWithBatch)
+{
+    const ModelProfile &tfmr = findModel("TFMR");
+    const double b32 = tfmr.requestBytes(32);
+    const double b256 = tfmr.requestBytes(256);
+    EXPECT_GT(b256, b32);
+}
+
+TEST(ModelZooDeath, UnknownModel)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(findModel("NoSuchNet"), "unknown model");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the §3.5 fleet layer: dispatch policies, advisor
+ * training, and the expected ordering ClusteredPairing >=
+ * RandomPairing in aggregate throughput per used core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "v10/npu_cluster.h"
+
+namespace v10 {
+namespace {
+
+ClusterConfig
+smallFleet(std::size_t cores)
+{
+    ClusterConfig cfg;
+    cfg.numCores = cores;
+    cfg.requests = 4;
+    cfg.warmup = 1;
+    return cfg;
+}
+
+NpuCluster
+makePool(std::size_t cores)
+{
+    NpuCluster cluster(smallFleet(cores));
+    for (const char *m :
+         {"BERT", "NCF", "RsNt", "DLRM", "RNRS", "SMask"})
+        cluster.addWorkload(m);
+    return cluster;
+}
+
+TEST(NpuCluster, NoSharingUsesOneCorePerWorkload)
+{
+    NpuCluster cluster = makePool(6);
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::NoSharing);
+    EXPECT_EQ(r.coresUsed, 6u);
+    EXPECT_EQ(r.assignment.size(), 6u);
+    for (const auto &core : r.assignment)
+        EXPECT_EQ(core.size(), 1u);
+    // Dedicated cores: every workload at ~full progress.
+    EXPECT_NEAR(r.fleetStp, 6.0, 0.05);
+}
+
+TEST(NpuCluster, RandomPairingHalvesCores)
+{
+    NpuCluster cluster = makePool(6);
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 3);
+    EXPECT_EQ(r.coresUsed, 3u);
+    for (const auto &core : r.assignment)
+        EXPECT_EQ(core.size(), 2u);
+    EXPECT_GT(r.fleetStp, 3.0); // sharing always beats half-fleet
+    EXPECT_LT(r.fleetStp, 6.0);
+}
+
+TEST(NpuCluster, ClusteredPairingBeatsRandomPerCore)
+{
+    NpuCluster cluster = makePool(6);
+    cluster.trainAdvisor(4);
+    ASSERT_TRUE(cluster.advisorTrained());
+
+    const ClusterResult clustered =
+        cluster.dispatchAndRun(DispatchPolicy::ClusteredPairing);
+    // Average random pairing over a few shuffles.
+    double random_sum = 0.0;
+    double random_cores = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const ClusterResult r = cluster.dispatchAndRun(
+            DispatchPolicy::RandomPairing, seed);
+        random_sum += r.fleetStp;
+        random_cores += static_cast<double>(r.coresUsed);
+    }
+    const double random_per_core =
+        random_sum / random_cores;
+    const double clustered_per_core =
+        clustered.fleetStp / static_cast<double>(clustered.coresUsed);
+    EXPECT_GT(clustered_per_core, random_per_core);
+}
+
+TEST(NpuCluster, ClusteredPairingRespectsThreshold)
+{
+    // A pool of mutually-contending workloads should not be paired.
+    ClusterConfig cfg = smallFleet(4);
+    cfg.collocationThreshold = 1.3;
+    NpuCluster cluster(cfg);
+    for (const char *m : {"BERT", "RNRS", "TFMR", "RsNt"})
+        cluster.addWorkload(m);
+    cluster.trainAdvisor(4);
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::ClusteredPairing);
+    // All four are SA-bound: the advisor should decline most or all
+    // pairings (predicted gain < 1.3x) and use dedicated cores.
+    EXPECT_GE(r.coresUsed, 3u);
+}
+
+TEST(NpuCluster, PredictedGainOrdersPairs)
+{
+    NpuCluster cluster = makePool(6);
+    cluster.trainAdvisor(4);
+    EXPECT_GT(cluster.predictedGain("BERT", "DLRM"),
+              cluster.predictedGain("BERT", "RNRS"));
+}
+
+TEST(NpuClusterDeath, Misuse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NpuCluster empty(smallFleet(2));
+    EXPECT_DEATH(empty.dispatchAndRun(DispatchPolicy::NoSharing),
+                 "empty");
+    EXPECT_DEATH(empty.trainAdvisor(), "adding workloads");
+
+    NpuCluster small = makePool(2); // 6 workloads, 2 cores
+    EXPECT_DEATH(small.dispatchAndRun(DispatchPolicy::NoSharing),
+                 "cores");
+    NpuCluster untrained = makePool(6);
+    EXPECT_DEATH(
+        untrained.dispatchAndRun(DispatchPolicy::ClusteredPairing),
+        "trainAdvisor");
+    EXPECT_DEATH(untrained.predictedGain("BERT", "NCF"),
+                 "not trained");
+    NpuCluster bad(smallFleet(4));
+    EXPECT_DEATH(bad.addWorkload("Nope"), "unknown");
+}
+
+TEST(DispatchPolicy, Names)
+{
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::NoSharing),
+                 "NoSharing");
+    EXPECT_STREQ(
+        dispatchPolicyName(DispatchPolicy::ClusteredPairing),
+        "ClusteredPairing");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the NpuCore assembly, the overlap tracker, and the §5.8
+ * vector-memory bandwidth provisioning rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/overlap_tracker.h"
+#include "npu/npu_core.h"
+#include "sim/simulator.h"
+
+namespace v10 {
+namespace {
+
+TEST(NpuCore, AssemblesConfiguredUnits)
+{
+    Simulator sim;
+    const NpuConfig cfg = NpuConfig{}.scaledForFus(2, 3);
+    NpuCore core(sim, cfg, 2, true);
+    EXPECT_EQ(core.sas().size(), 2u);
+    EXPECT_EQ(core.vus().size(), 3u);
+    EXPECT_EQ(core.units(FunctionalUnit::Kind::SA).size(), 2u);
+    EXPECT_EQ(core.units(FunctionalUnit::Kind::VU).size(), 3u);
+    EXPECT_EQ(core.sa(1).name(), "sa1");
+    EXPECT_EQ(core.vu(2).name(), "vu2");
+    // V10-Full reserves SA-context space in every partition.
+    EXPECT_EQ(core.vmem().contextReserveBytes(),
+              2 * cfg.saContextBytes());
+    EXPECT_EQ(core.hbmRegions().capacity(), cfg.hbmBytes);
+}
+
+TEST(NpuCore, ObserveAllCoversEveryUnit)
+{
+    class Counter : public FuObserver
+    {
+      public:
+        void
+        fuBusyChanged(const FunctionalUnit &, bool) override
+        {
+            ++events;
+        }
+        int events = 0;
+    };
+    Simulator sim;
+    NpuCore core(sim, NpuConfig{}, 1, false);
+    Counter counter;
+    core.observeAll(&counter);
+    core.sa(0).begin(0, 1, 10, 0, nullptr);
+    core.vu(0).begin(0, 2, 10, 0, nullptr);
+    sim.run();
+    EXPECT_EQ(counter.events, 4); // 2 busy + 2 idle transitions
+}
+
+TEST(OverlapTracker, ClassifiesAllFourBuckets)
+{
+    Simulator sim;
+    NpuCore core(sim, NpuConfig{}, 1, false);
+    OverlapTracker tracker(sim);
+    core.observeAll(&tracker);
+    tracker.startWindow();
+
+    // [0, 100): SA only. [100, 150): both. [150, 250): VU only.
+    // [250, 300): idle.
+    core.sa(0).begin(0, 1, 150, 0, nullptr);
+    sim.at(100, [&] { core.vu(0).begin(1, 2, 150, 0, nullptr); });
+    sim.run();
+    sim.runUntil(300);
+    tracker.finish();
+
+    EXPECT_EQ(tracker.windowCycles(), 300u);
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::SaOnly),
+              100u);
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::Both),
+              50u);
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::VuOnly),
+              100u);
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::Idle),
+              50u);
+    EXPECT_DOUBLE_EQ(tracker.bothFrac(), 50.0 / 300.0);
+}
+
+TEST(OverlapTracker, MultipleUnitsOfOneKindCountOnce)
+{
+    Simulator sim;
+    NpuCore core(sim, NpuConfig{}.scaledForFus(2, 2), 1, false);
+    OverlapTracker tracker(sim);
+    core.observeAll(&tracker);
+    tracker.startWindow();
+    // Two SAs busy simultaneously: still "SA only", not "both".
+    core.sa(0).begin(0, 1, 100, 0, nullptr);
+    core.sa(1).begin(1, 2, 50, 0, nullptr);
+    sim.run();
+    tracker.finish();
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::SaOnly),
+              100u);
+    EXPECT_EQ(tracker.bucketCycles(OverlapTracker::Bucket::Both),
+              0u);
+}
+
+TEST(VmemBandwidth, ProvisionedForCombinedPeak)
+{
+    const NpuConfig cfg;
+    // §5.8: vector memory satisfies the peak demand of SA and VU
+    // together, so vmem bandwidth contention never occurs.
+    EXPECT_GE(cfg.vmemBandwidthProvisioned(),
+              cfg.vmemPeakDemandBytesPerCycle());
+    // Demand: 128 * (2B in + 4B out) + 1024 lanes * 4B.
+    EXPECT_DOUBLE_EQ(cfg.vmemPeakDemandBytesPerCycle(),
+                     128.0 * 6.0 + 1024.0 * 4.0);
+    // Scaling FUs scales the demand linearly.
+    const NpuConfig big = NpuConfig{}.scaledForFus(4, 4);
+    EXPECT_DOUBLE_EQ(big.vmemPeakDemandBytesPerCycle(),
+                     4.0 * cfg.vmemPeakDemandBytesPerCycle());
+}
+
+} // namespace
+} // namespace v10

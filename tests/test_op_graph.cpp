@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the operator dependency-DAG analysis behind Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/op_graph.h"
+
+namespace v10 {
+namespace {
+
+TensorOperator
+makeOp(OpId id, Cycles cycles, std::vector<std::uint32_t> deps)
+{
+    TensorOperator op;
+    op.id = id;
+    op.kind = OpKind::SA;
+    op.computeCycles = cycles;
+    op.deps = std::move(deps);
+    return op;
+}
+
+TEST(OpGraph, PureChainHasNoSlack)
+{
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 100, {}));
+    ops.push_back(makeOp(1, 200, {0}));
+    ops.push_back(makeOp(2, 300, {1}));
+    OpGraph g(ops);
+    EXPECT_EQ(g.totalCycles(), 600u);
+    EXPECT_EQ(g.criticalPathCycles(), 600u);
+    EXPECT_DOUBLE_EQ(g.idealSpeedup(), 1.0);
+    EXPECT_EQ(g.maxParallelism(), 1u);
+}
+
+TEST(OpGraph, ParallelBranchShortensCriticalPath)
+{
+    // op0 -> op1 and op0 -> op2 (parallel), both -> nothing else.
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 100, {}));
+    ops.push_back(makeOp(1, 200, {0}));
+    ops.push_back(makeOp(2, 150, {0})); // parallel with op1
+    OpGraph g(ops);
+    EXPECT_EQ(g.totalCycles(), 450u);
+    EXPECT_EQ(g.criticalPathCycles(), 300u); // 100 + max(200, 150)
+    EXPECT_DOUBLE_EQ(g.idealSpeedup(), 1.5);
+    EXPECT_EQ(g.maxParallelism(), 2u);
+}
+
+TEST(OpGraph, FullyIndependentOps)
+{
+    std::vector<TensorOperator> ops;
+    for (OpId i = 0; i < 4; ++i)
+        ops.push_back(makeOp(i, 100, {}));
+    OpGraph g(ops);
+    EXPECT_EQ(g.criticalPathCycles(), 100u);
+    EXPECT_DOUBLE_EQ(g.idealSpeedup(), 4.0);
+    EXPECT_EQ(g.maxParallelism(), 4u);
+}
+
+TEST(OpGraph, DiamondDependency)
+{
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {}));
+    ops.push_back(makeOp(1, 20, {0}));
+    ops.push_back(makeOp(2, 30, {0}));
+    ops.push_back(makeOp(3, 10, {1, 2}));
+    OpGraph g(ops);
+    EXPECT_EQ(g.criticalPathCycles(), 50u); // 10 + 30 + 10
+    const auto &starts = g.earliestStarts();
+    EXPECT_EQ(starts[1], 10u);
+    EXPECT_EQ(starts[2], 10u);
+    EXPECT_EQ(starts[3], 40u);
+}
+
+TEST(OpGraph, EmptyGraph)
+{
+    std::vector<TensorOperator> ops;
+    OpGraph g(ops);
+    EXPECT_EQ(g.totalCycles(), 0u);
+    EXPECT_DOUBLE_EQ(g.idealSpeedup(), 1.0);
+}
+
+TEST(OpGraphDeath, ForwardDependencyRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {}));
+    ops.back().deps = {0}; // self-dependency (not earlier)
+    EXPECT_DEATH(OpGraph g(ops), "earlier");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for V10's operator scheduler: cross-tenant SA/VU overlap,
+ * the behavior differences between the Base/Fair/Full variants
+ * (§5.1), preemption effects on starvation (the Fig. 12 / BERT+DLRM
+ * story), and priority enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+struct PairRun
+{
+    RunStats stats;
+    std::uint64_t timerPreemptions = 0;
+};
+
+PairRun
+runPair(const std::string &a, const std::string &b,
+        OperatorScheduler::Variant variant, double prioA = 1.0,
+        double prioB = 1.0, std::uint64_t requests = 6)
+{
+    const NpuConfig cfg;
+    const Workload wa = Workload::fromName(a, 0, cfg);
+    const Workload wb = Workload::fromName(b, 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2,
+                 variant == OperatorScheduler::Variant::Full);
+    OperatorScheduler sched(
+        sim, core,
+        {TenantSpec{&wa, prioA}, TenantSpec{&wb, prioB}}, variant);
+    PairRun run;
+    run.stats = sched.run(requests, 1);
+    run.timerPreemptions = sched.timerPreemptions();
+    return run;
+}
+
+TEST(OpScheduler, ComplementaryPairOverlapsSaAndVu)
+{
+    const PairRun run =
+        runPair("BERT", "NCF", OperatorScheduler::Variant::Full);
+    // The whole point of V10 (Fig. 1c): simultaneous SA+VU execution
+    // across tenants.
+    EXPECT_GT(run.stats.overlapBothFrac, 0.25);
+    EXPECT_GT(run.stats.saUtil, 0.7);
+}
+
+TEST(OpScheduler, BaseVariantNeverPreempts)
+{
+    const PairRun run =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Base);
+    EXPECT_EQ(run.timerPreemptions, 0u);
+    EXPECT_EQ(run.stats.workloads[0].preemptions, 0u);
+    EXPECT_EQ(run.stats.workloads[1].preemptions, 0u);
+    EXPECT_EQ(run.stats.workloads[0].overheadCycles, 0u);
+}
+
+TEST(OpScheduler, FullVariantPreemptsUnderContention)
+{
+    const PairRun run =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Full);
+    EXPECT_GT(run.timerPreemptions, 0u);
+    EXPECT_GT(run.stats.workloads[0].preemptions +
+                  run.stats.workloads[1].preemptions,
+              0u);
+}
+
+TEST(OpScheduler, PreemptionRescuesStarvedTenant)
+{
+    // Fig. 12 / §5.2: BERT's long SA operators starve DLRM's short
+    // ones without preemption; V10-Full restores DLRM's progress.
+    const PairRun base =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Base);
+    const PairRun full =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Full);
+    const double base_dlrm_lat = base.stats.workloads[1].avgLatencyUs;
+    const double full_dlrm_lat = full.stats.workloads[1].avgLatencyUs;
+    EXPECT_GT(base_dlrm_lat, 1.5 * full_dlrm_lat);
+}
+
+TEST(OpScheduler, FullVariantIsFairerThanBase)
+{
+    const PairRun base =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Base);
+    const PairRun full =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Full);
+    auto imbalance = [](const RunStats &s) {
+        const double r0 = s.workloads[0].requestsPerSec *
+                          s.workloads[0].avgLatencyUs;
+        (void)r0;
+        // Compare per-tenant FU time shares.
+        const double t0 = static_cast<double>(
+            s.workloads[0].saComputeCycles +
+            s.workloads[0].vuComputeCycles);
+        const double t1 = static_cast<double>(
+            s.workloads[1].saComputeCycles +
+            s.workloads[1].vuComputeCycles);
+        return std::abs(t0 - t1) / (t0 + t1);
+    };
+    EXPECT_LT(imbalance(full.stats), imbalance(base.stats));
+}
+
+TEST(OpScheduler, PreemptionOverheadIsSmall)
+{
+    const PairRun full =
+        runPair("BERT", "DLRM", OperatorScheduler::Variant::Full);
+    // §5.5: context-switch overhead below ~2%.
+    EXPECT_LT(full.stats.workloads[0].ctxOverheadFrac, 0.02);
+    EXPECT_LT(full.stats.workloads[1].ctxOverheadFrac, 0.02);
+}
+
+TEST(OpScheduler, HigherPriorityGetsMoreProgress)
+{
+    const PairRun skewed = runPair(
+        "BERT", "TFMR", OperatorScheduler::Variant::Full, 0.9, 0.1,
+        5);
+    const auto &w = skewed.stats.workloads;
+    // Both are SA-bound, so the shares track priorities: the
+    // prioritized tenant must get several times the FU share.
+    const double share0 = static_cast<double>(
+        w[0].saComputeCycles + w[0].vuComputeCycles);
+    const double share1 = static_cast<double>(
+        w[1].saComputeCycles + w[1].vuComputeCycles);
+    EXPECT_GT(share0 / (share0 + share1), 0.6);
+}
+
+TEST(OpScheduler, EqualPrioritiesEqualizeActiveRates)
+{
+    const PairRun run = runPair("RsNt", "RNRS",
+                                OperatorScheduler::Variant::Full,
+                                1.0, 1.0, 5);
+    const auto &w = run.stats.workloads;
+    const double t0 = static_cast<double>(w[0].saComputeCycles +
+                                          w[0].vuComputeCycles);
+    const double t1 = static_cast<double>(w[1].saComputeCycles +
+                                          w[1].vuComputeCycles);
+    EXPECT_NEAR(t0 / (t0 + t1), 0.5, 0.1);
+}
+
+TEST(OpScheduler, VariantNames)
+{
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    OperatorScheduler base(sim, core, {TenantSpec{&wl, 1.0}},
+                           OperatorScheduler::Variant::Base);
+    EXPECT_STREQ(base.name(), "V10-Base");
+    EXPECT_EQ(base.variant(), OperatorScheduler::Variant::Base);
+}
+
+TEST(OpScheduler, SliceOverrideControlsPreemptionRate)
+{
+    const NpuConfig cfg;
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    const Workload b = Workload::fromName("DLRM", 0, cfg);
+    auto preempts = [&](Cycles slice) {
+        Simulator sim;
+        NpuCore core(sim, cfg, 2, true);
+        OperatorScheduler sched(
+            sim, core, {TenantSpec{&a, 1.0}, TenantSpec{&b, 1.0}},
+            OperatorScheduler::Variant::Full, slice);
+        const RunStats s = sched.run(4, 1);
+        return s.workloads[0].preemptions +
+               s.workloads[1].preemptions;
+    };
+    // Smaller slices -> more frequent preemption checks -> more
+    // preemptions (Fig. 23's overhead side).
+    EXPECT_GT(preempts(4096), preempts(262144));
+}
+
+} // namespace
+} // namespace v10

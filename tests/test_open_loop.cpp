@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the open-loop (Poisson arrival) extension: queueing
+ * latency semantics, load sensitivity, and mixing open- and
+ * closed-loop tenants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+TEST(RngExponential, MeanMatches)
+{
+    Rng rng(53);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(42.0);
+        EXPECT_GT(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n / 42.0, 1.0, 0.02);
+}
+
+TEST(OpenLoop, LowLoadLatencyNearServiceTime)
+{
+    ExperimentRunner runner;
+    const double cap = runner.singleTenantRps("MNST", 0);
+    const double service_us = 1e6 / cap;
+
+    const RunStats stats = runner.run(
+        SchedulerKind::V10Full,
+        {TenantRequest{"MNST", 0, 1.0, 0.1 * cap}}, 15, 2);
+    // At 10% load, queueing is negligible: latency within ~2x of
+    // the unloaded service time.
+    EXPECT_GT(stats.workloads[0].avgLatencyUs, 0.8 * service_us);
+    EXPECT_LT(stats.workloads[0].avgLatencyUs, 2.0 * service_us);
+}
+
+TEST(OpenLoop, LatencyGrowsWithLoad)
+{
+    ExperimentRunner runner;
+    const double cap = runner.singleTenantRps("DLRM", 0);
+    auto p95_at = [&](double load) {
+        const RunStats s = runner.run(
+            SchedulerKind::V10Full,
+            {TenantRequest{"DLRM", 0, 1.0, load * cap}}, 20, 2);
+        return s.workloads[0].p95LatencyUs;
+    };
+    const double low = p95_at(0.2);
+    const double high = p95_at(0.9);
+    EXPECT_GT(high, 1.5 * low); // queueing delay kicks in
+}
+
+TEST(OpenLoop, ThroughputTracksOfferedLoad)
+{
+    ExperimentRunner runner;
+    const double cap = runner.singleTenantRps("MNST", 0);
+    const double offered = 0.3 * cap;
+    const RunStats stats = runner.run(
+        SchedulerKind::V10Full,
+        {TenantRequest{"MNST", 0, 1.0, offered}}, 25, 3);
+    // Under-loaded: completion rate equals the offered rate (within
+    // Poisson sampling noise at 25 requests).
+    EXPECT_NEAR(stats.workloads[0].requestsPerSec / offered, 1.0,
+                0.35);
+}
+
+TEST(OpenLoop, MixesWithClosedLoopTenant)
+{
+    ExperimentRunner runner;
+    const double cap = runner.singleTenantRps("NCF", 0);
+    const RunStats stats = runner.run(
+        SchedulerKind::V10Full,
+        {TenantRequest{"BERT", 0, 1.0, 0.0},        // closed loop
+         TenantRequest{"NCF", 0, 1.0, 0.3 * cap}}, // open loop
+        10, 1);
+    EXPECT_GE(stats.workloads[0].requests, 10u);
+    EXPECT_GE(stats.workloads[1].requests, 10u);
+    // The closed-loop tenant harvests what the paced tenant leaves.
+    EXPECT_GT(stats.workloads[0].normalizedProgress, 0.6);
+}
+
+TEST(OpenLoop, DeterministicPerSeed)
+{
+    ExperimentRunner runner;
+    const double cap = runner.singleTenantRps("MNST", 0);
+    const TenantRequest req{"MNST", 0, 1.0, 0.5 * cap};
+    const RunStats a =
+        runner.run(SchedulerKind::V10Full, {req}, 10, 1);
+    const RunStats b =
+        runner.run(SchedulerKind::V10Full, {req}, 10, 1);
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_DOUBLE_EQ(a.workloads[0].avgLatencyUs,
+                     b.workloads[0].avgLatencyUs);
+}
+
+TEST(OpenLoopDeath, NegativeRateRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ExperimentRunner runner;
+    EXPECT_DEATH(runner.run(SchedulerKind::V10Full,
+                            {TenantRequest{"MNST", 0, 1.0, -1.0}},
+                            5, 1),
+                 "negative arrival");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the PMT baseline: exclusive core ownership (no SA/VU
+ * overlap across tenants), task-level preemption counting, the
+ * 20-40 us context-switch cost, and priority-proportional slices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.h"
+#include "sched/pmt_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+RunStats
+runPmt(const std::string &a, const std::string &b, double prioA,
+       double prioB, std::uint64_t requests = 6,
+       PmtScheduler::Options options = PmtScheduler::Options{})
+{
+    const NpuConfig cfg;
+    const Workload wa = Workload::fromName(a, 0, cfg);
+    const Workload wb = Workload::fromName(b, 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, false);
+    PmtScheduler sched(
+        sim, core, {TenantSpec{&wa, prioA}, TenantSpec{&wb, prioB}},
+        options);
+    return sched.run(requests, 1);
+}
+
+TEST(Pmt, NeverOverlapsSaAndVu)
+{
+    const RunStats stats = runPmt("BERT", "NCF", 1.0, 1.0);
+    // Task-level time sharing cannot overlap the units (Fig. 1b).
+    EXPECT_DOUBLE_EQ(stats.overlapBothFrac, 0.0);
+}
+
+TEST(Pmt, EqualPrioritiesShareTimeEqually)
+{
+    const RunStats stats = runPmt("BERT", "RNRS", 1.0, 1.0, 6);
+    const auto &w = stats.workloads;
+    const double t0 = static_cast<double>(w[0].saComputeCycles +
+                                          w[0].vuComputeCycles);
+    const double t1 = static_cast<double>(w[1].saComputeCycles +
+                                          w[1].vuComputeCycles);
+    EXPECT_NEAR(t0 / (t0 + t1), 0.5, 0.06);
+}
+
+TEST(Pmt, SlicesProportionalToPriority)
+{
+    const RunStats stats = runPmt("BERT", "RNRS", 0.8, 0.2, 5);
+    const auto &w = stats.workloads;
+    const double t0 = static_cast<double>(w[0].saComputeCycles +
+                                          w[0].vuComputeCycles);
+    const double t1 = static_cast<double>(w[1].saComputeCycles +
+                                          w[1].vuComputeCycles);
+    EXPECT_NEAR(t0 / (t0 + t1), 0.8, 0.08);
+}
+
+TEST(Pmt, ContextSwitchOverheadAroundTwoPercent)
+{
+    const RunStats stats = runPmt("BERT", "RsNt", 1.0, 1.0, 6);
+    for (const auto &w : stats.workloads) {
+        EXPECT_GT(w.ctxOverheadFrac, 0.001);
+        EXPECT_LT(w.ctxOverheadFrac, 0.06);
+    }
+}
+
+TEST(Pmt, CountsTaskPreemptions)
+{
+    const RunStats stats = runPmt("BERT", "RsNt", 1.0, 1.0, 6);
+    EXPECT_GT(stats.workloads[0].preemptions, 0u);
+    EXPECT_GT(stats.workloads[1].preemptions, 0u);
+    // Coarse task slices -> far fewer preemptions per request than
+    // V10's operator-level scheme (Fig. 21).
+    EXPECT_LT(stats.workloads[0].preemptsPerRequest(), 200.0);
+}
+
+TEST(Pmt, SingleTenantDegeneratesToDedicatedCore)
+{
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    PmtScheduler sched(sim, core, {TenantSpec{&wl, 1.0}});
+    const RunStats stats = sched.run(8, 1);
+    EXPECT_EQ(stats.workloads[0].requests, 8u);
+    // No one to switch to: no context-switch overhead.
+    EXPECT_EQ(stats.workloads[0].overheadCycles, 0u);
+}
+
+TEST(Pmt, LargerSlicesReducePreemptions)
+{
+    PmtScheduler::Options small;
+    small.taskSlice = 1u << 18;
+    PmtScheduler::Options large;
+    large.taskSlice = 1u << 22;
+    const RunStats s_small =
+        runPmt("BERT", "RsNt", 1.0, 1.0, 5, small);
+    const RunStats s_large =
+        runPmt("BERT", "RsNt", 1.0, 1.0, 5, large);
+    EXPECT_GT(s_small.workloads[0].preemptions,
+              s_large.workloads[0].preemptions);
+}
+
+TEST(Pmt, StpNearOneForAnyPair)
+{
+    // PMT splits the core: combined progress stays near a single
+    // dedicated core's, minus switch overhead.
+    const NpuConfig cfg;
+    const RunStats stats = runPmt("ENet", "RtNt", 1.0, 1.0, 6);
+    // normalizedProgress isn't filled at engine level; check the
+    // utilization instead: aggregate busy never exceeds one core.
+    EXPECT_LE(stats.saUtil + stats.vuUtil, 1.05);
+}
+
+TEST(PmtDeath, BadOptions)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    PmtScheduler::Options opts;
+    opts.taskSlice = 0;
+    EXPECT_DEATH(PmtScheduler(sim, core, {TenantSpec{&wl, 1.0}},
+                              opts),
+                 "slice");
+    opts = PmtScheduler::Options{};
+    opts.ctxSwitchMaxUs = 1.0;
+    opts.ctxSwitchMinUs = 2.0;
+    EXPECT_DEATH(PmtScheduler(sim, core, {TenantSpec{&wl, 1.0}},
+                              opts),
+                 "context-switch");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the scheduling policies: round-robin circulation and the
+ * Algorithm 1 priority policy (minimum active_rate / priority
+ * first), plus their preemption-contest decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/priority_policy.h"
+#include "sched/rr_policy.h"
+
+namespace v10 {
+namespace {
+
+ContextTable
+makeTable(std::uint32_t n)
+{
+    ContextTable t(n);
+    for (WorkloadId i = 0; i < n; ++i) {
+        t.row(i).ready = true;
+        t.row(i).active = false;
+        t.row(i).opType = OpKind::SA;
+        t.row(i).totalCycles = 1000;
+        t.row(i).priority = 1.0;
+    }
+    return t;
+}
+
+TEST(RoundRobin, CirculatesThroughReadyWorkloads)
+{
+    ContextTable t = makeTable(3);
+    RoundRobinPolicy rr;
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 1u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 2u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 0u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 1u);
+}
+
+TEST(RoundRobin, SkipsNotReadyAndActive)
+{
+    ContextTable t = makeTable(3);
+    t.row(1).ready = false;
+    t.row(2).active = true;
+    RoundRobinPolicy rr;
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 0u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 0u);
+}
+
+TEST(RoundRobin, FiltersByFuType)
+{
+    ContextTable t = makeTable(3);
+    t.row(0).opType = OpKind::VU;
+    t.row(1).opType = OpKind::VU;
+    RoundRobinPolicy rr;
+    // Each kind's cursor starts at 0, so the scan begins at row 1.
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 2u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::VU), 1u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::VU), 0u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::VU), 1u);
+}
+
+TEST(RoundRobin, NoCandidateReturnsSentinel)
+{
+    ContextTable t = makeTable(2);
+    t.row(0).ready = false;
+    t.row(1).ready = false;
+    RoundRobinPolicy rr;
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), kNoWorkload);
+}
+
+TEST(RoundRobin, IndependentCursorsPerKind)
+{
+    ContextTable t = makeTable(4);
+    t.row(2).opType = OpKind::VU;
+    t.row(3).opType = OpKind::VU;
+    RoundRobinPolicy rr;
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 1u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::VU), 2u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::SA), 0u);
+    EXPECT_EQ(rr.pickNext(t, OpKind::VU), 3u);
+}
+
+TEST(RoundRobin, PreemptionContestComparesActiveTime)
+{
+    ContextTable t = makeTable(2);
+    t.row(0).activeCycles = 500;
+    t.row(1).activeCycles = 100;
+    RoundRobinPolicy rr;
+    EXPECT_TRUE(rr.shouldPreempt(t, 0, 1));
+    EXPECT_FALSE(rr.shouldPreempt(t, 1, 0));
+}
+
+TEST(Priority, PicksLowestActiveRateP)
+{
+    ContextTable t = makeTable(3);
+    t.row(0).activeCycles = 600;
+    t.row(1).activeCycles = 200; // most starved
+    t.row(2).activeCycles = 400;
+    PriorityPolicy p;
+    EXPECT_EQ(p.pickNext(t, OpKind::SA), 1u);
+}
+
+TEST(Priority, PriorityDividesActiveRate)
+{
+    // Algorithm 1: arp = active_rate / priority. A high-priority
+    // workload with equal active time is *more* starved.
+    ContextTable t = makeTable(2);
+    t.row(0).activeCycles = 400;
+    t.row(0).priority = 4.0; // arp = 0.1
+    t.row(1).activeCycles = 200;
+    t.row(1).priority = 1.0; // arp = 0.2
+    PriorityPolicy p;
+    EXPECT_EQ(p.pickNext(t, OpKind::SA), 0u);
+}
+
+TEST(Priority, RespectsReadyActiveAndType)
+{
+    ContextTable t = makeTable(3);
+    t.row(0).activeCycles = 0; // most starved but not ready
+    t.row(0).ready = false;
+    t.row(1).activeCycles = 100;
+    t.row(1).opType = OpKind::VU; // wrong kind
+    t.row(2).activeCycles = 900;
+    PriorityPolicy p;
+    EXPECT_EQ(p.pickNext(t, OpKind::SA), 2u);
+    EXPECT_EQ(p.pickNext(t, OpKind::VU), 1u);
+}
+
+TEST(Priority, PreemptionContestUsesArp)
+{
+    ContextTable t = makeTable(2);
+    t.row(0).activeCycles = 500;
+    t.row(1).activeCycles = 100;
+    PriorityPolicy p;
+    EXPECT_TRUE(p.shouldPreempt(t, 0, 1));
+    EXPECT_FALSE(p.shouldPreempt(t, 1, 0));
+    // Raising the running workload's priority flips the contest.
+    t.row(1).priority = 10.0; // candidate=0 vs running=1
+    t.row(0).priority = 0.1;
+    EXPECT_FALSE(p.shouldPreempt(t, 1, 0));
+}
+
+TEST(Priority, ZeroTotalTimeTreatedAsZeroRate)
+{
+    ContextTable t = makeTable(2);
+    t.row(0).totalCycles = 0;
+    t.row(1).activeCycles = 1;
+    PriorityPolicy p;
+    EXPECT_EQ(p.pickNext(t, OpKind::SA), 0u);
+}
+
+TEST(PolicyNames, AreStable)
+{
+    RoundRobinPolicy rr;
+    PriorityPolicy p;
+    EXPECT_STREQ(rr.name(), "round-robin");
+    EXPECT_STREQ(p.name(), "priority");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the PREMA token-based baseline: task-level semantics
+ * (no overlap), token-driven fairness, priority bias, and its
+ * position between PMT and V10-Full.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.h"
+#include "sched/prema_scheduler.h"
+#include "sim/simulator.h"
+#include "v10/experiment.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+RunStats
+runPrema(const std::string &a, const std::string &b, double prioA,
+         double prioB, std::uint64_t requests = 6)
+{
+    const NpuConfig cfg;
+    const Workload wa = Workload::fromName(a, 0, cfg);
+    const Workload wb = Workload::fromName(b, 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, false);
+    PremaScheduler sched(
+        sim, core, {TenantSpec{&wa, prioA}, TenantSpec{&wb, prioB}});
+    return sched.run(requests, 1);
+}
+
+TEST(Prema, NeverOverlapsSaAndVu)
+{
+    const RunStats stats = runPrema("BERT", "NCF", 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(stats.overlapBothFrac, 0.0);
+}
+
+TEST(Prema, TokensEqualizeUnequalTasks)
+{
+    // Long-request + short-request tasks get near-equal core time
+    // (absolute-waiting-time tokens prevent SJF starvation).
+    const RunStats stats = runPrema("BERT", "NCF", 1.0, 1.0, 8);
+    const auto &w = stats.workloads;
+    const double t0 = static_cast<double>(w[0].saComputeCycles +
+                                          w[0].vuComputeCycles);
+    const double t1 = static_cast<double>(w[1].saComputeCycles +
+                                          w[1].vuComputeCycles);
+    EXPECT_NEAR(t0 / (t0 + t1), 0.5, 0.12);
+}
+
+TEST(Prema, PriorityTiltsTheShare)
+{
+    const RunStats stats = runPrema("BERT", "RsNt", 4.0, 1.0, 6);
+    const auto &w = stats.workloads;
+    const double t0 = static_cast<double>(w[0].saComputeCycles +
+                                          w[0].vuComputeCycles);
+    const double t1 = static_cast<double>(w[1].saComputeCycles +
+                                          w[1].vuComputeCycles);
+    // Priority 4:1 -> the prioritized task waits 4x less per token,
+    // so it holds the core most of the time.
+    EXPECT_GT(t0 / (t0 + t1), 0.6);
+}
+
+TEST(Prema, FewerSwitchesThanPmt)
+{
+    ExperimentRunner runner;
+    const RunStats prema = runner.runPair(SchedulerKind::Prema,
+                                          "BERT", "NCF", 1.0, 1.0, 8);
+    const RunStats pmt = runner.runPair(SchedulerKind::Pmt, "BERT",
+                                        "NCF", 1.0, 1.0, 8);
+    // Token thresholds switch less often than fixed slices here.
+    EXPECT_LT(prema.workloads[0].preemptsPerRequest(),
+              pmt.workloads[0].preemptsPerRequest() * 1.5);
+    // Comparable aggregate throughput (both are task-level).
+    EXPECT_NEAR(prema.stp() / pmt.stp(), 1.0, 0.15);
+}
+
+TEST(Prema, V10FullStillWins)
+{
+    ExperimentRunner runner;
+    const RunStats prema = runner.runPair(SchedulerKind::Prema,
+                                          "BERT", "NCF", 1.0, 1.0, 8);
+    const RunStats full = runner.runPair(SchedulerKind::V10Full,
+                                         "BERT", "NCF", 1.0, 1.0, 8);
+    // The paper's thesis: no task-level scheme can overlap SA and
+    // VU across tenants.
+    EXPECT_GT(full.stp(), 1.25 * prema.stp());
+}
+
+TEST(Prema, FactoryIntegration)
+{
+    EXPECT_EQ(schedulerKindFromName("PREMA"), SchedulerKind::Prema);
+    EXPECT_STREQ(schedulerKindName(SchedulerKind::Prema), "PREMA");
+    // The paper's figure set stays PREMA-free.
+    for (SchedulerKind kind : allSchedulerKinds())
+        EXPECT_NE(kind, SchedulerKind::Prema);
+}
+
+TEST(PremaDeath, BadOptions)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    PremaScheduler::Options opts;
+    opts.checkpointPeriod = 0;
+    EXPECT_DEATH(PremaScheduler(sim, core, {TenantSpec{&wl, 1.0}},
+                                opts),
+                 "checkpoint");
+    opts = PremaScheduler::Options{};
+    opts.tokenThreshold = 0.0;
+    EXPECT_DEATH(PremaScheduler(sim, core, {TenantSpec{&wl, 1.0}},
+                                opts),
+                 "threshold");
+}
+
+} // namespace
+} // namespace v10

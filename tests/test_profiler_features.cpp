@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the §2.2 single-workload profiler and the §3.4 feature
+ * extraction, including the characterization shapes of Figs. 3-7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "v10/features.h"
+#include "v10/profiler.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+namespace {
+
+const NpuConfig &
+config()
+{
+    static const NpuConfig cfg;
+    return cfg;
+}
+
+TEST(Profiler, MetricsAreFractions)
+{
+    const SingleProfile p =
+        profileSingle(config(), findModel("RsNt"), 32, 5);
+    EXPECT_FALSE(p.oom);
+    EXPECT_GT(p.flopsUtil, 0.0);
+    EXPECT_LT(p.flopsUtil, 1.0);
+    EXPECT_GT(p.mxuUtil, 0.0);
+    EXPECT_LE(p.mxuUtil, 1.0);
+    EXPECT_GT(p.vpuUtil, 0.0);
+    EXPECT_LE(p.vpuUtil, 1.0);
+    EXPECT_GT(p.hbmUtil, 0.0);
+    EXPECT_LE(p.hbmUtil, 1.0);
+    EXPECT_GE(p.idealSpeedup, 1.0);
+    EXPECT_GT(p.tflops, 0.0);
+    EXPECT_LT(p.tflops, config().peakTflops());
+}
+
+TEST(Profiler, OomBatchesAreMarkedNotRun)
+{
+    const SingleProfile p =
+        profileSingle(config(), findModel("SMask"), 2048, 5);
+    EXPECT_TRUE(p.oom);
+    EXPECT_EQ(p.flopsUtil, 0.0);
+}
+
+TEST(Profiler, Fig3FlopsUtilBelowHalfAtReferenceBatch)
+{
+    // §2.2: "Most DNN workloads utilize less than half of the total
+    // available FLOPS".
+    int below_half = 0;
+    for (const auto &m : modelZoo()) {
+        const SingleProfile p =
+            profileSingle(config(), m, m.refBatch, 5);
+        below_half += p.flopsUtil < 0.5;
+    }
+    EXPECT_GE(below_half, 9);
+}
+
+TEST(Profiler, Fig3FlopsUtilGrowsWithBatch)
+{
+    const ModelProfile &m = findModel("RsNt");
+    const SingleProfile small = profileSingle(config(), m, 1, 5);
+    const SingleProfile large = profileSingle(config(), m, 128, 5);
+    EXPECT_LT(small.flopsUtil, large.flopsUtil);
+}
+
+TEST(Profiler, Fig4MxuIntensityOrdering)
+{
+    // MXU-intensive models show far higher SA temporal utilization
+    // than recommendation models (§2.2's imbalance).
+    const SingleProfile bert =
+        profileSingle(config(), findModel("BERT"), 32, 5);
+    const SingleProfile dlrm =
+        profileSingle(config(), findModel("DLRM"), 32, 5);
+    EXPECT_GT(bert.mxuUtil, 0.6);
+    EXPECT_LT(dlrm.mxuUtil, 0.25);
+    EXPECT_LT(bert.vpuUtil, 0.25);
+    EXPECT_GT(dlrm.vpuUtil, 0.5);
+}
+
+TEST(Profiler, Fig7BandwidthUtilizationDecreasesWithBatch)
+{
+    // Larger batches raise data reuse; BW utilization falls (except
+    // Transformer, footnote 1).
+    const ModelProfile &rsnt = findModel("RsNt");
+    const SingleProfile b8 = profileSingle(config(), rsnt, 8, 5);
+    const SingleProfile b256 = profileSingle(config(), rsnt, 256, 5);
+    EXPECT_GT(b8.hbmUtil, b256.hbmUtil);
+
+    const ModelProfile &tfmr = findModel("TFMR");
+    const SingleProfile t32 = profileSingle(config(), tfmr, 32, 5);
+    const SingleProfile t256 = profileSingle(config(), tfmr, 256, 5);
+    EXPECT_LT(t32.hbmUtil, t256.hbmUtil);
+}
+
+TEST(Profiler, Fig8IntensityGrowsWithBatch)
+{
+    const ModelProfile &m = findModel("BERT");
+    const SingleProfile b1 = profileSingle(config(), m, 1, 5);
+    const SingleProfile b128 = profileSingle(config(), m, 128, 5);
+    EXPECT_LT(b1.opIntensity, b128.opIntensity);
+}
+
+TEST(Profiler, SweepCoversAllModelsAndBatches)
+{
+    const auto profiles = profileAllModels(config(), 3);
+    EXPECT_EQ(profiles.size(), 11u * standardBatchSweep().size());
+    int oom = 0;
+    for (const auto &p : profiles)
+        oom += p.oom;
+    EXPECT_GT(oom, 0);        // heavy models fail at big batches
+    EXPECT_LT(oom, 40);       // but most points run
+}
+
+TEST(Features, VectorShapeAndValues)
+{
+    const SingleProfile p =
+        profileSingle(config(), findModel("BERT"), 32, 5);
+    const WorkloadFeatures f = extractFeatures(p);
+    EXPECT_EQ(f.model, "BERT");
+    EXPECT_EQ(f.batch, 32);
+    ASSERT_EQ(f.values.size(), WorkloadFeatures::names().size());
+    EXPECT_DOUBLE_EQ(f.values[0], p.mxuUtil);
+    EXPECT_DOUBLE_EQ(f.values[1], p.vpuUtil);
+    EXPECT_DOUBLE_EQ(f.values[2], p.hbmUtil);
+    // sa_share for an MXU-bound model.
+    EXPECT_GT(f.values[7], 0.8);
+}
+
+TEST(FeaturesDeath, OomProfileRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const SingleProfile p =
+        profileSingle(config(), findModel("SMask"), 2048, 3);
+    EXPECT_DEATH(extractFeatures(p), "OOM");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG and its derived distributions,
+ * including property-style checks of distribution moments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace v10 {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(20.0, 40.0);
+        EXPECT_GE(u, 20.0);
+        EXPECT_LT(u, 40.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(17);
+    bool seen[10] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.uniformInt(10)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(19);
+    const int n = 100000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+/** Lognormal mean/CV property over a grid of parameters. */
+class RngLognormal
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(RngLognormal, MeanAndCvMatchRequested)
+{
+    const auto [mean, cv] = GetParam();
+    Rng rng(23);
+    const int n = 200000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.lognormal(mean, cv);
+        EXPECT_GT(x, 0.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double m = sum / n;
+    const double var = sq / n - m * m;
+    EXPECT_NEAR(m / mean, 1.0, 0.05);
+    if (cv > 0.0) {
+        EXPECT_NEAR(std::sqrt(var) / m / cv, 1.0, 0.10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RngLognormal,
+    ::testing::Values(std::make_tuple(1.0, 0.3),
+                      std::make_tuple(10.0, 0.8),
+                      std::make_tuple(877.0, 0.9),
+                      std::make_tuple(4.43, 0.6),
+                      std::make_tuple(100.0, 1.5)));
+
+TEST(Rng, LognormalDegenerateCases)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.lognormal(10.0, 0.0), 10.0);
+    EXPECT_EQ(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the RunStats aggregate: STP, ANTT, fairness index, and
+ * the summary rendering, plus fairness ordering across scheduler
+ * designs on a starvation-prone pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/run_stats.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+RunStats
+makeStats(std::initializer_list<double> progresses)
+{
+    RunStats stats;
+    for (double np : progresses) {
+        WorkloadRunStats w;
+        w.normalizedProgress = np;
+        stats.workloads.push_back(w);
+    }
+    return stats;
+}
+
+TEST(RunStats, StpSumsProgress)
+{
+    const RunStats s = makeStats({0.7, 0.8});
+    EXPECT_DOUBLE_EQ(s.stp(), 1.5);
+    EXPECT_DOUBLE_EQ(s.worstProgress(), 0.7);
+}
+
+TEST(RunStats, AnttIsMeanSlowdown)
+{
+    const RunStats s = makeStats({0.5, 0.25});
+    // Slowdowns 2x and 4x -> ANTT 3.
+    EXPECT_DOUBLE_EQ(s.antt(), 3.0);
+    const RunStats ideal = makeStats({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(ideal.antt(), 1.0);
+}
+
+TEST(RunStats, FairnessIndex)
+{
+    EXPECT_DOUBLE_EQ(makeStats({0.6, 0.6}).fairness(), 1.0);
+    EXPECT_DOUBLE_EQ(makeStats({0.3, 0.6}).fairness(), 0.5);
+    EXPECT_DOUBLE_EQ(makeStats({}).fairness(), 0.0);
+}
+
+TEST(RunStats, DegenerateValues)
+{
+    EXPECT_DOUBLE_EQ(makeStats({}).stp(), 0.0);
+    EXPECT_DOUBLE_EQ(makeStats({}).antt(), 0.0);
+    EXPECT_DOUBLE_EQ(makeStats({0.0, 0.5}).antt(), 0.0);
+}
+
+TEST(RunStats, SummaryContainsKeyNumbers)
+{
+    RunStats s = makeStats({0.5});
+    s.workloads[0].label = "BERT@32";
+    s.saUtil = 0.5;
+    const std::string text = s.summary();
+    EXPECT_NE(text.find("BERT@32"), std::string::npos);
+    EXPECT_NE(text.find("stp="), std::string::npos);
+}
+
+TEST(RunStatsIntegration, PreemptionImprovesFairness)
+{
+    // §5.2's starvation pair: V10-Full must be fairer than V10-Base.
+    ExperimentRunner runner;
+    const RunStats base = runner.runPair(SchedulerKind::V10Base,
+                                         "BERT", "DLRM", 1.0, 1.0, 6);
+    const RunStats full = runner.runPair(SchedulerKind::V10Full,
+                                         "BERT", "DLRM", 1.0, 1.0, 6);
+    EXPECT_GT(full.fairness(), base.fairness());
+    EXPECT_LT(full.antt(), base.antt());
+    EXPECT_GT(full.fairness(), 0.75); // near-equal progress
+}
+
+} // namespace
+} // namespace v10

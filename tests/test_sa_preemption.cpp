@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Fig. 13 SA preemption cost model: the V10 replay
+ * strategy must reproduce the paper's 384-cycle / 96 KB numbers for
+ * a 128x128 array and always dominate the naive drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_config.h"
+#include "npu/sa_preemption.h"
+
+namespace v10 {
+namespace {
+
+TEST(SaPreemption, V10ReplayMatchesPaperAt128)
+{
+    const SaPreemptCost c =
+        saPreemptCost(128, SaPreemptStrategy::V10Replay);
+    // §3.3: "128 cycles are spent for preemption, which is
+    // overlapped with 384 cycles for reinitialization. Thus, one
+    // context-switch for a 128x128 SA costs 384 cycles in total."
+    EXPECT_EQ(c.exitCycles, 128u);
+    EXPECT_EQ(c.restoreCycles, 384u);
+    EXPECT_EQ(c.overlappedCycles, 128u);
+    EXPECT_EQ(c.switchCycles(), 384u);
+    // "we only save 128x256x2B inputs and 128x128x2B weights
+    // (96KB per SA)".
+    EXPECT_EQ(c.contextBytes, 96u * 1024);
+}
+
+TEST(SaPreemption, NaiveDrainMatchesPaperStorage)
+{
+    const SaPreemptCost c =
+        saPreemptCost(128, SaPreemptStrategy::NaiveDrain);
+    // "we must save 2x128x128x2B inputs and weights and
+    // 128x128x4B partial sums (128KB per SA)".
+    EXPECT_EQ(c.contextBytes, 128u * 1024);
+    EXPECT_EQ(c.overlappedCycles, 0u);
+    EXPECT_GT(c.switchCycles(), 384u);
+}
+
+TEST(SaPreemption, V10SavesQuarterOfNaiveStorage)
+{
+    // §3.3: "25% less than the naive approach", at any dimension.
+    for (std::uint32_t dim : {8u, 32u, 128u, 256u}) {
+        const auto v10 =
+            saPreemptCost(dim, SaPreemptStrategy::V10Replay);
+        const auto naive =
+            saPreemptCost(dim, SaPreemptStrategy::NaiveDrain);
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(v10.contextBytes) /
+                static_cast<double>(naive.contextBytes),
+            0.75)
+            << dim;
+        EXPECT_LT(v10.switchCycles(), naive.switchCycles()) << dim;
+    }
+}
+
+TEST(SaPreemption, CostsScaleLinearlyWithDim)
+{
+    const auto small =
+        saPreemptCost(64, SaPreemptStrategy::V10Replay);
+    const auto large =
+        saPreemptCost(128, SaPreemptStrategy::V10Replay);
+    EXPECT_EQ(large.switchCycles(), 2 * small.switchCycles());
+    EXPECT_EQ(large.contextBytes, 4 * small.contextBytes);
+}
+
+TEST(SaPreemption, ConfigStrategySelectsModel)
+{
+    NpuConfig cfg;
+    EXPECT_EQ(cfg.saContextSwitchCycles(), 384u);
+    EXPECT_EQ(cfg.saContextBytes(), 96u * 1024);
+    cfg.saPreemptStrategy = SaPreemptStrategy::NaiveDrain;
+    EXPECT_EQ(cfg.saContextSwitchCycles(), 768u);
+    EXPECT_EQ(cfg.saContextBytes(), 128u * 1024);
+}
+
+TEST(SaPreemptionDeath, ZeroDimRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(saPreemptCost(0, SaPreemptStrategy::V10Replay),
+                 "dim");
+}
+
+} // namespace
+} // namespace v10

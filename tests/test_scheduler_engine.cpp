@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the shared scheduler engine through its concrete
+ * subclasses: single-tenant execution, request accounting, warmup
+ * windows, determinism, and statistics invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.h"
+#include "sched/op_scheduler.h"
+#include "sched/pmt_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/model_zoo.h"
+#include "workload/workload.h"
+
+namespace v10 {
+namespace {
+
+RunStats
+runSingle(const std::string &model, std::uint64_t requests,
+          std::uint64_t warmup)
+{
+    const NpuConfig cfg;
+    static std::map<std::string, std::unique_ptr<Workload>> cache;
+    auto it = cache.find(model);
+    if (it == cache.end())
+        it = cache
+                 .emplace(model, std::make_unique<Workload>(
+                                     findModel(model),
+                                     findModel(model).refBatch, cfg))
+                 .first;
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    OperatorScheduler sched(sim, core,
+                            {TenantSpec{it->second.get(), 1.0}},
+                            OperatorScheduler::Variant::Base);
+    return sched.run(requests, warmup);
+}
+
+TEST(Engine, SingleTenantCompletesRequestedWork)
+{
+    const RunStats stats = runSingle("MNST", 10, 2);
+    ASSERT_EQ(stats.workloads.size(), 1u);
+    EXPECT_EQ(stats.workloads[0].requests, 10u);
+    EXPECT_GT(stats.windowCycles, 0u);
+    EXPECT_GT(stats.workloads[0].avgLatencyUs, 0.0);
+    EXPECT_GE(stats.workloads[0].p95LatencyUs,
+              stats.workloads[0].avgLatencyUs * 0.9);
+}
+
+TEST(Engine, UtilizationsAreFractions)
+{
+    const RunStats stats = runSingle("RsNt", 6, 1);
+    EXPECT_GT(stats.saUtil, 0.0);
+    EXPECT_LE(stats.saUtil, 1.0);
+    EXPECT_GT(stats.vuUtil, 0.0);
+    EXPECT_LE(stats.vuUtil, 1.0);
+    EXPECT_GT(stats.hbmUtil, 0.0);
+    EXPECT_LE(stats.hbmUtil, 1.0);
+    EXPECT_GT(stats.flopsUtil, 0.0);
+    EXPECT_LE(stats.flopsUtil, 1.0);
+}
+
+TEST(Engine, OverlapBucketsPartitionTheWindow)
+{
+    const RunStats stats = runSingle("ENet", 6, 1);
+    const double sum = stats.overlapBothFrac + stats.saOnlyFrac +
+                       stats.vuOnlyFrac + stats.idleFrac;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // A single sequential workload never overlaps its own SA and VU.
+    EXPECT_DOUBLE_EQ(stats.overlapBothFrac, 0.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    const RunStats a = runSingle("NCF", 8, 2);
+    const RunStats b = runSingle("NCF", 8, 2);
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_DOUBLE_EQ(a.saUtil, b.saUtil);
+    EXPECT_DOUBLE_EQ(a.workloads[0].avgLatencyUs,
+                     b.workloads[0].avgLatencyUs);
+}
+
+TEST(Engine, WarmupExcludedFromWindow)
+{
+    // More warmup -> same measured requests, different window start,
+    // but steady-state latency should be nearly identical.
+    const RunStats w1 = runSingle("DLRM", 10, 1);
+    const RunStats w4 = runSingle("DLRM", 10, 4);
+    EXPECT_EQ(w1.workloads[0].requests, 10u);
+    EXPECT_EQ(w4.workloads[0].requests, 10u);
+    EXPECT_NEAR(w1.workloads[0].avgLatencyUs /
+                    w4.workloads[0].avgLatencyUs,
+                1.0, 0.05);
+}
+
+TEST(Engine, SingleTenantLatencyTracksComputePlusGaps)
+{
+    const NpuConfig cfg;
+    const Workload wl = Workload::fromName("BERT", 32, cfg);
+    const RunStats stats = runSingle("BERT", 5, 1);
+    Cycles gaps = 0;
+    for (const auto &op : wl.trace().ops)
+        gaps += op.gapCycles;
+    const double lower =
+        cfg.cyclesToUs(wl.computeCycles());
+    const double upper = cfg.cyclesToUs(
+        wl.computeCycles() + gaps) * 1.3;
+    EXPECT_GE(stats.workloads[0].avgLatencyUs, lower);
+    EXPECT_LE(stats.workloads[0].avgLatencyUs, upper);
+}
+
+TEST(Engine, TwoTenantRequestsAllReachTarget)
+{
+    const NpuConfig cfg;
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    const Workload b = Workload::fromName("NCF", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, true);
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&a, 1.0}, TenantSpec{&b, 1.0}},
+        OperatorScheduler::Variant::Full);
+    const RunStats stats = sched.run(6, 1);
+    EXPECT_GE(stats.workloads[0].requests, 6u);
+    EXPECT_GE(stats.workloads[1].requests, 6u);
+}
+
+TEST(Engine, PerTenantUtilizationSumsToAggregate)
+{
+    const NpuConfig cfg;
+    const Workload a = Workload::fromName("BERT", 0, cfg);
+    const Workload b = Workload::fromName("NCF", 0, cfg);
+    Simulator sim;
+    NpuCore core(sim, cfg, 2, true);
+    OperatorScheduler sched(
+        sim, core, {TenantSpec{&a, 1.0}, TenantSpec{&b, 1.0}},
+        OperatorScheduler::Variant::Full);
+    const RunStats stats = sched.run(6, 1);
+    EXPECT_NEAR(stats.workloads[0].saUtil + stats.workloads[1].saUtil,
+                stats.saUtil, 1e-9);
+    EXPECT_NEAR(stats.workloads[0].vuUtil + stats.workloads[1].vuUtil,
+                stats.vuUtil, 1e-9);
+}
+
+TEST(EngineDeath, InvalidConstruction)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const NpuConfig cfg;
+    Simulator sim;
+    NpuCore core(sim, cfg, 1, false);
+    EXPECT_DEATH(OperatorScheduler(sim, core, {},
+                                   OperatorScheduler::Variant::Base),
+                 "tenant");
+    const Workload wl = Workload::fromName("MNST", 0, cfg);
+    EXPECT_DEATH(OperatorScheduler(
+                     sim, core, {TenantSpec{&wl, -1.0}},
+                     OperatorScheduler::Variant::Base),
+                 "priority");
+    OperatorScheduler ok(sim, core, {TenantSpec{&wl, 1.0}},
+                         OperatorScheduler::Variant::Base);
+    EXPECT_DEATH(ok.run(0), "targetRequests");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: clock advancement, absolute
+ * and relative scheduling, bounded runs, and stop predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace v10 {
+namespace {
+
+TEST(Simulator, StartsAtCycleZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, AfterAdvancesClock)
+{
+    Simulator sim;
+    Cycles seen = 0;
+    sim.after(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, AtSchedulesAbsolute)
+{
+    Simulator sim;
+    sim.after(10, [] {});
+    sim.run();
+    Cycles seen = 0;
+    sim.at(25, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 25u);
+}
+
+TEST(Simulator, StepRunsExactlyOneEvent)
+{
+    Simulator sim;
+    int count = 0;
+    sim.after(1, [&] { ++count; });
+    sim.after(2, [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.after(10, [&] { ++fired; });
+    sim.after(20, [&] { ++fired; });
+    sim.after(30, [&] { ++fired; });
+    sim.runUntil(20);
+    EXPECT_EQ(fired, 2); // events at 10 and exactly 20 fire
+    EXPECT_EQ(sim.now(), 20u);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents)
+{
+    Simulator sim;
+    sim.runUntil(500);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, StopPredicateHaltsRun)
+{
+    Simulator sim;
+    int fired = 0;
+    for (Cycles c = 1; c <= 10; ++c)
+        sim.after(c, [&] { ++fired; });
+    sim.run([&] { return fired >= 4; });
+    EXPECT_EQ(fired, 4);
+    EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, CancelledEventNeverFires)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.after(5, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsRunCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.after(static_cast<Cycles>(i + 1), [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsRun(), 7u);
+}
+
+TEST(Simulator, ChainedEventsKeepConsistentNow)
+{
+    Simulator sim;
+    std::vector<Cycles> times;
+    sim.after(10, [&] {
+        times.push_back(sim.now());
+        sim.after(5, [&] { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10u);
+    EXPECT_EQ(times[1], 15u);
+}
+
+TEST(SimulatorDeath, SchedulingIntoThePastPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    sim.after(10, [] {});
+    sim.run();
+    EXPECT_DEATH(sim.at(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * End-to-end smoke test: the public facade runs a collocated pair
+ * under every scheduler design and produces sane statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "v10/multi_tenant_npu.h"
+
+namespace v10 {
+namespace {
+
+TEST(Smoke, BertNcfUnderAllSchedulers)
+{
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        MultiTenantNpu npu(NpuConfig{}, kind);
+        npu.addWorkload("BERT");
+        npu.addWorkload("NCF");
+        const RunStats stats = npu.run(5, 1);
+        ASSERT_EQ(stats.workloads.size(), 2u)
+            << schedulerKindName(kind);
+        EXPECT_GE(stats.workloads[0].requests, 5u);
+        EXPECT_GE(stats.workloads[1].requests, 5u);
+        EXPECT_GT(stats.saUtil, 0.0);
+        EXPECT_LE(stats.saUtil, 1.0);
+        EXPECT_GT(stats.stp(), 0.2);
+        EXPECT_LE(stats.stp(), 2.05);
+    }
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the statistics primitives: streaming moments, exact
+ * percentiles, histograms, and the geometric mean, including the
+ * merge-equals-bulk property of OnlineStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace v10 {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesBulk)
+{
+    Rng rng(5);
+    OnlineStats bulk;
+    OnlineStats a;
+    OnlineStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 1.5);
+        bulk.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), bulk.count());
+    EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+    EXPECT_EQ(a.min(), bulk.min());
+    EXPECT_EQ(a.max(), bulk.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a;
+    OnlineStats b;
+    a.add(1.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(SampleSet, PercentilesExact)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, UnsortedInsertOrderIrrelevant)
+{
+    SampleSet s;
+    for (double x : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(x);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+}
+
+TEST(SampleSet, QueriesInterleavedWithAdds)
+{
+    SampleSet s;
+    s.add(10.0);
+    EXPECT_EQ(s.max(), 10.0);
+    s.add(20.0);
+    EXPECT_EQ(s.max(), 20.0); // sorted cache must refresh
+    s.add(5.0);
+    EXPECT_EQ(s.min(), 5.0);
+}
+
+TEST(SampleSet, EmptyIsZero)
+{
+    SampleSet s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(50), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSet, SingleSample)
+{
+    SampleSet s;
+    s.add(7.5);
+    EXPECT_EQ(s.percentile(0), 7.5);
+    EXPECT_EQ(s.percentile(50), 7.5);
+    EXPECT_EQ(s.percentile(100), 7.5);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double x : {-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 11.0})
+        h.add(x);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 2u); // 0.0 and 1.9
+    EXPECT_EQ(h.binCount(1), 1u); // 2.0
+    EXPECT_EQ(h.binCount(4), 1u); // 9.9
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 2.0);
+    EXPECT_FALSE(h.summary().empty());
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_EQ(geomean({1.0, 0.0}), 0.0);
+    EXPECT_EQ(geomean({1.0, -2.0}), 0.0);
+}
+
+} // namespace
+} // namespace v10

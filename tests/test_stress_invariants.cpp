@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Randomized stress tests: arbitrary tenant mixes, schedulers, FU
+ * counts, and slice settings must always terminate and uphold the
+ * simulator's invariants — utilization bounds, bucket partitioning,
+ * per-tenant cycle conservation, and latency lower bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "v10/experiment.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+namespace {
+
+/** One randomized configuration per seed. */
+class StressSeed : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StressSeed, InvariantsHoldUnderRandomConfigs)
+{
+    Rng rng(GetParam());
+    const auto &zoo = modelZoo();
+
+    // Random hardware.
+    const std::uint32_t fus = 1u << rng.uniformInt(3); // 1, 2, or 4
+    NpuConfig cfg = NpuConfig{}.scaledForFus(fus, fus);
+    cfg.enforceHbmFit = false;
+    if (rng.uniform() < 0.3)
+        cfg.timeSlice = 4096u << rng.uniformInt(6);
+
+    // Random tenant mix (2-5 workloads).
+    const std::size_t n = 2 + rng.uniformInt(4);
+    std::vector<TenantRequest> tenants;
+    for (std::size_t i = 0; i < n; ++i) {
+        TenantRequest req;
+        req.model = zoo[rng.uniformInt(zoo.size())].abbrev;
+        req.priority = 0.25 + rng.uniform() * 2.0;
+        tenants.push_back(req);
+    }
+
+    // Random scheduler.
+    const SchedulerKind kinds[] = {
+        SchedulerKind::Pmt, SchedulerKind::V10Base,
+        SchedulerKind::V10Fair, SchedulerKind::V10Full,
+        SchedulerKind::Prema};
+    const SchedulerKind kind = kinds[rng.uniformInt(5)];
+
+    ExperimentRunner runner(cfg);
+    const RunStats stats = runner.run(kind, tenants, 3, 1);
+
+    // --- Invariants. ---
+    ASSERT_EQ(stats.workloads.size(), n);
+    EXPECT_GT(stats.windowCycles, 0u);
+
+    // Utilizations are fractions.
+    EXPECT_GE(stats.saUtil, 0.0);
+    EXPECT_LE(stats.saUtil, 1.0 + 1e-9);
+    EXPECT_GE(stats.vuUtil, 0.0);
+    EXPECT_LE(stats.vuUtil, 1.0 + 1e-9);
+    EXPECT_GE(stats.hbmUtil, 0.0);
+    EXPECT_LE(stats.hbmUtil, 1.0 + 1e-6);
+
+    // Overlap buckets partition the window.
+    EXPECT_NEAR(stats.overlapBothFrac + stats.saOnlyFrac +
+                    stats.vuOnlyFrac + stats.idleFrac,
+                1.0, 1e-9);
+
+    // Task-level schedulers never overlap.
+    if (kind == SchedulerKind::Pmt || kind == SchedulerKind::Prema) {
+        EXPECT_DOUBLE_EQ(stats.overlapBothFrac, 0.0);
+    }
+
+    // Per-tenant attribution sums to the aggregate.
+    double sa_sum = 0.0;
+    double vu_sum = 0.0;
+    for (const auto &w : stats.workloads) {
+        sa_sum += w.saUtil;
+        vu_sum += w.vuUtil;
+        EXPECT_GE(w.requests, 3u) << w.label;
+        EXPECT_GT(w.avgLatencyUs, 0.0) << w.label;
+        EXPECT_GE(w.p95LatencyUs, w.avgLatencyUs * 0.5) << w.label;
+        EXPECT_GT(w.normalizedProgress, 0.0) << w.label;
+        EXPECT_LT(w.normalizedProgress, 1.2) << w.label;
+    }
+    EXPECT_NEAR(sa_sum, stats.saUtil, 1e-9);
+    EXPECT_NEAR(vu_sum, stats.vuUtil, 1e-9);
+
+    // STP cannot exceed the number of tenants (each is bounded by
+    // its dedicated-core rate).
+    EXPECT_LE(stats.stp(), static_cast<double>(n) * 1.2);
+
+    // A tenant's latency is at least its stall-free compute time.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Workload &wl =
+            runner.workload(tenants[i].model, tenants[i].batch);
+        const double floor_us =
+            cfg.cyclesToUs(wl.computeCycles()) * 0.99;
+        EXPECT_GE(stats.workloads[i].avgLatencyUs, floor_us)
+            << stats.workloads[i].label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, StressSeed,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(StressDeterminism, IdenticalSeedsIdenticalRuns)
+{
+    for (std::uint64_t seed : {3u, 11u}) {
+        Rng rng_a(seed);
+        Rng rng_b(seed);
+        EXPECT_EQ(rng_a.next(), rng_b.next());
+    }
+    // Two full experiment repetitions agree bit-for-bit.
+    ExperimentRunner r1;
+    ExperimentRunner r2;
+    const RunStats a = r1.runPair(SchedulerKind::V10Full, "ENet",
+                                  "SMask", 1.0, 1.0, 5);
+    const RunStats b = r2.runPair(SchedulerKind::V10Full, "ENet",
+                                  "SMask", 1.0, 1.0, 5);
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_DOUBLE_EQ(a.saUtil, b.saUtil);
+    EXPECT_DOUBLE_EQ(a.workloads[1].p95LatencyUs,
+                     b.workloads[1].p95LatencyUs);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the text-output helpers: ASCII tables, CSV quoting, and
+ * string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace v10 {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow();
+    t.cell("alpha");
+    t.cell(static_cast<long long>(42));
+    t.addRow();
+    t.cell("b");
+    t.cell(3.14159, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PercentCell)
+{
+    TextTable t({"x"});
+    t.addRow();
+    t.cellPct(0.423);
+    EXPECT_NE(t.render().find("42.3%"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow();
+    t.cell("only-one");
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(StringUtil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1536), "1.5 KiB");
+    EXPECT_EQ(formatBytes(32_MiB), "32.0 MiB");
+    EXPECT_EQ(formatBytes(32_GiB), "32.0 GiB");
+}
+
+TEST(StringUtil, FormatDoublePctSci)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPct(0.5), "50.0%");
+    EXPECT_EQ(formatSci(877.0), "8.77e+02");
+}
+
+TEST(StringUtil, SplitAndTrim)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  x y\t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_TRUE(startsWith("V10-Full", "V10"));
+    EXPECT_FALSE(startsWith("V10", "V10-Full"));
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the operator-timeline tracer and its engine
+ * integration: slice bookkeeping, preemption marking, Chrome-trace
+ * JSON structure, and conservation against the run statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/timeline.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+TEST(Timeline, RecordsSlices)
+{
+    TimelineTracer tl(700.0);
+    tl.opBegin(0, "sa0", "BERT@32", "matmul.0", 0);
+    tl.opEnd(7000, "sa0", false);
+    tl.opBegin(7000, "sa0", "DLRM@32", "matmul.1", 384);
+    tl.opEnd(8000, "sa0", true);
+    EXPECT_EQ(tl.sliceCount(), 2u);
+    EXPECT_EQ(tl.preemptionCount(), 1u);
+}
+
+TEST(Timeline, FinishClosesOpenSlices)
+{
+    TimelineTracer tl(700.0);
+    tl.opBegin(0, "sa0", "A", "op", 0);
+    tl.opBegin(0, "vu0", "B", "op", 0);
+    tl.finish(500);
+    EXPECT_EQ(tl.sliceCount(), 2u);
+    EXPECT_EQ(tl.preemptionCount(), 2u); // open at stop = preempted
+}
+
+TEST(Timeline, ChromeTraceJsonShape)
+{
+    TimelineTracer tl(700.0);
+    tl.opBegin(700, "sa0", "BERT@32", "matmul.0", 384);
+    tl.opEnd(1400, "sa0", false);
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 1"), std::string::npos); // 1 us
+    EXPECT_NE(json.find("\"tid\": \"sa0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ctx_penalty_cycles\": 384"),
+              std::string::npos);
+}
+
+TEST(TimelineDeath, Misuse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(TimelineTracer(0.0), "positive");
+    TimelineTracer tl(700.0);
+    EXPECT_DEATH(tl.opEnd(10, "sa0", false), "without opBegin");
+    tl.opBegin(0, "sa0", "A", "op", 0);
+    EXPECT_DEATH(tl.opBegin(1, "sa0", "B", "op", 0), "open slice");
+}
+
+TEST(TimelineIntegration, EngineRecordsEveryDispatch)
+{
+    const NpuConfig cfg;
+    TimelineTracer tl(cfg.freqGHz * 1e3);
+    ExperimentRunner runner;
+    SchedulerOptions so;
+    so.timeline = &tl;
+    const RunStats stats = runner.run(
+        SchedulerKind::V10Full,
+        {TenantRequest{"BERT"}, TenantRequest{"DLRM"}}, 4, 1, so);
+
+    // Every preemption counted by the stats appears as a preempted
+    // slice (plus at most a handful of end-of-run force-closes).
+    const std::uint64_t stat_preempts =
+        stats.workloads[0].preemptions + stats.workloads[1].preemptions;
+    EXPECT_GE(tl.preemptionCount() + 4, stat_preempts);
+    EXPECT_GT(tl.sliceCount(), 100u);
+
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    EXPECT_GT(os.str().size(), 10000u);
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, Table 1
+ * calibration (parameterized over every model), operator-shape
+ * consistency, DMA-byte targets, and batch-scaling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace v10 {
+namespace {
+
+const NpuConfig &
+config()
+{
+    static const NpuConfig cfg;
+    return cfg;
+}
+
+TEST(TraceGen, DeterministicPerModelAndBatch)
+{
+    const ModelProfile &m = findModel("BERT");
+    const RequestTrace a = generateTrace(m, 32, config());
+    const RequestTrace b = generateTrace(m, 32, config());
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].computeCycles, b.ops[i].computeCycles);
+        EXPECT_EQ(a.ops[i].dmaBytes, b.ops[i].dmaBytes);
+        EXPECT_EQ(a.ops[i].deps, b.ops[i].deps);
+    }
+}
+
+TEST(TraceGen, DifferentBatchesDiffer)
+{
+    const ModelProfile &m = findModel("BERT");
+    const RequestTrace a = generateTrace(m, 32, config());
+    const RequestTrace b = generateTrace(m, 64, config());
+    EXPECT_NE(a.saCycles, b.saCycles);
+}
+
+/** Per-model calibration sweep (Table 1 + structure). */
+class TraceGenPerModel
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceGenPerModel, MeanOpLengthsMatchTable1)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t =
+        generateTrace(m, m.refBatch, config());
+    const double sa_us =
+        config().cyclesToUs(static_cast<Cycles>(t.meanSaOpCycles()));
+    const double vu_us =
+        config().cyclesToUs(static_cast<Cycles>(t.meanVuOpCycles()));
+    // Sample means are rescaled to the Table 1 values; allow the
+    // rounding of cycle quantization and min-length clamping.
+    EXPECT_NEAR(sa_us / m.saOpUsRef, 1.0, 0.05) << m.name;
+    EXPECT_NEAR(vu_us / m.vuOpUsRef, 1.0, 0.10) << m.name;
+}
+
+TEST_P(TraceGenPerModel, OperatorCountsMatchProfile)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    EXPECT_EQ(t.saOpCount(),
+              static_cast<std::size_t>(m.saOpsPerRequest));
+    EXPECT_EQ(t.vuOpCount(),
+              static_cast<std::size_t>(m.vuOpsPerRequest));
+}
+
+TEST_P(TraceGenPerModel, SaOpShapeConsistent)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    for (const auto &op : t.ops) {
+        if (op.kind != OpKind::SA)
+            continue;
+        EXPECT_GE(op.saRows, 1u);
+        EXPECT_EQ(op.computeCycles,
+                  3 * static_cast<Cycles>(config().saDim) +
+                      op.saRows);
+        EXPECT_GT(op.flops, 0.0);
+        // Achieved FLOPs never exceed peak * busy cycles.
+        EXPECT_LE(op.flops, static_cast<double>(op.computeCycles) *
+                                config().peakSaFlopsPerCycle());
+    }
+}
+
+TEST_P(TraceGenPerModel, VuOpShapeConsistent)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    for (const auto &op : t.ops) {
+        if (op.kind != OpKind::VU)
+            continue;
+        EXPECT_GE(op.vuElements, config().vuLanes);
+        EXPECT_EQ(op.vuElements % config().vuLanes, 0u);
+        EXPECT_LE(op.flops, static_cast<double>(op.computeCycles) *
+                                config().peakVuFlopsPerCycle());
+    }
+}
+
+TEST_P(TraceGenPerModel, DependenciesPointBackwards)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    for (std::size_t i = 0; i < t.ops.size(); ++i) {
+        EXPECT_EQ(t.ops[i].id, i);
+        for (auto dep : t.ops[i].deps)
+            EXPECT_LT(dep, i);
+        if (i > 0) {
+            EXPECT_FALSE(t.ops[i].deps.empty());
+        }
+    }
+}
+
+TEST_P(TraceGenPerModel, BandwidthTargetRoughlyMet)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    Cycles gaps = 0;
+    for (const auto &op : t.ops)
+        gaps += op.gapCycles;
+    const double wall =
+        static_cast<double>(t.computeCycles() + gaps);
+    const double bw_util = static_cast<double>(t.totalDmaBytes) /
+                           (wall * config().hbmBytesPerCycle());
+    // Generated traffic matches the Fig. 7 target within the
+    // per-operator quantization error.
+    EXPECT_NEAR(bw_util / m.hbmBwUtilRef, 1.0, 0.1) << m.name;
+}
+
+TEST_P(TraceGenPerModel, GapsFollowProfile)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    for (const auto &op : t.ops) {
+        EXPECT_GE(op.gapCycles, m.opGapFixedCycles);
+        const Cycles expected =
+            m.opGapFixedCycles +
+            static_cast<Cycles>(
+                m.opGapFrac * static_cast<double>(op.computeCycles));
+        EXPECT_EQ(op.gapCycles, expected);
+    }
+}
+
+TEST_P(TraceGenPerModel, WorkingSetsCapped)
+{
+    const ModelProfile &m = findModel(GetParam());
+    const RequestTrace t = generateTrace(m, m.refBatch, config());
+    for (const auto &op : t.ops) {
+        EXPECT_LE(op.workingSetBytes, m.workingSetCap);
+        EXPECT_LE(op.workingSetBytes, op.dmaBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TraceGenPerModel,
+    ::testing::Values("BERT", "DLRM", "ENet", "MRCN", "MNST", "NCF",
+                      "RsNt", "RNRS", "RtNt", "SMask", "TFMR"));
+
+TEST(TraceGen, OpTimeGrowsWithBatch)
+{
+    const ModelProfile &m = findModel("ResNet");
+    const RequestTrace small = generateTrace(m, 8, config());
+    const RequestTrace large = generateTrace(m, 256, config());
+    EXPECT_LT(small.computeCycles(), large.computeCycles());
+    EXPECT_LT(small.totalFlops, large.totalFlops);
+}
+
+TEST(TraceGen, FlopsEfficiencyImprovesWithBatch)
+{
+    const ModelProfile &m = findModel("ResNet");
+    auto eff = [&](int batch) {
+        const RequestTrace t = generateTrace(m, batch, config());
+        return t.totalFlops /
+               (static_cast<double>(t.computeCycles()) *
+                config().peakFlopsPerCycle());
+    };
+    EXPECT_LT(eff(1), eff(64));
+}
+
+TEST(TraceGenDeath, BadBatchRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(generateTrace(findModel("BERT"), 0, config()),
+                 "batch");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for trace serialization: round-trip fidelity and malformed
+ * input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/model_zoo.h"
+#include "workload/trace_io.h"
+
+namespace v10 {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const NpuConfig cfg;
+    const ModelProfile &m = findModel("DLRM");
+    const RequestTrace original = generateTrace(m, 32, cfg);
+
+    std::stringstream ss;
+    saveTrace(ss, TraceHeader{m.abbrev, 32}, original);
+
+    TraceHeader header;
+    const RequestTrace loaded = loadTrace(ss, header);
+
+    EXPECT_EQ(header.model, "DLRM");
+    EXPECT_EQ(header.batch, 32);
+    ASSERT_EQ(loaded.ops.size(), original.ops.size());
+    for (std::size_t i = 0; i < original.ops.size(); ++i) {
+        const auto &a = original.ops[i];
+        const auto &b = loaded.ops[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.computeCycles, b.computeCycles);
+        EXPECT_EQ(a.dmaBytes, b.dmaBytes);
+        EXPECT_EQ(a.workingSetBytes, b.workingSetBytes);
+        EXPECT_EQ(a.deps, b.deps);
+        if (a.kind == OpKind::SA)
+            EXPECT_EQ(a.saRows, b.saRows);
+        else
+            EXPECT_EQ(a.vuElements, b.vuElements);
+    }
+    EXPECT_EQ(loaded.saCycles, original.saCycles);
+    EXPECT_EQ(loaded.vuCycles, original.vuCycles);
+    EXPECT_EQ(loaded.totalDmaBytes, original.totalDmaBytes);
+    EXPECT_NEAR(loaded.totalFlops / original.totalFlops, 1.0, 1e-4);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const NpuConfig cfg;
+    const ModelProfile &m = findModel("MNST");
+    const RequestTrace original = generateTrace(m, 8, cfg);
+    const std::string path =
+        ::testing::TempDir() + "/v10_trace_test.txt";
+    saveTraceFile(path, TraceHeader{m.abbrev, 8}, original);
+    TraceHeader header;
+    const RequestTrace loaded = loadTraceFile(path, header);
+    EXPECT_EQ(header.model, "MNST");
+    EXPECT_EQ(loaded.ops.size(), original.ops.size());
+}
+
+TEST(TraceIoDeath, MalformedInputs)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    TraceHeader header;
+    {
+        std::stringstream ss("not a trace\n");
+        EXPECT_DEATH(loadTrace(ss, header), "magic");
+    }
+    {
+        std::stringstream ss("# v10-trace v1\nbogus header\n");
+        EXPECT_DEATH(loadTrace(ss, header), "header");
+    }
+    {
+        std::stringstream ss(
+            "# v10-trace v1\nmodel X batch 1 ops 1\n"
+            "op 0 XX bad 1 1 1 1 1 deps\n");
+        EXPECT_DEATH(loadTrace(ss, header), "kind");
+    }
+    EXPECT_DEATH(loadTraceFile("/nonexistent/path/trace.txt", header),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for vector-memory partitioning (§3.6) and the Fig. 24 DMA
+ * inflation (spill) model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/vector_memory.h"
+
+namespace v10 {
+namespace {
+
+TEST(VectorMemory, EvenPartitioning)
+{
+    VectorMemory vmem(32_MiB, 2, 0);
+    EXPECT_EQ(vmem.partitionBytes(), 16_MiB);
+    EXPECT_EQ(vmem.partitionBase(0), 0u);
+    EXPECT_EQ(vmem.partitionBase(1), 16_MiB);
+    EXPECT_EQ(vmem.tenants(), 2u);
+}
+
+TEST(VectorMemory, ContextReservationShrinksPartition)
+{
+    const Bytes ctx = 96u * 1024;
+    VectorMemory vmem(32_MiB, 2, ctx);
+    EXPECT_EQ(vmem.partitionBytes(), 16_MiB - ctx);
+    EXPECT_EQ(vmem.contextReserveBytes(), ctx);
+}
+
+TEST(VectorMemory, NoInflationWhenFitting)
+{
+    VectorMemory vmem(32_MiB, 2, 0);
+    EXPECT_DOUBLE_EQ(vmem.dmaInflation(1_MiB), 1.0);
+    EXPECT_DOUBLE_EQ(vmem.dmaInflation(16_MiB), 1.0);
+}
+
+TEST(VectorMemory, InflationGrowsWithOverflow)
+{
+    VectorMemory vmem(16_MiB, 2, 0); // 8 MiB partitions
+    const double at2x = vmem.dmaInflation(16_MiB);
+    const double at4x = vmem.dmaInflation(32_MiB);
+    EXPECT_GT(at2x, 1.0);
+    EXPECT_GT(at4x, at2x);
+    EXPECT_DOUBLE_EQ(at2x, 1.5); // 1 + 0.5 * (2 - 1)
+}
+
+TEST(VectorMemory, InflationIsCapped)
+{
+    VectorMemory vmem(8_MiB, 2, 0);
+    EXPECT_DOUBLE_EQ(vmem.dmaInflation(4_GiB),
+                     VectorMemory::maxInflation());
+}
+
+TEST(VectorMemory, SingleTenantGetsWholeCapacity)
+{
+    VectorMemory vmem(32_MiB, 1, 0);
+    EXPECT_EQ(vmem.partitionBytes(), 32_MiB);
+}
+
+TEST(VectorMemory, MoreTenantsMeanMoreInflation)
+{
+    const Bytes ws = 10_MiB;
+    VectorMemory two(32_MiB, 2, 0);
+    VectorMemory four(32_MiB, 4, 0);
+    EXPECT_LE(two.dmaInflation(ws), four.dmaInflation(ws));
+}
+
+TEST(VectorMemoryDeath, InvalidConfigurations)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(VectorMemory(32_MiB, 0, 0), "tenant");
+    // Partition too small to hold the SA preemption context.
+    EXPECT_DEATH(VectorMemory(128u * 1024, 2, 96u * 1024),
+                 "context");
+    VectorMemory vmem(32_MiB, 2, 0);
+    EXPECT_DEATH(vmem.partitionBase(2), "out of range");
+}
+
+} // namespace
+} // namespace v10

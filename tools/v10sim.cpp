@@ -1,0 +1,374 @@
+/**
+ * @file
+ * v10sim — command-line front end to the V10 multi-tenant NPU
+ * simulator.
+ *
+ *   v10sim zoo
+ *   v10sim profile --model BERT [--batch 32]
+ *   v10sim run --models BERT,NCF [--scheduler V10-Full]
+ *              [--priorities 0.7,0.3] [--rps 30,120] [--requests 25]
+ *              [--slice 32768] [--sas 1 --vus 1] [--vmem-mb 32]
+ *   v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4]
+ *   v10sim trace --model DLRM [--batch 32] [--out trace.txt]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "v10/multi_tenant_npu.h"
+#include "v10/npu_cluster.h"
+#include "v10/profiler.h"
+#include "v10/report.h"
+#include "workload/model_zoo.h"
+#include "workload/trace_io.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace v10;
+
+/** Simple --key value argument map. */
+struct Args
+{
+    std::map<std::string, std::string> kv;
+
+    static Args
+    parse(int argc, char **argv, int first)
+    {
+        Args args;
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (!startsWith(key, "--"))
+                fatal("expected --option, got '", key, "'");
+            key = key.substr(2);
+            if (i + 1 >= argc)
+                fatal("--", key, " needs a value");
+            args.kv[key] = argv[++i];
+        }
+        return args;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = kv.find(key);
+        return it == kv.end() ? fallback : it->second;
+    }
+
+    bool has(const std::string &key) const { return kv.count(key); }
+};
+
+NpuConfig
+configFromArgs(const Args &args)
+{
+    NpuConfig cfg;
+    if (args.has("sas") || args.has("vus")) {
+        const auto sas = static_cast<std::uint32_t>(
+            std::atoi(args.get("sas", "1").c_str()));
+        const auto vus = static_cast<std::uint32_t>(
+            std::atoi(args.get("vus", "1").c_str()));
+        cfg = cfg.scaledForFus(sas, vus);
+    }
+    if (args.has("vmem-mb"))
+        cfg.vmemBytes = static_cast<Bytes>(std::atoll(
+                            args.get("vmem-mb", "32").c_str()))
+                        << 20;
+    if (args.has("slice"))
+        cfg.timeSlice = static_cast<Cycles>(
+            std::atoll(args.get("slice", "32768").c_str()));
+    cfg.validate();
+    return cfg;
+}
+
+int
+cmdZoo()
+{
+    TextTable table({"Name", "Abbrev", "Domain", "Ref batch",
+                     "SA op (us)", "VU op (us)"});
+    for (const ModelProfile &m : modelZoo()) {
+        table.addRow();
+        table.cell(m.name);
+        table.cell(m.abbrev);
+        table.cell(m.domain);
+        table.cell(static_cast<long long>(m.refBatch));
+        table.cell(m.saOpUsRef, 2);
+        table.cell(m.vuOpUsRef, 2);
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    const std::string model = args.get("model", "");
+    if (model.empty())
+        fatal("profile: --model is required");
+    const NpuConfig cfg = configFromArgs(args);
+    const ModelProfile &m = findModel(model);
+    const int batch =
+        std::atoi(args.get("batch", std::to_string(m.refBatch))
+                      .c_str());
+    const SingleProfile p = profileSingle(cfg, m, batch, 8);
+    if (p.oom) {
+        std::printf("%s@%d does not fit the HBM region (%s)\n",
+                    m.abbrev.c_str(), batch,
+                    formatBytes(kHbmRegionBytes).c_str());
+        return 1;
+    }
+    std::printf("%s @ batch %d on %s\n", m.name.c_str(), batch,
+                cfg.summary().c_str());
+    std::printf("  FLOPS utilization   %s\n",
+                formatPct(p.flopsUtil).c_str());
+    std::printf("  MXU / VPU temporal  %s / %s\n",
+                formatPct(p.mxuUtil).c_str(),
+                formatPct(p.vpuUtil).c_str());
+    std::printf("  HBM bandwidth       %s\n",
+                formatPct(p.hbmUtil).c_str());
+    std::printf("  op intensity        %.2f FLOPs/byte\n",
+                p.opIntensity);
+    std::printf("  achieved            %.3f TFLOP/s\n", p.tflops);
+    std::printf("  request latency     %.1f us (%.1f req/s)\n",
+                p.requestLatencyUs, p.requestsPerSec);
+    std::printf("  ideal DAG speedup   %.3fx\n", p.idealSpeedup);
+    std::printf("  mean SA / VU op     %.1f / %.1f us\n",
+                p.meanSaOpUs, p.meanVuOpUs);
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto models = split(args.get("models", ""), ',');
+    if (models.empty() || models[0].empty())
+        fatal("run: --models A,B[,C...] is required");
+    const auto priorities =
+        args.has("priorities")
+            ? split(args.get("priorities", ""), ',')
+            : std::vector<std::string>{};
+    const auto rps = args.has("rps")
+                         ? split(args.get("rps", ""), ',')
+                         : std::vector<std::string>{};
+
+    MultiTenantNpu npu(configFromArgs(args),
+                       schedulerKindFromName(
+                           args.get("scheduler", "V10-Full")));
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const double prio =
+            i < priorities.size()
+                ? std::atof(priorities[i].c_str())
+                : 1.0;
+        npu.addWorkload(models[i], 0, prio);
+    }
+    const auto requests = static_cast<std::uint64_t>(
+        std::atoll(args.get("requests", "25").c_str()));
+
+    // Optional Chrome-trace timeline of the run.
+    std::unique_ptr<TimelineTracer> timeline;
+    if (args.has("timeline"))
+        timeline = std::make_unique<TimelineTracer>(
+            configFromArgs(args).freqGHz * 1e3);
+
+    RunStats stats;
+    if (!rps.empty() || timeline) {
+        // Open-loop run through the experiment layer.
+        ExperimentRunner runner(configFromArgs(args));
+        std::vector<TenantRequest> tenants;
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            TenantRequest req;
+            req.model = models[i];
+            req.priority = i < priorities.size()
+                               ? std::atof(priorities[i].c_str())
+                               : 1.0;
+            req.arrivalRps =
+                i < rps.size() ? std::atof(rps[i].c_str()) : 0.0;
+            tenants.push_back(req);
+        }
+        SchedulerOptions so;
+        so.timeline = timeline.get();
+        stats = runner.run(schedulerKindFromName(
+                               args.get("scheduler", "V10-Full")),
+                           tenants, requests, 2, so);
+        if (timeline) {
+            const std::string path = args.get("timeline", "");
+            timeline->writeChromeTraceFile(path);
+            std::printf("timeline: %zu slices (%zu preemptions) -> "
+                        "%s (open in chrome://tracing)\n\n",
+                        timeline->sliceCount(),
+                        timeline->preemptionCount(), path.c_str());
+        }
+    } else {
+        stats = npu.run(requests);
+    }
+
+    std::printf("%s on %s\n\n",
+                args.get("scheduler", "V10-Full").c_str(),
+                npu.config().summary().c_str());
+    std::printf("SA %s  VU %s  HBM %s  overlap %s  STP %.2f\n\n",
+                formatPct(stats.saUtil).c_str(),
+                formatPct(stats.vuUtil).c_str(),
+                formatPct(stats.hbmUtil).c_str(),
+                formatPct(stats.overlapBothFrac).c_str(),
+                stats.stp());
+    TextTable table({"tenant", "requests", "avg lat (us)",
+                     "p95 lat (us)", "req/s", "progress",
+                     "preempts/req"});
+    for (const auto &w : stats.workloads) {
+        table.addRow();
+        table.cell(w.label);
+        table.cell(static_cast<long long>(w.requests));
+        table.cell(w.avgLatencyUs, 1);
+        table.cell(w.p95LatencyUs, 1);
+        table.cell(w.requestsPerSec, 1);
+        table.cell(w.normalizedProgress, 2);
+        table.cell(w.preemptsPerRequest(), 1);
+    }
+    table.print();
+    if (args.get("detail", "0") != "0")
+        std::printf("\n%s", stats.detailedReport().c_str());
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    ReportOptions options;
+    options.config = configFromArgs(args);
+    options.requests = static_cast<std::uint64_t>(
+        std::atoll(args.get("requests", "25").c_str()));
+    const std::string out = args.get("out", "report.md");
+    std::printf("running the headline evaluation (%llu requests "
+                "per tenant per run)...\n",
+                static_cast<unsigned long long>(options.requests));
+    writeEvaluationReportFile(out, options);
+    std::printf("report written to %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdGenTraces(const Args &args)
+{
+    const std::string dir = args.get("out", "traces");
+    const NpuConfig cfg = configFromArgs(args);
+    for (const ModelProfile &m : modelZoo()) {
+        const Workload wl(m, m.refBatch, cfg);
+        const std::string path =
+            dir + "/" + m.abbrev + "_b" +
+            std::to_string(m.refBatch) + ".txt";
+        saveTraceFile(path,
+                      TraceHeader{m.abbrev, m.refBatch},
+                      wl.trace());
+        std::printf("%-24s %5zu ops -> %s\n", wl.label().c_str(),
+                    wl.trace().ops.size(), path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdAdvise(const Args &args)
+{
+    const auto models = split(args.get("models", ""), ',');
+    if (models.size() < 2)
+        fatal("advise: --models needs at least two entries");
+    ClusterConfig cfg;
+    cfg.numCores = static_cast<std::size_t>(std::atoi(
+        args.get("cores", std::to_string(models.size())).c_str()));
+    NpuCluster cluster(cfg);
+    for (const auto &m : models)
+        cluster.addWorkload(m);
+    std::printf("profiling and training the collocation advisor "
+                "(%zu workloads)...\n",
+                models.size());
+    cluster.trainAdvisor();
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::ClusteredPairing);
+    std::printf("\nrecommended placement (%zu cores, fleet STP "
+                "%.2f):\n",
+                r.coresUsed, r.fleetStp);
+    for (std::size_t c = 0; c < r.assignment.size(); ++c) {
+        std::printf("  core %zu:", c);
+        for (const auto &m : r.assignment[c])
+            std::printf(" %s", m.c_str());
+        std::printf("   (SA %s, STP %.2f)\n",
+                    formatPct(r.perCore[c].saUtil).c_str(),
+                    r.perCore[c].stp());
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const std::string model = args.get("model", "");
+    if (model.empty())
+        fatal("trace: --model is required");
+    const NpuConfig cfg = configFromArgs(args);
+    const int batch = std::atoi(args.get("batch", "0").c_str());
+    const Workload wl = Workload::fromName(model, batch, cfg);
+    const std::string out = args.get(
+        "out", wl.profile().abbrev + "_trace.txt");
+    saveTraceFile(out,
+                  TraceHeader{wl.profile().abbrev, wl.batch()},
+                  wl.trace());
+    std::printf("%s: %zu operators, %.2f ms compute -> %s\n",
+                wl.label().c_str(), wl.trace().ops.size(),
+                cfg.cyclesToUs(wl.computeCycles()) / 1000.0,
+                out.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "v10sim — V10 multi-tenant NPU simulator (ISCA'23)\n\n"
+        "  v10sim zoo\n"
+        "  v10sim profile --model BERT [--batch 32]\n"
+        "  v10sim run --models BERT,NCF [--scheduler PMT|V10-Base|"
+        "V10-Fair|V10-Full]\n"
+        "             [--priorities 0.7,0.3] [--rps 30,120] "
+        "[--requests 25]\n"
+        "             [--slice cycles] [--sas N --vus N] [--timeline out.json] "
+        "[--vmem-mb MB]\n"
+        "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4]\n"
+        "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
+        "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
+        "  v10sim report [--out report.md] [--requests N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args = Args::parse(argc, argv, 2);
+    if (cmd == "zoo")
+        return cmdZoo();
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "advise")
+        return cmdAdvise(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "gen-traces")
+        return cmdGenTraces(args);
+    if (cmd == "report")
+        return cmdReport(args);
+    usage();
+    return 2;
+}
