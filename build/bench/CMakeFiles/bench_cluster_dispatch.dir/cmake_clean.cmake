@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_dispatch.dir/bench_cluster_dispatch.cpp.o"
+  "CMakeFiles/bench_cluster_dispatch.dir/bench_cluster_dispatch.cpp.o.d"
+  "bench_cluster_dispatch"
+  "bench_cluster_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

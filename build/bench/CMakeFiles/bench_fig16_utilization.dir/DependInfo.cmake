@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_utilization.cpp" "bench/CMakeFiles/bench_fig16_utilization.dir/bench_fig16_utilization.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_utilization.dir/bench_fig16_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/v10/CMakeFiles/v10_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/v10_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/v10_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/v10_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/v10_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/collocate/CMakeFiles/v10_collocate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

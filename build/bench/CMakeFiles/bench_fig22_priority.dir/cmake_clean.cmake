@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_priority.dir/bench_fig22_priority.cpp.o"
+  "CMakeFiles/bench_fig22_priority.dir/bench_fig22_priority.cpp.o.d"
+  "bench_fig22_priority"
+  "bench_fig22_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_time_slice.dir/bench_fig23_time_slice.cpp.o"
+  "CMakeFiles/bench_fig23_time_slice.dir/bench_fig23_time_slice.cpp.o.d"
+  "bench_fig23_time_slice"
+  "bench_fig23_time_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_time_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_time_slice.
+# This may be replaced when dependencies are built.

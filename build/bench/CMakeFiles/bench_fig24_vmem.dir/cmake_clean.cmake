@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_vmem.dir/bench_fig24_vmem.cpp.o"
+  "CMakeFiles/bench_fig24_vmem.dir/bench_fig24_vmem.cpp.o.d"
+  "bench_fig24_vmem"
+  "bench_fig24_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openloop_slo.dir/bench_openloop_slo.cpp.o"
+  "CMakeFiles/bench_openloop_slo.dir/bench_openloop_slo.cpp.o.d"
+  "bench_openloop_slo"
+  "bench_openloop_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openloop_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

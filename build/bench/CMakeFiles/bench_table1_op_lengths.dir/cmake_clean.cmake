@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_op_lengths.dir/bench_table1_op_lengths.cpp.o"
+  "CMakeFiles/bench_table1_op_lengths.dir/bench_table1_op_lengths.cpp.o.d"
+  "bench_table1_op_lengths"
+  "bench_table1_op_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_op_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_collocation.dir/bench_table2_collocation.cpp.o"
+  "CMakeFiles/bench_table2_collocation.dir/bench_table2_collocation.cpp.o.d"
+  "bench_table2_collocation"
+  "bench_table2_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

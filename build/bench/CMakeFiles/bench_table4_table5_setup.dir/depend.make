@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_table5_setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collocation_advisor.dir/collocation_advisor.cpp.o"
+  "CMakeFiles/collocation_advisor.dir/collocation_advisor.cpp.o.d"
+  "collocation_advisor"
+  "collocation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collocation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

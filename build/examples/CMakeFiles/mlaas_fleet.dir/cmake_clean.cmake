@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_fleet.dir/mlaas_fleet.cpp.o"
+  "CMakeFiles/mlaas_fleet.dir/mlaas_fleet.cpp.o.d"
+  "mlaas_fleet"
+  "mlaas_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

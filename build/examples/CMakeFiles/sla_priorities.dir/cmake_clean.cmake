@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_priorities.dir/sla_priorities.cpp.o"
+  "CMakeFiles/sla_priorities.dir/sla_priorities.cpp.o.d"
+  "sla_priorities"
+  "sla_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collocate/kmeans.cpp" "src/collocate/CMakeFiles/v10_collocate.dir/kmeans.cpp.o" "gcc" "src/collocate/CMakeFiles/v10_collocate.dir/kmeans.cpp.o.d"
+  "/root/repo/src/collocate/matrix.cpp" "src/collocate/CMakeFiles/v10_collocate.dir/matrix.cpp.o" "gcc" "src/collocate/CMakeFiles/v10_collocate.dir/matrix.cpp.o.d"
+  "/root/repo/src/collocate/pca.cpp" "src/collocate/CMakeFiles/v10_collocate.dir/pca.cpp.o" "gcc" "src/collocate/CMakeFiles/v10_collocate.dir/pca.cpp.o.d"
+  "/root/repo/src/collocate/standardizer.cpp" "src/collocate/CMakeFiles/v10_collocate.dir/standardizer.cpp.o" "gcc" "src/collocate/CMakeFiles/v10_collocate.dir/standardizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

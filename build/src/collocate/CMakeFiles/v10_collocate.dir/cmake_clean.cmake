@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_collocate.dir/kmeans.cpp.o"
+  "CMakeFiles/v10_collocate.dir/kmeans.cpp.o.d"
+  "CMakeFiles/v10_collocate.dir/matrix.cpp.o"
+  "CMakeFiles/v10_collocate.dir/matrix.cpp.o.d"
+  "CMakeFiles/v10_collocate.dir/pca.cpp.o"
+  "CMakeFiles/v10_collocate.dir/pca.cpp.o.d"
+  "CMakeFiles/v10_collocate.dir/standardizer.cpp.o"
+  "CMakeFiles/v10_collocate.dir/standardizer.cpp.o.d"
+  "libv10_collocate.a"
+  "libv10_collocate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_collocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_common.dir/csv.cpp.o"
+  "CMakeFiles/v10_common.dir/csv.cpp.o.d"
+  "CMakeFiles/v10_common.dir/log.cpp.o"
+  "CMakeFiles/v10_common.dir/log.cpp.o.d"
+  "CMakeFiles/v10_common.dir/stats.cpp.o"
+  "CMakeFiles/v10_common.dir/stats.cpp.o.d"
+  "CMakeFiles/v10_common.dir/string_util.cpp.o"
+  "CMakeFiles/v10_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/v10_common.dir/table.cpp.o"
+  "CMakeFiles/v10_common.dir/table.cpp.o.d"
+  "libv10_common.a"
+  "libv10_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_isa.dir/instruction.cpp.o"
+  "CMakeFiles/v10_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/v10_isa.dir/instruction_stream.cpp.o"
+  "CMakeFiles/v10_isa.dir/instruction_stream.cpp.o.d"
+  "libv10_isa.a"
+  "libv10_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/latency_recorder.cpp" "src/metrics/CMakeFiles/v10_metrics.dir/latency_recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/v10_metrics.dir/latency_recorder.cpp.o.d"
+  "/root/repo/src/metrics/overlap_tracker.cpp" "src/metrics/CMakeFiles/v10_metrics.dir/overlap_tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/v10_metrics.dir/overlap_tracker.cpp.o.d"
+  "/root/repo/src/metrics/run_stats.cpp" "src/metrics/CMakeFiles/v10_metrics.dir/run_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/v10_metrics.dir/run_stats.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/v10_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/v10_metrics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/v10_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_metrics.dir/latency_recorder.cpp.o"
+  "CMakeFiles/v10_metrics.dir/latency_recorder.cpp.o.d"
+  "CMakeFiles/v10_metrics.dir/overlap_tracker.cpp.o"
+  "CMakeFiles/v10_metrics.dir/overlap_tracker.cpp.o.d"
+  "CMakeFiles/v10_metrics.dir/run_stats.cpp.o"
+  "CMakeFiles/v10_metrics.dir/run_stats.cpp.o.d"
+  "CMakeFiles/v10_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/v10_metrics.dir/timeline.cpp.o.d"
+  "libv10_metrics.a"
+  "libv10_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

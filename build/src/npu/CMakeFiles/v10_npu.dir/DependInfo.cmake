@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npu/functional_unit.cpp" "src/npu/CMakeFiles/v10_npu.dir/functional_unit.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/functional_unit.cpp.o.d"
+  "/root/repo/src/npu/hbm.cpp" "src/npu/CMakeFiles/v10_npu.dir/hbm.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/hbm.cpp.o.d"
+  "/root/repo/src/npu/hbm_regions.cpp" "src/npu/CMakeFiles/v10_npu.dir/hbm_regions.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/hbm_regions.cpp.o.d"
+  "/root/repo/src/npu/npu_config.cpp" "src/npu/CMakeFiles/v10_npu.dir/npu_config.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/npu_config.cpp.o.d"
+  "/root/repo/src/npu/npu_core.cpp" "src/npu/CMakeFiles/v10_npu.dir/npu_core.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/npu_core.cpp.o.d"
+  "/root/repo/src/npu/sa_preemption.cpp" "src/npu/CMakeFiles/v10_npu.dir/sa_preemption.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/sa_preemption.cpp.o.d"
+  "/root/repo/src/npu/systolic_array.cpp" "src/npu/CMakeFiles/v10_npu.dir/systolic_array.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/systolic_array.cpp.o.d"
+  "/root/repo/src/npu/vector_memory.cpp" "src/npu/CMakeFiles/v10_npu.dir/vector_memory.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/vector_memory.cpp.o.d"
+  "/root/repo/src/npu/vector_unit.cpp" "src/npu/CMakeFiles/v10_npu.dir/vector_unit.cpp.o" "gcc" "src/npu/CMakeFiles/v10_npu.dir/vector_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

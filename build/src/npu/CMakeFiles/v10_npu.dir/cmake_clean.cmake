@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_npu.dir/functional_unit.cpp.o"
+  "CMakeFiles/v10_npu.dir/functional_unit.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/hbm.cpp.o"
+  "CMakeFiles/v10_npu.dir/hbm.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/hbm_regions.cpp.o"
+  "CMakeFiles/v10_npu.dir/hbm_regions.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/npu_config.cpp.o"
+  "CMakeFiles/v10_npu.dir/npu_config.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/npu_core.cpp.o"
+  "CMakeFiles/v10_npu.dir/npu_core.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/sa_preemption.cpp.o"
+  "CMakeFiles/v10_npu.dir/sa_preemption.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/systolic_array.cpp.o"
+  "CMakeFiles/v10_npu.dir/systolic_array.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/vector_memory.cpp.o"
+  "CMakeFiles/v10_npu.dir/vector_memory.cpp.o.d"
+  "CMakeFiles/v10_npu.dir/vector_unit.cpp.o"
+  "CMakeFiles/v10_npu.dir/vector_unit.cpp.o.d"
+  "libv10_npu.a"
+  "libv10_npu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for v10_npu.
+# This may be replaced when dependencies are built.

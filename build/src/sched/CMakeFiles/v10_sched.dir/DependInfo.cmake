@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/context_table.cpp" "src/sched/CMakeFiles/v10_sched.dir/context_table.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/context_table.cpp.o.d"
+  "/root/repo/src/sched/engine.cpp" "src/sched/CMakeFiles/v10_sched.dir/engine.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/engine.cpp.o.d"
+  "/root/repo/src/sched/op_scheduler.cpp" "src/sched/CMakeFiles/v10_sched.dir/op_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/op_scheduler.cpp.o.d"
+  "/root/repo/src/sched/pmt_scheduler.cpp" "src/sched/CMakeFiles/v10_sched.dir/pmt_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/pmt_scheduler.cpp.o.d"
+  "/root/repo/src/sched/prema_scheduler.cpp" "src/sched/CMakeFiles/v10_sched.dir/prema_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/prema_scheduler.cpp.o.d"
+  "/root/repo/src/sched/priority_policy.cpp" "src/sched/CMakeFiles/v10_sched.dir/priority_policy.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/priority_policy.cpp.o.d"
+  "/root/repo/src/sched/rr_policy.cpp" "src/sched/CMakeFiles/v10_sched.dir/rr_policy.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/rr_policy.cpp.o.d"
+  "/root/repo/src/sched/scheduler_factory.cpp" "src/sched/CMakeFiles/v10_sched.dir/scheduler_factory.cpp.o" "gcc" "src/sched/CMakeFiles/v10_sched.dir/scheduler_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/v10_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/v10_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/v10_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_sched.dir/context_table.cpp.o"
+  "CMakeFiles/v10_sched.dir/context_table.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/engine.cpp.o"
+  "CMakeFiles/v10_sched.dir/engine.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/op_scheduler.cpp.o"
+  "CMakeFiles/v10_sched.dir/op_scheduler.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/pmt_scheduler.cpp.o"
+  "CMakeFiles/v10_sched.dir/pmt_scheduler.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/prema_scheduler.cpp.o"
+  "CMakeFiles/v10_sched.dir/prema_scheduler.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/priority_policy.cpp.o"
+  "CMakeFiles/v10_sched.dir/priority_policy.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/rr_policy.cpp.o"
+  "CMakeFiles/v10_sched.dir/rr_policy.cpp.o.d"
+  "CMakeFiles/v10_sched.dir/scheduler_factory.cpp.o"
+  "CMakeFiles/v10_sched.dir/scheduler_factory.cpp.o.d"
+  "libv10_sched.a"
+  "libv10_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/v10_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/v10_sim.dir/simulator.cpp.o"
+  "CMakeFiles/v10_sim.dir/simulator.cpp.o.d"
+  "libv10_sim.a"
+  "libv10_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

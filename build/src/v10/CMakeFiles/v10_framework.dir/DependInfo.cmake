@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/v10/collocation_advisor.cpp" "src/v10/CMakeFiles/v10_framework.dir/collocation_advisor.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/collocation_advisor.cpp.o.d"
+  "/root/repo/src/v10/experiment.cpp" "src/v10/CMakeFiles/v10_framework.dir/experiment.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/experiment.cpp.o.d"
+  "/root/repo/src/v10/features.cpp" "src/v10/CMakeFiles/v10_framework.dir/features.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/features.cpp.o.d"
+  "/root/repo/src/v10/hw_cost.cpp" "src/v10/CMakeFiles/v10_framework.dir/hw_cost.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/hw_cost.cpp.o.d"
+  "/root/repo/src/v10/multi_tenant_npu.cpp" "src/v10/CMakeFiles/v10_framework.dir/multi_tenant_npu.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/multi_tenant_npu.cpp.o.d"
+  "/root/repo/src/v10/npu_cluster.cpp" "src/v10/CMakeFiles/v10_framework.dir/npu_cluster.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/npu_cluster.cpp.o.d"
+  "/root/repo/src/v10/profiler.cpp" "src/v10/CMakeFiles/v10_framework.dir/profiler.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/profiler.cpp.o.d"
+  "/root/repo/src/v10/report.cpp" "src/v10/CMakeFiles/v10_framework.dir/report.cpp.o" "gcc" "src/v10/CMakeFiles/v10_framework.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/v10_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/v10_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/v10_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/v10_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/collocate/CMakeFiles/v10_collocate.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_framework.dir/collocation_advisor.cpp.o"
+  "CMakeFiles/v10_framework.dir/collocation_advisor.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/experiment.cpp.o"
+  "CMakeFiles/v10_framework.dir/experiment.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/features.cpp.o"
+  "CMakeFiles/v10_framework.dir/features.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/hw_cost.cpp.o"
+  "CMakeFiles/v10_framework.dir/hw_cost.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/multi_tenant_npu.cpp.o"
+  "CMakeFiles/v10_framework.dir/multi_tenant_npu.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/npu_cluster.cpp.o"
+  "CMakeFiles/v10_framework.dir/npu_cluster.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/profiler.cpp.o"
+  "CMakeFiles/v10_framework.dir/profiler.cpp.o.d"
+  "CMakeFiles/v10_framework.dir/report.cpp.o"
+  "CMakeFiles/v10_framework.dir/report.cpp.o.d"
+  "libv10_framework.a"
+  "libv10_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/model_profile.cpp" "src/workload/CMakeFiles/v10_workload.dir/model_profile.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/model_profile.cpp.o.d"
+  "/root/repo/src/workload/model_zoo.cpp" "src/workload/CMakeFiles/v10_workload.dir/model_zoo.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/workload/op_graph.cpp" "src/workload/CMakeFiles/v10_workload.dir/op_graph.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/op_graph.cpp.o.d"
+  "/root/repo/src/workload/operator.cpp" "src/workload/CMakeFiles/v10_workload.dir/operator.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/operator.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/v10_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/v10_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/v10_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/v10_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/v10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/npu/CMakeFiles/v10_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/v10_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v10_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10_workload.dir/model_profile.cpp.o"
+  "CMakeFiles/v10_workload.dir/model_profile.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/v10_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/op_graph.cpp.o"
+  "CMakeFiles/v10_workload.dir/op_graph.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/operator.cpp.o"
+  "CMakeFiles/v10_workload.dir/operator.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/v10_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/v10_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/v10_workload.dir/workload.cpp.o"
+  "CMakeFiles/v10_workload.dir/workload.cpp.o.d"
+  "libv10_workload.a"
+  "libv10_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

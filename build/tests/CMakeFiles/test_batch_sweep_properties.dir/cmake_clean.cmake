@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_sweep_properties.dir/test_batch_sweep_properties.cpp.o"
+  "CMakeFiles/test_batch_sweep_properties.dir/test_batch_sweep_properties.cpp.o.d"
+  "test_batch_sweep_properties"
+  "test_batch_sweep_properties.pdb"
+  "test_batch_sweep_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_sweep_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

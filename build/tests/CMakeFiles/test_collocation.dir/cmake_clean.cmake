@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collocation.dir/test_collocation.cpp.o"
+  "CMakeFiles/test_collocation.dir/test_collocation.cpp.o.d"
+  "test_collocation"
+  "test_collocation.pdb"
+  "test_collocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_table.dir/test_context_table.cpp.o"
+  "CMakeFiles/test_context_table.dir/test_context_table.cpp.o.d"
+  "test_context_table"
+  "test_context_table.pdb"
+  "test_context_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_unit.dir/test_functional_unit.cpp.o"
+  "CMakeFiles/test_functional_unit.dir/test_functional_unit.cpp.o.d"
+  "test_functional_unit"
+  "test_functional_unit.pdb"
+  "test_functional_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

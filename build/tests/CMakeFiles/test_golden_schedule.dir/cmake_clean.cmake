@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_schedule.dir/test_golden_schedule.cpp.o"
+  "CMakeFiles/test_golden_schedule.dir/test_golden_schedule.cpp.o.d"
+  "test_golden_schedule"
+  "test_golden_schedule.pdb"
+  "test_golden_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

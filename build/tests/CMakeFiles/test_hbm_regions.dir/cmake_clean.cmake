@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbm_regions.dir/test_hbm_regions.cpp.o"
+  "CMakeFiles/test_hbm_regions.dir/test_hbm_regions.cpp.o.d"
+  "test_hbm_regions"
+  "test_hbm_regions.pdb"
+  "test_hbm_regions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbm_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_cost.dir/test_hw_cost.cpp.o"
+  "CMakeFiles/test_hw_cost.dir/test_hw_cost.cpp.o.d"
+  "test_hw_cost"
+  "test_hw_cost.pdb"
+  "test_hw_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npu_cluster.dir/test_npu_cluster.cpp.o"
+  "CMakeFiles/test_npu_cluster.dir/test_npu_cluster.cpp.o.d"
+  "test_npu_cluster"
+  "test_npu_cluster.pdb"
+  "test_npu_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_scheduler.dir/test_op_scheduler.cpp.o"
+  "CMakeFiles/test_op_scheduler.dir/test_op_scheduler.cpp.o.d"
+  "test_op_scheduler"
+  "test_op_scheduler.pdb"
+  "test_op_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open_loop.dir/test_open_loop.cpp.o"
+  "CMakeFiles/test_open_loop.dir/test_open_loop.cpp.o.d"
+  "test_open_loop"
+  "test_open_loop.pdb"
+  "test_open_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmt_scheduler.dir/test_pmt_scheduler.cpp.o"
+  "CMakeFiles/test_pmt_scheduler.dir/test_pmt_scheduler.cpp.o.d"
+  "test_pmt_scheduler"
+  "test_pmt_scheduler.pdb"
+  "test_pmt_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmt_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prema_scheduler.dir/test_prema_scheduler.cpp.o"
+  "CMakeFiles/test_prema_scheduler.dir/test_prema_scheduler.cpp.o.d"
+  "test_prema_scheduler"
+  "test_prema_scheduler.pdb"
+  "test_prema_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prema_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler_features.dir/test_profiler_features.cpp.o"
+  "CMakeFiles/test_profiler_features.dir/test_profiler_features.cpp.o.d"
+  "test_profiler_features"
+  "test_profiler_features.pdb"
+  "test_profiler_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_stats.dir/test_run_stats.cpp.o"
+  "CMakeFiles/test_run_stats.dir/test_run_stats.cpp.o.d"
+  "test_run_stats"
+  "test_run_stats.pdb"
+  "test_run_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sa_preemption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_engine.dir/test_scheduler_engine.cpp.o"
+  "CMakeFiles/test_scheduler_engine.dir/test_scheduler_engine.cpp.o.d"
+  "test_scheduler_engine"
+  "test_scheduler_engine.pdb"
+  "test_scheduler_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_invariants.dir/test_stress_invariants.cpp.o"
+  "CMakeFiles/test_stress_invariants.dir/test_stress_invariants.cpp.o.d"
+  "test_stress_invariants"
+  "test_stress_invariants.pdb"
+  "test_stress_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

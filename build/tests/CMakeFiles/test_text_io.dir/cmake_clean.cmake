@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_io.dir/test_text_io.cpp.o"
+  "CMakeFiles/test_text_io.dir/test_text_io.cpp.o.d"
+  "test_text_io"
+  "test_text_io.pdb"
+  "test_text_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_memory.dir/test_vector_memory.cpp.o"
+  "CMakeFiles/test_vector_memory.dir/test_vector_memory.cpp.o.d"
+  "test_vector_memory"
+  "test_vector_memory.pdb"
+  "test_vector_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

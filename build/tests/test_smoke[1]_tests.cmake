@@ -1,0 +1,3 @@
+add_test([=[Smoke.BertNcfUnderAllSchedulers]=]  /root/repo/build/tests/test_smoke [==[--gtest_filter=Smoke.BertNcfUnderAllSchedulers]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.BertNcfUnderAllSchedulers]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  test_smoke_TESTS Smoke.BertNcfUnderAllSchedulers)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v10sim.dir/v10sim.cpp.o"
+  "CMakeFiles/v10sim.dir/v10sim.cpp.o.d"
+  "v10sim"
+  "v10sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v10sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
