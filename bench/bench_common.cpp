@@ -5,7 +5,9 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/parallel_executor.h"
 #include "common/string_util.h"
+#include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
 namespace v10::bench {
@@ -25,13 +27,19 @@ BenchOptions::parse(int argc, char **argv, const std::string &what)
                    i + 1 < argc) {
             opts.requests =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            opts.jobs = ParallelExecutor::parseJobs(argv[++i]);
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("%s\n\nOptions:\n"
                         "  --csv             emit CSV rows\n"
                         "  --requests <n>    measured requests per "
                         "run (default 25)\n"
-                        "  --quick           fast mode (8 requests)\n",
+                        "  --quick           fast mode (8 requests)\n"
+                        "  --jobs <n|auto>   threads for independent "
+                        "simulations (default 1;\n"
+                        "                    results are identical "
+                        "for any value)\n",
                         what.c_str());
             std::exit(0);
         } else {
@@ -56,16 +64,20 @@ banner(const BenchOptions &opts, const std::string &title,
 std::vector<PairRunSet>
 runEvaluationPairs(ExperimentRunner &runner,
                    const std::vector<SchedulerKind> &kinds,
-                   std::uint64_t requests)
+                   std::uint64_t requests, std::size_t jobs)
 {
+    SweepRunner sweep(runner, jobs);
+    std::vector<RunStats> grid =
+        sweep.runPairs(evaluationPairs(), kinds, requests);
+
     std::vector<PairRunSet> out;
+    std::size_t cell = 0;
     for (const auto &[a, b] : evaluationPairs()) {
         PairRunSet set;
         set.a = a;
         set.b = b;
         for (SchedulerKind kind : kinds)
-            set.byKind.emplace(
-                kind, runner.runPair(kind, a, b, 1.0, 1.0, requests));
+            set.byKind.emplace(kind, std::move(grid[cell++]));
         out.push_back(std::move(set));
     }
     return out;
@@ -85,8 +97,8 @@ profileSweepBench(const BenchOptions &opts, const std::string &title,
 {
     banner(opts, title, paperRef);
     const NpuConfig config;
-    const auto profiles =
-        profileAllModels(config, opts.quick ? 4 : opts.requests);
+    const auto profiles = profileAllModels(
+        config, opts.quick ? 4 : opts.requests, opts.jobs);
 
     std::vector<std::string> headers = {"model"};
     for (int b : standardBatchSweep())

@@ -26,6 +26,9 @@ struct BenchOptions
     bool csv = false;            ///< emit CSV instead of a table
     std::uint64_t requests = 25; ///< measured requests per run
     bool quick = false;          ///< --quick: fewer requests (CI)
+    /** --jobs: threads for independent simulations (0/"auto" =
+     * hardware threads). Results are identical for any value. */
+    std::size_t jobs = 1;
 
     /** Parse argv; exits on --help. @param what banner text. */
     static BenchOptions parse(int argc, char **argv,
@@ -46,12 +49,14 @@ struct PairRunSet
 
 /**
  * Run the paper's 11 evaluation pairs (Figs. 16-21) under the given
- * designs; shared by all pair-based figure benches.
+ * designs; shared by all pair-based figure benches. With jobs > 1
+ * the pair x design grid fans out over a SweepRunner; the returned
+ * sets are bit-identical for any jobs count.
  */
 std::vector<PairRunSet>
 runEvaluationPairs(ExperimentRunner &runner,
                    const std::vector<SchedulerKind> &kinds,
-                   std::uint64_t requests);
+                   std::uint64_t requests, std::size_t jobs = 1);
 
 /** "BERT+NCF"-style pair label. */
 std::string pairLabel(const PairRunSet &set);
@@ -60,7 +65,8 @@ std::string pairLabel(const PairRunSet &set);
  * Shared driver for the single-workload characterization figures
  * (Figs. 3/4/5/6/7): profile every model over the batch sweep and
  * print one row per model with one column per batch of
- * @p metric(profile). OOM points print "-".
+ * @p metric(profile). OOM points print "-". The profiling sweep
+ * honours opts.jobs.
  */
 void profileSweepBench(const BenchOptions &opts,
                        const std::string &title,

@@ -24,7 +24,7 @@ main(int argc, char **argv)
 
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
-                                         opts.requests);
+                                         opts.requests, opts.jobs);
 
     CsvWriter csv(std::cout);
     if (opts.csv)

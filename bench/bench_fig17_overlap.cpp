@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
-                                         opts.requests);
+                                         opts.requests, opts.jobs);
 
     TextTable table({"pair", "design", "SA&VU", "SA only", "VU only",
                      "idle"});

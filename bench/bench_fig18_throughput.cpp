@@ -23,7 +23,7 @@ main(int argc, char **argv)
 
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
-                                         opts.requests);
+                                         opts.requests, opts.jobs);
 
     TextTable table({"pair", "PMT", "V10-Base", "V10-Fair",
                      "V10-Full", "Full/PMT"});

@@ -27,7 +27,8 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const std::vector<SchedulerKind> kinds = {SchedulerKind::Pmt,
                                               SchedulerKind::V10Full};
-    const auto sets = runEvaluationPairs(runner, kinds, opts.requests);
+    const auto sets = runEvaluationPairs(runner, kinds, opts.requests,
+                                         opts.jobs);
 
     TextTable table({"pair", "tenant", "PMT ovhd", "Full ovhd",
                      "PMT preempts/req", "Full preempts/req"});

@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
 int
@@ -47,19 +48,25 @@ main(int argc, char **argv)
         std::vector<std::string> row = {
             "(" + std::to_string(fus) + "," + std::to_string(fus) +
             ")"};
+        // One sweep cell per collocation width, fanned over --jobs.
+        std::vector<SweepCell> cells;
         for (int t : tenant_counts) {
             // Random workload picks, deterministic per (fus, t).
             Rng rng(0xF25u ^ (fus << 8) ^ static_cast<unsigned>(t));
-            std::vector<TenantRequest> tenants;
+            SweepCell cell;
             for (int i = 0; i < t; ++i) {
                 const auto &zoo = modelZoo();
                 const auto &m = zoo[rng.uniformInt(zoo.size())];
-                tenants.push_back(TenantRequest{m.abbrev, 0, 1.0});
+                cell.tenants.push_back(
+                    TenantRequest{m.abbrev, 0, 1.0});
             }
-            const RunStats stats = runner.run(
-                SchedulerKind::V10Full, tenants, requests, 1);
-            row.push_back(formatDouble(stats.stp(), 2) + "x");
+            cell.requests = requests;
+            cell.warmup = 1;
+            cells.push_back(std::move(cell));
         }
+        SweepRunner sweep(runner, opts.jobs);
+        for (const RunStats &stats : sweep.run(cells))
+            row.push_back(formatDouble(stats.stp(), 2) + "x");
         if (opts.csv) {
             csv.row(row);
         } else {

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the parallel sweep subsystem:
+ * the same evaluation grid executed through SweepRunner at different
+ * --jobs widths. Reports wall-clock per sweep plus a "speedup"
+ * counter (serial time / this width's time), so the JSON output
+ * (--benchmark_format=json) records how well the fan-out scales on
+ * the host. Results are bit-identical at every width; this bench
+ * measures only time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "v10/experiment.h"
+#include "v10/sweep.h"
+
+namespace {
+
+using namespace v10;
+
+/** The grid every width runs: 4 pairs x 2 scheduler kinds. */
+std::vector<SweepCell>
+sweepGrid()
+{
+    return SweepRunner::pairGrid({{"BERT", "NCF"},
+                                  {"ENet", "SMask"},
+                                  {"DLRM", "RsNt"},
+                                  {"TFMR", "MNST"}},
+                                 {SchedulerKind::Pmt,
+                                  SchedulerKind::V10Full},
+                                 4);
+}
+
+/** Serial reference seconds, measured once and shared so every
+ * width's "speedup" counter uses the same baseline. */
+double
+serialSeconds()
+{
+    static const double seconds = [] {
+        ExperimentRunner runner;
+        SweepRunner sweep(runner, 1);
+        // Warm the caches so the timed pass measures sweep fan-out,
+        // not first-touch compilation.
+        sweep.run(sweepGrid());
+        const auto start = std::chrono::steady_clock::now();
+        sweep.run(sweepGrid());
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }();
+    return seconds;
+}
+
+void
+BM_SweepAtJobs(benchmark::State &state)
+{
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    ExperimentRunner runner;
+    SweepRunner sweep(runner, jobs);
+    sweep.run(sweepGrid()); // warm caches (see serialSeconds)
+    double total = 0.0;
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<RunStats> results = sweep.run(sweepGrid());
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        state.SetIterationTime(elapsed);
+        total += elapsed;
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(sweepGrid().size()));
+    const double per_iter =
+        total / static_cast<double>(state.iterations());
+    state.counters["jobs"] = static_cast<double>(jobs);
+    state.counters["serial_s"] = serialSeconds();
+    state.counters["speedup"] =
+        per_iter > 0.0 ? serialSeconds() / per_iter : 0.0;
+}
+BENCHMARK(BM_SweepAtJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

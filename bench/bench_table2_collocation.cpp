@@ -25,7 +25,8 @@ main(int argc, char **argv)
     banner(opts, "Collocation prediction accuracy", "Table 2");
 
     CollocationStudy study(NpuConfig{},
-                           opts.quick ? 6 : opts.requests);
+                           opts.quick ? 6 : opts.requests, 1.3,
+                           opts.jobs);
     study.build();
 
     const std::vector<SchemeOutcome> outcomes = {

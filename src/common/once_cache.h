@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Compute-once concurrent cache: a keyed memoization table safe to
+ * hammer from every ParallelExecutor worker at once.
+ *
+ * The first caller of a key computes the value *outside* the lock;
+ * concurrent callers for the same key block on a shared_future until
+ * it is ready, so each value is computed exactly once no matter how
+ * many threads race on it. Values live in node-based storage, so the
+ * returned references stay valid for the cache's lifetime — the
+ * property ExperimentRunner's `const Workload &` / `const RunStats &`
+ * accessors rely on.
+ */
+
+#ifndef V10_COMMON_ONCE_CACHE_H
+#define V10_COMMON_ONCE_CACHE_H
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace v10 {
+
+/**
+ * Thread-safe string-keyed cache with exactly-once computation per
+ * key. @tparam Value the cached type (need not be copyable or
+ * movable; it is held by unique_ptr).
+ */
+template <typename Value>
+class OnceCache
+{
+  public:
+    OnceCache() = default;
+
+    /** Moving is only safe while no computation is in flight (the
+     * usual contract for movable concurrency containers); it exists
+     * so cache owners stay movable during single-threaded setup. */
+    OnceCache(OnceCache &&other) noexcept
+    {
+        std::lock_guard<std::mutex> lock(other.mu_);
+        slots_ = std::move(other.slots_);
+        values_ = std::move(other.values_);
+    }
+
+    OnceCache &
+    operator=(OnceCache &&other) noexcept
+    {
+        if (this != &other) {
+            std::scoped_lock lock(mu_, other.mu_);
+            slots_ = std::move(other.slots_);
+            values_ = std::move(other.values_);
+        }
+        return *this;
+    }
+
+    OnceCache(const OnceCache &) = delete;
+    OnceCache &operator=(const OnceCache &) = delete;
+
+    /**
+     * Return the value for @p key, running @p compute (a callable
+     * returning std::unique_ptr<Value>) if this is the first request
+     * for it. Concurrent callers of the same key wait for the single
+     * computation instead of recomputing. If compute throws, waiters
+     * see the exception and the key becomes computable again.
+     *
+     * compute must not re-enter the same key (classic lock-free
+     * once-cell restriction); distinct keys may recurse freely.
+     */
+    template <typename Compute>
+    const Value &
+    getOrCompute(const std::string &key, Compute &&compute)
+    {
+        std::shared_future<const Value *> future;
+        std::promise<const Value *> promise;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = slots_.find(key);
+            if (it == slots_.end()) {
+                owner = true;
+                future = promise.get_future().share();
+                slots_.emplace(key, future);
+            } else {
+                future = it->second;
+            }
+        }
+        if (owner) {
+            try {
+                std::unique_ptr<Value> value = compute();
+                const Value *ptr = nullptr;
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ptr = (values_[key] = std::move(value)).get();
+                }
+                promise.set_value(ptr);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    slots_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return *future.get();
+    }
+
+    /** True if @p key has a fully computed value. */
+    bool
+    contains(const std::string &key) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return values_.count(key) != 0;
+    }
+
+    /** Number of fully computed values. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return values_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<const Value *>> slots_;
+    std::map<std::string, std::unique_ptr<Value>> values_;
+};
+
+} // namespace v10
+
+#endif // V10_COMMON_ONCE_CACHE_H

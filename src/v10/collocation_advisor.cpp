@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "common/parallel_executor.h"
 #include "workload/model_zoo.h"
 
 namespace v10 {
@@ -48,31 +49,43 @@ ClusteringCollocator::train(
 
     // Inter-cluster pairwise collocation profiling (Fig. 14): the
     // profiled performance of clusters (i, j) is the mean measured
-    // performance over all training pairs spanning them.
+    // performance over all training pairs spanning them. The
+    // measurements are independent simulations, so they fan out over
+    // options_.jobs threads; accumulation stays serial in pair order
+    // so the floating-point sums are bit-identical for any jobs.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < training.size(); ++i) {
+        for (std::size_t j = i + 1; j < training.size(); ++j) {
+            // Two batch variants of the same model are not a
+            // collocation candidate.
+            if (training[i].model != training[j].model)
+                pairs.emplace_back(i, j);
+        }
+    }
+    ParallelExecutor exec(options_.jobs);
+    const std::vector<double> measured =
+        exec.map<double>(pairs.size(), [&](std::size_t n) {
+            return perf(training[pairs[n].first].model,
+                        training[pairs[n].second].model);
+        });
+
     const std::size_t k = options_.clusters;
     cluster_perf_.assign(k, std::vector<double>(k, 0.0));
     cluster_perf_count_.assign(k, std::vector<int>(k, 0));
     double global_sum = 0.0;
     int global_count = 0;
-    for (std::size_t i = 0; i < training.size(); ++i) {
-        for (std::size_t j = i + 1; j < training.size(); ++j) {
-            // Two batch variants of the same model are not a
-            // collocation candidate.
-            if (training[i].model == training[j].model)
-                continue;
-            const double p =
-                perf(training[i].model, training[j].model);
-            const std::size_t ci = training_labels_[i];
-            const std::size_t cj = training_labels_[j];
-            cluster_perf_[ci][cj] += p;
-            cluster_perf_count_[ci][cj] += 1;
-            if (ci != cj) {
-                cluster_perf_[cj][ci] += p;
-                cluster_perf_count_[cj][ci] += 1;
-            }
-            global_sum += p;
-            ++global_count;
+    for (std::size_t n = 0; n < pairs.size(); ++n) {
+        const double p = measured[n];
+        const std::size_t ci = training_labels_[pairs[n].first];
+        const std::size_t cj = training_labels_[pairs[n].second];
+        cluster_perf_[ci][cj] += p;
+        cluster_perf_count_[ci][cj] += 1;
+        if (ci != cj) {
+            cluster_perf_[cj][ci] += p;
+            cluster_perf_count_[cj][ci] += 1;
         }
+        global_sum += p;
+        ++global_count;
     }
     for (std::size_t a = 0; a < k; ++a) {
         for (std::size_t b = 0; b < k; ++b) {
@@ -181,8 +194,10 @@ SchemeOutcome::fnRate() const
 
 CollocationStudy::CollocationStudy(const NpuConfig &config,
                                    std::uint64_t requests,
-                                   double threshold)
-    : runner_(config), requests_(requests), threshold_(threshold)
+                                   double threshold,
+                                   std::size_t jobs)
+    : runner_(config), requests_(requests), threshold_(threshold),
+      jobs_(jobs == 0 ? ParallelExecutor::hardwareJobs() : jobs)
 {
     for (const ModelProfile &m : modelZoo())
         models_.push_back(m.abbrev);
@@ -200,27 +215,45 @@ CollocationStudy::build()
 {
     if (built_)
         return;
+    ParallelExecutor exec(jobs_);
+
     // Featurize several batch variants per model: the clustering of
-    // Fig. 15 places one point per (model, batch size).
+    // Fig. 15 places one point per (model, batch size). Each point
+    // is an independent dedicated-core simulation, so they fan out;
+    // the feature vectors are then appended in sweep order so the
+    // training set is identical for any jobs count.
+    std::vector<std::pair<const ModelProfile *, int>> points;
     for (const std::string &m : models_) {
         const ModelProfile &profile = findModel(m);
-        std::vector<int> batches = {profile.refBatch / 4,
-                                    profile.refBatch,
-                                    profile.refBatch * 4};
-        for (int batch : batches) {
-            if (batch < 1 ||
-                !profile.fitsMemory(batch, kHbmRegionBytes))
-                continue;
-            const SingleProfile sp = profileSingle(
-                runner_.config(), profile, batch, requests_);
-            variant_features_.push_back(extractFeatures(sp));
-            if (batch == profile.refBatch)
-                features_.emplace(m, variant_features_.back());
+        for (int batch : {profile.refBatch / 4, profile.refBatch,
+                          profile.refBatch * 4}) {
+            if (batch >= 1 &&
+                profile.fitsMemory(batch, kHbmRegionBytes))
+                points.emplace_back(&profile, batch);
         }
     }
+    const std::vector<SingleProfile> profiles =
+        exec.map<SingleProfile>(points.size(), [&](std::size_t i) {
+            return profileSingle(runner_.config(), *points[i].first,
+                                 points[i].second, requests_);
+        });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        variant_features_.push_back(extractFeatures(profiles[i]));
+        if (points[i].second == points[i].first->refBatch)
+            features_.emplace(points[i].first->abbrev,
+                              variant_features_.back());
+    }
+
+    // Brute-force ground truth for every model pair, O(models²)
+    // simulations — the sweep §3.4 amortizes offline and by far the
+    // dominant cost of the study.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
     for (std::size_t i = 0; i < models_.size(); ++i)
         for (std::size_t j = i + 1; j < models_.size(); ++j)
-            pairPerf(models_[i], models_[j]);
+            pairs.emplace_back(i, j);
+    exec.forEach(pairs.size(), [&](std::size_t n) {
+        pairPerf(models_[pairs[n].first], models_[pairs[n].second]);
+    });
     built_ = true;
 }
 
@@ -228,19 +261,15 @@ double
 CollocationStudy::pairPerf(const std::string &a, const std::string &b)
 {
     const std::string k = pairKey(a, b);
-    auto it = perf_.find(k);
-    if (it != perf_.end())
-        return it->second;
-
-    const RunStats v10_full = runner_.runPair(
-        SchedulerKind::V10Full, a, b, 1.0, 1.0, requests_);
-    const RunStats pmt = runner_.runPair(SchedulerKind::Pmt, a, b,
-                                         1.0, 1.0, requests_);
-    const double pmt_stp = pmt.stp();
-    const double ratio =
-        pmt_stp > 0.0 ? v10_full.stp() / pmt_stp : 0.0;
-    perf_.emplace(k, ratio);
-    return ratio;
+    return perf_.getOrCompute(k, [&] {
+        const RunStats v10_full = runner_.runPair(
+            SchedulerKind::V10Full, a, b, 1.0, 1.0, requests_);
+        const RunStats pmt = runner_.runPair(
+            SchedulerKind::Pmt, a, b, 1.0, 1.0, requests_);
+        const double pmt_stp = pmt.stp();
+        return std::make_unique<double>(
+            pmt_stp > 0.0 ? v10_full.stp() / pmt_stp : 0.0);
+    });
 }
 
 const WorkloadFeatures &
@@ -307,7 +336,11 @@ CollocationStudy::evaluateHeuristic()
 SchemeOutcome
 CollocationStudy::evaluateClustering()
 {
-    return evaluateClustering(ClusteringCollocator::Options{});
+    ClusteringCollocator::Options options;
+    // After build() every pair perf is cached, so the advisor's
+    // parallel profiling degenerates to concurrent cache reads.
+    options.jobs = jobs_;
+    return evaluateClustering(options);
 }
 
 SchemeOutcome

@@ -24,6 +24,7 @@
 #include "collocate/kmeans.h"
 #include "collocate/pca.h"
 #include "collocate/standardizer.h"
+#include "common/once_cache.h"
 #include "npu/npu_config.h"
 #include "v10/experiment.h"
 #include "v10/features.h"
@@ -47,6 +48,10 @@ class ClusteringCollocator
         std::size_t pcaComponents = 2; ///< kept principal components
         double threshold = 1.3;        ///< beneficial-pair cutoff
         std::uint64_t seed = 11;
+        /** Threads for the pairwise profiling of train(); the
+         * profiled matrix is identical for any value (@p perf must
+         * be thread-safe when > 1). */
+        std::size_t jobs = 1;
     };
 
     explicit ClusteringCollocator(Options options);
@@ -135,10 +140,13 @@ class CollocationStudy
      * @param requests measured requests per simulation (larger =
      *        slower, steadier ground truth)
      * @param threshold beneficial-pair cutoff (paper: 1.3x)
+     * @param jobs threads for the O(models²) brute-force profiling
+     *        of build(); results are identical for any value
      */
     explicit CollocationStudy(const NpuConfig &config,
                               std::uint64_t requests = 12,
-                              double threshold = 1.3);
+                              double threshold = 1.3,
+                              std::size_t jobs = 1);
 
     /** Profile all models, simulate all pair perfs (idempotent). */
     void build();
@@ -185,12 +193,15 @@ class CollocationStudy
     ExperimentRunner runner_;
     std::uint64_t requests_;
     double threshold_;
+    std::size_t jobs_;
     bool built_ = false;
     std::vector<std::string> models_;
     std::map<std::string, WorkloadFeatures> features_;
     /** One feature point per (model, batch) variant (Fig. 15). */
     std::vector<WorkloadFeatures> variant_features_;
-    std::map<std::string, double> perf_;
+    /** Ground-truth pair performance; compute-once and safe to
+     * populate from build()'s parallel workers. */
+    OnceCache<double> perf_;
 
     std::string pairKey(const std::string &a,
                         const std::string &b) const;

@@ -15,7 +15,15 @@ ExperimentRunner::ExperimentRunner(NpuConfig config)
 std::string
 ExperimentRunner::key(const std::string &model, int batch) const
 {
-    return findModel(model).abbrev + "@" + std::to_string(batch);
+    return findModel(model).key(batch);
+}
+
+void
+ExperimentRunner::noteCompute(const std::string &what,
+                              const std::string &key) const
+{
+    if (compute_hook_)
+        compute_hook_(what + ":" + key);
 }
 
 int
@@ -30,14 +38,11 @@ ExperimentRunner::workload(const std::string &model, int batch)
 {
     batch = resolveBatch(model, batch);
     const std::string k = key(model, batch);
-    auto it = workloads_.find(k);
-    if (it == workloads_.end()) {
-        it = workloads_
-                 .emplace(k, std::make_unique<Workload>(
-                                 findModel(model), batch, config_))
-                 .first;
-    }
-    return *it->second;
+    return workloads_.getOrCompute(k, [&] {
+        noteCompute("wl", k);
+        return std::make_unique<Workload>(findModel(model), batch,
+                                          config_);
+    });
 }
 
 const RunStats &
@@ -45,21 +50,21 @@ ExperimentRunner::singleTenant(const std::string &model, int batch)
 {
     batch = resolveBatch(model, batch);
     const std::string k = key(model, batch);
-    auto it = single_cache_.find(k);
-    if (it != single_cache_.end())
-        return it->second;
-
-    const Workload &wl = workload(model, batch);
-    Simulator sim;
-    NpuCore core(sim, config_, 1, false);
-    // A dedicated core needs no policy or preemption; V10-Base with
-    // one tenant degenerates to plain in-order execution.
-    OperatorScheduler sched(sim, core, {TenantSpec{&wl, 1.0}},
-                            OperatorScheduler::Variant::Base);
-    RunStats stats = sched.run(kDefaultRequests, kDefaultWarmup);
-    for (auto &w : stats.workloads)
-        w.normalizedProgress = 1.0;
-    return single_cache_.emplace(k, std::move(stats)).first->second;
+    return single_cache_.getOrCompute(k, [&] {
+        noteCompute("ref", k);
+        const Workload &wl = workload(model, batch);
+        Simulator sim;
+        NpuCore core(sim, config_, 1, false);
+        // A dedicated core needs no policy or preemption; V10-Base
+        // with one tenant degenerates to plain in-order execution.
+        OperatorScheduler sched(sim, core, {TenantSpec{&wl, 1.0}},
+                                OperatorScheduler::Variant::Base);
+        auto stats = std::make_unique<RunStats>(
+            sched.run(kDefaultRequests, kDefaultWarmup));
+        for (auto &w : stats->workloads)
+            w.normalizedProgress = 1.0;
+        return stats;
+    });
 }
 
 double

@@ -9,11 +9,12 @@
 #ifndef V10_V10_EXPERIMENT_H
 #define V10_V10_EXPERIMENT_H
 
-#include <map>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/once_cache.h"
 #include "metrics/run_stats.h"
 #include "npu/npu_config.h"
 #include "sched/scheduler_factory.h"
@@ -34,6 +35,14 @@ struct TenantRequest
 /**
  * Runs experiments over one hardware configuration, caching
  * workload compilation and single-tenant references.
+ *
+ * Thread safety: run(), runPair(), workload(), singleTenant(), and
+ * singleTenantRps() may be called concurrently from any number of
+ * SweepRunner / ParallelExecutor workers. The compilation and
+ * reference caches compute each entry exactly once (concurrent
+ * requesters block on the in-flight computation), and every
+ * simulation builds its own Simulator + core + scheduler, so
+ * parallel sweeps are bit-identical to serial ones.
  */
 class ExperimentRunner
 {
@@ -83,12 +92,30 @@ class ExperimentRunner
     /** Resolve batch 0 to the model's reference batch. */
     int resolveBatch(const std::string &model, int batch) const;
 
+    /**
+     * Test instrumentation: invoked (possibly from a worker thread)
+     * each time a cache entry is actually *computed* — with key
+     * "wl:BERT@32" for a workload compilation and "ref:BERT@32" for
+     * a single-tenant reference run. Cache hits do not fire it, so
+     * the concurrency tests can assert exactly-once computation.
+     * Set it before the first concurrent use; the hook itself must
+     * be thread-safe.
+     */
+    void setComputeHook(
+        std::function<void(const std::string &)> hook)
+    {
+        compute_hook_ = std::move(hook);
+    }
+
   private:
     NpuConfig config_;
-    std::map<std::string, std::unique_ptr<Workload>> workloads_;
-    std::map<std::string, RunStats> single_cache_;
+    OnceCache<Workload> workloads_;
+    OnceCache<RunStats> single_cache_;
+    std::function<void(const std::string &)> compute_hook_;
 
     std::string key(const std::string &model, int batch) const;
+    void noteCompute(const std::string &what,
+                     const std::string &key) const;
 };
 
 } // namespace v10

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
 namespace v10 {
@@ -39,8 +40,7 @@ const WorkloadFeatures &
 NpuCluster::features(const std::string &model, int batch)
 {
     batch = runner_.resolveBatch(model, batch);
-    const std::string key =
-        findModel(model).abbrev + "@" + std::to_string(batch);
+    const std::string key = findModel(model).key(batch);
     auto it = feature_cache_.find(key);
     if (it == feature_cache_.end()) {
         const SingleProfile sp =
@@ -78,7 +78,11 @@ NpuCluster::trainAdvisor(std::uint64_t profileRequests)
             add_model(m.abbrev, m.refBatch);
     }
 
-    auto advisor = std::make_unique<ClusteringCollocator>();
+    ClusteringCollocator::Options advisor_options;
+    advisor_options.threshold = config_.collocationThreshold;
+    advisor_options.jobs = config_.jobs;
+    auto advisor =
+        std::make_unique<ClusteringCollocator>(advisor_options);
     advisor->train(training, [this](const std::string &a,
                                     const std::string &b) {
         const RunStats full = runner_.runPair(
@@ -191,17 +195,30 @@ NpuCluster::dispatchAndRun(DispatchPolicy policy, std::uint64_t seed)
 
     ClusterResult result;
     result.policy = policy;
-    double sa_sum = 0.0;
+
+    // Each core's run is an independent simulation: fan them out and
+    // fold the fleet aggregates serially in core order, so the
+    // result is bit-identical to the serial fleet loop.
+    SweepRunner sweep(runner_, config_.jobs);
+    std::vector<SweepCell> cells;
+    cells.reserve(groups.size());
     for (const auto &group : groups) {
-        std::vector<TenantRequest> tenants;
+        SweepCell cell;
+        cell.kind = config_.scheduler;
+        for (std::size_t idx : group)
+            cell.tenants.push_back(pool_[idx]);
+        cell.requests = config_.requests;
+        cell.warmup = config_.warmup;
+        cells.push_back(std::move(cell));
+    }
+    std::vector<RunStats> per_core = sweep.run(cells);
+
+    double sa_sum = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
         std::vector<std::string> labels;
-        for (std::size_t idx : group) {
-            tenants.push_back(pool_[idx]);
+        for (std::size_t idx : groups[g])
             labels.push_back(pool_[idx].model);
-        }
-        RunStats stats =
-            runner_.run(config_.scheduler, tenants,
-                        config_.requests, config_.warmup);
+        RunStats &stats = per_core[g];
         for (const auto &w : stats.workloads)
             result.fleetStp += w.normalizedProgress;
         sa_sum += stats.saUtil;

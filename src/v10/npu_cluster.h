@@ -45,6 +45,9 @@ struct ClusterConfig
     std::uint64_t requests = 10; ///< measured requests per tenant
     std::uint64_t warmup = 2;
     double collocationThreshold = 1.3;
+    /** Threads for advisor training and per-core fleet simulation;
+     * results are identical for any value (1 = serial). */
+    std::size_t jobs = 1;
 };
 
 /** Outcome of one fleet dispatch + run. */

@@ -1,6 +1,7 @@
 #include "v10/profiler.h"
 
 #include "common/log.h"
+#include "common/parallel_executor.h"
 #include "npu/npu_core.h"
 #include "sched/op_scheduler.h"
 #include "sim/simulator.h"
@@ -65,15 +66,20 @@ profileSingle(const NpuConfig &config, const ModelProfile &model,
 }
 
 std::vector<SingleProfile>
-profileAllModels(const NpuConfig &config, std::uint64_t requests)
+profileAllModels(const NpuConfig &config, std::uint64_t requests,
+                 std::size_t jobs)
 {
-    std::vector<SingleProfile> out;
+    std::vector<std::pair<const ModelProfile *, int>> points;
     for (const ModelProfile &model : modelZoo()) {
         for (int batch : standardBatchSweep())
-            out.push_back(
-                profileSingle(config, model, batch, requests));
+            points.emplace_back(&model, batch);
     }
-    return out;
+    ParallelExecutor exec(jobs);
+    return exec.map<SingleProfile>(
+        points.size(), [&](std::size_t i) {
+            return profileSingle(config, *points[i].first,
+                                 points[i].second, requests);
+        });
 }
 
 } // namespace v10

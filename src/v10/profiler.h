@@ -55,9 +55,15 @@ SingleProfile profileSingle(const NpuConfig &config,
                             const ModelProfile &model, int batch,
                             std::uint64_t requests = 8);
 
-/** Profile every Table 4 model over the standard batch sweep. */
+/**
+ * Profile every Table 4 model over the standard batch sweep.
+ * @param jobs fan the independent (model, batch) simulations over
+ *        this many threads (1 = serial); the output order and every
+ *        profile value are identical for any jobs count.
+ */
 std::vector<SingleProfile>
-profileAllModels(const NpuConfig &config, std::uint64_t requests = 8);
+profileAllModels(const NpuConfig &config, std::uint64_t requests = 8,
+                 std::size_t jobs = 1);
 
 } // namespace v10
 

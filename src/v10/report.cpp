@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "v10/experiment.h"
+#include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
 namespace v10 {
@@ -47,21 +48,25 @@ writeEvaluationReport(std::ostream &os, const ReportOptions &options)
        << options.requests << " (after warmup). All numbers are "
        << "deterministic.\n\n";
 
-    // --- Run everything once. ---
+    // --- Run everything once (pair x design grid, fanned over
+    // options.jobs threads; the grid is bit-identical for any jobs
+    // count). ---
     struct PairData
     {
         std::string label;
         std::map<SchedulerKind, RunStats> byKind;
     };
+    SweepRunner sweep(runner, options.jobs);
+    const auto &kinds = allSchedulerKinds();
+    std::vector<RunStats> grid = sweep.runPairs(
+        evaluationPairs(), kinds, options.requests);
     std::vector<PairData> pairs;
+    std::size_t cell = 0;
     for (const auto &[a, b] : evaluationPairs()) {
         PairData data;
         data.label = a + "+" + b;
-        for (SchedulerKind kind : allSchedulerKinds())
-            data.byKind.emplace(
-                kind,
-                runner.runPair(kind, a, b, 1.0, 1.0,
-                               options.requests));
+        for (SchedulerKind kind : kinds)
+            data.byKind.emplace(kind, std::move(grid[cell++]));
         pairs.push_back(std::move(data));
     }
 

@@ -24,6 +24,9 @@ struct ReportOptions
     NpuConfig config{};
     std::uint64_t requests = 25; ///< measured requests per run
     std::string title = "V10 reproduction report";
+    /** Threads for the pair × design grid (the report is identical
+     * for any value; see SweepRunner). */
+    std::size_t jobs = 1;
 };
 
 /**

@@ -1,0 +1,53 @@
+#include "v10/sweep.h"
+
+#include "sched/scheduler_factory.h"
+
+namespace v10 {
+
+SweepRunner::SweepRunner(ExperimentRunner &runner, std::size_t jobs)
+    : runner_(runner),
+      exec_(jobs == 0 ? ParallelExecutor::hardwareJobs() : jobs)
+{
+}
+
+std::vector<RunStats>
+SweepRunner::run(const std::vector<SweepCell> &cells)
+{
+    return exec_.map<RunStats>(cells.size(), [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        return runner_.run(cell.kind, cell.tenants, cell.requests,
+                           cell.warmup, cell.options);
+    });
+}
+
+std::vector<SweepCell>
+SweepRunner::pairGrid(
+    const std::vector<std::pair<std::string, std::string>> &pairs,
+    const std::vector<SchedulerKind> &kinds, std::uint64_t requests)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(pairs.size() * kinds.size());
+    for (const auto &[a, b] : pairs) {
+        for (SchedulerKind kind : kinds) {
+            SweepCell cell;
+            cell.kind = kind;
+            cell.tenants = {TenantRequest{a, 0, 1.0},
+                            TenantRequest{b, 0, 1.0}};
+            cell.requests = requests;
+            cell.label =
+                a + "+" + b + "/" + schedulerKindName(kind);
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+std::vector<RunStats>
+SweepRunner::runPairs(
+    const std::vector<std::pair<std::string, std::string>> &pairs,
+    const std::vector<SchedulerKind> &kinds, std::uint64_t requests)
+{
+    return run(pairGrid(pairs, kinds, requests));
+}
+
+} // namespace v10

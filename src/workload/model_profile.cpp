@@ -40,6 +40,12 @@ ModelProfile::fitsMemory(int batch, Bytes regionBytes) const
     return memFootprint(batch) <= regionBytes;
 }
 
+std::string
+ModelProfile::key(int batch) const
+{
+    return abbrev + "@" + std::to_string(batch);
+}
+
 int
 ModelProfile::maxBatch(Bytes regionBytes) const
 {

@@ -142,6 +142,14 @@ struct ModelProfile
      */
     double requestBytes(int batch) const;
 
+    /**
+     * Canonical "BERT@32"-style cache key for this model at
+     * @p batch. Every layer that memoizes per-(model, batch) state
+     * (experiment caches, cluster feature caches, the collocation
+     * study) keys on this so their entries line up.
+     */
+    std::string key(int batch) const;
+
     /** Sanity-check parameter ranges; fatal() on nonsense. */
     void validate() const;
 };

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Concurrency tests for the compute-once caches: OnceCache itself,
+ * then ExperimentRunner's workload-compilation and single-tenant
+ * reference caches hammered from many threads. The injected compute
+ * hook proves each entry is computed exactly once, and every caller
+ * must observe the identical value.
+ */
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/once_cache.h"
+#include "common/parallel_executor.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+// --- OnceCache unit behavior. ---
+
+TEST(OnceCache, ComputesOnceAndReturnsStableReference)
+{
+    OnceCache<int> cache;
+    int calls = 0;
+    const int &a = cache.getOrCompute("k", [&] {
+        ++calls;
+        return std::make_unique<int>(42);
+    });
+    const int &b = cache.getOrCompute(
+        "k", [&]() -> std::unique_ptr<int> {
+            ++calls;
+            throw std::logic_error("must not recompute");
+        });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(a, 42);
+    EXPECT_EQ(&a, &b); // node storage: same object every time
+    EXPECT_TRUE(cache.contains("k"));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OnceCache, ExceptionLeavesKeyRecomputable)
+{
+    OnceCache<int> cache;
+    EXPECT_THROW(cache.getOrCompute("k",
+                                    []() -> std::unique_ptr<int> {
+                                        throw std::runtime_error(
+                                            "first try fails");
+                                    }),
+                 std::runtime_error);
+    EXPECT_FALSE(cache.contains("k"));
+    const int &v = cache.getOrCompute(
+        "k", [] { return std::make_unique<int>(7); });
+    EXPECT_EQ(v, 7);
+}
+
+TEST(OnceCache, ManyThreadsOneComputationPerKey)
+{
+    OnceCache<int> cache;
+    std::atomic<int> computes{0};
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 5;
+    std::vector<std::thread> threads;
+    std::vector<std::vector<const int *>> seen(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < 50; ++rep) {
+                for (int k = 0; k < kKeys; ++k) {
+                    const std::string key =
+                        "key" + std::to_string(k);
+                    const int &v = cache.getOrCompute(key, [&] {
+                        ++computes;
+                        return std::make_unique<int>(k * 100);
+                    });
+                    EXPECT_EQ(v, k * 100);
+                    seen[t].push_back(&v);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(computes.load(), kKeys);
+    // Every thread saw the same object for a given key.
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+}
+
+// --- ExperimentRunner cache hammering. ---
+
+/** Thread-safe recorder for ExperimentRunner's compute hook. */
+class ComputeCounter
+{
+  public:
+    void
+    note(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_[key];
+    }
+
+    std::map<std::string, int>
+    counts() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return counts_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, int> counts_;
+};
+
+TEST(ConcurrentRunnerCache, SameModelComputedOnceAcrossThreads)
+{
+    ExperimentRunner runner;
+    ComputeCounter counter;
+    runner.setComputeHook(
+        [&](const std::string &key) { counter.note(key); });
+
+    // 32 tasks, all demanding the same reference, from 8 threads.
+    constexpr std::size_t kTasks = 32;
+    std::vector<double> rps(kTasks, 0.0);
+    ParallelExecutor exec(8);
+    exec.forEach(kTasks, [&](std::size_t i) {
+        rps[i] = runner.singleTenantRps("BERT", 0);
+    });
+
+    for (std::size_t i = 1; i < kTasks; ++i)
+        EXPECT_EQ(rps[i], rps[0]); // bit-identical for all callers
+    const auto counts = counter.counts();
+    // Exactly one compilation and one reference run happened.
+    ASSERT_EQ(counts.count("wl:BERT@32"), 1u) << "unexpected key set";
+    EXPECT_EQ(counts.at("wl:BERT@32"), 1);
+    ASSERT_EQ(counts.count("ref:BERT@32"), 1u);
+    EXPECT_EQ(counts.at("ref:BERT@32"), 1);
+    EXPECT_EQ(counts.size(), 2u); // nothing else was computed
+}
+
+TEST(ConcurrentRunnerCache, DistinctModelsEachComputedOnce)
+{
+    ExperimentRunner runner;
+    ComputeCounter counter;
+    runner.setComputeHook(
+        [&](const std::string &key) { counter.note(key); });
+
+    const std::vector<std::string> models = {"BERT", "NCF", "ENet",
+                                             "DLRM"};
+    constexpr std::size_t kReps = 8; // 32 tasks over 4 models
+    std::vector<double> rps(models.size() * kReps, 0.0);
+    ParallelExecutor exec(8);
+    exec.forEach(rps.size(), [&](std::size_t i) {
+        rps[i] = runner.singleTenantRps(models[i % models.size()], 0);
+    });
+
+    for (std::size_t i = models.size(); i < rps.size(); ++i)
+        EXPECT_EQ(rps[i], rps[i % models.size()]);
+    for (const auto &[key, count] : counter.counts())
+        EXPECT_EQ(count, 1) << key << " computed more than once";
+    // One wl: + one ref: entry per distinct model.
+    EXPECT_EQ(counter.counts().size(), 2 * models.size());
+}
+
+TEST(ConcurrentRunnerCache, ConcurrentRunsShareReferences)
+{
+    // Full run() calls racing on the same underlying references must
+    // all yield the identical normalized progress.
+    ExperimentRunner runner;
+    ComputeCounter counter;
+    runner.setComputeHook(
+        [&](const std::string &key) { counter.note(key); });
+
+    constexpr std::size_t kTasks = 8;
+    std::vector<RunStats> results(kTasks);
+    ParallelExecutor exec(4);
+    exec.forEach(kTasks, [&](std::size_t i) {
+        results[i] = runner.run(
+            SchedulerKind::V10Full,
+            {TenantRequest{"ENet", 0, 1.0},
+             TenantRequest{"SMask", 0, 1.0}},
+            3, 1);
+    });
+
+    for (std::size_t i = 1; i < kTasks; ++i) {
+        EXPECT_EQ(results[i].windowCycles, results[0].windowCycles);
+        ASSERT_EQ(results[i].workloads.size(),
+                  results[0].workloads.size());
+        for (std::size_t w = 0; w < results[i].workloads.size(); ++w)
+            EXPECT_EQ(results[i].workloads[w].normalizedProgress,
+                      results[0].workloads[w].normalizedProgress);
+    }
+    for (const auto &[key, count] : counter.counts())
+        EXPECT_EQ(count, 1) << key << " computed more than once";
+}
+
+} // namespace
+} // namespace v10

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The parallel execution layer's contract tests: ParallelExecutor
+ * unit behavior (ordering, exceptions, serial fast path) and the
+ * determinism proof — the same seeded sweep run with jobs=1 and
+ * jobs=8 must produce bit-identical RunStats for every cell, for
+ * every scheduler kind.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel_executor.h"
+#include "v10/sweep.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+namespace {
+
+// --- ParallelExecutor unit tests. ---
+
+TEST(ParallelExecutor, SerialModeSpawnsNoThreadsAndRunsInline)
+{
+    ParallelExecutor exec(1);
+    EXPECT_EQ(exec.jobs(), 1u);
+    std::vector<std::size_t> order;
+    // Serial execution preserves submission order exactly.
+    exec.forEach(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelExecutor, MapCollectsResultsBySubmissionIndex)
+{
+    for (std::size_t jobs : {1u, 2u, 8u}) {
+        ParallelExecutor exec(jobs);
+        const std::vector<int> out = exec.map<int>(
+            64, [](std::size_t i) { return static_cast<int>(i * i); });
+        ASSERT_EQ(out.size(), 64u);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+}
+
+TEST(ParallelExecutor, RunsEveryTaskExactlyOnce)
+{
+    ParallelExecutor exec(8);
+    std::atomic<int> count{0};
+    exec.forEach(1000, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelExecutor, PropagatesTaskExceptions)
+{
+    for (std::size_t jobs : {1u, 4u}) {
+        ParallelExecutor exec(jobs);
+        EXPECT_THROW(exec.forEach(16,
+                                  [](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                     std::runtime_error);
+        // The pool survives a throwing batch.
+        std::atomic<int> count{0};
+        exec.forEach(4, [&](std::size_t) { ++count; });
+        EXPECT_EQ(count.load(), 4);
+    }
+}
+
+TEST(ParallelExecutor, ZeroCountIsANoop)
+{
+    ParallelExecutor exec(4);
+    exec.forEach(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelExecutor, ParseJobs)
+{
+    EXPECT_EQ(ParallelExecutor::parseJobs("1"), 1u);
+    EXPECT_EQ(ParallelExecutor::parseJobs("8"), 8u);
+    EXPECT_EQ(ParallelExecutor::parseJobs("auto"),
+              ParallelExecutor::hardwareJobs());
+    EXPECT_GE(ParallelExecutor::hardwareJobs(), 1u);
+}
+
+TEST(ParallelExecutorDeathTest, ParseJobsRejectsBadValues)
+{
+    EXPECT_DEATH(ParallelExecutor::parseJobs("abc"), "positive");
+    EXPECT_DEATH(ParallelExecutor::parseJobs("-3"), "positive");
+    EXPECT_DEATH(ParallelExecutor::parseJobs("4x"), "positive");
+    EXPECT_DEATH(ParallelExecutor::parseJobs(""), "positive");
+    EXPECT_DEATH(ParallelExecutor::parseJobs("999999999"), "limit");
+}
+
+// --- Determinism proof: jobs=1 == jobs=8, bit for bit. ---
+
+/** Assert two per-tenant records are bit-identical. */
+void
+expectWorkloadStatsEq(const WorkloadRunStats &a,
+                      const WorkloadRunStats &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_EQ(a.p95LatencyUs, b.p95LatencyUs);
+    EXPECT_EQ(a.requestsPerSec, b.requestsPerSec);
+    EXPECT_EQ(a.saComputeCycles, b.saComputeCycles);
+    EXPECT_EQ(a.vuComputeCycles, b.vuComputeCycles);
+    EXPECT_EQ(a.overheadCycles, b.overheadCycles);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.saUtil, b.saUtil);
+    EXPECT_EQ(a.vuUtil, b.vuUtil);
+    EXPECT_EQ(a.normalizedProgress, b.normalizedProgress);
+    EXPECT_EQ(a.ctxOverheadFrac, b.ctxOverheadFrac);
+}
+
+/** Assert two run results are bit-identical (EXPECT_EQ on doubles
+ * is exact equality — deliberately, that is the guarantee). */
+void
+expectRunStatsEq(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_EQ(a.windowSeconds, b.windowSeconds);
+    EXPECT_EQ(a.saUtil, b.saUtil);
+    EXPECT_EQ(a.vuUtil, b.vuUtil);
+    EXPECT_EQ(a.combinedUtil, b.combinedUtil);
+    EXPECT_EQ(a.hbmUtil, b.hbmUtil);
+    EXPECT_EQ(a.flopsUtil, b.flopsUtil);
+    EXPECT_EQ(a.overlapBothFrac, b.overlapBothFrac);
+    EXPECT_EQ(a.saOnlyFrac, b.saOnlyFrac);
+    EXPECT_EQ(a.vuOnlyFrac, b.vuOnlyFrac);
+    EXPECT_EQ(a.idleFrac, b.idleFrac);
+    ASSERT_EQ(a.workloads.size(), b.workloads.size());
+    for (std::size_t i = 0; i < a.workloads.size(); ++i)
+        expectWorkloadStatsEq(a.workloads[i], b.workloads[i]);
+}
+
+/** The sweep grid used by the determinism proof: mixed tenant
+ * counts, priorities, and batch overrides. */
+std::vector<SweepCell>
+determinismGrid(SchedulerKind kind)
+{
+    std::vector<SweepCell> cells;
+    const std::vector<std::vector<TenantRequest>> mixes = {
+        {TenantRequest{"BERT", 0, 1.0}, TenantRequest{"NCF", 0, 1.0}},
+        {TenantRequest{"ENet", 0, 0.7},
+         TenantRequest{"SMask", 0, 0.3}},
+        {TenantRequest{"DLRM", 0, 1.0}, TenantRequest{"RsNt", 0, 2.0},
+         TenantRequest{"MNST", 0, 1.0}},
+        {TenantRequest{"TFMR", 16, 1.0},
+         TenantRequest{"NCF", 64, 1.0}},
+    };
+    for (const auto &mix : mixes) {
+        SweepCell cell;
+        cell.kind = kind;
+        cell.tenants = mix;
+        cell.requests = 4;
+        cell.warmup = 1;
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+class SweepDeterminism
+    : public ::testing::TestWithParam<SchedulerKind>
+{
+};
+
+TEST_P(SweepDeterminism, ParallelSweepBitIdenticalToSerial)
+{
+    const SchedulerKind kind = GetParam();
+    const std::vector<SweepCell> cells = determinismGrid(kind);
+
+    // Fresh runner per mode: the caches start cold both times, so
+    // the parallel path also proves its cache computations produce
+    // the same values as the serial ones.
+    ExperimentRunner serial_runner;
+    SweepRunner serial(serial_runner, 1);
+    const std::vector<RunStats> expected = serial.run(cells);
+
+    ExperimentRunner parallel_runner;
+    SweepRunner parallel(parallel_runner, 8);
+    ASSERT_EQ(parallel.jobs(), 8u);
+    const std::vector<RunStats> got = parallel.run(cells);
+
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectRunStatsEq(expected[i], got[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SweepDeterminism,
+    ::testing::Values(SchedulerKind::Pmt, SchedulerKind::Prema,
+                      SchedulerKind::V10Base, SchedulerKind::V10Fair,
+                      SchedulerKind::V10Full),
+    [](const ::testing::TestParamInfo<SchedulerKind> &info) {
+        std::string name = schedulerKindName(info.param);
+        name.erase(std::remove(name.begin(), name.end(), '-'),
+                   name.end());
+        return name;
+    });
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree)
+{
+    // Two parallel executions with the same shared runner agree with
+    // each other (second run hits warm caches; results must not
+    // depend on cache temperature).
+    ExperimentRunner runner;
+    SweepRunner sweep(runner, 4);
+    const auto cells = determinismGrid(SchedulerKind::V10Full);
+    const std::vector<RunStats> first = sweep.run(cells);
+    const std::vector<RunStats> second = sweep.run(cells);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectRunStatsEq(first[i], second[i]);
+    }
+}
+
+TEST(SweepDeterminism, PairGridLayoutIsPairMajor)
+{
+    const auto cells = SweepRunner::pairGrid(
+        {{"BERT", "NCF"}, {"ENet", "SMask"}},
+        {SchedulerKind::Pmt, SchedulerKind::V10Full}, 5);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].label, "BERT+NCF/PMT");
+    EXPECT_EQ(cells[1].label, "BERT+NCF/V10-Full");
+    EXPECT_EQ(cells[2].label, "ENet+SMask/PMT");
+    EXPECT_EQ(cells[3].label, "ENet+SMask/V10-Full");
+    EXPECT_EQ(cells[0].requests, 5u);
+}
+
+} // namespace
+} // namespace v10

@@ -3,36 +3,27 @@
  * Randomized stress tests: arbitrary tenant mixes, schedulers, FU
  * counts, and slice settings must always terminate and uphold the
  * simulator's invariants — utilization bounds, bucket partitioning,
- * per-tenant cycle conservation, and latency lower bounds.
+ * per-tenant cycle conservation, and latency lower bounds. A
+ * parallel-mode variant re-checks the same invariants when the runs
+ * are fanned out through SweepRunner and asserts the fan-out changes
+ * nothing.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "v10/experiment.h"
+#include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
 namespace v10 {
 namespace {
 
-/** One randomized configuration per seed. */
-class StressSeed : public ::testing::TestWithParam<std::uint64_t>
+/** Draw a random 2-5 tenant mix from the zoo. */
+std::vector<TenantRequest>
+randomTenants(Rng &rng)
 {
-};
-
-TEST_P(StressSeed, InvariantsHoldUnderRandomConfigs)
-{
-    Rng rng(GetParam());
     const auto &zoo = modelZoo();
-
-    // Random hardware.
-    const std::uint32_t fus = 1u << rng.uniformInt(3); // 1, 2, or 4
-    NpuConfig cfg = NpuConfig{}.scaledForFus(fus, fus);
-    cfg.enforceHbmFit = false;
-    if (rng.uniform() < 0.3)
-        cfg.timeSlice = 4096u << rng.uniformInt(6);
-
-    // Random tenant mix (2-5 workloads).
     const std::size_t n = 2 + rng.uniformInt(4);
     std::vector<TenantRequest> tenants;
     for (std::size_t i = 0; i < n; ++i) {
@@ -41,18 +32,31 @@ TEST_P(StressSeed, InvariantsHoldUnderRandomConfigs)
         req.priority = 0.25 + rng.uniform() * 2.0;
         tenants.push_back(req);
     }
+    return tenants;
+}
 
-    // Random scheduler.
+/** Draw a random scheduler kind. */
+SchedulerKind
+randomKind(Rng &rng)
+{
     const SchedulerKind kinds[] = {
         SchedulerKind::Pmt, SchedulerKind::V10Base,
         SchedulerKind::V10Fair, SchedulerKind::V10Full,
         SchedulerKind::Prema};
-    const SchedulerKind kind = kinds[rng.uniformInt(5)];
+    return kinds[rng.uniformInt(5)];
+}
 
-    ExperimentRunner runner(cfg);
-    const RunStats stats = runner.run(kind, tenants, 3, 1);
-
-    // --- Invariants. ---
+/**
+ * The simulator's invariants, checked on one run result. @p runner
+ * is only consulted for compiled workloads (latency floors).
+ */
+void
+checkInvariants(const NpuConfig &cfg, ExperimentRunner &runner,
+                SchedulerKind kind,
+                const std::vector<TenantRequest> &tenants,
+                const RunStats &stats)
+{
+    const std::size_t n = tenants.size();
     ASSERT_EQ(stats.workloads.size(), n);
     EXPECT_GT(stats.windowCycles, 0u);
 
@@ -104,8 +108,78 @@ TEST_P(StressSeed, InvariantsHoldUnderRandomConfigs)
     }
 }
 
+/** One randomized configuration per seed. */
+class StressSeed : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StressSeed, InvariantsHoldUnderRandomConfigs)
+{
+    Rng rng(GetParam());
+
+    // Random hardware.
+    const std::uint32_t fus = 1u << rng.uniformInt(3); // 1, 2, or 4
+    NpuConfig cfg = NpuConfig{}.scaledForFus(fus, fus);
+    cfg.enforceHbmFit = false;
+    if (rng.uniform() < 0.3)
+        cfg.timeSlice = 4096u << rng.uniformInt(6);
+
+    const std::vector<TenantRequest> tenants = randomTenants(rng);
+    const SchedulerKind kind = randomKind(rng);
+
+    ExperimentRunner runner(cfg);
+    const RunStats stats = runner.run(kind, tenants, 3, 1);
+    checkInvariants(cfg, runner, kind, tenants, stats);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, StressSeed,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(StressParallel, InvariantsHoldUnderParallelSweep)
+{
+    // Same class of random cells, but fanned out through SweepRunner
+    // worker threads over a shared runner: every result must uphold
+    // the invariants AND match its serial twin bit-for-bit.
+    const NpuConfig cfg; // fixed hardware so the caches are shared
+    Rng rng(0x57E55u);
+    std::vector<SweepCell> cells;
+    for (int i = 0; i < 8; ++i) {
+        SweepCell cell;
+        cell.kind = randomKind(rng);
+        cell.tenants = randomTenants(rng);
+        cell.requests = 3;
+        cell.warmup = 1;
+        cells.push_back(std::move(cell));
+    }
+
+    ExperimentRunner serial_runner(cfg);
+    SweepRunner serial(serial_runner, 1);
+    const std::vector<RunStats> expected = serial.run(cells);
+
+    ExperimentRunner parallel_runner(cfg);
+    SweepRunner parallel(parallel_runner, 4);
+    const std::vector<RunStats> got = parallel.run(cells);
+
+    ASSERT_EQ(got.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        checkInvariants(cfg, parallel_runner, cells[i].kind,
+                        cells[i].tenants, got[i]);
+        // The parallel fan-out changes nothing.
+        EXPECT_EQ(got[i].windowCycles, expected[i].windowCycles);
+        EXPECT_EQ(got[i].saUtil, expected[i].saUtil);
+        EXPECT_EQ(got[i].vuUtil, expected[i].vuUtil);
+        EXPECT_EQ(got[i].idleFrac, expected[i].idleFrac);
+        ASSERT_EQ(got[i].workloads.size(),
+                  expected[i].workloads.size());
+        for (std::size_t w = 0; w < got[i].workloads.size(); ++w) {
+            EXPECT_EQ(got[i].workloads[w].avgLatencyUs,
+                      expected[i].workloads[w].avgLatencyUs);
+            EXPECT_EQ(got[i].workloads[w].normalizedProgress,
+                      expected[i].workloads[w].normalizedProgress);
+        }
+    }
+}
 
 TEST(StressDeterminism, IdenticalSeedsIdenticalRuns)
 {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/parallel_executor.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "v10/multi_tenant_npu.h"
@@ -64,6 +65,15 @@ struct Args
     }
 
     bool has(const std::string &key) const { return kv.count(key); }
+
+    /** --jobs N | auto (default 1 = serial). */
+    std::size_t
+    jobs() const
+    {
+        return has("jobs") ? ParallelExecutor::parseJobs(
+                                 get("jobs", "1"))
+                           : 1;
+    }
 };
 
 NpuConfig
@@ -244,10 +254,12 @@ cmdReport(const Args &args)
     options.config = configFromArgs(args);
     options.requests = static_cast<std::uint64_t>(
         std::atoll(args.get("requests", "25").c_str()));
+    options.jobs = args.jobs();
     const std::string out = args.get("out", "report.md");
     std::printf("running the headline evaluation (%llu requests "
-                "per tenant per run)...\n",
-                static_cast<unsigned long long>(options.requests));
+                "per tenant per run, %zu job%s)...\n",
+                static_cast<unsigned long long>(options.requests),
+                options.jobs, options.jobs == 1 ? "" : "s");
     writeEvaluationReportFile(out, options);
     std::printf("report written to %s\n", out.c_str());
     return 0;
@@ -281,6 +293,7 @@ cmdAdvise(const Args &args)
     ClusterConfig cfg;
     cfg.numCores = static_cast<std::size_t>(std::atoi(
         args.get("cores", std::to_string(models.size())).c_str()));
+    cfg.jobs = args.jobs();
     NpuCluster cluster(cfg);
     for (const auto &m : models)
         cluster.addWorkload(m);
@@ -338,10 +351,14 @@ usage()
         "[--requests 25]\n"
         "             [--slice cycles] [--sas N --vus N] [--timeline out.json] "
         "[--vmem-mb MB]\n"
-        "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4]\n"
+        "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4] "
+        "[--jobs N]\n"
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
         "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
-        "  v10sim report [--out report.md] [--requests N]\n");
+        "  v10sim report [--out report.md] [--requests N] "
+        "[--jobs N|auto]\n\n"
+        "--jobs fans independent simulations over a thread pool; "
+        "results are\nbit-identical for any value (default 1).\n");
 }
 
 } // namespace
