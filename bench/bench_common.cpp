@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
+#include "common/json.h"
+#include "common/log.h"
 #include "common/parallel_executor.h"
+#include "metrics/run_report.h"
 #include "common/string_util.h"
 #include "v10/sweep.h"
 #include "workload/model_zoo.h"
@@ -29,6 +33,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &what)
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
             opts.jobs = ParallelExecutor::parseJobs(argv[++i]);
+        } else if (std::strcmp(arg, "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            opts.statsJson = argv[++i];
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("%s\n\nOptions:\n"
@@ -39,7 +46,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &what)
                         "  --jobs <n|auto>   threads for independent "
                         "simulations (default 1;\n"
                         "                    results are identical "
-                        "for any value)\n",
+                        "for any value)\n"
+                        "  --stats-json <f>  also dump results as "
+                        "structured JSON\n",
                         what.c_str());
             std::exit(0);
         } else {
@@ -87,6 +96,47 @@ std::string
 pairLabel(const PairRunSet &set)
 {
     return set.a + "+" + set.b;
+}
+
+void
+maybeWriteStatsJson(const BenchOptions &opts, const std::string &tool,
+                    const ExperimentRunner &runner,
+                    const std::vector<PairRunSet> &sets)
+{
+    if (opts.statsJson.empty())
+        return;
+    std::ofstream os(opts.statsJson);
+    if (!os)
+        fatal(tool, ": cannot open stats JSON path '", opts.statsJson,
+              "'");
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("manifest");
+    w.beginObject();
+    w.kv("tool", tool);
+    w.kv("config", runner.config().summary());
+    w.kv("requests", opts.requests);
+    w.key("schedulers");
+    w.beginArray();
+    if (!sets.empty())
+        for (const auto &[kind, stats] : sets.front().byKind)
+            w.value(schedulerKindName(kind));
+    w.endArray();
+    w.endObject();
+    w.key("grid");
+    w.beginObject();
+    for (const PairRunSet &set : sets) {
+        w.key(pairLabel(set));
+        w.beginObject();
+        for (const auto &[kind, stats] : set.byKind) {
+            w.key(schedulerKindName(kind));
+            writeRunStatsJson(w, stats);
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
 }
 
 void

@@ -29,6 +29,8 @@ struct BenchOptions
     /** --jobs: threads for independent simulations (0/"auto" =
      * hardware threads). Results are identical for any value. */
     std::size_t jobs = 1;
+    /** --stats-json: also dump the results as structured JSON. */
+    std::string statsJson;
 
     /** Parse argv; exits on --help. @param what banner text. */
     static BenchOptions parse(int argc, char **argv,
@@ -60,6 +62,17 @@ runEvaluationPairs(ExperimentRunner &runner,
 
 /** "BERT+NCF"-style pair label. */
 std::string pairLabel(const PairRunSet &set);
+
+/**
+ * When opts.statsJson is set, dump the pair x design grid as one
+ * JSON document: {"manifest": {tool, config, requests,
+ * schedulers[]}, "grid": {"A+B": {"pmt": RunStats, ...}}}. No-op
+ * otherwise. Shared by the pair-based figure benches.
+ */
+void maybeWriteStatsJson(const BenchOptions &opts,
+                         const std::string &tool,
+                         const ExperimentRunner &runner,
+                         const std::vector<PairRunSet> &sets);
 
 /**
  * Shared driver for the single-workload characterization figures

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
                                          opts.requests, opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig16_utilization", runner, sets);
 
     CsvWriter csv(std::cout);
     if (opts.csv)

@@ -26,6 +26,7 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
                                          opts.requests, opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig17_overlap", runner, sets);
 
     TextTable table({"pair", "design", "SA&VU", "SA only", "VU only",
                      "idle"});

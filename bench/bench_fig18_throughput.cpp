@@ -24,6 +24,7 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
                                          opts.requests, opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig18_throughput", runner, sets);
 
     TextTable table({"pair", "PMT", "V10-Base", "V10-Fair",
                      "V10-Full", "Full/PMT"});

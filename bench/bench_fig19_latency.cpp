@@ -26,6 +26,7 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
                                          opts.requests, opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig19_latency", runner, sets);
 
     TextTable table({"pair", "tenant", "PMT", "V10-Base", "V10-Fair",
                      "V10-Full", "PMT/Full speedup"});

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     ExperimentRunner runner;
     const auto sets = runEvaluationPairs(runner, allSchedulerKinds(),
                                          opts.requests, opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig20_tail_latency", runner, sets);
 
     TextTable table({"pair", "tenant", "PMT", "V10-Base", "V10-Fair",
                      "V10-Full", "PMT/Full speedup"});

@@ -29,6 +29,7 @@ main(int argc, char **argv)
                                               SchedulerKind::V10Full};
     const auto sets = runEvaluationPairs(runner, kinds, opts.requests,
                                          opts.jobs);
+    maybeWriteStatsJson(opts, "bench_fig21_preemption", runner, sets);
 
     TextTable table({"pair", "tenant", "PMT ovhd", "Full ovhd",
                      "PMT preempts/req", "Full preempts/req"});

@@ -1,0 +1,469 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace v10 {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integers print without an exponent so artifacts stay diffable.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// ------------------------------------------------------------------
+// JsonWriter
+// ------------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
+    : os_(os), indent_(indentWidth)
+{
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    os_ << text;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Scope::Object && !key_pending_)
+        panic("JsonWriter: value inside an object without a key");
+    if (stack_.back() == Scope::Array) {
+        if (has_items_.back())
+            os_ << ',';
+        newlineIndent();
+        has_items_.back() = true;
+    }
+    key_pending_ = false;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (key_pending_)
+        panic("JsonWriter: key '", k, "' follows a dangling key");
+    if (has_items_.back())
+        os_ << ',';
+    newlineIndent();
+    has_items_.back() = true;
+    os_ << '"' << jsonEscape(k) << "\":";
+    if (indent_ > 0)
+        os_ << ' ';
+    key_pending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        panic("JsonWriter: endObject() without beginObject()");
+    if (key_pending_)
+        panic("JsonWriter: endObject() with a dangling key");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    has_items_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        panic("JsonWriter: endArray() without beginArray()");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << ']';
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    os_ << jsonNumber(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(int v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    preValue();
+    os_ << "null";
+}
+
+// ------------------------------------------------------------------
+// JsonValue parser
+// ------------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser state over the input string. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        out->clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                case '"': *out += '"'; break;
+                case '\\': *out += '\\'; break;
+                case '/': *out += '/'; break;
+                case 'b': *out += '\b'; break;
+                case 'f': *out += '\f'; break;
+                case 'n': *out += '\n'; break;
+                case 'r': *out += '\r'; break;
+                case 't': *out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code += static_cast<unsigned>(h - 'a') + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code += static_cast<unsigned>(h - 'A') + 10;
+                        else
+                            return fail("bad \\u digit");
+                    }
+                    // Validation-oriented parser: encode BMP code
+                    // points as UTF-8 (surrogates unsupported).
+                    if (code < 0x80) {
+                        *out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        *out += static_cast<char>(0xC0 | (code >> 6));
+                        *out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        *out += static_cast<char>(0xE0 | (code >> 12));
+                        *out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        *out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+            } else {
+                *out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out->type = JsonValue::Type::Object;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(&member))
+                    return false;
+                out->object.emplace_back(std::move(key),
+                                         std::move(member));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out->type = JsonValue::Type::Array;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!parseValue(&item))
+                    return false;
+                out->array.push_back(std::move(item));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        if (c == '"') {
+            out->type = JsonValue::Type::String;
+            return parseString(&out->str);
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out->type = JsonValue::Type::Null;
+            return true;
+        }
+        // Number.
+        const std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(text[pos])))
+                digits = true;
+            ++pos;
+        }
+        if (!digits) {
+            pos = start;
+            return fail("unexpected token");
+        }
+        out->type = JsonValue::Type::Number;
+        out->number =
+            std::strtod(text.substr(start, pos - start).c_str(),
+                        nullptr);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out,
+                 std::string *error)
+{
+    Parser p{text};
+    *out = JsonValue{};
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " +
+                     std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+JsonValue
+JsonValue::parseOrDie(const std::string &text, const std::string &what)
+{
+    JsonValue out;
+    std::string err;
+    if (!parse(text, &out, &err))
+        fatal(what, ": malformed JSON: ", err);
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+} // namespace v10

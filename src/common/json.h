@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming
+ * writer (used by the stats registry, the run report, and the
+ * Chrome-trace emitter) and a small recursive-descent parser (used
+ * by tests and CLI validation to check emitted artifacts without an
+ * external dependency).
+ *
+ * The writer produces strict JSON: keys are escaped, doubles print
+ * with round-trip precision, and non-finite doubles degrade to null
+ * (JSON has no NaN/Inf literal).
+ */
+
+#ifndef V10_COMMON_JSON_H
+#define V10_COMMON_JSON_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace v10 {
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** Render a double as a JSON number token (null if not finite). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer with automatic comma/indent management.
+ * Misuse (e.g. a value with no pending key inside an object) is a
+ * programming error and panics.
+ */
+class JsonWriter
+{
+  public:
+    /** @param os output stream (not owned)
+     *  @param indentWidth spaces per nesting level (0 = compact) */
+    explicit JsonWriter(std::ostream &os, int indentWidth = 2);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Object member key; must be followed by a value or begin*(). */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v);
+    void value(bool v);
+    void valueNull();
+
+    /** Convenience: key() + value(). */
+    template <typename T>
+    void
+    kv(const std::string &k, T &&v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
+    /** Nesting depth (0 once every container is closed). */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    enum class Scope { Object, Array };
+
+    /** Emit separators/indentation before a value or key. */
+    void preValue();
+    void newlineIndent();
+    void raw(const std::string &text);
+
+    std::ostream &os_;
+    int indent_;
+    std::vector<Scope> stack_;
+    std::vector<bool> has_items_;
+    bool key_pending_ = false;
+};
+
+/**
+ * Parsed JSON document node. A deliberately small tree model: object
+ * members keep their source order, numbers are doubles.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /**
+     * Parse @p text into @p out.
+     * @return true on success; on failure fills @p error (when
+     *         non-null) with a position-annotated message.
+     */
+    static bool parse(const std::string &text, JsonValue *out,
+                      std::string *error = nullptr);
+
+    /** parse() that fatal()s on malformed input (CLI validation). */
+    static JsonValue parseOrDie(const std::string &text,
+                                const std::string &what);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** True when this is an object containing @p key. */
+    bool has(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+};
+
+} // namespace v10
+
+#endif // V10_COMMON_JSON_H

@@ -21,11 +21,17 @@ namespace v10 {
 /** Verbosity levels for inform()/warn() output. */
 enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
 
-/** Set the global verbosity (default: Warn). */
+/** Set the global verbosity (default: Warn). Thread-safe. */
 void setLogLevel(LogLevel level);
 
-/** Current global verbosity. */
+/** Current global verbosity. Thread-safe. */
 LogLevel logLevel();
+
+/** Parse "silent" | "warn" | "info" | "debug"; fatal() if unknown. */
+LogLevel logLevelFromName(const std::string &name);
+
+/** Printable name of a verbosity level. */
+const char *logLevelName(LogLevel level);
 
 namespace detail {
 
@@ -95,5 +101,20 @@ debugLog(Args &&...args)
 }
 
 } // namespace v10
+
+/**
+ * fatal()/panic() variants that capture the call site: prefer these
+ * in new code — the plain variadic front-ends keep working but lose
+ * __FILE__/__LINE__ (they pass nullptr/0).
+ */
+#define V10_FATAL(...)                                                \
+    ::v10::detail::fatalImpl(                                         \
+        __FILE__, __LINE__,                                           \
+        ::v10::detail::concat(__VA_ARGS__))
+
+#define V10_PANIC(...)                                                \
+    ::v10::detail::panicImpl(                                         \
+        __FILE__, __LINE__,                                           \
+        ::v10::detail::concat(__VA_ARGS__))
 
 #endif // V10_COMMON_LOG_H

@@ -96,6 +96,8 @@ RunStats::detailedReport() const
         os << p << "preemptions      " << w.preemptions << '\n';
         os << p << "ctx_overhead     " << w.ctxOverheadFrac << '\n';
     }
+    for (const auto &[path, value] : registrySnapshot)
+        os << "registry." << path << "  " << value << '\n';
     return os.str();
 }
 

@@ -10,6 +10,7 @@
 #define V10_METRICS_RUN_STATS_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -73,6 +74,13 @@ struct RunStats
     double idleFrac = 0.0;
 
     std::vector<WorkloadRunStats> workloads;
+
+    /**
+     * Flat (path, value) dump of the run's StatRegistry, taken after
+     * freeze(); appended to detailedReport() and exported by the
+     * JSON run report. Empty when no registry was attached.
+     */
+    std::vector<std::pair<std::string, double>> registrySnapshot;
 
     /** System throughput: sum of normalized progress (STP). */
     double stp() const;

@@ -1,0 +1,280 @@
+#include "metrics/stat_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace v10 {
+
+namespace {
+
+bool
+validPathChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+void
+validatePath(const std::string &path)
+{
+    if (path.empty())
+        V10_PANIC("StatRegistry: empty stat path");
+    if (path.front() == '.' || path.back() == '.')
+        V10_PANIC("StatRegistry: path '", path,
+                  "' starts or ends with '.'");
+    char prev = '\0';
+    for (const char c : path) {
+        if (!validPathChar(c))
+            V10_PANIC("StatRegistry: path '", path,
+                      "' contains invalid character '", c, "'");
+        if (c == '.' && prev == '.')
+            V10_PANIC("StatRegistry: path '", path,
+                      "' contains an empty component");
+        prev = c;
+    }
+}
+
+/** True when @p shorter is a dot-boundary prefix of @p longer. */
+bool
+dotPrefix(const std::string &shorter, const std::string &longer)
+{
+    return longer.size() > shorter.size() &&
+           longer.compare(0, shorter.size(), shorter) == 0 &&
+           longer[shorter.size()] == '.';
+}
+
+} // namespace
+
+void
+StatRegistry::Distribution::record(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+}
+
+double
+StatRegistry::Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+StatRegistry::Stat &
+StatRegistry::insert(const std::string &path, Kind kind,
+                     std::string description)
+{
+    if (frozen_)
+        V10_PANIC("StatRegistry: registering '", path,
+                  "' on a frozen registry");
+    validatePath(path);
+    if (stats_.count(path))
+        V10_PANIC("StatRegistry: duplicate stat path '", path, "'");
+    // A leaf and a subtree cannot share a name: "a.b" conflicts with
+    // "a.b.c" because the JSON rendering needs "a.b" to be either a
+    // value or an object, not both. std::map ordering puts any
+    // conflicting neighbours adjacent to the insertion point.
+    const auto next = stats_.lower_bound(path);
+    if (next != stats_.end() && dotPrefix(path, next->first))
+        V10_PANIC("StatRegistry: path '", path,
+                  "' conflicts with existing subtree '", next->first,
+                  "'");
+    if (next != stats_.begin()) {
+        const auto &prevPath = std::prev(next)->first;
+        if (dotPrefix(prevPath, path))
+            V10_PANIC("StatRegistry: path '", path,
+                      "' extends existing leaf '", prevPath, "'");
+    }
+    Stat &stat = stats_[path];
+    stat.kind = kind;
+    stat.description = std::move(description);
+    return stat;
+}
+
+StatRegistry::Counter &
+StatRegistry::addCounter(const std::string &path,
+                         std::string description)
+{
+    return insert(path, Kind::Counter, std::move(description)).counter;
+}
+
+StatRegistry::Gauge &
+StatRegistry::addGauge(const std::string &path, std::string description)
+{
+    return insert(path, Kind::Gauge, std::move(description)).gauge;
+}
+
+StatRegistry::Distribution &
+StatRegistry::addDistribution(const std::string &path,
+                              std::string description)
+{
+    return insert(path, Kind::Distribution, std::move(description))
+        .dist;
+}
+
+void
+StatRegistry::addFormula(const std::string &path, Formula formula,
+                         std::string description)
+{
+    if (!formula)
+        V10_PANIC("StatRegistry: null formula for '", path, "'");
+    insert(path, Kind::Formula, std::move(description)).formula =
+        std::move(formula);
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return stats_.count(path) != 0;
+}
+
+double
+StatRegistry::scalarOf(const Stat &stat) const
+{
+    switch (stat.kind) {
+    case Kind::Counter:
+        return static_cast<double>(stat.counter.value());
+    case Kind::Gauge:
+        return stat.gauge.value();
+    case Kind::Distribution:
+        return stat.dist.mean();
+    case Kind::Formula:
+        return stat.formula ? stat.formula() : stat.frozen;
+    }
+    return 0.0;
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    const auto it = stats_.find(path);
+    if (it == stats_.end())
+        V10_PANIC("StatRegistry: unknown stat path '", path, "'");
+    return scalarOf(it->second);
+}
+
+const std::string &
+StatRegistry::description(const std::string &path) const
+{
+    const auto it = stats_.find(path);
+    if (it == stats_.end())
+        V10_PANIC("StatRegistry: unknown stat path '", path, "'");
+    return it->second.description;
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &[path, stat] : stats_)
+        out.push_back(path);
+    return out;
+}
+
+void
+StatRegistry::freeze()
+{
+    if (frozen_)
+        return;
+    for (auto &[path, stat] : stats_) {
+        if (stat.kind == Kind::Formula && stat.formula) {
+            stat.frozen = stat.formula();
+            stat.formula = nullptr;
+        }
+    }
+    frozen_ = true;
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto &[path, stat] : stats_) {
+        if (stat.kind == Kind::Distribution) {
+            out.emplace_back(path + ".count",
+                             static_cast<double>(stat.dist.count()));
+            out.emplace_back(path + ".sum", stat.dist.sum());
+            out.emplace_back(path + ".min", stat.dist.min());
+            out.emplace_back(path + ".max", stat.dist.max());
+            out.emplace_back(path + ".mean", stat.dist.mean());
+        } else {
+            out.emplace_back(path, scalarOf(stat));
+        }
+    }
+    return out;
+}
+
+std::string
+StatRegistry::textReport() const
+{
+    std::ostringstream os;
+    std::size_t width = 0;
+    const auto snap = snapshot();
+    for (const auto &[path, value] : snap)
+        width = std::max(width, path.size());
+    for (const auto &[path, value] : snap) {
+        os << path;
+        for (std::size_t i = path.size(); i < width + 2; ++i)
+            os << ' ';
+        os << jsonNumber(value) << '\n';
+    }
+    return os.str();
+}
+
+void
+StatRegistry::writeJson(JsonWriter &writer) const
+{
+    // Emit the sorted flat snapshot as a nested object: because the
+    // snapshot is path-sorted and prefix conflicts are rejected at
+    // registration, the tree can be written with a running
+    // open-scope stack (close to the common ancestor, then open the
+    // remaining components).
+    std::vector<std::string> open;
+    writer.beginObject();
+    for (const auto &[path, value] : snapshot()) {
+        std::vector<std::string> parts;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t dot = path.find('.', start);
+            if (dot == std::string::npos) {
+                parts.push_back(path.substr(start));
+                break;
+            }
+            parts.push_back(path.substr(start, dot - start));
+            start = dot + 1;
+        }
+        const std::string leaf = parts.back();
+        parts.pop_back();
+        std::size_t common = 0;
+        while (common < open.size() && common < parts.size() &&
+               open[common] == parts[common])
+            ++common;
+        while (open.size() > common) {
+            writer.endObject();
+            open.pop_back();
+        }
+        for (std::size_t i = common; i < parts.size(); ++i) {
+            writer.key(parts[i]);
+            writer.beginObject();
+            open.push_back(parts[i]);
+        }
+        writer.kv(leaf, value);
+    }
+    while (!open.empty()) {
+        writer.endObject();
+        open.pop_back();
+    }
+    writer.endObject();
+}
+
+} // namespace v10

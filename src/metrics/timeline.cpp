@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/log.h"
+#include "metrics/interval_sampler.h"
 
 namespace v10 {
 
@@ -100,6 +101,8 @@ TimelineTracer::writeChromeTrace(std::ostream &os) const
            << ", \"preempted\": "
            << (slice.preempted ? "true" : "false") << "}}";
     }
+    if (sampler_)
+        sampler_->writeCounterEvents(os, cycles_per_us_, !first);
     os << "\n]\n";
 }
 

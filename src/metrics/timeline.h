@@ -19,6 +19,8 @@
 
 namespace v10 {
 
+class IntervalSampler;
+
 /**
  * Collects operator execution slices for offline visualization.
  */
@@ -52,6 +54,16 @@ class TimelineTracer
      */
     std::vector<std::string> sliceLabels() const;
 
+    /**
+     * Merge @p sampler's time-series into the trace as "ph":"C"
+     * counter events (utilization tracks above the op slices in
+     * Perfetto). The sampler must outlive this tracer.
+     */
+    void attachSampler(const IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
     /** Emit Chrome trace-event JSON. */
     void writeChromeTrace(std::ostream &os) const;
 
@@ -71,6 +83,7 @@ class TimelineTracer
     };
 
     double cycles_per_us_;
+    const IntervalSampler *sampler_ = nullptr;
     std::vector<Slice> slices_;
     std::unordered_map<std::string, std::size_t> open_; ///< fu -> idx
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "metrics/stat_registry.h"
 
 namespace v10 {
 
@@ -73,6 +74,10 @@ FunctionalUnit::retire(bool completed)
     overhead_accum_ += overhead_done;
     compute_by_workload_[workload_] += compute_done;
     overhead_by_workload_[workload_] += overhead_done;
+    if (completed)
+        ++ops_completed_;
+    else
+        ++preempt_count_;
 
     busy_ = false;
     const WorkloadId prev = workload_;
@@ -121,8 +126,33 @@ FunctionalUnit::resetStats()
 {
     compute_accum_ = 0;
     overhead_accum_ = 0;
+    ops_completed_ = 0;
+    preempt_count_ = 0;
     compute_by_workload_.clear();
     overhead_by_workload_.clear();
+}
+
+void
+FunctionalUnit::registerStats(StatRegistry &registry,
+                              const std::string &prefix) const
+{
+    const std::string base = prefix + "." + name_;
+    registry.addFormula(
+        base + ".busy_cycles",
+        [this] { return static_cast<double>(busyComputeCycles()); },
+        "accumulated useful compute cycles");
+    registry.addFormula(
+        base + ".overhead_cycles",
+        [this] { return static_cast<double>(overheadCycles()); },
+        "accumulated context-switch overhead cycles");
+    registry.addFormula(
+        base + ".ops_completed",
+        [this] { return static_cast<double>(opsCompleted()); },
+        "operators retired to completion");
+    registry.addFormula(
+        base + ".preemptions",
+        [this] { return static_cast<double>(preemptCount()); },
+        "operators preempted off this unit");
 }
 
 } // namespace v10

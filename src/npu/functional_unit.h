@@ -25,6 +25,7 @@
 namespace v10 {
 
 class FunctionalUnit;
+class StatRegistry;
 
 /** Callback interface for busy/idle transitions (overlap metrics). */
 class FuObserver
@@ -111,6 +112,22 @@ class FunctionalUnit
     /** Accumulated useful compute cycles (completed + preempted). */
     Cycles busyComputeCycles() const { return compute_accum_; }
 
+    /**
+     * busyComputeCycles() plus the finished portion of any in-flight
+     * operator — a read-only probe for interval sampling (retired
+     * accumulators alone would step once per operator).
+     */
+    Cycles liveBusyComputeCycles() const
+    {
+        return compute_accum_ + inflightComputeDone();
+    }
+
+    /** Operators retired to completion (preemptions excluded). */
+    std::uint64_t opsCompleted() const { return ops_completed_; }
+
+    /** Times the in-flight operator was preempted off this unit. */
+    std::uint64_t preemptCount() const { return preempt_count_; }
+
     /** Accumulated context-switch overhead cycles. */
     Cycles overheadCycles() const { return overhead_accum_; }
 
@@ -125,6 +142,14 @@ class FunctionalUnit
 
     /** Reset all accumulated statistics (not the in-flight op). */
     void resetStats();
+
+    /**
+     * Register this unit's statistics under "<prefix>.<name>.*"
+     * (busy_cycles and overhead_cycles as live formulas,
+     * ops_completed / preemptions as formulas over the counters).
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
   protected:
     Simulator &sim_;
@@ -148,6 +173,8 @@ class FunctionalUnit
 
     Cycles compute_accum_ = 0;
     Cycles overhead_accum_ = 0;
+    std::uint64_t ops_completed_ = 0;
+    std::uint64_t preempt_count_ = 0;
     std::unordered_map<WorkloadId, Cycles> compute_by_workload_;
     std::unordered_map<WorkloadId, Cycles> overhead_by_workload_;
 

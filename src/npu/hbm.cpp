@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "metrics/stat_registry.h"
 
 namespace v10 {
 
@@ -125,6 +126,24 @@ void
 HbmModel::markWindow()
 {
     window_base_ = bytes_moved_;
+}
+
+void
+HbmModel::registerStats(StatRegistry &registry,
+                        const std::string &prefix) const
+{
+    registry.addGauge(prefix + ".peak_bytes_per_cycle",
+                      "configured peak HBM bandwidth")
+        .set(peak_);
+    registry.addFormula(
+        prefix + ".bytes_moved",
+        [this] { return bytes_moved_; },
+        "bytes fully transferred (in-flight bytes credited at the "
+        "next stream membership change)");
+    registry.addFormula(
+        prefix + ".active_streams",
+        [this] { return static_cast<double>(activeStreams()); },
+        "in-flight DMA streams");
 }
 
 } // namespace v10

@@ -17,12 +17,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace v10 {
+
+class StatRegistry;
 
 /** Handle identifying an in-flight DMA transfer. */
 using DmaStreamId = std::uint64_t;
@@ -76,6 +79,14 @@ class HbmModel
 
     /** Peak bandwidth in bytes per cycle. */
     double peakBytesPerCycle() const { return peak_; }
+
+    /**
+     * Register HBM statistics under "<prefix>.*". The formulas read
+     * bytes_moved_ without advance() — in-flight bytes are credited
+     * at the next membership change, keeping the probe read-only.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     struct Stream

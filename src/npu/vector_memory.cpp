@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "metrics/stat_registry.h"
 
 namespace v10 {
 
@@ -40,6 +41,23 @@ VectorMemory::partitionBase(std::uint32_t tenant) const
     if (tenant >= tenants_)
         panic("VectorMemory: tenant ", tenant, " out of range");
     return static_cast<Bytes>(tenant) * (capacity_ / tenants_);
+}
+
+void
+VectorMemory::registerStats(StatRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".capacity_bytes",
+                        "total on-chip SRAM")
+        .set(capacity_);
+    registry.addCounter(prefix + ".partition_bytes",
+                        "per-tenant partition after context reserve")
+        .set(partition_);
+    registry.addCounter(prefix + ".context_reserve_bytes",
+                        "per-tenant SA preemption context reserve")
+        .set(context_reserve_);
+    registry.addCounter(prefix + ".tenants", "tenant partitions")
+        .set(tenants_);
 }
 
 } // namespace v10

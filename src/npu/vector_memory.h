@@ -15,10 +15,13 @@
 #define V10_NPU_VECTOR_MEMORY_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
 namespace v10 {
+
+class StatRegistry;
 
 /**
  * Vector-memory capacity partitioning and spill model.
@@ -63,6 +66,10 @@ class VectorMemory
 
     /** Number of tenant partitions. */
     std::uint32_t tenants() const { return tenants_; }
+
+    /** Register the partitioning layout under "<prefix>.*". */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     Bytes capacity_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "metrics/stat_registry.h"
 
 namespace v10 {
 
@@ -71,6 +72,33 @@ ContextTable::storageBytes(std::uint32_t tenants,
     const std::uint64_t bits =
         static_cast<std::uint64_t>(tenants) * rowBits(numFus);
     return (bits + 7) / 8;
+}
+
+void
+ContextTable::registerStats(StatRegistry &registry,
+                            const std::string &prefix,
+                            std::uint32_t numFus) const
+{
+    registry.addCounter(prefix + ".rows", "context table rows")
+        .set(size());
+    registry.addCounter(prefix + ".storage_bytes",
+                        "hardware table storage (Table 3)")
+        .set(storageBytes(size(), numFus));
+    for (std::uint32_t i = 0; i < size(); ++i) {
+        const std::string base =
+            prefix + ".row" + std::to_string(i);
+        const ContextRow *r = &rows_[i];
+        registry.addFormula(
+            base + ".active_rate", [r] { return r->activeRate(); },
+            "active_time / total_time (Algorithm 1 input)");
+        registry.addFormula(
+            base + ".active_cycles",
+            [r] { return static_cast<double>(r->activeCycles); },
+            "cycles this workload occupied FUs");
+        registry.addFormula(
+            base + ".priority", [r] { return r->priority; },
+            "relative priority (Algorithm 1 divisor)");
+    }
 }
 
 } // namespace v10

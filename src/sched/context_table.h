@@ -13,12 +13,15 @@
 #define V10_SCHED_CONTEXT_TABLE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "workload/operator.h"
 
 namespace v10 {
+
+class StatRegistry;
 
 /**
  * One row of the workload context table.
@@ -93,6 +96,15 @@ class ContextTable
     /** Table storage in bytes for @p tenants rows and @p numFus. */
     static Bytes storageBytes(std::uint32_t tenants,
                               std::uint32_t numFus);
+
+    /**
+     * Register table statistics under "<prefix>.*": the hardware
+     * storage cost plus per-row active-rate/active-cycle formulas
+     * ("<prefix>.rowN.active_rate", ...).
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix,
+                       std::uint32_t numFus) const;
 
   private:
     std::vector<ContextRow> rows_;

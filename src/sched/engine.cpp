@@ -66,6 +66,11 @@ SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
 
 SchedulerEngine::~SchedulerEngine()
 {
+    // Formulas registered by this engine capture pointers into the
+    // engine and its core; settle them while both are still alive
+    // (run() already froze on the normal path).
+    if (stats_ != nullptr && !stats_->frozen())
+        stats_->freeze();
     core_.observeAll(nullptr);
 }
 
@@ -242,6 +247,7 @@ SchedulerEngine::preemptFu(FunctionalUnit &fu)
     tenant->running = false;
     tenant->fu = nullptr;
     tenant->ready = true; // operator is staged; re-dispatchable
+    ++lifetime_preemptions_;
     if (measuring_)
         ++tenant->preemptions;
     fu_last_preempted_[fuIndex(fu)] = true;
@@ -380,8 +386,167 @@ SchedulerEngine::chargeCtxOverhead(Tenant &tenant, Cycles cycles)
 void
 SchedulerEngine::countPreemption(Tenant &tenant)
 {
+    ++lifetime_preemptions_;
     if (measuring_)
         ++tenant.preemptions;
+}
+
+Cycles
+SchedulerEngine::windowBusyCycles(bool sa) const
+{
+    Cycles busy = 0;
+    if (sa) {
+        for (auto &unit : core_.sas())
+            busy += unit->busyComputeCycles();
+    } else {
+        for (auto &unit : core_.vus())
+            busy += unit->busyComputeCycles();
+    }
+    for (const WindowDebt &debt : window_debts_) {
+        if (debt.isSa == sa)
+            busy -= std::min(busy, debt.cycles);
+    }
+    return busy;
+}
+
+void
+SchedulerEngine::registerStats()
+{
+    if (stats_ == nullptr || stats_registered_)
+        return;
+    stats_registered_ = true;
+    StatRegistry &reg = *stats_;
+
+    for (auto &sa : core_.sas())
+        sa->registerStats(reg, "core");
+    for (auto &vu : core_.vus())
+        vu->registerStats(reg, "core");
+    core_.hbm().registerStats(reg, "core.hbm");
+    core_.vmem().registerStats(reg, "core.vmem");
+
+    // Engine-level aggregates mirror collectStats() exactly (same
+    // window-debt adjustment), so the frozen registry agrees with
+    // the RunStats the run returns.
+    reg.addFormula(
+        "sched.sa_busy_cycles",
+        [this] {
+            return static_cast<double>(windowBusyCycles(true));
+        },
+        "SA useful compute cycles in the measured window");
+    reg.addFormula(
+        "sched.vu_busy_cycles",
+        [this] {
+            return static_cast<double>(windowBusyCycles(false));
+        },
+        "VU useful compute cycles in the measured window");
+    reg.addFormula(
+        "sched.window_cycles",
+        [this] {
+            return static_cast<double>(sim_.now() - window_start_);
+        },
+        "measured window length");
+    reg.addFormula(
+        "sched.preemptions",
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &t : tenants_)
+                n += t.preemptions;
+            return static_cast<double>(n);
+        },
+        "preemptions in the measured window");
+    reg.addFormula(
+        "sched.ctx_overhead_cycles",
+        [this] {
+            Cycles n = 0;
+            for (const auto &t : tenants_)
+                n += t.ctxOverheadCycles;
+            return static_cast<double>(n);
+        },
+        "context-switch cycles charged in the measured window");
+    reg.addFormula(
+        "sched.requests",
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &t : tenants_)
+                n += t.windowRequests;
+            return static_cast<double>(n);
+        },
+        "requests completed in the measured window");
+
+    for (const Tenant &tenant : tenants_) {
+        const Tenant *t = &tenant;
+        const std::string base =
+            "sched.tenant" + std::to_string(t->id);
+        reg.addFormula(
+            base + ".requests",
+            [t] { return static_cast<double>(t->windowRequests); },
+            "measured requests of " + t->wl->label());
+        reg.addFormula(
+            base + ".preemptions",
+            [t] { return static_cast<double>(t->preemptions); },
+            "measured preemptions of " + t->wl->label());
+        reg.addFormula(
+            base + ".ctx_overhead_cycles",
+            [t] { return static_cast<double>(t->ctxOverheadCycles); },
+            "context-switch cycles of " + t->wl->label());
+        reg.addFormula(
+            base + ".active_cycles",
+            [t] { return static_cast<double>(t->activeCycles); },
+            "FU occupancy cycles of " + t->wl->label());
+    }
+
+    onRegisterStats(reg);
+}
+
+void
+SchedulerEngine::registerDefaultProbes()
+{
+    if (sampler_ == nullptr || sampler_->probeCount() > 0)
+        return;
+    const double num_sa = core_.config().numSa;
+    const double num_vu = core_.config().numVu;
+    // Rate probes read monotonic live accumulators; the sampler
+    // differences them per interval, yielding utilizations in [0,1].
+    sampler_->addProbe("sa_util", IntervalSampler::Mode::Rate,
+                       [this, num_sa] {
+                           Cycles busy = 0;
+                           for (auto &sa : core_.sas())
+                               busy += sa->liveBusyComputeCycles();
+                           return static_cast<double>(busy) / num_sa;
+                       });
+    sampler_->addProbe("vu_util", IntervalSampler::Mode::Rate,
+                       [this, num_vu] {
+                           Cycles busy = 0;
+                           for (auto &vu : core_.vus())
+                               busy += vu->liveBusyComputeCycles();
+                           return static_cast<double>(busy) / num_vu;
+                       });
+    // Read-only by contract: bytesMoved() without advance(); bytes
+    // of still-flowing streams land at the next membership change.
+    sampler_->addProbe("hbm_util", IntervalSampler::Mode::Rate,
+                       [this] {
+                           return core_.hbm().bytesMoved() /
+                                  core_.hbm().peakBytesPerCycle();
+                       });
+    sampler_->addProbe("ready_tenants", IntervalSampler::Mode::Level,
+                       [this] {
+                           std::size_t n = 0;
+                           for (const auto &t : tenants_)
+                               n += t.ready;
+                           return static_cast<double>(n);
+                       });
+    sampler_->addProbe("running_tenants",
+                       IntervalSampler::Mode::Level, [this] {
+                           std::size_t n = 0;
+                           for (const auto &t : tenants_)
+                               n += t.running;
+                           return static_cast<double>(n);
+                       });
+    sampler_->addProbe("preemptions", IntervalSampler::Mode::Delta,
+                       [this] {
+                           return static_cast<double>(
+                               lifetime_preemptions_);
+                       });
 }
 
 RunStats
@@ -404,6 +569,12 @@ SchedulerEngine::run(std::uint64_t targetRequests,
     }
     if (warmup_requests_ == 0)
         resetMeasurement();
+
+    registerStats();
+    if (sampler_ != nullptr) {
+        registerDefaultProbes();
+        sampler_->start(sim_);
+    }
 
     onStart();
 
@@ -429,8 +600,17 @@ SchedulerEngine::run(std::uint64_t targetRequests,
     overlap_.finish();
     if (timeline_)
         timeline_->finish(sim_.now());
+    if (sampler_ != nullptr)
+        sampler_->stop();
 
-    return collectStats();
+    RunStats stats = collectStats();
+    if (stats_ != nullptr) {
+        // Settle every live formula now, while the engine and core
+        // are guaranteed alive; the registry then outlives the run.
+        stats_->freeze();
+        stats.registrySnapshot = stats_->snapshot();
+    }
+    return stats;
 }
 
 RunStats

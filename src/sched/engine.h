@@ -18,9 +18,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "metrics/interval_sampler.h"
 #include "metrics/latency_recorder.h"
 #include "metrics/overlap_tracker.h"
 #include "metrics/run_stats.h"
+#include "metrics/stat_registry.h"
 #include "metrics/timeline.h"
 #include "npu/npu_core.h"
 #include "sim/simulator.h"
@@ -87,6 +89,23 @@ class SchedulerEngine
     {
         timeline_ = timeline;
     }
+
+    /**
+     * Attach a statistics registry (not owned; may be nullptr).
+     * run() registers the hardware and scheduler statistics into it,
+     * freezes it at the end of the run (formulas capture pointers
+     * into this engine and its core), and copies its snapshot into
+     * RunStats::registrySnapshot.
+     */
+    void setStats(StatRegistry *stats) { stats_ = stats; }
+
+    /**
+     * Attach an interval sampler (not owned; may be nullptr). run()
+     * installs the default utilization/queue probes when the caller
+     * registered none, and starts/stops it around the run. Probes
+     * are read-only, so sampling never perturbs scheduling.
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
   protected:
     /**
@@ -186,6 +205,13 @@ class SchedulerEngine
      * already advanced to its next operator. */
     virtual void onOpComplete(Tenant &tenant, FunctionalUnit &fu) = 0;
 
+    /** Subclass hook: register scheduler-specific statistics
+     * (context table, timer preemptions, token counters, ...). */
+    virtual void onRegisterStats(StatRegistry &registry)
+    {
+        (void)registry;
+    }
+
     // ------------------------------------------------------------
     // Services for subclasses.
     // ------------------------------------------------------------
@@ -276,6 +302,16 @@ class SchedulerEngine
     /** Collect the RunStats at the end of the measured window. */
     RunStats collectStats();
 
+    /** Register hardware + engine statistics into stats_. */
+    void registerStats();
+
+    /** Install the default probe set into sampler_. */
+    void registerDefaultProbes();
+
+    /** Window-debt-adjusted busy-cycle sum (same arithmetic as
+     * collectStats, exposed to the registry formulas). */
+    Cycles windowBusyCycles(bool sa) const;
+
     Simulator &sim_;
     NpuCore &core_;
     std::vector<Tenant> tenants_;
@@ -301,6 +337,13 @@ class SchedulerEngine
     std::vector<WindowDebt> window_debts_;
 
     TimelineTracer *timeline_ = nullptr;
+    StatRegistry *stats_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
+    bool stats_registered_ = false;
+
+    /** Monotonic preemption count (never reset at the measurement
+     * boundary — Delta probes need a monotonic reading). */
+    std::uint64_t lifetime_preemptions_ = 0;
 
     std::uint64_t warmup_requests_ = 0;
     std::uint64_t stop_requests_ = 0;

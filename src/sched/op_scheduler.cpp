@@ -176,4 +176,16 @@ OperatorScheduler::onOpComplete(Tenant &, FunctionalUnit &)
     fillIdleFus();
 }
 
+void
+OperatorScheduler::onRegisterStats(StatRegistry &registry)
+{
+    registry.addFormula(
+        "sched.timer_preemptions",
+        [this] { return static_cast<double>(timer_preemptions_); },
+        "preemption decisions taken by the slice timer");
+    const auto num_fus = static_cast<std::uint32_t>(
+        sa_units_.size() + vu_units_.size());
+    table_.registerStats(registry, "sched.ctx_table", num_fus);
+}
+
 } // namespace v10

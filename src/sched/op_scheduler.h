@@ -82,6 +82,7 @@ class OperatorScheduler : public SchedulerEngine
     void onStart() override;
     void onTenantReady(Tenant &tenant) override;
     void onOpComplete(Tenant &tenant, FunctionalUnit &fu) override;
+    void onRegisterStats(StatRegistry &registry) override;
 
   private:
     /** Mirror engine tenant state into the hardware context table. */

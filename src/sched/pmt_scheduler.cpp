@@ -99,6 +99,8 @@ PmtScheduler::onSliceEnd()
         std::max<Cycles>(1, core().config().usToCycles(ctx_us));
 
     switching_ = true;
+    ++task_switches_;
+    switch_cycles_total_ += ctx_cycles;
     const std::size_t next = (active_ + 1) % tenants().size();
     chargeCtxOverhead(tenants()[next], ctx_cycles);
 
@@ -122,6 +124,21 @@ PmtScheduler::onOpComplete(Tenant &tenant, FunctionalUnit &)
 {
     if (tenant.id == tenants()[active_].id)
         runActive();
+}
+
+void
+PmtScheduler::onRegisterStats(StatRegistry &registry)
+{
+    registry.addFormula(
+        "sched.task_switches",
+        [this] { return static_cast<double>(task_switches_); },
+        "whole-core task switches (checkpoint to HBM)");
+    registry.addFormula(
+        "sched.task_switch_cycles",
+        [this] {
+            return static_cast<double>(switch_cycles_total_);
+        },
+        "cycles spent checkpointing the core");
 }
 
 } // namespace v10

@@ -48,10 +48,14 @@ class PmtScheduler : public SchedulerEngine
 
     const char *name() const override { return "PMT"; }
 
+    /** Whole-core task switches performed so far. */
+    std::uint64_t taskSwitches() const { return task_switches_; }
+
   protected:
     void onStart() override;
     void onTenantReady(Tenant &tenant) override;
     void onOpComplete(Tenant &tenant, FunctionalUnit &fu) override;
+    void onRegisterStats(StatRegistry &registry) override;
 
   private:
     /** Dispatch the active tenant's current operator if possible. */
@@ -67,6 +71,8 @@ class PmtScheduler : public SchedulerEngine
     std::size_t active_ = 0;
     bool switching_ = false;
     double priority_sum_ = 0.0;
+    std::uint64_t task_switches_ = 0;
+    Cycles switch_cycles_total_ = 0;
 };
 
 } // namespace v10

@@ -105,6 +105,7 @@ PremaScheduler::switchTo(std::size_t next)
     const Cycles ctx_cycles =
         std::max<Cycles>(1, core().config().usToCycles(ctx_us));
     switching_ = true;
+    ++task_switches_;
     chargeCtxOverhead(tenants()[next], ctx_cycles);
     sim().after(ctx_cycles, [this, next] {
         switching_ = false;
@@ -185,6 +186,21 @@ PremaScheduler::onOpComplete(Tenant &tenant, FunctionalUnit &)
         }
     }
     runActive();
+}
+
+void
+PremaScheduler::onRegisterStats(StatRegistry &registry)
+{
+    registry.addFormula(
+        "sched.task_switches",
+        [this] { return static_cast<double>(task_switches_); },
+        "whole-core task switches (checkpoint to HBM)");
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        registry.addFormula(
+            "sched.tokens." + std::to_string(i),
+            [this, i] { return tokens_[i]; },
+            "accrued PREMA tokens of tenant " + std::to_string(i));
+    }
 }
 
 } // namespace v10

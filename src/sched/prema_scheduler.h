@@ -58,10 +58,14 @@ class PremaScheduler : public SchedulerEngine
 
     const char *name() const override { return "PREMA"; }
 
+    /** Whole-core task switches performed so far. */
+    std::uint64_t taskSwitches() const { return task_switches_; }
+
   protected:
     void onStart() override;
     void onTenantReady(Tenant &tenant) override;
     void onOpComplete(Tenant &tenant, FunctionalUnit &fu) override;
+    void onRegisterStats(StatRegistry &registry) override;
 
   private:
     /** Dispatch the active tenant's current operator if possible. */
@@ -84,6 +88,7 @@ class PremaScheduler : public SchedulerEngine
     bool switching_ = false;
     std::vector<double> tokens_;
     Cycles last_accrual_ = 0;
+    std::uint64_t task_switches_ = 0;
 };
 
 } // namespace v10

@@ -49,6 +49,14 @@ struct SchedulerOptions
 
     /** Optional operator-timeline tracer (not owned). */
     TimelineTracer *timeline = nullptr;
+
+    /** Optional statistics registry (not owned); the engine
+     * registers into it and freezes it at end of run. */
+    StatRegistry *stats = nullptr;
+
+    /** Optional interval sampler (not owned); started at run start
+     * with the default probe set unless probes were pre-registered. */
+    IntervalSampler *sampler = nullptr;
 };
 
 /**

@@ -34,7 +34,7 @@ EventQueue::cancel(EventId id)
         return;
     cancelled_[id] = true;
     if (live_ == 0)
-        panic("EventQueue::cancel: live count underflow");
+        V10_PANIC("EventQueue::cancel: live count underflow");
     --live_;
 }
 

@@ -8,8 +8,8 @@ EventId
 Simulator::at(Cycles when, EventQueue::Callback cb)
 {
     if (when < now_)
-        panic("Simulator::at: scheduling into the past (", when,
-              " < ", now_, ")");
+        V10_PANIC("Simulator::at: scheduling into the past (", when,
+                  " < ", now_, ")");
     return events_.schedule(when, std::move(cb));
 }
 
@@ -17,7 +17,7 @@ EventId
 Simulator::after(Cycles delta, EventQueue::Callback cb)
 {
     if (delta > kCycleMax - now_)
-        panic("Simulator::after: cycle overflow");
+        V10_PANIC("Simulator::after: cycle overflow");
     return events_.schedule(now_ + delta, std::move(cb));
 }
 

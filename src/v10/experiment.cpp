@@ -102,6 +102,8 @@ ExperimentRunner::run(SchedulerKind kind,
     auto sched =
         makeScheduler(kind, sim, core, std::move(specs), options);
     sched->setTimeline(options.timeline);
+    sched->setStats(options.stats);
+    sched->setSampler(options.sampler);
     RunStats stats = sched->run(requests, warmup);
 
     for (std::size_t i = 0; i < stats.workloads.size(); ++i) {

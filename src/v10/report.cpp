@@ -5,9 +5,11 @@
 #include <ostream>
 #include <vector>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "metrics/run_report.h"
 #include "v10/experiment.h"
 #include "v10/sweep.h"
 #include "workload/model_zoo.h"
@@ -158,6 +160,41 @@ writeEvaluationReport(std::ostream &os, const ReportOptions &options)
     os << '\n';
     os << "Generated by `v10sim report`; see EXPERIMENTS.md for the "
           "full paper-vs-measured discussion.\n";
+
+    // --- Structured JSON companion (--stats-json). ---
+    if (!options.statsJsonPath.empty()) {
+        std::ofstream js(options.statsJsonPath);
+        if (!js)
+            fatal("report: cannot open stats JSON path '",
+                  options.statsJsonPath, "'");
+        JsonWriter w(js);
+        w.beginObject();
+        w.key("manifest");
+        w.beginObject();
+        w.kv("tool", "v10sim report");
+        w.kv("config", options.config.summary());
+        w.kv("requests", options.requests);
+        w.key("schedulers");
+        w.beginArray();
+        for (SchedulerKind kind : kinds)
+            w.value(schedulerKindName(kind));
+        w.endArray();
+        w.endObject();
+        w.key("grid");
+        w.beginObject();
+        for (const auto &p : pairs) {
+            w.key(p.label);
+            w.beginObject();
+            for (const auto &[kind, stats] : p.byKind) {
+                w.key(schedulerKindName(kind));
+                writeRunStatsJson(w, stats);
+            }
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+        js << '\n';
+    }
 }
 
 void

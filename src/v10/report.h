@@ -27,6 +27,10 @@ struct ReportOptions
     /** Threads for the pair × design grid (the report is identical
      * for any value; see SweepRunner). */
     std::size_t jobs = 1;
+
+    /** When non-empty, also dump the full pair × design grid as a
+     * structured JSON document at this path ("--stats-json"). */
+    std::string statsJsonPath;
 };
 
 /**

@@ -8,7 +8,11 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "common/json.h"
 
 namespace v10 {
 namespace {
@@ -88,6 +92,87 @@ TEST(Cli, TraceWritesFile)
     std::FILE *f = std::fopen(path.c_str(), "r");
     ASSERT_NE(f, nullptr);
     std::fclose(f);
+}
+
+/** Slurp a file written by the CLI under test. */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Cli, LogLevelFlagIsAcceptedEverywhere)
+{
+    EXPECT_EQ(runCli("zoo --log-level debug").first, 0);
+    EXPECT_EQ(runCli("zoo --log-level silent").first, 0);
+    // Unknown levels are a user error: fatal(), exit code 1.
+    EXPECT_EQ(runCli("zoo --log-level loud").first, 1);
+}
+
+TEST(Cli, RunStatsJsonHasSchemaAndAgreesWithItself)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cli_stats.json";
+    const auto [rc, out] = runCli(
+        "run --models MNST,NCF --requests 4 --stats-json " + path +
+        " --sample-interval 5000");
+    ASSERT_EQ(rc, 0);
+
+    const JsonValue doc =
+        JsonValue::parseOrDie(readFile(path), "cli stats json");
+    for (const char *k : {"manifest", "run", "registry", "samples"})
+        EXPECT_TRUE(doc.has(k)) << k;
+    EXPECT_EQ(doc.find("manifest")->find("tool")->str, "v10sim run");
+    EXPECT_DOUBLE_EQ(doc.find("manifest")->find("requests")->number,
+                     4.0);
+
+    // The registry totals must agree with the per-tenant RunStats
+    // aggregates in the same document.
+    const JsonValue *tenants = doc.find("run")->find("tenants");
+    ASSERT_TRUE(tenants != nullptr && tenants->isArray());
+    ASSERT_EQ(tenants->array.size(), 2u);
+    double sa = 0.0;
+    double requests = 0.0;
+    for (const JsonValue &t : tenants->array) {
+        sa += t.find("sa_compute_cycles")->number;
+        requests += t.find("requests")->number;
+    }
+    const JsonValue *sched = doc.find("registry")->find("sched");
+    ASSERT_NE(sched, nullptr);
+    EXPECT_DOUBLE_EQ(sched->find("sa_busy_cycles")->number, sa);
+    EXPECT_DOUBLE_EQ(sched->find("requests")->number, requests);
+
+    // Sampling was on: at least three probes and one row.
+    EXPECT_GE(doc.find("samples")->find("probes")->array.size(), 3u);
+    EXPECT_FALSE(doc.find("samples")->find("rows")->array.empty());
+}
+
+TEST(Cli, ReportStatsJsonDumpsTheGrid)
+{
+    const std::string path =
+        ::testing::TempDir() + "/cli_report_stats.json";
+    const auto [rc, out] = runCli(
+        "report --requests 2 --jobs auto --out " +
+        ::testing::TempDir() + "/cli_report.md --stats-json " + path);
+    ASSERT_EQ(rc, 0);
+
+    const JsonValue doc =
+        JsonValue::parseOrDie(readFile(path), "report stats json");
+    EXPECT_EQ(doc.find("manifest")->find("tool")->str,
+              "v10sim report");
+    const JsonValue *grid = doc.find("grid");
+    ASSERT_TRUE(grid != nullptr && grid->isObject());
+    EXPECT_EQ(grid->object.size(), 11u); // the 11 evaluation pairs
+    const JsonValue &cell = grid->object.front().second;
+    ASSERT_TRUE(cell.isObject());
+    EXPECT_TRUE(cell.has("PMT"));
+    EXPECT_TRUE(cell.has("V10-Full"));
+    EXPECT_TRUE(
+        cell.object.front().second.find("tenants")->isArray());
 }
 
 TEST(Cli, UnknownCommandShowsUsage)

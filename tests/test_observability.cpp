@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Observability-layer tests: StatRegistry semantics (paths, kinds,
+ * freeze), IntervalSampler probe modes, JSON writer/parser round
+ * trips, and the end-to-end guarantees of PR 2 — the frozen registry
+ * agrees with RunStats, sampling does not perturb scheduling, the
+ * Chrome trace is structurally valid with counter tracks, and the
+ * run-report JSON has its documented schema.
+ */
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "metrics/interval_sampler.h"
+#include "metrics/run_report.h"
+#include "metrics/stat_registry.h"
+#include "metrics/timeline.h"
+#include "sim/simulator.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+// --- StatRegistry. ---
+
+TEST(StatRegistry, CounterGaugeDistributionBasics)
+{
+    StatRegistry reg;
+    auto &c = reg.addCounter("core.sa0.busy_cycles", "busy");
+    ++c;
+    c += 9;
+    auto &g = reg.addGauge("hbm.peak_bytes_per_cycle");
+    g.set(614.4);
+    auto &d = reg.addDistribution("sched.slice_len");
+    d.record(10.0);
+    d.record(30.0);
+
+    EXPECT_TRUE(reg.has("core.sa0.busy_cycles"));
+    EXPECT_FALSE(reg.has("core.sa0"));
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_DOUBLE_EQ(reg.value("core.sa0.busy_cycles"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.value("hbm.peak_bytes_per_cycle"), 614.4);
+    // Distributions answer value() with their mean.
+    EXPECT_DOUBLE_EQ(reg.value("sched.slice_len"), 20.0);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    EXPECT_EQ(reg.description("core.sa0.busy_cycles"), "busy");
+
+    const auto paths = reg.paths();
+    ASSERT_EQ(paths.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+}
+
+TEST(StatRegistry, FormulaReadsLiveUntilFrozen)
+{
+    StatRegistry reg;
+    double live = 1.0;
+    reg.addFormula("derived.x", [&live] { return live * 2.0; });
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 2.0);
+    live = 21.0;
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 42.0);
+
+    reg.freeze();
+    EXPECT_TRUE(reg.frozen());
+    live = -1000.0; // must not matter anymore
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 42.0);
+    reg.freeze(); // idempotent
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 42.0);
+}
+
+TEST(StatRegistry, SnapshotExpandsDistributions)
+{
+    StatRegistry reg;
+    reg.addCounter("a.count_stat").set(7);
+    auto &d = reg.addDistribution("a.dist");
+    d.record(2.0);
+    d.record(4.0);
+
+    const auto snap = reg.snapshot();
+    std::map<std::string, double> flat(snap.begin(), snap.end());
+    EXPECT_DOUBLE_EQ(flat.at("a.count_stat"), 7.0);
+    EXPECT_DOUBLE_EQ(flat.at("a.dist.count"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("a.dist.sum"), 6.0);
+    EXPECT_DOUBLE_EQ(flat.at("a.dist.min"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("a.dist.max"), 4.0);
+    EXPECT_DOUBLE_EQ(flat.at("a.dist.mean"), 3.0);
+}
+
+TEST(StatRegistry, TextReportListsEveryPath)
+{
+    StatRegistry reg;
+    reg.addCounter("sched.preemptions").set(12);
+    reg.addGauge("core.util").set(0.5);
+    const std::string report = reg.textReport();
+    EXPECT_NE(report.find("sched.preemptions"), std::string::npos);
+    EXPECT_NE(report.find("12"), std::string::npos);
+    EXPECT_NE(report.find("core.util"), std::string::npos);
+}
+
+TEST(StatRegistry, WriteJsonNestsDottedPaths)
+{
+    StatRegistry reg;
+    reg.addCounter("core.sa0.busy_cycles").set(100);
+    reg.addCounter("core.sa0.ops").set(4);
+    reg.addCounter("sched.preemptions").set(2);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    reg.writeJson(w);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc, &err)) << err;
+    const JsonValue *sa0 = doc.find("core")->find("sa0");
+    ASSERT_NE(sa0, nullptr);
+    EXPECT_DOUBLE_EQ(sa0->find("busy_cycles")->number, 100.0);
+    EXPECT_DOUBLE_EQ(sa0->find("ops")->number, 4.0);
+    EXPECT_DOUBLE_EQ(doc.find("sched")->find("preemptions")->number,
+                     2.0);
+}
+
+TEST(StatRegistryDeathTest, RejectsDuplicateAndConflictingPaths)
+{
+    StatRegistry reg;
+    reg.addCounter("a.b");
+    EXPECT_DEATH(reg.addCounter("a.b"), "duplicate");
+    // A leaf and a subtree cannot share a name: JSON nesting needs
+    // "a.b" to be a value or an object, not both.
+    EXPECT_DEATH(reg.addCounter("a.b.c"), "extends existing leaf");
+    EXPECT_DEATH(reg.addCounter("a"), "conflicts with existing");
+    // But a sibling sharing a *string* prefix (not a dot boundary)
+    // is fine.
+    reg.addCounter("a.bc");
+
+    EXPECT_DEATH(reg.addCounter(""), "");
+    EXPECT_DEATH(reg.addCounter("x..y"), "");
+    EXPECT_DEATH(reg.addCounter(".x"), "");
+    EXPECT_DEATH(reg.addCounter("x."), "");
+    EXPECT_DEATH(reg.addCounter("bad path"), "");
+    EXPECT_DEATH(reg.value("no.such.stat"), "");
+}
+
+// --- IntervalSampler. ---
+
+TEST(IntervalSampler, LevelRateDeltaSemantics)
+{
+    Simulator sim;
+    // A counter that gains 10 every 100 cycles, bumped just before
+    // each sampling boundary.
+    double accum = 0.0;
+    for (Cycles t = 50; t <= 450; t += 100)
+        sim.at(t, [&accum] { accum += 10.0; });
+
+    IntervalSampler sampler(100);
+    sampler.addProbe("level", IntervalSampler::Mode::Level,
+                     [&accum] { return accum; });
+    sampler.addProbe("rate", IntervalSampler::Mode::Rate,
+                     [&accum] { return accum; });
+    sampler.addProbe("delta", IntervalSampler::Mode::Delta,
+                     [&accum] { return accum; });
+    sampler.start(sim);
+    sim.runUntil(450);
+    sampler.stop();
+
+    ASSERT_EQ(sampler.probeCount(), 3u);
+    ASSERT_GE(sampler.rowCount(), 4u);
+    EXPECT_EQ(sampler.probeNames(),
+              (std::vector<std::string>{"level", "rate", "delta"}));
+    // Row 0 at cycle 100: accum has seen one +10 (at cycle 50).
+    EXPECT_EQ(sampler.rowCycles()[0], 100u);
+    EXPECT_DOUBLE_EQ(sampler.sample(0, 0), 10.0); // level: raw
+    EXPECT_DOUBLE_EQ(sampler.sample(0, 1), 0.1);  // rate: 10/100
+    EXPECT_DOUBLE_EQ(sampler.sample(0, 2), 10.0); // delta
+    // Row 1 at cycle 200: one more +10.
+    EXPECT_EQ(sampler.rowCycles()[1], 200u);
+    EXPECT_DOUBLE_EQ(sampler.sample(1, 0), 20.0);
+    EXPECT_DOUBLE_EQ(sampler.sample(1, 1), 0.1);
+    EXPECT_DOUBLE_EQ(sampler.sample(1, 2), 10.0);
+}
+
+TEST(IntervalSampler, StopRecordsFinalPartialInterval)
+{
+    Simulator sim;
+    IntervalSampler sampler(100);
+    double v = 0.0;
+    sampler.addProbe("x", IntervalSampler::Mode::Level,
+                     [&v] { return v; });
+    sampler.start(sim);
+    // The tick self-reschedules forever; the runner bounds it.
+    sim.runUntil(249);
+    v = 5.0;
+    sampler.stop();
+
+    // Ticks at 100 and 200, plus the final partial row at 249.
+    ASSERT_EQ(sampler.rowCount(), 3u);
+    EXPECT_EQ(sampler.rowCycles().back(), 249u);
+    EXPECT_DOUBLE_EQ(sampler.sample(2, 0), 5.0);
+}
+
+TEST(IntervalSampler, CsvHasHeaderAndOneLinePerRow)
+{
+    Simulator sim;
+    IntervalSampler sampler(100);
+    sampler.addProbe("a", IntervalSampler::Mode::Level,
+                     [] { return 1.5; });
+    sampler.addProbe("b", IntervalSampler::Mode::Level,
+                     [] { return 2.0; });
+    sampler.start(sim);
+    sim.runUntil(250);
+    sampler.stop();
+
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "cycle,a,b");
+    std::size_t rows = 0;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, sampler.rowCount());
+}
+
+TEST(IntervalSamplerDeathTest, RejectsMisuse)
+{
+    EXPECT_DEATH(IntervalSampler(0), "");
+    Simulator sim;
+    IntervalSampler sampler(100);
+    sampler.start(sim);
+    EXPECT_DEATH(sampler.addProbe("late",
+                                  IntervalSampler::Mode::Level,
+                                  [] { return 0.0; }),
+                 "");
+}
+
+// --- JSON writer/parser round trip. ---
+
+TEST(Json, WriterParserRoundTrip)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("name", "v10 \"sim\"\n");
+    w.kv("count", std::uint64_t{18446744073709551615ull});
+    w.kv("ratio", 1.64);
+    w.kv("ok", true);
+    w.key("xs");
+    w.beginArray();
+    w.value(1);
+    w.valueNull();
+    w.value(-2.5);
+    w.endArray();
+    w.endObject();
+    ASSERT_EQ(w.depth(), 0u);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc, &err)) << err;
+    EXPECT_EQ(doc.find("name")->str, "v10 \"sim\"\n");
+    EXPECT_DOUBLE_EQ(doc.find("ratio")->number, 1.64);
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    ASSERT_EQ(doc.find("xs")->array.size(), 3u);
+    EXPECT_EQ(doc.find("xs")->array[1].type, JsonValue::Type::Null);
+    EXPECT_DOUBLE_EQ(doc.find("xs")->array[2].number, -2.5);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+}
+
+TEST(Json, ParserReportsErrors)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse("{\"a\": }", &doc, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(JsonValue::parse("[1, 2", &doc, &err));
+    EXPECT_FALSE(JsonValue::parse("", &doc, &err));
+}
+
+// --- End to end: registry vs RunStats, bit identity, trace, report.
+
+TEST(Observability, FrozenRegistryAgreesWithRunStats)
+{
+    ExperimentRunner runner;
+    StatRegistry reg;
+    SchedulerOptions so;
+    so.stats = &reg;
+    const RunStats stats = runner.runPair(
+        SchedulerKind::V10Full, "MNST", "NCF", 1.0, 1.0, 4, so);
+
+    ASSERT_TRUE(reg.frozen());
+    std::uint64_t sa = 0;
+    std::uint64_t vu = 0;
+    std::uint64_t preempts = 0;
+    std::uint64_t requests = 0;
+    for (const auto &w : stats.workloads) {
+        sa += w.saComputeCycles;
+        vu += w.vuComputeCycles;
+        preempts += w.preemptions;
+        requests += w.requests;
+    }
+    EXPECT_DOUBLE_EQ(reg.value("sched.sa_busy_cycles"),
+                     static_cast<double>(sa));
+    EXPECT_DOUBLE_EQ(reg.value("sched.vu_busy_cycles"),
+                     static_cast<double>(vu));
+    EXPECT_DOUBLE_EQ(reg.value("sched.preemptions"),
+                     static_cast<double>(preempts));
+    EXPECT_DOUBLE_EQ(reg.value("sched.requests"),
+                     static_cast<double>(requests));
+    EXPECT_DOUBLE_EQ(reg.value("sched.window_cycles"),
+                     static_cast<double>(stats.windowCycles));
+    ASSERT_EQ(stats.workloads.size(), 2u);
+    EXPECT_DOUBLE_EQ(reg.value("sched.tenant0.requests"),
+                     static_cast<double>(stats.workloads[0].requests));
+    EXPECT_DOUBLE_EQ(reg.value("sched.tenant1.requests"),
+                     static_cast<double>(stats.workloads[1].requests));
+
+    // The engine also mirrors its frozen snapshot into RunStats for
+    // detailedReport().
+    EXPECT_EQ(stats.registrySnapshot, reg.snapshot());
+    EXPECT_NE(stats.detailedReport().find("registry.sched"),
+              std::string::npos);
+
+    // Per-unit stats exist and sum to at least the windowed cycles.
+    EXPECT_TRUE(reg.has("core.sa0.busy_cycles"));
+    EXPECT_TRUE(reg.has("core.vu0.busy_cycles"));
+    EXPECT_TRUE(reg.has("core.hbm.bytes_moved"));
+    EXPECT_TRUE(reg.has("core.vmem.capacity_bytes"));
+    EXPECT_GT(reg.value("core.hbm.bytes_moved"), 0.0);
+}
+
+TEST(Observability, SamplingLeavesSchedulingBitIdentical)
+{
+    ExperimentRunner runner;
+    const RunStats plain = runner.runPair(SchedulerKind::V10Full,
+                                          "MNST", "NCF", 1.0, 1.0, 4);
+
+    StatRegistry reg;
+    IntervalSampler sampler(5000);
+    SchedulerOptions so;
+    so.stats = &reg;
+    so.sampler = &sampler;
+    const RunStats sampled = runner.runPair(
+        SchedulerKind::V10Full, "MNST", "NCF", 1.0, 1.0, 4, so);
+
+    EXPECT_GT(sampler.rowCount(), 0u);
+    EXPECT_EQ(plain.windowCycles, sampled.windowCycles);
+    ASSERT_EQ(plain.workloads.size(), sampled.workloads.size());
+    for (std::size_t i = 0; i < plain.workloads.size(); ++i) {
+        const auto &a = plain.workloads[i];
+        const auto &b = sampled.workloads[i];
+        EXPECT_EQ(a.requests, b.requests);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.saComputeCycles, b.saComputeCycles);
+        EXPECT_EQ(a.vuComputeCycles, b.vuComputeCycles);
+        // Exact double equality is deliberate: same schedule, same
+        // arithmetic, bit for bit.
+        EXPECT_EQ(a.avgLatencyUs, b.avgLatencyUs);
+        EXPECT_EQ(a.p95LatencyUs, b.p95LatencyUs);
+    }
+}
+
+/** Parsed Chrome-trace structure (slice and counter-event index). */
+struct TraceIndex
+{
+    std::size_t slices = 0;
+    std::map<std::string, std::vector<double>> counterTs;
+
+    /** Parse @p text and index its events (gtest failures inside). */
+    void
+    parse(const std::string &text)
+    {
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(text, &doc, &err))
+            << "trace parse error: " << err;
+        ASSERT_TRUE(doc.isArray()) << "trace is not a JSON array";
+        for (const JsonValue &ev : doc.array) {
+            const JsonValue *ph = ev.find("ph");
+            const JsonValue *ts = ev.find("ts");
+            ASSERT_NE(ph, nullptr);
+            ASSERT_NE(ts, nullptr);
+            EXPECT_TRUE(ts->isNumber());
+            EXPECT_GE(ts->number, 0.0);
+            if (ph->str == "X") {
+                ++slices;
+                const JsonValue *dur = ev.find("dur");
+                ASSERT_NE(dur, nullptr);
+                EXPECT_GE(dur->number, 0.0);
+            } else if (ph->str == "C") {
+                counterTs[ev.find("name")->str].push_back(ts->number);
+            }
+        }
+    }
+};
+
+TEST(Observability, ChromeTraceHasSlicesAndCounterTracks)
+{
+    ExperimentRunner runner;
+    TimelineTracer tracer(runner.config().freqGHz * 1e3);
+    IntervalSampler sampler(5000);
+    StatRegistry reg;
+    tracer.attachSampler(&sampler);
+    SchedulerOptions so;
+    so.timeline = &tracer;
+    so.stats = &reg;
+    so.sampler = &sampler;
+    runner.runPair(SchedulerKind::V10Full, "MNST", "NCF", 1.0, 1.0, 4,
+                   so);
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    TraceIndex trace;
+    trace.parse(os.str());
+
+    EXPECT_EQ(trace.slices, tracer.sliceCount());
+    EXPECT_GT(trace.slices, 0u);
+    // The default probe set yields at least three counter tracks.
+    EXPECT_GE(trace.counterTs.size(), 3u);
+    for (const auto &[name, ts] : trace.counterTs) {
+        EXPECT_EQ(ts.size(), sampler.rowCount()) << name;
+        EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()))
+            << "non-monotonic timestamps on counter track " << name;
+    }
+}
+
+TEST(Observability, RunReportJsonHasDocumentedSchema)
+{
+    ExperimentRunner runner;
+    StatRegistry reg;
+    IntervalSampler sampler(5000);
+    SchedulerOptions so;
+    so.stats = &reg;
+    so.sampler = &sampler;
+    const RunStats stats = runner.runPair(
+        SchedulerKind::V10Full, "MNST", "NCF", 1.0, 1.0, 4, so);
+
+    RunManifest manifest;
+    manifest.tool = "test_observability";
+    manifest.scheduler = "V10-Full";
+    manifest.configSummary = runner.config().summary();
+    manifest.workloads = {stats.workloads[0].label,
+                          stats.workloads[1].label};
+    manifest.requests = 4;
+    manifest.seed = 1;
+    manifest.simulatedCycles = stats.windowCycles;
+    manifest.wallSeconds = 0.25;
+    manifest.sampleInterval = sampler.interval();
+
+    std::ostringstream os;
+    writeRunReportJson(os, manifest, stats, &reg, &sampler);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc, &err)) << err;
+    for (const char *k : {"manifest", "run", "registry", "samples"})
+        EXPECT_TRUE(doc.has(k)) << k;
+
+    const JsonValue *m = doc.find("manifest");
+    EXPECT_EQ(m->find("tool")->str, "test_observability");
+    EXPECT_EQ(m->find("scheduler")->str, "V10-Full");
+    EXPECT_DOUBLE_EQ(m->find("requests")->number, 4.0);
+    EXPECT_EQ(m->find("workloads")->array.size(), 2u);
+
+    const JsonValue *run = doc.find("run");
+    EXPECT_TRUE(run->has("stp"));
+    EXPECT_TRUE(run->has("fairness"));
+    ASSERT_TRUE(run->find("tenants")->isArray());
+    ASSERT_EQ(run->find("tenants")->array.size(), 2u);
+    EXPECT_TRUE(run->find("tenants")->array[0].has("latency_p95_us"));
+
+    EXPECT_TRUE(doc.find("registry")->has("sched"));
+    const JsonValue *samples = doc.find("samples");
+    EXPECT_DOUBLE_EQ(samples->find("interval_cycles")->number,
+                     5000.0);
+    EXPECT_GE(samples->find("probes")->array.size(), 3u);
+    ASSERT_TRUE(samples->find("rows")->isArray());
+    ASSERT_FALSE(samples->find("rows")->array.empty());
+    // Each row is [cycle, probe values...].
+    EXPECT_EQ(samples->find("rows")->array[0].array.size(),
+              samples->find("probes")->array.size() + 1);
+}
+
+// --- V10_PANIC call-site capture. ---
+
+TEST(ObservabilityDeathTest, PanicReportsFileAndLine)
+{
+    Simulator sim;
+    sim.at(100, [] {});
+    sim.run();
+    // Simulator::at uses V10_PANIC, so the message carries the
+    // basename:line of the call site inside simulator.cpp.
+    EXPECT_DEATH(sim.at(50, [] {}),
+                 "panic: simulator\\.cpp:[0-9]+.*scheduling into the "
+                 "past");
+}
+
+} // namespace
+} // namespace v10

@@ -9,12 +9,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <regex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "common/parallel_executor.h"
 #include "v10/sweep.h"
 #include "workload/model_zoo.h"
@@ -94,6 +97,49 @@ TEST(ParallelExecutorDeathTest, ParseJobsRejectsBadValues)
     EXPECT_DEATH(ParallelExecutor::parseJobs("4x"), "positive");
     EXPECT_DEATH(ParallelExecutor::parseJobs(""), "positive");
     EXPECT_DEATH(ParallelExecutor::parseJobs("999999999"), "limit");
+}
+
+// --- Thread-safe logging under ParallelExecutor hammering. ---
+
+TEST(ParallelExecutor, ConcurrentLogLinesNeverInterleave)
+{
+    // Restore the ambient level no matter how the test exits.
+    struct LevelGuard
+    {
+        LogLevel saved = logLevel();
+        ~LevelGuard() { setLogLevel(saved); }
+    } guard;
+    setLogLevel(LogLevel::Info);
+
+    constexpr std::size_t kMessages = 400;
+    ::testing::internal::CaptureStderr();
+    ParallelExecutor exec(8);
+    exec.forEach(kMessages, [](std::size_t i) {
+        inform("hammer message ", i, " from a worker thread");
+    });
+    const std::string captured =
+        ::testing::internal::GetCapturedStderr();
+
+    // Every line must be one complete message: the writer holds a
+    // mutex across the fprintf, so no line may be split or merged.
+    const std::regex line_re(
+        "^info: hammer message [0-9]+ from a worker thread$");
+    std::istringstream in(captured);
+    std::string line;
+    std::size_t lines = 0;
+    std::vector<bool> seen(kMessages, false);
+    while (std::getline(in, line)) {
+        ASSERT_TRUE(std::regex_match(line, line_re))
+            << "mangled log line: '" << line << "'";
+        const std::size_t idx = static_cast<std::size_t>(
+            std::stoul(line.substr(std::string("info: hammer message ")
+                                       .size())));
+        ASSERT_LT(idx, kMessages);
+        EXPECT_FALSE(seen[idx]) << "message " << idx << " logged twice";
+        seen[idx] = true;
+        ++lines;
+    }
+    EXPECT_EQ(lines, kMessages);
 }
 
 // --- Determinism proof: jobs=1 == jobs=8, bit for bit. ---

@@ -12,18 +12,24 @@
  *   v10sim trace --model DLRM [--batch 32] [--out trace.txt]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/parallel_executor.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "metrics/interval_sampler.h"
+#include "metrics/run_report.h"
+#include "metrics/stat_registry.h"
 #include "v10/multi_tenant_npu.h"
 #include "v10/npu_cluster.h"
 #include "v10/profiler.h"
@@ -187,9 +193,26 @@ cmdRun(const Args &args)
         timeline = std::make_unique<TimelineTracer>(
             configFromArgs(args).freqGHz * 1e3);
 
+    // Optional observability artifacts: the stats registry feeds
+    // --stats-json; the sampler feeds --samples-csv and the
+    // Chrome-trace counter tracks.
+    std::unique_ptr<StatRegistry> registry;
+    if (args.has("stats-json"))
+        registry = std::make_unique<StatRegistry>();
+    std::unique_ptr<IntervalSampler> sampler;
+    if (args.has("sample-interval") || args.has("samples-csv")) {
+        const auto interval = static_cast<Cycles>(std::atoll(
+            args.get("sample-interval", "10000").c_str()));
+        sampler = std::make_unique<IntervalSampler>(interval);
+        if (timeline)
+            timeline->attachSampler(sampler.get());
+    }
+
     RunStats stats;
-    if (!rps.empty() || timeline) {
-        // Open-loop run through the experiment layer.
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (!rps.empty() || timeline || registry || sampler) {
+        // Instrumented or open-loop run through the experiment
+        // layer.
         ExperimentRunner runner(configFromArgs(args));
         std::vector<TenantRequest> tenants;
         for (std::size_t i = 0; i < models.size(); ++i) {
@@ -204,6 +227,8 @@ cmdRun(const Args &args)
         }
         SchedulerOptions so;
         so.timeline = timeline.get();
+        so.stats = registry.get();
+        so.sampler = sampler.get();
         stats = runner.run(schedulerKindFromName(
                                args.get("scheduler", "V10-Full")),
                            tenants, requests, 2, so);
@@ -217,6 +242,36 @@ cmdRun(const Args &args)
         }
     } else {
         stats = npu.run(requests);
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    if (registry) {
+        RunManifest manifest;
+        manifest.tool = "v10sim run";
+        manifest.scheduler = args.get("scheduler", "V10-Full");
+        manifest.configSummary = npu.config().summary();
+        for (const auto &w : stats.workloads)
+            manifest.workloads.push_back(w.label);
+        manifest.requests = requests;
+        manifest.seed = 1;
+        manifest.simulatedCycles = stats.windowCycles;
+        manifest.wallSeconds = wall_seconds;
+        manifest.sampleInterval = sampler ? sampler->interval() : 0;
+        const std::string path = args.get("stats-json", "");
+        writeRunReportJsonFile(path, manifest, stats, registry.get(),
+                               sampler.get());
+        std::printf("stats: %zu registry entries -> %s\n",
+                    registry->size(), path.c_str());
+    }
+    if (sampler && args.has("samples-csv")) {
+        const std::string path = args.get("samples-csv", "");
+        sampler->writeCsvFile(path);
+        std::printf("samples: %zu rows x %zu probes -> %s\n",
+                    sampler->rowCount(), sampler->probeCount(),
+                    path.c_str());
     }
 
     std::printf("%s on %s\n\n",
@@ -255,6 +310,7 @@ cmdReport(const Args &args)
     options.requests = static_cast<std::uint64_t>(
         std::atoll(args.get("requests", "25").c_str()));
     options.jobs = args.jobs();
+    options.statsJsonPath = args.get("stats-json", "");
     const std::string out = args.get("out", "report.md");
     std::printf("running the headline evaluation (%llu requests "
                 "per tenant per run, %zu job%s)...\n",
@@ -262,6 +318,9 @@ cmdReport(const Args &args)
                 options.jobs, options.jobs == 1 ? "" : "s");
     writeEvaluationReportFile(out, options);
     std::printf("report written to %s\n", out.c_str());
+    if (!options.statsJsonPath.empty())
+        std::printf("stats JSON written to %s\n",
+                    options.statsJsonPath.c_str());
     return 0;
 }
 
@@ -314,6 +373,44 @@ cmdAdvise(const Args &args)
                     formatPct(r.perCore[c].saUtil).c_str(),
                     r.perCore[c].stp());
     }
+    if (args.has("stats-json")) {
+        const std::string path = args.get("stats-json", "");
+        std::ofstream js(path);
+        if (!js)
+            fatal("advise: cannot open stats JSON path '", path,
+                  "'");
+        JsonWriter w(js);
+        w.beginObject();
+        w.key("manifest");
+        w.beginObject();
+        w.kv("tool", "v10sim advise");
+        w.kv("cores", static_cast<std::uint64_t>(cfg.numCores));
+        w.key("workloads");
+        w.beginArray();
+        for (const auto &m : models)
+            w.value(m);
+        w.endArray();
+        w.endObject();
+        w.kv("fleet_stp", r.fleetStp);
+        w.kv("cores_used", static_cast<std::uint64_t>(r.coresUsed));
+        w.key("placement");
+        w.beginArray();
+        for (std::size_t c = 0; c < r.assignment.size(); ++c) {
+            w.beginObject();
+            w.key("workloads");
+            w.beginArray();
+            for (const auto &m : r.assignment[c])
+                w.value(m);
+            w.endArray();
+            w.key("run");
+            writeRunStatsJson(w, r.perCore[c]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        js << '\n';
+        std::printf("stats JSON written to %s\n", path.c_str());
+    }
     return 0;
 }
 
@@ -351,12 +448,21 @@ usage()
         "[--requests 25]\n"
         "             [--slice cycles] [--sas N --vus N] [--timeline out.json] "
         "[--vmem-mb MB]\n"
+        "             [--stats-json out.json] [--sample-interval "
+        "cycles] [--samples-csv out.csv]\n"
         "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4] "
-        "[--jobs N]\n"
+        "[--jobs N] [--stats-json out.json]\n"
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
         "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
         "  v10sim report [--out report.md] [--requests N] "
-        "[--jobs N|auto]\n\n"
+        "[--jobs N|auto] [--stats-json out.json]\n\n"
+        "Global options:\n"
+        "  --log-level silent|warn|info|debug   stderr verbosity "
+        "(default warn)\n\n"
+        "--stats-json dumps a structured run report (manifest, "
+        "RunStats, statistics\nregistry, interval samples); "
+        "--sample-interval records utilization time-series\nthat "
+        "also render as counter tracks in the --timeline trace.\n\n"
         "--jobs fans independent simulations over a thread pool; "
         "results are\nbit-identical for any value (default 1).\n");
 }
@@ -372,6 +478,8 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Args args = Args::parse(argc, argv, 2);
+    if (args.has("log-level"))
+        setLogLevel(logLevelFromName(args.get("log-level", "")));
     if (cmd == "zoo")
         return cmdZoo();
     if (cmd == "profile")
