@@ -66,6 +66,16 @@ logLevel()
 LogLevel
 logLevelFromName(const std::string &name)
 {
+    const std::optional<LogLevel> level = tryLogLevelFromName(name);
+    if (!level)
+        fatal("unknown log level '", name,
+              "' (expected silent|warn|info|debug)");
+    return *level;
+}
+
+std::optional<LogLevel>
+tryLogLevelFromName(const std::string &name)
+{
     if (name == "silent")
         return LogLevel::Silent;
     if (name == "warn")
@@ -74,8 +84,7 @@ logLevelFromName(const std::string &name)
         return LogLevel::Info;
     if (name == "debug")
         return LogLevel::Debug;
-    fatal("unknown log level '", name,
-          "' (expected silent|warn|info|debug)");
+    return std::nullopt;
 }
 
 const char *

@@ -13,6 +13,7 @@
 #ifndef V10_COMMON_LOG_H
 #define V10_COMMON_LOG_H
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -29,6 +30,9 @@ LogLevel logLevel();
 
 /** Parse "silent" | "warn" | "info" | "debug"; fatal() if unknown. */
 LogLevel logLevelFromName(const std::string &name);
+
+/** Recoverable variant of logLevelFromName(): nullopt if unknown. */
+std::optional<LogLevel> tryLogLevelFromName(const std::string &name);
 
 /** Printable name of a verbosity level. */
 const char *logLevelName(LogLevel level);

@@ -87,4 +87,56 @@ startsWith(const std::string &s, const std::string &prefix)
            s.compare(0, prefix.size(), prefix) == 0;
 }
 
+std::optional<std::int64_t>
+parseInt64(const std::string &s)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(t, &pos, 10);
+        if (pos != t.size())
+            return std::nullopt;
+        return static_cast<std::int64_t>(v);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::optional<std::uint64_t>
+parseUint64(const std::string &s)
+{
+    const std::string t = trim(s);
+    // stoull silently wraps negatives; reject the sign up front.
+    if (t.empty() || t[0] == '-' || t[0] == '+')
+        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(t, &pos, 10);
+        if (pos != t.size())
+            return std::nullopt;
+        return static_cast<std::uint64_t>(v);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::optional<double>
+parseDouble(const std::string &s)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(t, &pos);
+        if (pos != t.size())
+            return std::nullopt;
+        return v;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
 } // namespace v10

@@ -7,6 +7,8 @@
 #ifndef V10_COMMON_STRING_UTIL_H
 #define V10_COMMON_STRING_UTIL_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,16 @@ std::string trim(const std::string &s);
 
 /** True if @p s begins with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Strict whole-string base-10 parses (unlike atoi/atoll, trailing
+ * garbage, empty strings, and overflow all yield nullopt). Used by
+ * CLI/spec parsing so bad numbers become usage errors instead of
+ * silently truncated values.
+ */
+std::optional<std::int64_t> parseInt64(const std::string &s);
+std::optional<std::uint64_t> parseUint64(const std::string &s);
+std::optional<double> parseDouble(const std::string &s);
 
 } // namespace v10
 

@@ -51,6 +51,9 @@ writeWorkload(JsonWriter &w, const WorkloadRunStats &t)
     w.kv("normalized_progress", t.normalizedProgress);
     w.kv("ctx_overhead_frac", t.ctxOverheadFrac);
     w.kv("preempts_per_request", t.preemptsPerRequest());
+    w.kv("quarantined", t.quarantined);
+    w.kv("fault_strikes",
+         static_cast<std::uint64_t>(t.faultStrikes));
     w.endObject();
 }
 
@@ -75,6 +78,13 @@ writeRunStatsJson(JsonWriter &w, const RunStats &s)
     w.kv("antt", s.antt());
     w.kv("fairness", s.fairness());
     w.kv("worst_progress", s.worstProgress());
+    w.kv("aborted", s.aborted);
+    w.kv("abort_reason", s.abortReason);
+    w.kv("faults_injected", s.faultsInjected);
+    w.kv("dma_retries", s.dmaRetries);
+    w.kv("sa_replays", s.saReplays);
+    w.kv("quarantined_tenants",
+         static_cast<std::uint64_t>(s.quarantinedTenants));
     w.key("tenants");
     w.beginArray();
     for (const auto &t : s.workloads)

@@ -80,6 +80,16 @@ RunStats::detailedReport() const
     os << "system.stp               " << stp() << '\n';
     os << "system.antt              " << antt() << '\n';
     os << "system.fairness          " << fairness() << '\n';
+    if (aborted || faultsInjected > 0 || quarantinedTenants > 0) {
+        os << "robust.aborted           " << aborted << '\n';
+        if (!abortReason.empty())
+            os << "robust.abort_reason      " << abortReason << '\n';
+        os << "robust.faults_injected   " << faultsInjected << '\n';
+        os << "robust.dma_retries       " << dmaRetries << '\n';
+        os << "robust.sa_replays        " << saReplays << '\n';
+        os << "robust.quarantined       " << quarantinedTenants
+           << '\n';
+    }
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const auto &w = workloads[i];
         const std::string p =
@@ -95,6 +105,10 @@ RunStats::detailedReport() const
         os << p << "vu_util          " << w.vuUtil << '\n';
         os << p << "preemptions      " << w.preemptions << '\n';
         os << p << "ctx_overhead     " << w.ctxOverheadFrac << '\n';
+        if (w.quarantined || w.faultStrikes > 0) {
+            os << p << "quarantined      " << w.quarantined << '\n';
+            os << p << "fault_strikes    " << w.faultStrikes << '\n';
+        }
     }
     for (const auto &[path, value] : registrySnapshot)
         os << "registry." << path << "  " << value << '\n';
@@ -109,6 +123,10 @@ RunStats::summary() const
     os << "window=" << windowCycles << "cyc sa=" << saUtil
        << " vu=" << vuUtil << " hbm=" << hbmUtil
        << " both=" << overlapBothFrac << " stp=" << stp();
+    if (aborted)
+        os << " ABORTED(" << abortReason << ")";
+    if (faultsInjected > 0)
+        os << " faults=" << faultsInjected;
     for (const auto &w : workloads) {
         os << " [" << w.label << " req=" << w.requests
            << " lat=" << w.avgLatencyUs << "us np="

@@ -49,6 +49,12 @@ struct WorkloadRunStats
      * request time (Fig. 21 left axis). */
     double ctxOverheadFrac = 0.0;
 
+    /** Tenant was quarantined by the degradation policy. */
+    bool quarantined = false;
+
+    /** Tenant-attributable faults recorded against this tenant. */
+    std::uint32_t faultStrikes = 0;
+
     /** Preemptions per completed request (Fig. 21 right axis). */
     double preemptsPerRequest() const;
 };
@@ -72,6 +78,16 @@ struct RunStats
     double saOnlyFrac = 0.0;
     double vuOnlyFrac = 0.0;
     double idleFrac = 0.0;
+
+    /** Robustness outcome (docs/ROBUSTNESS.md). aborted means the
+     * *run* ended early — watchdog, cycle budget, or every tenant
+     * quarantined — never that the process died. */
+    bool aborted = false;
+    std::string abortReason;
+    std::uint64_t faultsInjected = 0;   ///< fault-plan injections
+    std::uint64_t dmaRetries = 0;       ///< timed-out DMA reissues
+    std::uint64_t saReplays = 0;        ///< corrupt-context replays
+    std::uint32_t quarantinedTenants = 0;
 
     std::vector<WorkloadRunStats> workloads;
 

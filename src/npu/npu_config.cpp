@@ -8,25 +8,47 @@
 
 namespace v10 {
 
+Status
+NpuConfig::check() const
+{
+    const auto bad = [](const std::string &message,
+                        const std::string &field) {
+        return parseError(message, "NpuConfig", 0, field);
+    };
+    if (saDim == 0 || saDim % 8 != 0)
+        return bad("saDim must be a positive multiple of 8",
+                   "saDim");
+    if (!std::isfinite(freqGHz))
+        return bad("frequency must be finite", "freqGHz");
+    if (numSa == 0 || numVu == 0)
+        return bad("need at least one SA and one VU",
+                   numSa == 0 ? "numSa" : "numVu");
+    if (vuLanes == 0 || vuOpsPerLane == 0)
+        return bad("VU lanes/ops must be positive",
+                   vuLanes == 0 ? "vuLanes" : "vuOpsPerLane");
+    if (freqGHz <= 0.0)
+        return bad("frequency must be positive", "freqGHz");
+    if (vmemBytes == 0 || hbmBytes == 0)
+        return bad("memory capacities must be positive",
+                   vmemBytes == 0 ? "vmemBytes" : "hbmBytes");
+    if (!std::isfinite(hbmGBps) || hbmGBps <= 0.0)
+        return bad("HBM bandwidth must be positive and finite",
+                   "hbmGBps");
+    if (timeSlice == 0)
+        return bad("time slice must be positive", "timeSlice");
+    if (dmaPrefetchDepth == 0)
+        return bad("prefetch depth must be positive",
+                   "dmaPrefetchDepth");
+    return Status::ok();
+}
+
 void
 NpuConfig::validate() const
 {
-    if (saDim == 0 || saDim % 8 != 0)
-        fatal("NpuConfig: saDim must be a positive multiple of 8");
-    if (numSa == 0 || numVu == 0)
-        fatal("NpuConfig: need at least one SA and one VU");
-    if (vuLanes == 0 || vuOpsPerLane == 0)
-        fatal("NpuConfig: VU lanes/ops must be positive");
-    if (freqGHz <= 0.0)
-        fatal("NpuConfig: frequency must be positive");
-    if (vmemBytes == 0 || hbmBytes == 0)
-        fatal("NpuConfig: memory capacities must be positive");
-    if (hbmGBps <= 0.0)
-        fatal("NpuConfig: HBM bandwidth must be positive");
-    if (timeSlice == 0)
-        fatal("NpuConfig: time slice must be positive");
-    if (dmaPrefetchDepth == 0)
-        fatal("NpuConfig: prefetch depth must be positive");
+    const Status ok = check();
+    if (!ok)
+        fatal("NpuConfig: ", ok.error().message, " (field '",
+              ok.error().token, "')");
 }
 
 double

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/result.h"
 #include "common/types.h"
 #include "npu/sa_preemption.h"
 
@@ -74,7 +75,15 @@ struct NpuConfig
      */
     bool enforceHbmFit = true;
 
-    /** Abort if any parameter is out of range. */
+    /**
+     * Structured range validation: the first out-of-range parameter
+     * is reported as a ParseError naming the field, so callers
+     * ingesting configs (CLI flags, sweep specs) can report and exit
+     * cleanly instead of crashing.
+     */
+    Status check() const;
+
+    /** check() that fatal()s — legacy construction-time guard. */
     void validate() const;
 
     /** Peak SA throughput in FLOPs per cycle (all SAs). */

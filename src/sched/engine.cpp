@@ -1,11 +1,24 @@
 #include "sched/engine.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/string_util.h"
 
 namespace v10 {
+
+namespace {
+
+/** Initial DMA retry timeout when the caller left it at 0. */
+constexpr Cycles kDefaultDmaTimeout = 50'000;
+
+/** Watchdog period when only a cycle budget was configured. */
+constexpr Cycles kDefaultWatchdogInterval = 1'000'000;
+
+} // namespace
 
 SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
                                  std::vector<TenantSpec> tenants,
@@ -124,8 +137,24 @@ SchedulerEngine::tenantOn(const FunctionalUnit &fu)
 }
 
 void
+SchedulerEngine::setResilience(const ResilienceOptions &options)
+{
+    resilience_ = options;
+    injector_.reset();
+    if (options.faults != nullptr && !options.faults->empty()) {
+        const std::uint64_t seed = options.faultSeed != 0
+                                       ? options.faultSeed
+                                       : options.faults->seed();
+        injector_ =
+            std::make_unique<FaultInjector>(*options.faults, seed);
+    }
+}
+
+void
 SchedulerEngine::pumpDma(Tenant &tenant)
 {
+    if (tenant.quarantined)
+        return;
     if (tenant.dmaInFlight ||
         tenant.dmaStaged >=
             tenant.execCursor + core_.config().dmaPrefetchDepth)
@@ -136,13 +165,86 @@ SchedulerEngine::pumpDma(Tenant &tenant)
     const auto bytes = static_cast<Bytes>(
         static_cast<double>(op.dmaBytes) * dmaInflation(op));
     tenant.dmaInFlight = true;
-    tenant.dma = core_.hbm().startTransfer(
-        bytes, [this, &tenant] { onDmaDone(tenant); });
+    FaultInjector::DmaDecision decision;
+    if (injector_)
+        decision = injector_->onDmaStart(tenant.id, sim_.now());
+    issueDma(tenant, bytes, decision);
+}
+
+void
+SchedulerEngine::issueDma(Tenant &tenant, Bytes bytes,
+                          const FaultInjector::DmaDecision &decision)
+{
+    const auto inflated = static_cast<Bytes>(
+        static_cast<double>(bytes) * decision.inflate);
+    if (decision.stallCycles > 0) {
+        const bool hang = decision.hang;
+        sim_.after(decision.stallCycles,
+                   [this, &tenant, inflated, hang] {
+                       if (!tenant.quarantined)
+                           startDmaTransfer(tenant, inflated, hang);
+                   });
+        return;
+    }
+    startDmaTransfer(tenant, inflated, decision.hang);
+}
+
+void
+SchedulerEngine::startDmaTransfer(Tenant &tenant, Bytes bytes,
+                                  bool hang)
+{
+    if (hang) {
+        // The transfer wedges in the HBM subsystem; no completion
+        // will arrive. Arm the retry timeout with exponential
+        // backoff so the run keeps making forward progress.
+        Cycles period = resilience_.dmaTimeoutCycles > 0
+                            ? resilience_.dmaTimeoutCycles
+                            : kDefaultDmaTimeout;
+        period <<= std::min<std::uint32_t>(tenant.dmaRetries, 16);
+        tenant.dmaTimeout =
+            sim_.after(period, [this, &tenant, bytes] {
+                onDmaTimeout(tenant, bytes);
+            });
+        return;
+    }
+    tenant.dma =
+        core_.hbm().startTransfer(bytes, [this, &tenant] {
+            tenant.dma = 0;
+            tenant.dmaRetries = 0;
+            onDmaDone(tenant);
+        });
+}
+
+void
+SchedulerEngine::onDmaTimeout(Tenant &tenant, Bytes bytes)
+{
+    tenant.dmaTimeout = kNoEvent;
+    if (tenant.quarantined || stopping_)
+        return;
+    ++tenant.dmaRetries;
+    ++dma_retries_total_;
+    injector_->record("dma-retry", tenant.id, sim_.now(),
+                      "timed-out transfer reissued (attempt " +
+                          std::to_string(tenant.dmaRetries) + ")");
+    if (tenant.dmaRetries > resilience_.maxDmaRetries) {
+        strike(tenant, "DMA retries exhausted");
+        // Force-complete so the operator pipeline keeps moving even
+        // if the quarantine threshold has not tripped yet.
+        tenant.dmaRetries = 0;
+        onDmaDone(tenant);
+        return;
+    }
+    // Reissue; the retry draws fresh fault decisions and may stall,
+    // droop, or hang again.
+    const FaultInjector::DmaDecision decision =
+        injector_->onDmaStart(tenant.id, sim_.now());
+    issueDma(tenant, bytes, decision);
 }
 
 void
 SchedulerEngine::onDmaDone(Tenant &tenant)
 {
+    ++progress_marks_;
     tenant.dmaInFlight = false;
     ++tenant.dmaStaged;
     pumpDma(tenant);
@@ -150,16 +252,75 @@ SchedulerEngine::onDmaDone(Tenant &tenant)
 }
 
 void
+SchedulerEngine::strike(Tenant &tenant, const char *reason)
+{
+    ++tenant.strikes;
+    if (injector_)
+        injector_->record("strike", tenant.id, sim_.now(), reason);
+    if (resilience_.quarantineThreshold == 0 || tenant.quarantined)
+        return;
+    if (tenant.strikes >= resilience_.quarantineThreshold)
+        quarantineTenant(tenant, reason);
+}
+
+void
+SchedulerEngine::quarantineTenant(Tenant &tenant,
+                                  const std::string &why)
+{
+    tenant.quarantined = true;
+    tenant.ready = false;
+    if (tenant.dmaTimeout != kNoEvent) {
+        sim_.cancel(tenant.dmaTimeout);
+        tenant.dmaTimeout = kNoEvent;
+    }
+    if (tenant.dma != 0) {
+        core_.hbm().cancel(tenant.dma);
+        tenant.dma = 0;
+    }
+    tenant.dmaInFlight = false;
+    tenant.arrivalQueue.clear();
+    warn(name(), ": tenant ", tenant.wl->label(),
+         " quarantined after ", tenant.strikes, " faults (", why,
+         ")");
+    if (injector_)
+        injector_->record("quarantine", tenant.id, sim_.now(), why);
+
+    bool all = true;
+    for (const auto &t : tenants_)
+        all = all && t.quarantined;
+    if (all) {
+        abortRun("every tenant quarantined");
+        return;
+    }
+    // The survivors may already have met the warmup/stop gates that
+    // this tenant was holding open.
+    checkProgressGates();
+}
+
+void
 SchedulerEngine::scheduleArrival(Tenant &tenant)
 {
-    if (tenant.arrivalRps <= 0.0 || stopping_)
+    if (tenant.arrivalRps <= 0.0 || stopping_ || tenant.quarantined)
         return;
     const double mean_cycles =
         core_.config().freqGHz * 1e9 / tenant.arrivalRps;
     const Cycles delta = std::max<Cycles>(
         1, static_cast<Cycles>(rng_.exponential(mean_cycles)));
     sim_.after(delta, [this, &tenant] {
+        if (tenant.quarantined)
+            return;
         tenant.arrivalQueue.push_back(sim_.now());
+        if (injector_) {
+            const std::uint64_t burst =
+                injector_->floodBurst(tenant.id, sim_.now());
+            if (burst > 0) {
+                for (std::uint64_t i = 0; i < burst; ++i)
+                    tenant.arrivalQueue.push_back(sim_.now());
+                strike(tenant, "trace flood");
+                if (tenant.quarantined)
+                    return;
+            }
+        }
         scheduleArrival(tenant);
         maybeBecomeReady(tenant);
     });
@@ -168,7 +329,7 @@ SchedulerEngine::scheduleArrival(Tenant &tenant)
 void
 SchedulerEngine::maybeBecomeReady(Tenant &tenant)
 {
-    if (tenant.running || tenant.ready)
+    if (tenant.running || tenant.ready || tenant.quarantined)
         return;
     if (tenant.dmaStaged <= tenant.execCursor)
         return; // still waiting on the prefetch DMA
@@ -208,8 +369,20 @@ SchedulerEngine::dispatch(Tenant &tenant, FunctionalUnit &fu,
     if (!kind_matches)
         panic("dispatch: op kind mismatch on ", fu.name());
 
-    const Cycles compute =
+    Cycles compute =
         tenant.opPreempted ? tenant.opRemaining : op.computeCycles;
+    if (injector_ && !tenant.opPreempted) {
+        // Runaway operator: the tenant burns a multiple of its
+        // declared compute. Tenant-attributable -> strike.
+        const double factor =
+            injector_->runawayFactor(tenant.id, sim_.now());
+        if (factor > 1.0) {
+            compute = std::max<Cycles>(
+                1, static_cast<Cycles>(
+                       static_cast<double>(compute) * factor));
+            strike(tenant, "runaway operator");
+        }
+    }
 
     tenant.running = true;
     tenant.ready = false;
@@ -241,8 +414,16 @@ SchedulerEngine::preemptFu(FunctionalUnit &fu)
         timeline_->opEnd(sim_.now(), fu.name(), true);
 
     const Cycles remaining = fu.preempt();
+    ++progress_marks_;
     tenant->activeCycles += sim_.now() - tenant->lastDispatch;
     tenant->opRemaining = std::max<Cycles>(remaining, 1);
+    if (injector_ && fu.kind() == FunctionalUnit::Kind::SA &&
+        injector_->corruptSaContext(tenant->id, sim_.now())) {
+        // The context save is unusable: replay the operator from
+        // scratch. The tenant is a victim here — no strike.
+        tenant->opRemaining = currentOp(*tenant).computeCycles;
+        ++sa_replays_;
+    }
     tenant->opPreempted = true;
     tenant->running = false;
     tenant->fu = nullptr;
@@ -259,6 +440,7 @@ SchedulerEngine::onFuComplete(FunctionalUnit &fu, Tenant &tenant)
 {
     if (timeline_)
         timeline_->opEnd(sim_.now(), fu.name(), false);
+    ++progress_marks_;
     tenant.activeCycles += sim_.now() - tenant.lastDispatch;
     tenant.running = false;
     tenant.fu = nullptr;
@@ -267,6 +449,13 @@ SchedulerEngine::onFuComplete(FunctionalUnit &fu, Tenant &tenant)
     if (measuring_)
         tenant.doneFlops += currentOp(tenant).flops;
 
+    if (tenant.quarantined) {
+        // Drain semantics: the in-flight operator finishes, the
+        // tenant does not advance, and the freed unit goes back to
+        // the healthy tenants via the subclass hook.
+        onOpComplete(tenant, fu);
+        return;
+    }
     advancePastCurrentOp(tenant);
     onOpComplete(tenant, fu);
 }
@@ -302,20 +491,8 @@ SchedulerEngine::advancePastCurrentOp(Tenant &tenant)
             else
                 latency_.record(tenant.id,
                                 sim_.now() - request_start);
-            if (!stopping_) {
-                bool all = true;
-                for (const auto &t : tenants_)
-                    all = all && t.windowRequests >= stop_requests_;
-                if (all)
-                    stopping_ = true;
-            }
-        } else {
-            bool all = true;
-            for (const auto &t : tenants_)
-                all = all && t.requestsDone >= warmup_requests_;
-            if (all)
-                resetMeasurement();
         }
+        checkProgressGates();
         tenant.requestStart = sim_.now();
     }
     tenant.opIndex = next;
@@ -370,10 +547,87 @@ SchedulerEngine::resetMeasurement()
     }
 }
 
+void
+SchedulerEngine::checkProgressGates()
+{
+    // Quarantined tenants no longer complete requests; counting them
+    // would hold the gates open forever (the survivors' run must end
+    // normally). quarantineTenant() re-evaluates the gates, so a
+    // tenant leaving the pool cannot strand a finished run.
+    if (!measuring_) {
+        bool all = true;
+        for (const auto &t : tenants_)
+            all = all &&
+                  (t.quarantined ||
+                   t.requestsDone >= warmup_requests_);
+        if (all)
+            resetMeasurement();
+        return;
+    }
+    if (stopping_)
+        return;
+    bool all = true;
+    for (const auto &t : tenants_)
+        all = all && (t.quarantined ||
+                      t.windowRequests >= stop_requests_);
+    if (all)
+        stopping_ = true;
+}
+
 bool
 SchedulerEngine::allDone() const
 {
     return stopping_;
+}
+
+void
+SchedulerEngine::armWatchdog()
+{
+    const Cycles interval = resilience_.watchdogInterval > 0
+                                ? resilience_.watchdogInterval
+                                : kDefaultWatchdogInterval;
+    watchdog_last_marks_ = progress_marks_;
+    sim_.after(interval, [this] { onWatchdogTick(); });
+}
+
+void
+SchedulerEngine::onWatchdogTick()
+{
+    if (stopping_ || aborted_)
+        return;
+    if (resilience_.cycleBudget > 0 &&
+        sim_.now() - run_start_ >= resilience_.cycleBudget) {
+        abortRun("cycle budget exceeded (" +
+                 std::to_string(sim_.now() - run_start_) + " of " +
+                 std::to_string(resilience_.cycleBudget) +
+                 " cycles)");
+        return;
+    }
+    bool inflight = false;
+    for (auto *fu : fu_index_)
+        inflight = inflight || fu->busy();
+    for (const auto &t : tenants_)
+        inflight =
+            inflight || t.dmaInFlight || t.gapEventPending;
+    if (progress_marks_ == watchdog_last_marks_ && !inflight) {
+        abortRun("no forward progress in the last watchdog period "
+                 "(no DMA or operator retired, nothing in flight)");
+        return;
+    }
+    armWatchdog();
+}
+
+void
+SchedulerEngine::abortRun(const std::string &reason)
+{
+    if (aborted_)
+        return;
+    aborted_ = true;
+    abort_reason_ = reason;
+    stopping_ = true;
+    warn(name(), ": run aborted — ", reason);
+    if (injector_)
+        injector_->record("abort", kNoWorkload, sim_.now(), reason);
 }
 
 void
@@ -472,6 +726,31 @@ SchedulerEngine::registerStats()
             return static_cast<double>(n);
         },
         "requests completed in the measured window");
+    reg.addFormula(
+        "sched.faults_injected",
+        [this] {
+            return injector_ ? static_cast<double>(
+                                   injector_->injectedCount())
+                             : 0.0;
+        },
+        "faults injected by the fault plan");
+    reg.addFormula(
+        "sched.dma_retries",
+        [this] { return static_cast<double>(dma_retries_total_); },
+        "timed-out DMA transfers reissued");
+    reg.addFormula(
+        "sched.sa_replays",
+        [this] { return static_cast<double>(sa_replays_); },
+        "operators replayed after context-save corruption");
+    reg.addFormula(
+        "sched.quarantined_tenants",
+        [this] {
+            std::uint64_t n = 0;
+            for (const auto &t : tenants_)
+                n += t.quarantined ? 1 : 0;
+            return static_cast<double>(n);
+        },
+        "tenants quarantined by the degradation policy");
 
     for (const Tenant &tenant : tenants_) {
         const Tenant *t = &tenant;
@@ -493,6 +772,10 @@ SchedulerEngine::registerStats()
             base + ".active_cycles",
             [t] { return static_cast<double>(t->activeCycles); },
             "FU occupancy cycles of " + t->wl->label());
+        reg.addFormula(
+            base + ".fault_strikes",
+            [t] { return static_cast<double>(t->strikes); },
+            "tenant-attributable faults of " + t->wl->label());
     }
 
     onRegisterStats(reg);
@@ -559,6 +842,9 @@ SchedulerEngine::run(std::uint64_t targetRequests,
     stop_requests_ = targetRequests;
     stopping_ = false;
     measuring_ = false;
+    aborted_ = false;
+    abort_reason_.clear();
+    run_start_ = sim_.now();
     window_start_ = sim_.now();
 
     for (auto &t : tenants_) {
@@ -577,12 +863,22 @@ SchedulerEngine::run(std::uint64_t targetRequests,
     }
 
     onStart();
+    if (resilience_.watchdogInterval > 0 ||
+        resilience_.cycleBudget > 0)
+        armWatchdog();
 
     sim_.run([this] { return stopping_; });
 
-    if (!stopping_)
-        panic("SchedulerEngine::run: event queue drained before all "
-              "tenants finished — scheduler deadlock");
+    if (!stopping_) {
+        if (resilience_.enabled())
+            // Degradation on: a wedged run aborts gracefully with a
+            // diagnosable RunStats instead of killing the process.
+            abortRun("event queue drained before every tenant "
+                     "finished — simulation wedged");
+        else
+            panic("SchedulerEngine::run: event queue drained before "
+                  "all tenants finished — scheduler deadlock");
+    }
 
     // Flush in-flight operators so their partial compute lands in
     // the per-FU accumulators (not counted as preemptions).
@@ -610,7 +906,74 @@ SchedulerEngine::run(std::uint64_t targetRequests,
         stats_->freeze();
         stats.registrySnapshot = stats_->snapshot();
     }
+    if (aborted_ && !resilience_.diagnosticDir.empty())
+        writeDiagnostics(stats);
     return stats;
+}
+
+void
+SchedulerEngine::writeDiagnostics(const RunStats &stats) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(resilience_.diagnosticDir, ec);
+    if (ec) {
+        warn("cannot create diagnostic dir '",
+             resilience_.diagnosticDir, "': ", ec.message());
+        return;
+    }
+    const fs::path path =
+        fs::path(resilience_.diagnosticDir) / "diagnostics.json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open diagnostic bundle '", path.string(), "'");
+        return;
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("scheduler", name());
+    w.kv("reason", abort_reason_);
+    w.kv("cycle", sim_.now());
+    w.kv("events_run", sim_.eventsRun());
+    w.kv("faults_injected",
+         injector_ ? injector_->injectedCount()
+                   : std::uint64_t{0});
+    w.kv("dma_retries", dma_retries_total_);
+    w.kv("sa_replays", sa_replays_);
+    w.key("tenants");
+    w.beginArray();
+    for (const auto &t : tenants_) {
+        w.beginObject();
+        w.kv("label", t.wl->label());
+        w.kv("requests_done", t.requestsDone);
+        w.kv("window_requests", t.windowRequests);
+        w.kv("exec_cursor", t.execCursor);
+        w.kv("op_index", static_cast<std::uint64_t>(t.opIndex));
+        w.kv("ready", t.ready);
+        w.kv("running", t.running);
+        w.kv("dma_in_flight", t.dmaInFlight);
+        w.kv("quarantined", t.quarantined);
+        w.kv("strikes", static_cast<std::uint64_t>(t.strikes));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("fault_log");
+    if (injector_) {
+        injector_->writeLogJson(w);
+    } else {
+        w.beginArray();
+        w.endArray();
+    }
+    // The frozen registry snapshot: every hardware and scheduler
+    // statistic at abort time (the observability layer's view).
+    w.key("registry");
+    w.beginObject();
+    for (const auto &[stat_path, value] : stats.registrySnapshot)
+        w.kv(stat_path, value);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    warn("diagnostic bundle written to ", path.string());
 }
 
 RunStats
@@ -620,6 +983,14 @@ SchedulerEngine::collectStats()
     RunStats stats;
     stats.windowCycles = sim_.now() - window_start_;
     stats.windowSeconds = cfg.cyclesToSeconds(stats.windowCycles);
+    stats.aborted = aborted_;
+    stats.abortReason = abort_reason_;
+    stats.faultsInjected =
+        injector_ ? injector_->injectedCount() : 0;
+    stats.dmaRetries = dma_retries_total_;
+    stats.saReplays = sa_replays_;
+    for (const auto &t : tenants_)
+        stats.quarantinedTenants += t.quarantined ? 1 : 0;
     const auto window = static_cast<double>(stats.windowCycles);
     if (stats.windowCycles == 0)
         return stats;
@@ -684,6 +1055,8 @@ SchedulerEngine::collectStats()
                     (window * cfg.numVu);
         ws.overheadCycles = t.ctxOverheadCycles;
         ws.preemptions = t.preemptions;
+        ws.quarantined = t.quarantined;
+        ws.faultStrikes = t.strikes;
         ws.ctxOverheadFrac =
             ws.requests == 0
                 ? 0.0

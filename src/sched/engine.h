@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,10 +26,60 @@
 #include "metrics/stat_registry.h"
 #include "metrics/timeline.h"
 #include "npu/npu_core.h"
+#include "sim/fault_plan.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
 namespace v10 {
+
+/**
+ * Degradation and fault-tolerance knobs of a run (docs/ROBUSTNESS.md).
+ * All default to "off": a default-constructed ResilienceOptions keeps
+ * the engine's historical behavior bit-for-bit (no injector draws, no
+ * watchdog events, panic on event-queue drain).
+ */
+struct ResilienceOptions
+{
+    /** Fault plan to inject (not owned); nullptr = no injection. */
+    const FaultPlan *faults = nullptr;
+
+    /** Injector seed; 0 uses the plan's own seed. */
+    std::uint64_t faultSeed = 0;
+
+    /** Forward-progress watchdog period; 0 disables the watchdog
+     * (unless a cycle budget is set, which arms it at a default
+     * period). Must exceed the longest legitimately quiet stretch
+     * (dispatch gaps, open-loop inter-arrival times). */
+    Cycles watchdogInterval = 0;
+
+    /** Abort the run once it exceeds this many cycles; 0 = off. */
+    Cycles cycleBudget = 0;
+
+    /** Tenant-attributable faults (runaway, flood, DMA-retry
+     * exhaustion) before a tenant is quarantined; 0 = never. */
+    std::uint32_t quarantineThreshold = 0;
+
+    /** Reissues of a timed-out DMA before the tenant is struck and
+     * the transfer force-completed (forward progress). */
+    std::uint32_t maxDmaRetries = 3;
+
+    /** Initial DMA retry timeout; doubles per retry (backoff).
+     * 0 selects a default. */
+    Cycles dmaTimeoutCycles = 0;
+
+    /** Directory for the diagnostic bundle written when a run
+     * aborts; empty = no bundle. */
+    std::string diagnosticDir;
+
+    /** True when any degradation feature is active: aborts become
+     * graceful (diagnosable RunStats) instead of panics. */
+    bool
+    enabled() const
+    {
+        return faults != nullptr || watchdogInterval > 0 ||
+               cycleBudget > 0 || quarantineThreshold > 0;
+    }
+};
 
 /**
  * One tenant's deployment parameters.
@@ -106,6 +157,24 @@ class SchedulerEngine
      * are read-only, so sampling never perturbs scheduling.
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
+    /**
+     * Configure fault injection and graceful degradation. Call
+     * before run(). The plan (if any) is not owned and must outlive
+     * the engine; the per-run FaultInjector is constructed here, so
+     * parallel sweeps sharing one plan stay deterministic.
+     */
+    void setResilience(const ResilienceOptions &options);
+
+    /** True when the last run() aborted (watchdog, budget, all
+     * tenants quarantined, or wedged event queue). */
+    bool aborted() const { return aborted_; }
+
+    /** Human-readable abort reason; empty when not aborted. */
+    const std::string &abortReason() const { return abort_reason_; }
+
+    /** This run's fault injector; nullptr when no plan is set. */
+    const FaultInjector *injector() const { return injector_.get(); }
 
   protected:
     /**
@@ -189,6 +258,21 @@ class SchedulerEngine
 
         /** FLOPs of operators completed in the measured window. */
         double doneFlops = 0.0;
+
+        /** Tenant-attributable faults recorded (runaway, flood,
+         * DMA-retry exhaustion). */
+        std::uint32_t strikes = 0;
+
+        /** Tenant tripped the quarantine threshold: its in-flight
+         * work drains, it never becomes ready again, and the
+         * completion gates skip it. */
+        bool quarantined = false;
+
+        /** Reissues of the current (timed-out) DMA transfer. */
+        std::uint32_t dmaRetries = 0;
+
+        /** Pending DMA-timeout event (kNoEvent when disarmed). */
+        EventId dmaTimeout = kNoEvent;
     };
 
     // ------------------------------------------------------------
@@ -279,8 +363,46 @@ class SchedulerEngine
     /** Issue the next prefetch DMA if the window has room. */
     void pumpDma(Tenant &tenant);
 
+    /** Start a prefetch transfer after fault arbitration (stall
+     * delay and byte inflation already applied). */
+    void issueDma(Tenant &tenant, Bytes bytes,
+                  const FaultInjector::DmaDecision &decision);
+
+    /** Hand the transfer to the HBM model, or arm the retry timeout
+     * when the injector decided it hangs. */
+    void startDmaTransfer(Tenant &tenant, Bytes bytes, bool hang);
+
+    /** A hung transfer timed out: strike after maxDmaRetries, else
+     * reissue with exponential backoff. */
+    void onDmaTimeout(Tenant &tenant, Bytes bytes);
+
     /** Prefetch DMA completed: mark ready, notify subclass. */
     void onDmaDone(Tenant &tenant);
+
+    /** Record a tenant-attributable fault; quarantine at the
+     * configured threshold. */
+    void strike(Tenant &tenant, const char *reason);
+
+    /** Isolate a misbehaving tenant: cancel its DMA, drain its
+     * in-flight operator, exclude it from the completion gates. */
+    void quarantineTenant(Tenant &tenant, const std::string &why);
+
+    /** Evaluate the warmup/stop gates over non-quarantined
+     * tenants. */
+    void checkProgressGates();
+
+    /** Schedule the first watchdog tick. */
+    void armWatchdog();
+
+    /** Periodic liveness check: cycle budget and forward progress. */
+    void onWatchdogTick();
+
+    /** Gracefully end the run (not the process) with a reason; the
+     * diagnostic bundle is written as run() unwinds. */
+    void abortRun(const std::string &reason);
+
+    /** Write diagnostics.json into resilience_.diagnosticDir. */
+    void writeDiagnostics(const RunStats &stats) const;
 
     /** Set the Ready bit and notify once the current operator is
      * staged, the dispatch gap has elapsed, and (open loop) a
@@ -340,6 +462,20 @@ class SchedulerEngine
     StatRegistry *stats_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     bool stats_registered_ = false;
+
+    ResilienceOptions resilience_{};
+    std::unique_ptr<FaultInjector> injector_;
+    bool aborted_ = false;
+    std::string abort_reason_;
+    Cycles run_start_ = 0;
+
+    /** Retirement counter (DMA completions, operator completions,
+     * preemptions) the watchdog differences between ticks. */
+    std::uint64_t progress_marks_ = 0;
+    std::uint64_t watchdog_last_marks_ = 0;
+
+    std::uint64_t dma_retries_total_ = 0;
+    std::uint64_t sa_replays_ = 0;
 
     /** Monotonic preemption count (never reset at the measurement
      * boundary — Delta probes need a monotonic reading). */

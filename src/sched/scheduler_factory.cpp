@@ -32,6 +32,17 @@ schedulerKindName(SchedulerKind kind)
 SchedulerKind
 schedulerKindFromName(const std::string &name)
 {
+    const std::optional<SchedulerKind> kind =
+        trySchedulerKindFromName(name);
+    if (!kind)
+        fatal("schedulerKindFromName: unknown scheduler '", name,
+              "'");
+    return *kind;
+}
+
+std::optional<SchedulerKind>
+trySchedulerKindFromName(const std::string &name)
+{
     for (SchedulerKind kind :
          {SchedulerKind::Pmt, SchedulerKind::V10Base,
           SchedulerKind::V10Fair, SchedulerKind::V10Full,
@@ -39,7 +50,7 @@ schedulerKindFromName(const std::string &name)
         if (name == schedulerKindName(kind))
             return kind;
     }
-    fatal("schedulerKindFromName: unknown scheduler '", name, "'");
+    return std::nullopt;
 }
 
 std::unique_ptr<SchedulerEngine>

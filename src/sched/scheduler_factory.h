@@ -8,6 +8,7 @@
 #define V10_SCHED_SCHEDULER_FACTORY_H
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sched/op_scheduler.h"
@@ -35,6 +36,10 @@ const char *schedulerKindName(SchedulerKind kind);
 /** Parse a display name back to a kind; fatal() if unknown. */
 SchedulerKind schedulerKindFromName(const std::string &name);
 
+/** Recoverable variant: nullopt if unknown (CLI validation). */
+std::optional<SchedulerKind>
+trySchedulerKindFromName(const std::string &name);
+
 /** Per-run scheduler options. */
 struct SchedulerOptions
 {
@@ -57,6 +62,10 @@ struct SchedulerOptions
     /** Optional interval sampler (not owned); started at run start
      * with the default probe set unless probes were pre-registered. */
     IntervalSampler *sampler = nullptr;
+
+    /** Fault injection and graceful degradation (all off by
+     * default); the referenced FaultPlan, if any, is not owned. */
+    ResilienceOptions resilience{};
 };
 
 /**

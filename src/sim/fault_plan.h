@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness studies.
+ *
+ * A FaultPlan is a set of seeded injection sites — hardware
+ * transients (HBM transaction stalls, bandwidth droop, DMA timeouts,
+ * SA context-save corruption) and tenant misbehavior (runaway
+ * operators, request floods) — parsed from a compact spec string
+ * (`--faults`) or JSON. A FaultInjector instantiates one plan for one
+ * run: every decision is a draw from a seeded RNG made in simulation
+ * order, so the same (plan, seed) produces bit-identical fault
+ * sequences across runs and under parallel sweeps (each run owns its
+ * injector).
+ *
+ * Spec grammar (see docs/ROBUSTNESS.md):
+ *
+ *   spec    := site ("," site)*
+ *   site    := kind (":" key "=" value)*
+ *   kind    := "hbm-stall" | "hbm-droop" | "dma-timeout"
+ *            | "sa-corrupt" | "runaway" | "flood"
+ *   key     := "rate" | "mag" | "tenant" | "after" | "count"
+ *
+ * e.g. "runaway:rate=0.05:tenant=1:mag=8,dma-timeout:rate=0.01"
+ */
+
+#ifndef V10_SIM_FAULT_PLAN_H
+#define V10_SIM_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace v10 {
+
+class JsonWriter;
+
+/** Injection-site kinds. */
+enum class FaultKind {
+    HbmStall,         ///< DMA start delayed by `mag` cycles
+    HbmDroop,         ///< DMA transaction moves `mag`x the bytes
+    DmaTimeout,       ///< DMA hangs; engine times out and retries
+    SaContextCorrupt, ///< SA context save lost; operator replays
+    RunawayOp,        ///< operator runs `mag`x its declared cycles
+    TraceFlood,       ///< open-loop tenant bursts `mag` extra arrivals
+};
+
+/** Spec-grammar name of a fault kind ("hbm-stall", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One seeded injection site. */
+struct FaultSite
+{
+    FaultKind kind = FaultKind::HbmStall;
+
+    /** Probability per opportunity (DMA start, preemption, ...). */
+    double rate = 0.0;
+
+    /** Kind-specific magnitude; 0 selects the kind's default
+     * (stall cycles, byte inflation, runaway factor, burst size). */
+    double magnitude = 0.0;
+
+    /** Target tenant index; -1 = every tenant. */
+    int tenant = -1;
+
+    /** Site is dormant before this cycle. */
+    Cycles after = 0;
+
+    /** Max injections from this site; 0 = unlimited. */
+    std::uint64_t maxCount = 0;
+
+    /** Magnitude with the kind default applied. */
+    double effectiveMagnitude() const;
+
+    /** Round-trippable spec fragment ("runaway:rate=0.05:..."). */
+    std::string spec() const;
+};
+
+/**
+ * A parsed, validated set of injection sites plus the default seed.
+ * Plans are immutable inputs shared (by const pointer) across
+ * parallel runs; all mutable state lives in per-run FaultInjectors.
+ */
+class FaultPlan
+{
+  public:
+    /** Parse the CLI spec grammar; errors carry the site index and
+     * offending token. */
+    static Result<FaultPlan> parse(const std::string &spec,
+                                   const std::string &source =
+                                       "--faults");
+
+    /**
+     * Parse the JSON form: {"seed": N, "faults": [{"kind": "...",
+     * "rate": R, "mag": M, "tenant": T, "after": C, "count": K}]}.
+     */
+    static Result<FaultPlan> fromJson(const std::string &text,
+                                      const std::string &source);
+
+    /** fromJson() over a file's contents. */
+    static Result<FaultPlan> fromJsonFile(const std::string &path);
+
+    /** Append a site (programmatic construction in tests/benches). */
+    void add(FaultSite site) { sites_.push_back(site); }
+
+    bool empty() const { return sites_.empty(); }
+    const std::vector<FaultSite> &sites() const { return sites_; }
+
+    /** Default injector seed (overridable by --fault-seed). */
+    std::uint64_t seed() const { return seed_; }
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    /** Round-trippable spec string of the whole plan. */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultSite> sites_;
+    std::uint64_t seed_ = 1;
+};
+
+/** One logged injection (or degradation action taken in response). */
+struct FaultEvent
+{
+    Cycles cycle = 0;
+    std::string kind;   ///< faultKindName() or an engine action
+                        ///< ("dma-retry", "quarantine", ...)
+    WorkloadId tenant = kNoWorkload;
+    std::string detail; ///< free-form context
+};
+
+/**
+ * Per-run instantiation of a FaultPlan: owns the seeded RNG and the
+ * fault log. Not thread-safe — one injector per simulated run, with
+ * all queries made from the (single-threaded) simulation loop.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, std::uint64_t seed);
+
+    /** Outcome of the HBM/DMA sites for one transfer start. */
+    struct DmaDecision
+    {
+        Cycles stallCycles = 0; ///< issue delayed by this much
+        double inflate = 1.0;   ///< byte multiplier (droop)
+        bool hang = false;      ///< transfer never completes
+    };
+
+    /** Query the HBM-stall / droop / timeout sites at a DMA start. */
+    DmaDecision onDmaStart(WorkloadId tenant, Cycles now);
+
+    /** True when an SA preemption's context save is corrupted. */
+    bool corruptSaContext(WorkloadId tenant, Cycles now);
+
+    /** Compute-cycle inflation for a dispatched operator (1.0 = no
+     * runaway injected). */
+    double runawayFactor(WorkloadId tenant, Cycles now);
+
+    /** Extra open-loop arrivals to inject at this arrival (0 = no
+     * flood). */
+    std::uint64_t floodBurst(WorkloadId tenant, Cycles now);
+
+    /** Log a degradation action (retry, quarantine, watchdog). */
+    void record(const std::string &kind, WorkloadId tenant,
+                Cycles now, const std::string &detail);
+
+    /** Injected faults (excludes record()ed engine actions). */
+    std::uint64_t injectedCount() const { return injected_; }
+
+    /** Full chronological event log. */
+    const std::vector<FaultEvent> &log() const { return log_; }
+
+    /** Serialize the log as a JSON array (diagnostic bundle). */
+    void writeLogJson(JsonWriter &w) const;
+
+  private:
+    struct SiteState
+    {
+        FaultSite site;
+        std::uint64_t fired = 0;
+    };
+
+    /** Draw the site's rate; true when the fault fires now. Always
+     * consumes one RNG draw for a matching live site, so decision
+     * sequences are stable under rate changes at other sites. */
+    bool fires(SiteState &state, WorkloadId tenant, Cycles now);
+
+    void logInjection(const SiteState &state, WorkloadId tenant,
+                      Cycles now, const std::string &detail);
+
+    std::vector<SiteState> sites_;
+    Rng rng_;
+    std::uint64_t injected_ = 0;
+    std::vector<FaultEvent> log_;
+};
+
+} // namespace v10
+
+#endif // V10_SIM_FAULT_PLAN_H

@@ -104,6 +104,7 @@ ExperimentRunner::run(SchedulerKind kind,
     sched->setTimeline(options.timeline);
     sched->setStats(options.stats);
     sched->setSampler(options.sampler);
+    sched->setResilience(options.resilience);
     RunStats stats = sched->run(requests, warmup);
 
     for (std::size_t i = 0; i < stats.workloads.size(); ++i) {

@@ -1,8 +1,52 @@
 #include "v10/sweep.h"
 
+#include <cmath>
+
 #include "sched/scheduler_factory.h"
+#include "workload/model_zoo.h"
 
 namespace v10 {
+
+Status
+validateSweepCell(const SweepCell &cell, std::size_t index)
+{
+    const std::string where =
+        cell.label.empty() ? "cell " + std::to_string(index)
+                           : cell.label;
+    const auto bad = [&where](const std::string &message,
+                              const std::string &token) {
+        return parseError(message, "sweep:" + where, 0, token);
+    };
+    if (cell.tenants.empty())
+        return bad("cell has no tenants", "tenants");
+    if (cell.requests == 0)
+        return bad("request target must be positive", "requests");
+    for (const TenantRequest &req : cell.tenants) {
+        if (tryFindModel(req.model) == nullptr)
+            return bad("unknown model", req.model);
+        if (req.batch < 0)
+            return bad("batch must be non-negative (0 = reference)",
+                       req.model + "@" + std::to_string(req.batch));
+        if (!std::isfinite(req.priority) || req.priority <= 0.0)
+            return bad("priority must be positive and finite",
+                       req.model);
+        if (!std::isfinite(req.arrivalRps) || req.arrivalRps < 0.0)
+            return bad("arrival rate must be non-negative and finite",
+                       req.model);
+    }
+    return Status::ok();
+}
+
+Status
+validateSweepCells(const std::vector<SweepCell> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Status ok = validateSweepCell(cells[i], i);
+        if (!ok)
+            return ok;
+    }
+    return Status::ok();
+}
 
 SweepRunner::SweepRunner(ExperimentRunner &runner, std::size_t jobs)
     : runner_(runner),
@@ -13,6 +57,10 @@ SweepRunner::SweepRunner(ExperimentRunner &runner, std::size_t jobs)
 std::vector<RunStats>
 SweepRunner::run(const std::vector<SweepCell> &cells)
 {
+    // Fail fast with a structured diagnostic before any worker
+    // spawns; an unknown model crashing inside a pool thread would
+    // be much harder to attribute.
+    validateSweepCells(cells).orDie();
     return exec_.map<RunStats>(cells.size(), [&](std::size_t i) {
         const SweepCell &cell = cells[i];
         return runner_.run(cell.kind, cell.tenants, cell.requests,

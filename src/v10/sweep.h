@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/parallel_executor.h"
+#include "common/result.h"
 #include "v10/experiment.h"
 
 namespace v10 {
@@ -34,6 +35,16 @@ struct SweepCell
     SchedulerOptions options{};
     std::string label; ///< optional display label ("BERT+NCF/PMT")
 };
+
+/**
+ * Structured validation of one sweep cell: known models, positive
+ * batch/priority, finite non-negative arrival rates, a positive
+ * request target. @p index labels the cell in the diagnostic.
+ */
+Status validateSweepCell(const SweepCell &cell, std::size_t index);
+
+/** validateSweepCell() over a whole grid; first failure wins. */
+Status validateSweepCells(const std::vector<SweepCell> &cells);
 
 /**
  * Runs sweep cells over a shared ExperimentRunner with a fixed

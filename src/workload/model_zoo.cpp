@@ -305,11 +305,20 @@ modelZoo()
 const ModelProfile &
 findModel(const std::string &nameOrAbbrev)
 {
+    const ModelProfile *m = tryFindModel(nameOrAbbrev);
+    if (m == nullptr)
+        fatal("findModel: unknown model '", nameOrAbbrev, "'");
+    return *m;
+}
+
+const ModelProfile *
+tryFindModel(const std::string &nameOrAbbrev)
+{
     for (const ModelProfile &m : modelZoo()) {
         if (m.name == nameOrAbbrev || m.abbrev == nameOrAbbrev)
-            return m;
+            return &m;
     }
-    fatal("findModel: unknown model '", nameOrAbbrev, "'");
+    return nullptr;
 }
 
 bool

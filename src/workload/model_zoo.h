@@ -21,6 +21,9 @@ const std::vector<ModelProfile> &modelZoo();
 /** Lookup by full name or abbreviation; fatal() if unknown. */
 const ModelProfile &findModel(const std::string &nameOrAbbrev);
 
+/** Recoverable lookup; nullptr if unknown (CLI validation paths). */
+const ModelProfile *tryFindModel(const std::string &nameOrAbbrev);
+
 /** True if a model with this name/abbreviation exists. */
 bool hasModel(const std::string &nameOrAbbrev);
 

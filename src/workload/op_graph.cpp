@@ -43,6 +43,85 @@ OpGraph::OpGraph(const std::vector<TensorOperator> &ops)
     max_parallelism_ = static_cast<std::size_t>(peak);
 }
 
+Status
+OpGraph::validate(const std::vector<TensorOperator> &ops)
+{
+    const std::size_t n = ops.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t dep : ops[i].deps) {
+            if (dep >= n)
+                return parseError(
+                    "op " + std::to_string(i) + " ('" + ops[i].name +
+                        "') depends on nonexistent op " +
+                        std::to_string(dep),
+                    "op-graph", 0, ops[i].name);
+            if (dep == i)
+                return parseError("op " + std::to_string(i) + " ('" +
+                                      ops[i].name +
+                                      "') depends on itself",
+                                  "op-graph", 0, ops[i].name);
+        }
+    }
+
+    // Kahn's topological sort over the (dep -> op) edges; leftover
+    // positive in-degrees are exactly the nodes on or downstream of
+    // a dependency cycle.
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        indegree[i] = ops[i].deps.size();
+        for (std::uint32_t dep : ops[i].deps)
+            out[dep].push_back(i);
+    }
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            frontier.push_back(i);
+    }
+    std::size_t processed = 0;
+    while (!frontier.empty()) {
+        const std::size_t u = frontier.back();
+        frontier.pop_back();
+        ++processed;
+        for (std::size_t v : out[u]) {
+            if (--indegree[v] == 0)
+                frontier.push_back(v);
+        }
+    }
+    if (processed == n)
+        return Status::ok();
+
+    // Walk backwards along unresolved dependencies until a node
+    // repeats; the revisited suffix is a concrete cycle to report.
+    std::size_t start = 0;
+    while (indegree[start] == 0)
+        ++start;
+    std::vector<std::size_t> path;
+    std::vector<char> seen(n, 0);
+    std::size_t cur = start;
+    while (!seen[cur]) {
+        seen[cur] = 1;
+        path.push_back(cur);
+        for (std::uint32_t dep : ops[cur].deps) {
+            if (indegree[dep] != 0) {
+                cur = dep;
+                break;
+            }
+        }
+    }
+    std::string diag = "dependency cycle: ";
+    bool in_cycle = false;
+    for (std::size_t node : path) {
+        if (node == cur)
+            in_cycle = true;
+        if (!in_cycle)
+            continue;
+        diag += "'" + ops[node].name + "' -> ";
+    }
+    diag += "'" + ops[cur].name + "'";
+    return parseError(diag, "op-graph", 0, ops[cur].name);
+}
+
 double
 OpGraph::idealSpeedup() const
 {

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/result.h"
 #include "common/types.h"
 #include "workload/operator.h"
 
@@ -27,6 +28,17 @@ class OpGraph
     /** Build over @p ops; validates that deps are acyclic-by-index
      * (every edge points to an earlier operator). */
     explicit OpGraph(const std::vector<TensorOperator> &ops);
+
+    /**
+     * Structural validation for operator lists from untrusted
+     * sources (hand-edited traces, generators under test): checks
+     * dependency bounds, self-dependencies, and — via Kahn's
+     * topological sort over arbitrary edges — dependency cycles.
+     * The cycle diagnostic names the operators on the cycle in
+     * order ("a -> b -> a"). Unlike the constructor, edges are NOT
+     * required to point to earlier indices.
+     */
+    static Status validate(const std::vector<TensorOperator> &ops);
 
     /** Sum of all operator durations (sequential execution time). */
     Cycles totalCycles() const { return total_; }

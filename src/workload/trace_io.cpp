@@ -26,27 +26,38 @@ saveTrace(std::ostream &os, const TraceHeader &header,
     }
 }
 
-RequestTrace
-loadTrace(std::istream &is, TraceHeader &header)
+Result<RequestTrace>
+parseTrace(std::istream &is, TraceHeader &header,
+           const std::string &source)
 {
     std::string line;
+    std::size_t lineno = 0;
+
+    ++lineno;
     if (!std::getline(is, line) || line != "# v10-trace v1")
-        fatal("loadTrace: bad magic line");
+        return parseError("bad magic line (want '# v10-trace v1')",
+                          source, lineno, line);
+    ++lineno;
     if (!std::getline(is, line))
-        fatal("loadTrace: missing header line");
+        return parseError("missing header line", source, lineno);
+    std::size_t declared_ops = 0;
     {
         std::istringstream hs(line);
         std::string kw_model, kw_batch, kw_ops;
-        std::size_t op_count = 0;
         hs >> kw_model >> header.model >> kw_batch >> header.batch >>
-            kw_ops >> op_count;
+            kw_ops >> declared_ops;
         if (!hs || kw_model != "model" || kw_batch != "batch" ||
             kw_ops != "ops")
-            fatal("loadTrace: malformed header: ", line);
+            return parseError("malformed header line", source, lineno,
+                              line);
+        if (header.batch <= 0)
+            return parseError("batch must be positive", source,
+                              lineno, std::to_string(header.batch));
     }
 
     RequestTrace trace;
     while (std::getline(is, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
@@ -57,7 +68,8 @@ loadTrace(std::istream &is, TraceHeader &header)
             op.computeCycles >> op.flops >> op.dmaBytes >>
             op.workingSetBytes >> geometry >> kw_deps;
         if (!ls || kw_op != "op" || kw_deps != "deps")
-            fatal("loadTrace: malformed op line: ", line);
+            return parseError("malformed op line", source, lineno,
+                              line);
         if (kind_str == "SA") {
             op.kind = OpKind::SA;
             op.saRows = geometry;
@@ -65,11 +77,26 @@ loadTrace(std::istream &is, TraceHeader &header)
             op.kind = OpKind::VU;
             op.vuElements = geometry;
         } else {
-            fatal("loadTrace: bad op kind '", kind_str, "'");
+            return parseError("bad op kind (want SA or VU)", source,
+                              lineno, kind_str);
         }
+        if (op.computeCycles == 0)
+            return parseError("computeCycles must be positive",
+                              source, lineno, op.name);
+        if (op.flops < 0.0)
+            return parseError("flops must be non-negative", source,
+                              lineno, op.name);
         std::uint32_t dep = 0;
-        while (ls >> dep)
+        while (ls >> dep) {
+            if (dep >= trace.ops.size())
+                return parseError(
+                    "dependency must reference an earlier operator",
+                    source, lineno, std::to_string(dep));
             op.deps.push_back(dep);
+        }
+        if (!ls.eof())
+            return parseError("malformed dependency list", source,
+                              lineno, line);
 
         if (op.kind == OpKind::SA)
             trace.saCycles += op.computeCycles;
@@ -79,7 +106,31 @@ loadTrace(std::istream &is, TraceHeader &header)
         trace.totalDmaBytes += op.dmaBytes;
         trace.ops.push_back(std::move(op));
     }
+    if (trace.ops.size() != declared_ops)
+        return parseError("operator count mismatch (header declares " +
+                              std::to_string(declared_ops) +
+                              ", file has " +
+                              std::to_string(trace.ops.size()) + ")",
+                          source, lineno);
     return trace;
+}
+
+Result<RequestTrace>
+parseTraceFile(const std::string &path, TraceHeader &header)
+{
+    std::ifstream is(path);
+    if (!is)
+        return parseError("cannot open trace file", path);
+    return parseTrace(is, header, path);
+}
+
+RequestTrace
+loadTrace(std::istream &is, TraceHeader &header)
+{
+    Result<RequestTrace> r = parseTrace(is, header);
+    if (!r)
+        fatal("loadTrace: ", r.error().toString());
+    return r.take();
 }
 
 void
@@ -95,10 +146,10 @@ saveTraceFile(const std::string &path, const TraceHeader &header,
 RequestTrace
 loadTraceFile(const std::string &path, TraceHeader &header)
 {
-    std::ifstream is(path);
-    if (!is)
-        fatal("loadTraceFile: cannot open ", path);
-    return loadTrace(is, header);
+    Result<RequestTrace> r = parseTraceFile(path, header);
+    if (!r)
+        fatal("loadTraceFile: ", r.error().toString());
+    return r.take();
 }
 
 } // namespace v10

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/result.h"
 #include "workload/trace_gen.h"
 
 namespace v10 {
@@ -34,19 +35,35 @@ void saveTrace(std::ostream &os, const TraceHeader &header,
                const RequestTrace &trace);
 
 /**
- * Parse a trace written by saveTrace().
- * @param os input stream
+ * Parse a trace written by saveTrace(), recoverably.
+ *
+ * Strict validation: version magic, header keywords, operator kind,
+ * positive compute cycles, dependencies referencing strictly earlier
+ * operators, and an operator count matching the header. Errors carry
+ * @p source, the 1-based line number, and the offending token.
+ *
+ * @param is input stream
  * @param header receives the metadata
- * @return the reconstructed trace (aggregates recomputed)
- * @note fatal() on malformed input.
+ * @param source label used in diagnostics (file path, "<stream>")
+ * @return the reconstructed trace (aggregates recomputed), or a
+ *         ParseError
  */
+Result<RequestTrace> parseTrace(std::istream &is, TraceHeader &header,
+                                const std::string &source =
+                                    "<trace>");
+
+/** parseTrace() over a file; a missing file is a ParseError too. */
+Result<RequestTrace> parseTraceFile(const std::string &path,
+                                    TraceHeader &header);
+
+/** Legacy wrapper: parseTrace() that fatal()s on malformed input. */
 RequestTrace loadTrace(std::istream &is, TraceHeader &header);
 
 /** saveTrace() to a file path; fatal() if unwritable. */
 void saveTraceFile(const std::string &path, const TraceHeader &header,
                    const RequestTrace &trace);
 
-/** loadTrace() from a file path; fatal() if unreadable. */
+/** Legacy wrapper: parseTraceFile() that fatal()s on any error. */
 RequestTrace loadTraceFile(const std::string &path,
                            TraceHeader &header);
 

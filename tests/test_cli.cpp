@@ -105,12 +105,138 @@ readFile(const std::string &path)
     return os.str();
 }
 
+/** Blank the manifest's wall-clock line so reports can be diffed. */
+std::string
+stripWallSeconds(std::string text)
+{
+    std::istringstream in(text);
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("\"wall_seconds\"") == std::string::npos)
+            os << line << '\n';
+    return os.str();
+}
+
 TEST(Cli, LogLevelFlagIsAcceptedEverywhere)
 {
     EXPECT_EQ(runCli("zoo --log-level debug").first, 0);
     EXPECT_EQ(runCli("zoo --log-level silent").first, 0);
-    // Unknown levels are a user error: fatal(), exit code 1.
-    EXPECT_EQ(runCli("zoo --log-level loud").first, 1);
+    // Unknown levels are a usage error: exit code 2.
+    EXPECT_EQ(runCli("zoo --log-level loud").first, 2);
+}
+
+TEST(Cli, UsageErrorsExitWithCode2)
+{
+    // Unknown model / scheduler.
+    EXPECT_EQ(runCli("profile --model NOPE").first, 2);
+    EXPECT_EQ(runCli("run --models MNST,NOPE --requests 2").first,
+              2);
+    EXPECT_EQ(
+        runCli("run --models MNST,NCF --scheduler FIFO").first, 2);
+    // Numbers are parsed strictly: trailing garbage is an error,
+    // not a silent truncation.
+    EXPECT_EQ(
+        runCli("run --models MNST,NCF --requests 4x").first, 2);
+    EXPECT_EQ(runCli("profile --model NCF --batch banana").first,
+              2);
+    // Invalid hardware configuration.
+    EXPECT_EQ(runCli("run --models MNST,NCF --slice 0").first, 2);
+    // Malformed flag syntax.
+    EXPECT_EQ(runCli("run models").first, 2);
+    EXPECT_EQ(runCli("run --models").first, 2);
+    // Bad fault specs.
+    EXPECT_EQ(runCli("run --models MNST,NCF --requests 2 "
+                     "--faults gremlins:rate=0.5")
+                  .first,
+              2);
+    EXPECT_EQ(runCli("run --models MNST,NCF --requests 2 "
+                     "--faults runaway:rate=2")
+                  .first,
+              2);
+}
+
+TEST(Cli, FaultRunCompletesAndReportsInjections)
+{
+    const auto [rc, out] = runCli(
+        "run --models MNST,NCF --requests 4 "
+        "--faults hbm-stall:rate=0.5:mag=2000 --fault-seed 7");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("faults:"), std::string::npos);
+    EXPECT_NE(out.find("STP"), std::string::npos);
+}
+
+TEST(Cli, FaultRunStatsJsonIsDeterministic)
+{
+    const std::string a = ::testing::TempDir() + "/cli_faults_a.json";
+    const std::string b = ::testing::TempDir() + "/cli_faults_b.json";
+    const std::string flags =
+        "run --models MNST,NCF --requests 4 "
+        "--faults runaway:rate=0.2:mag=4,sa-corrupt:rate=0.3 "
+        "--fault-seed 11 --quarantine 50 --stats-json ";
+    ASSERT_EQ(runCli(flags + a).first, 0);
+    ASSERT_EQ(runCli(flags + b).first, 0);
+    // The manifest's wall_seconds is wall-clock time; everything
+    // else must be bit-identical across the two runs.
+    const std::string ja = stripWallSeconds(readFile(a));
+    EXPECT_EQ(ja, stripWallSeconds(readFile(b)));
+    // And faults actually fired.
+    const JsonValue doc = JsonValue::parseOrDie(ja, "fault stats");
+    EXPECT_GT(
+        doc.find("run")->find("faults_injected")->number, 0.0);
+}
+
+TEST(Cli, AbortedRunExitsWithCode1AndWritesDiagnostics)
+{
+    const std::string dir = ::testing::TempDir() + "/cli_diag";
+    const auto [rc, out] = runCli(
+        "run --models MNST,NCF --requests 50 --cycle-budget 20000 "
+        "--watchdog 10000 --diag-dir " + dir);
+    EXPECT_EQ(rc, 1);
+    EXPECT_NE(out.find("run aborted"), std::string::npos);
+    const JsonValue doc = JsonValue::parseOrDie(
+        readFile(dir + "/diagnostics.json"), "cli diagnostics");
+    EXPECT_TRUE(doc.has("reason"));
+    EXPECT_TRUE(doc.has("tenants"));
+}
+
+#ifndef V10_TEST_DATA_DIR
+#error "V10_TEST_DATA_DIR must be defined by the build"
+#endif
+
+TEST(Cli, ValidateAcceptsGoodTraceAndFaultPlan)
+{
+    const std::string trace =
+        ::testing::TempDir() + "/cli_validate_trace.txt";
+    ASSERT_EQ(runCli("trace --model MNST --out " + trace).first, 0);
+    const auto [rc, out] = runCli(
+        "validate --trace " + trace +
+        " --faults dma-timeout:rate=0.1");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("OK"), std::string::npos);
+}
+
+TEST(Cli, ValidateRejectsEveryCorpusTrace)
+{
+    // Mirrors the CI corpus-replay gate: every corrupt trace must
+    // exit with the usage/parse code, never crash or hang.
+    const std::string dir =
+        std::string(V10_TEST_DATA_DIR) + "/bad_traces";
+    const char *corpus[] = {
+        "empty.txt",         "bad_magic.txt",
+        "missing_header.txt", "malformed_header.txt",
+        "zero_batch.txt",    "malformed_op.txt",
+        "bad_op_kind.txt",   "zero_cycles.txt",
+        "negative_flops.txt", "forward_dep.txt",
+        "malformed_deps.txt", "count_mismatch.txt",
+    };
+    for (const char *file : corpus)
+        EXPECT_EQ(
+            runCli("validate --trace " + dir + "/" + file).first, 2)
+            << file;
+    EXPECT_EQ(runCli("validate --trace /nonexistent/t.txt").first,
+              2);
+    EXPECT_EQ(runCli("validate").first, 2);
 }
 
 TEST(Cli, RunStatsJsonHasSchemaAndAgreesWithItself)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "npu/npu_config.h"
 
 namespace v10 {
@@ -81,6 +83,38 @@ TEST(NpuConfig, SummaryMentionsKeyParameters)
     EXPECT_NE(s.find("128x128"), std::string::npos);
     EXPECT_NE(s.find("330"), std::string::npos);
     EXPECT_NE(s.find("32768"), std::string::npos);
+}
+
+TEST(NpuConfigCheck, StructuredErrorsNameTheField)
+{
+    EXPECT_TRUE(NpuConfig{}.check().isOk());
+
+    NpuConfig cfg;
+    cfg.saDim = 100; // not a multiple of 8
+    Status s = cfg.check();
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.error().token, "saDim");
+    EXPECT_EQ(s.error().source, "NpuConfig");
+
+    cfg = NpuConfig{};
+    cfg.numVu = 0;
+    EXPECT_EQ(cfg.check().error().token, "numVu");
+
+    cfg = NpuConfig{};
+    cfg.hbmGBps = 0.0;
+    EXPECT_EQ(cfg.check().error().token, "hbmGBps");
+
+    cfg = NpuConfig{};
+    cfg.timeSlice = 0;
+    EXPECT_EQ(cfg.check().error().token, "timeSlice");
+
+    cfg = NpuConfig{};
+    cfg.freqGHz = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(cfg.check().isOk());
+
+    cfg = NpuConfig{};
+    cfg.dmaPrefetchDepth = 0;
+    EXPECT_EQ(cfg.check().error().token, "dmaPrefetchDepth");
 }
 
 TEST(NpuConfigDeath, InvalidConfigsRejected)

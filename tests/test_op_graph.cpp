@@ -91,5 +91,53 @@ TEST(OpGraphDeath, ForwardDependencyRejected)
     EXPECT_DEATH(OpGraph g(ops), "earlier");
 }
 
+TEST(OpGraphValidate, AcceptsWellFormedDag)
+{
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {}));
+    ops.push_back(makeOp(1, 20, {0}));
+    ops.push_back(makeOp(2, 30, {0}));
+    ops.push_back(makeOp(3, 10, {1, 2}));
+    EXPECT_TRUE(OpGraph::validate(ops).isOk());
+    EXPECT_TRUE(OpGraph::validate({}).isOk());
+}
+
+TEST(OpGraphValidate, RejectsSelfDependency)
+{
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {0}));
+    const Status s = OpGraph::validate(ops);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.error().message.find("itself"), std::string::npos);
+}
+
+TEST(OpGraphValidate, RejectsNonexistentDependency)
+{
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {7}));
+    const Status s = OpGraph::validate(ops);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.error().message.find("nonexistent"),
+              std::string::npos);
+}
+
+TEST(OpGraphValidate, ReportsDependencyCycleMembers)
+{
+    // validate() accepts forward edges, so a genuine cycle
+    // (1 -> 2 -> 1) is representable — and must be diagnosed, not
+    // looped over or crashed on.
+    std::vector<TensorOperator> ops;
+    ops.push_back(makeOp(0, 10, {}));
+    ops.push_back(makeOp(1, 20, {2}));
+    ops.push_back(makeOp(2, 30, {1}));
+    ops[1].name = "relu";
+    ops[2].name = "matmul";
+    const Status s = OpGraph::validate(ops);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.error().message.find("cycle"), std::string::npos);
+    EXPECT_NE(s.error().message.find("relu"), std::string::npos);
+    EXPECT_NE(s.error().message.find("matmul"), std::string::npos);
+}
+
 } // namespace
 } // namespace v10

@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "workload/model_zoo.h"
 #include "workload/trace_io.h"
+
+#ifndef V10_TEST_DATA_DIR
+#error "V10_TEST_DATA_DIR must be defined by the build"
+#endif
 
 namespace v10 {
 namespace {
@@ -62,6 +67,78 @@ TEST(TraceIo, FileRoundTrip)
     const RequestTrace loaded = loadTraceFile(path, header);
     EXPECT_EQ(header.model, "MNST");
     EXPECT_EQ(loaded.ops.size(), original.ops.size());
+}
+
+TEST(TraceIoParse, ErrorsCarryLineAndToken)
+{
+    TraceHeader header;
+    std::stringstream ss("# v10-trace v1\nbogus header\n");
+    const Result<RequestTrace> r = parseTrace(ss, header, "unit");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().source, "unit");
+    EXPECT_EQ(r.error().line, 2u);
+    EXPECT_NE(r.error().message.find("header"), std::string::npos);
+    // toString() renders "source:line: message".
+    EXPECT_NE(r.error().toString().find("unit:2"),
+              std::string::npos);
+}
+
+TEST(TraceIoParse, ForwardDependencyIsRecoverableError)
+{
+    TraceHeader header;
+    std::stringstream ss("# v10-trace v1\nmodel X batch 1 ops 2\n"
+                         "op 0 SA a 1 1 1 1 1 deps 1\n"
+                         "op 1 VU b 1 1 1 1 1 deps\n");
+    const Result<RequestTrace> r = parseTrace(ss, header, "unit");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("earlier"), std::string::npos);
+    EXPECT_EQ(r.error().line, 3u);
+}
+
+TEST(TraceIoParse, OperatorCountMismatchDetected)
+{
+    TraceHeader header;
+    std::stringstream ss("# v10-trace v1\nmodel X batch 1 ops 3\n"
+                         "op 0 SA a 1 1 1 1 1 deps\n");
+    const Result<RequestTrace> r = parseTrace(ss, header, "unit");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("mismatch"), std::string::npos);
+}
+
+TEST(TraceIoParse, CorpusEveryBadTraceRejected)
+{
+    const std::string dir =
+        std::string(V10_TEST_DATA_DIR) + "/bad_traces";
+    std::size_t checked = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".txt")
+            continue;
+        TraceHeader header;
+        const Result<RequestTrace> r =
+            parseTraceFile(entry.path().string(), header);
+        EXPECT_FALSE(r.ok()) << entry.path();
+        if (!r.ok()) {
+            EXPECT_FALSE(r.error().message.empty());
+            EXPECT_EQ(r.error().source, entry.path().string());
+        }
+        ++checked;
+    }
+    // Keep in sync with tests/data/bad_traces/.
+    EXPECT_GE(checked, 12u);
+}
+
+TEST(TraceIoParse, GoodTraceStillParsesThroughResultApi)
+{
+    const NpuConfig cfg;
+    const RequestTrace original =
+        generateTrace(findModel("MNST"), 8, cfg);
+    std::stringstream ss;
+    saveTrace(ss, TraceHeader{"MNST", 8}, original);
+    TraceHeader header;
+    const Result<RequestTrace> r = parseTrace(ss, header, "unit");
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_EQ(r.value().ops.size(), original.ops.size());
 }
 
 TEST(TraceIoDeath, MalformedInputs)

@@ -10,6 +10,10 @@
  *              [--slice 32768] [--sas 1 --vus 1] [--vmem-mb 32]
  *   v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4]
  *   v10sim trace --model DLRM [--batch 32] [--out trace.txt]
+ *   v10sim validate --trace trace.txt [--fault-plan plan.json]
+ *
+ * Exit codes: 0 success, 1 runtime failure (including a gracefully
+ * aborted simulation), 2 usage or parse error.
  */
 
 #include <chrono>
@@ -25,22 +29,36 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/parallel_executor.h"
+#include "common/result.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "metrics/interval_sampler.h"
 #include "metrics/run_report.h"
 #include "metrics/stat_registry.h"
+#include "sim/fault_plan.h"
 #include "v10/multi_tenant_npu.h"
 #include "v10/npu_cluster.h"
 #include "v10/profiler.h"
 #include "v10/report.h"
 #include "workload/model_zoo.h"
+#include "workload/op_graph.h"
 #include "workload/trace_io.h"
 #include "workload/workload.h"
 
 namespace {
 
 using namespace v10;
+
+/** Bad flags / unparsable input: report and exit with code 2. */
+template <typename... Ts>
+[[noreturn]] void
+usageError(Ts &&...parts)
+{
+    std::ostringstream os;
+    (os << ... << parts);
+    std::fprintf(stderr, "v10sim: %s\n", os.str().c_str());
+    std::exit(kExitUsage);
+}
 
 /** Simple --key value argument map. */
 struct Args
@@ -54,10 +72,10 @@ struct Args
         for (int i = first; i < argc; ++i) {
             std::string key = argv[i];
             if (!startsWith(key, "--"))
-                fatal("expected --option, got '", key, "'");
+                usageError("expected --option, got '", key, "'");
             key = key.substr(2);
             if (i + 1 >= argc)
-                fatal("--", key, " needs a value");
+                usageError("--", key, " needs a value");
             args.kv[key] = argv[++i];
         }
         return args;
@@ -72,6 +90,46 @@ struct Args
 
     bool has(const std::string &key) const { return kv.count(key); }
 
+    /**
+     * Strict numeric flag accessors: unlike atoi/atof, trailing
+     * garbage and overflow are usage errors (exit 2), not silently
+     * truncated values.
+     */
+    std::uint64_t
+    getUint(const std::string &key, const std::string &fallback) const
+    {
+        const std::string raw = get(key, fallback);
+        const auto v = parseUint64(raw);
+        if (!v)
+            usageError("--", key,
+                       " expects a non-negative integer, got '", raw,
+                       "'");
+        return *v;
+    }
+
+    std::int64_t
+    getInt(const std::string &key, const std::string &fallback) const
+    {
+        const std::string raw = get(key, fallback);
+        const auto v = parseInt64(raw);
+        if (!v)
+            usageError("--", key, " expects an integer, got '", raw,
+                       "'");
+        return *v;
+    }
+
+    double
+    getDouble(const std::string &key,
+              const std::string &fallback) const
+    {
+        const std::string raw = get(key, fallback);
+        const auto v = parseDouble(raw);
+        if (!v)
+            usageError("--", key, " expects a number, got '", raw,
+                       "'");
+        return *v;
+    }
+
     /** --jobs N | auto (default 1 = serial). */
     std::size_t
     jobs() const
@@ -82,26 +140,102 @@ struct Args
     }
 };
 
+/** One element of a comma-separated numeric list flag. */
+double
+listDouble(const std::string &raw, const char *flag)
+{
+    const auto v = parseDouble(raw);
+    if (!v)
+        usageError("--", flag, ": bad number '", raw, "'");
+    return *v;
+}
+
 NpuConfig
 configFromArgs(const Args &args)
 {
     NpuConfig cfg;
     if (args.has("sas") || args.has("vus")) {
-        const auto sas = static_cast<std::uint32_t>(
-            std::atoi(args.get("sas", "1").c_str()));
-        const auto vus = static_cast<std::uint32_t>(
-            std::atoi(args.get("vus", "1").c_str()));
+        const auto sas =
+            static_cast<std::uint32_t>(args.getUint("sas", "1"));
+        const auto vus =
+            static_cast<std::uint32_t>(args.getUint("vus", "1"));
         cfg = cfg.scaledForFus(sas, vus);
     }
     if (args.has("vmem-mb"))
-        cfg.vmemBytes = static_cast<Bytes>(std::atoll(
-                            args.get("vmem-mb", "32").c_str()))
+        cfg.vmemBytes = static_cast<Bytes>(
+                            args.getUint("vmem-mb", "32"))
                         << 20;
     if (args.has("slice"))
-        cfg.timeSlice = static_cast<Cycles>(
-            std::atoll(args.get("slice", "32768").c_str()));
-    cfg.validate();
+        cfg.timeSlice =
+            static_cast<Cycles>(args.getUint("slice", "32768"));
+    const Status ok = cfg.check();
+    if (!ok)
+        usageError("bad NPU configuration: ", ok.error().message,
+                   " (field '", ok.error().token, "')");
     return cfg;
+}
+
+/** Lookup that turns an unknown model into a usage error. */
+const ModelProfile &
+modelOrUsageError(const std::string &name)
+{
+    const ModelProfile *m = tryFindModel(name);
+    if (m == nullptr)
+        usageError("unknown model '", name,
+                   "' (see 'v10sim zoo' for the model list)");
+    return *m;
+}
+
+SchedulerKind
+schedulerFromArgs(const Args &args)
+{
+    const std::string name = args.get("scheduler", "V10-Full");
+    const auto kind = trySchedulerKindFromName(name);
+    if (!kind)
+        usageError("unknown scheduler '", name,
+                   "' (expected PMT|V10-Base|V10-Fair|V10-Full|"
+                   "PREMA)");
+    return *kind;
+}
+
+/**
+ * --faults/--fault-plan/--fault-seed plus the degradation knobs.
+ * The returned plan must stay alive while @p res is in use.
+ */
+ResilienceOptions
+resilienceFromArgs(const Args &args, FaultPlan &plan)
+{
+    bool have_faults = false;
+    if (args.has("fault-plan")) {
+        auto loaded =
+            FaultPlan::fromJsonFile(args.get("fault-plan", ""));
+        if (!loaded.ok())
+            usageError(loaded.error().toString());
+        plan = loaded.take();
+        have_faults = true;
+    }
+    if (args.has("faults")) {
+        auto parsed = FaultPlan::parse(args.get("faults", ""));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        for (const FaultSite &site : parsed.value().sites())
+            plan.add(site);
+        have_faults = true;
+    }
+    ResilienceOptions res;
+    if (have_faults)
+        res.faults = &plan;
+    res.faultSeed = args.getUint("fault-seed", "0");
+    res.watchdogInterval =
+        static_cast<Cycles>(args.getUint("watchdog", "0"));
+    res.cycleBudget =
+        static_cast<Cycles>(args.getUint("cycle-budget", "0"));
+    res.quarantineThreshold =
+        static_cast<std::uint32_t>(args.getUint("quarantine", "0"));
+    res.maxDmaRetries = static_cast<std::uint32_t>(
+        args.getUint("max-dma-retries", "3"));
+    res.diagnosticDir = args.get("diag-dir", "");
+    return res;
 }
 
 int
@@ -127,12 +261,11 @@ cmdProfile(const Args &args)
 {
     const std::string model = args.get("model", "");
     if (model.empty())
-        fatal("profile: --model is required");
+        usageError("profile: --model is required");
     const NpuConfig cfg = configFromArgs(args);
-    const ModelProfile &m = findModel(model);
-    const int batch =
-        std::atoi(args.get("batch", std::to_string(m.refBatch))
-                      .c_str());
+    const ModelProfile &m = modelOrUsageError(model);
+    const int batch = static_cast<int>(
+        args.getInt("batch", std::to_string(m.refBatch)));
     const SingleProfile p = profileSingle(cfg, m, batch, 8);
     if (p.oom) {
         std::printf("%s@%d does not fit the HBM region (%s)\n",
@@ -165,7 +298,9 @@ cmdRun(const Args &args)
 {
     const auto models = split(args.get("models", ""), ',');
     if (models.empty() || models[0].empty())
-        fatal("run: --models A,B[,C...] is required");
+        usageError("run: --models A,B[,C...] is required");
+    for (const std::string &m : models)
+        modelOrUsageError(m);
     const auto priorities =
         args.has("priorities")
             ? split(args.get("priorities", ""), ',')
@@ -173,19 +308,23 @@ cmdRun(const Args &args)
     const auto rps = args.has("rps")
                          ? split(args.get("rps", ""), ',')
                          : std::vector<std::string>{};
+    const SchedulerKind kind = schedulerFromArgs(args);
 
-    MultiTenantNpu npu(configFromArgs(args),
-                       schedulerKindFromName(
-                           args.get("scheduler", "V10-Full")));
+    // Fault injection and graceful-degradation knobs (all off by
+    // default); the plan must outlive the run.
+    FaultPlan plan;
+    const ResilienceOptions resilience =
+        resilienceFromArgs(args, plan);
+
+    MultiTenantNpu npu(configFromArgs(args), kind);
     for (std::size_t i = 0; i < models.size(); ++i) {
         const double prio =
             i < priorities.size()
-                ? std::atof(priorities[i].c_str())
+                ? listDouble(priorities[i], "priorities")
                 : 1.0;
         npu.addWorkload(models[i], 0, prio);
     }
-    const auto requests = static_cast<std::uint64_t>(
-        std::atoll(args.get("requests", "25").c_str()));
+    const std::uint64_t requests = args.getUint("requests", "25");
 
     // Optional Chrome-trace timeline of the run.
     std::unique_ptr<TimelineTracer> timeline;
@@ -201,8 +340,8 @@ cmdRun(const Args &args)
         registry = std::make_unique<StatRegistry>();
     std::unique_ptr<IntervalSampler> sampler;
     if (args.has("sample-interval") || args.has("samples-csv")) {
-        const auto interval = static_cast<Cycles>(std::atoll(
-            args.get("sample-interval", "10000").c_str()));
+        const auto interval = static_cast<Cycles>(
+            args.getUint("sample-interval", "10000"));
         sampler = std::make_unique<IntervalSampler>(interval);
         if (timeline)
             timeline->attachSampler(sampler.get());
@@ -210,28 +349,29 @@ cmdRun(const Args &args)
 
     RunStats stats;
     const auto wall_start = std::chrono::steady_clock::now();
-    if (!rps.empty() || timeline || registry || sampler) {
-        // Instrumented or open-loop run through the experiment
-        // layer.
+    if (!rps.empty() || timeline || registry || sampler ||
+        resilience.enabled()) {
+        // Instrumented, open-loop, or fault-injected run through
+        // the experiment layer.
         ExperimentRunner runner(configFromArgs(args));
         std::vector<TenantRequest> tenants;
         for (std::size_t i = 0; i < models.size(); ++i) {
             TenantRequest req;
             req.model = models[i];
-            req.priority = i < priorities.size()
-                               ? std::atof(priorities[i].c_str())
-                               : 1.0;
+            req.priority =
+                i < priorities.size()
+                    ? listDouble(priorities[i], "priorities")
+                    : 1.0;
             req.arrivalRps =
-                i < rps.size() ? std::atof(rps[i].c_str()) : 0.0;
+                i < rps.size() ? listDouble(rps[i], "rps") : 0.0;
             tenants.push_back(req);
         }
         SchedulerOptions so;
         so.timeline = timeline.get();
         so.stats = registry.get();
         so.sampler = sampler.get();
-        stats = runner.run(schedulerKindFromName(
-                               args.get("scheduler", "V10-Full")),
-                           tenants, requests, 2, so);
+        so.resilience = resilience;
+        stats = runner.run(kind, tenants, requests, 2, so);
         if (timeline) {
             const std::string path = args.get("timeline", "");
             timeline->writeChromeTraceFile(path);
@@ -297,9 +437,25 @@ cmdRun(const Args &args)
         table.cell(w.preemptsPerRequest(), 1);
     }
     table.print();
+    if (stats.faultsInjected > 0 || stats.quarantinedTenants > 0)
+        std::printf("\nfaults: %llu injected, %llu DMA retries, "
+                    "%llu SA replays, %u tenant(s) quarantined\n",
+                    static_cast<unsigned long long>(
+                        stats.faultsInjected),
+                    static_cast<unsigned long long>(
+                        stats.dmaRetries),
+                    static_cast<unsigned long long>(
+                        stats.saReplays),
+                    stats.quarantinedTenants);
     if (args.get("detail", "0") != "0")
         std::printf("\n%s", stats.detailedReport().c_str());
-    return 0;
+    if (stats.aborted) {
+        // Graceful degradation: the run (not the process) died;
+        // artifacts above are still written.
+        std::printf("\nrun aborted: %s\n", stats.abortReason.c_str());
+        return kExitRuntime;
+    }
+    return kExitOk;
 }
 
 int
@@ -307,8 +463,7 @@ cmdReport(const Args &args)
 {
     ReportOptions options;
     options.config = configFromArgs(args);
-    options.requests = static_cast<std::uint64_t>(
-        std::atoll(args.get("requests", "25").c_str()));
+    options.requests = args.getUint("requests", "25");
     options.jobs = args.jobs();
     options.statsJsonPath = args.get("stats-json", "");
     const std::string out = args.get("out", "report.md");
@@ -348,10 +503,12 @@ cmdAdvise(const Args &args)
 {
     const auto models = split(args.get("models", ""), ',');
     if (models.size() < 2)
-        fatal("advise: --models needs at least two entries");
+        usageError("advise: --models needs at least two entries");
+    for (const std::string &m : models)
+        modelOrUsageError(m);
     ClusterConfig cfg;
-    cfg.numCores = static_cast<std::size_t>(std::atoi(
-        args.get("cores", std::to_string(models.size())).c_str()));
+    cfg.numCores = static_cast<std::size_t>(
+        args.getUint("cores", std::to_string(models.size())));
     cfg.jobs = args.jobs();
     NpuCluster cluster(cfg);
     for (const auto &m : models)
@@ -419,9 +576,11 @@ cmdTrace(const Args &args)
 {
     const std::string model = args.get("model", "");
     if (model.empty())
-        fatal("trace: --model is required");
+        usageError("trace: --model is required");
+    modelOrUsageError(model);
     const NpuConfig cfg = configFromArgs(args);
-    const int batch = std::atoi(args.get("batch", "0").c_str());
+    const int batch =
+        static_cast<int>(args.getInt("batch", "0"));
     const Workload wl = Workload::fromName(model, batch, cfg);
     const std::string out = args.get(
         "out", wl.profile().abbrev + "_trace.txt");
@@ -433,6 +592,65 @@ cmdTrace(const Args &args)
                 cfg.cyclesToUs(wl.computeCycles()) / 1000.0,
                 out.c_str());
     return 0;
+}
+
+/**
+ * Offline ingestion check: parse traces / fault plans without
+ * running anything. Exit 0 when everything parses, 2 with a
+ * line/field diagnostic otherwise — the CI corrupt-corpus replay
+ * gate drives this subcommand.
+ */
+int
+cmdValidate(const Args &args)
+{
+    bool checked = false;
+    if (args.has("trace")) {
+        const std::string path = args.get("trace", "");
+        TraceHeader header;
+        auto parsed = parseTraceFile(path, header);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "v10sim: %s\n",
+                         parsed.error().toString().c_str());
+            return kExitUsage;
+        }
+        const Status graph = OpGraph::validate(parsed.value().ops);
+        if (!graph) {
+            std::fprintf(stderr, "v10sim: %s: %s\n", path.c_str(),
+                         graph.error().toString().c_str());
+            return kExitUsage;
+        }
+        std::printf("%s: OK (%s batch %d, %zu operators)\n",
+                    path.c_str(), header.model.c_str(),
+                    header.batch, parsed.value().ops.size());
+        checked = true;
+    }
+    if (args.has("fault-plan")) {
+        const std::string path = args.get("fault-plan", "");
+        auto plan = FaultPlan::fromJsonFile(path);
+        if (!plan.ok()) {
+            std::fprintf(stderr, "v10sim: %s\n",
+                         plan.error().toString().c_str());
+            return kExitUsage;
+        }
+        std::printf("%s: OK (%s)\n", path.c_str(),
+                    plan.value().summary().c_str());
+        checked = true;
+    }
+    if (args.has("faults")) {
+        auto plan = FaultPlan::parse(args.get("faults", ""));
+        if (!plan.ok()) {
+            std::fprintf(stderr, "v10sim: %s\n",
+                         plan.error().toString().c_str());
+            return kExitUsage;
+        }
+        std::printf("--faults: OK (%s)\n",
+                    plan.value().summary().c_str());
+        checked = true;
+    }
+    if (!checked)
+        usageError("validate: pass --trace <file>, --fault-plan "
+                   "<file>, and/or --faults <spec>");
+    return kExitOk;
 }
 
 void
@@ -455,10 +673,31 @@ usage()
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
         "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
         "  v10sim report [--out report.md] [--requests N] "
-        "[--jobs N|auto] [--stats-json out.json]\n\n"
+        "[--jobs N|auto] [--stats-json out.json]\n"
+        "  v10sim validate --trace file [--fault-plan plan.json] "
+        "[--faults spec]\n\n"
         "Global options:\n"
         "  --log-level silent|warn|info|debug   stderr verbosity "
         "(default warn)\n\n"
+        "Fault injection / degradation (run only, see "
+        "docs/ROBUSTNESS.md):\n"
+        "  --faults kind@rate[@mag][,...]   inject faults "
+        "(hbm-stall|hbm-droop|dma-timeout|\n"
+        "                                   sa-corrupt|runaway|"
+        "flood)\n"
+        "  --fault-plan plan.json           load a JSON fault plan\n"
+        "  --fault-seed N                   fault RNG seed "
+        "(0 = plan's seed)\n"
+        "  --quarantine K                   quarantine a tenant "
+        "after K fault strikes\n"
+        "  --max-dma-retries N              DMA retry budget "
+        "(default 3)\n"
+        "  --watchdog cycles / --cycle-budget cycles   forward-"
+        "progress gates\n"
+        "  --diag-dir dir                   write diagnostics.json "
+        "on aborted runs\n\n"
+        "Exit codes: 0 success, 1 runtime failure or aborted run, "
+        "2 usage/parse error.\n\n"
         "--stats-json dumps a structured run report (manifest, "
         "RunStats, statistics\nregistry, interval samples); "
         "--sample-interval records utilization time-series\nthat "
@@ -474,12 +713,19 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         usage();
-        return 2;
+        return kExitUsage;
     }
     const std::string cmd = argv[1];
     const Args args = Args::parse(argc, argv, 2);
-    if (args.has("log-level"))
-        setLogLevel(logLevelFromName(args.get("log-level", "")));
+    if (args.has("log-level")) {
+        const auto level =
+            tryLogLevelFromName(args.get("log-level", ""));
+        if (!level)
+            usageError("unknown log level '",
+                       args.get("log-level", ""),
+                       "' (expected silent|warn|info|debug)");
+        setLogLevel(*level);
+    }
     if (cmd == "zoo")
         return cmdZoo();
     if (cmd == "profile")
@@ -494,6 +740,8 @@ main(int argc, char **argv)
         return cmdGenTraces(args);
     if (cmd == "report")
         return cmdReport(args);
+    if (cmd == "validate")
+        return cmdValidate(args);
     usage();
-    return 2;
+    return kExitUsage;
 }
