@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Grandfathering for v10lint: a committed baseline file records the
+ * findings that predate the rule pack so CI can demand "no NEW
+ * violations" while the backlog is burned down deliberately.
+ *
+ * Entries are keyed by (rule, file, hash-of-normalized-source-line),
+ * not by line number, so unrelated edits that shift a file do not
+ * invalidate the baseline; the recorded line is only a hint for
+ * humans. Entries that no longer match anything are *stale* — the
+ * violation was fixed — and are reported so the baseline shrinks
+ * monotonically instead of fossilizing.
+ */
+
+#ifndef V10_ANALYSIS_BASELINE_H
+#define V10_ANALYSIS_BASELINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "common/result.h"
+
+namespace v10::analysis {
+
+/** One grandfathered finding (or several identical ones). */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    std::size_t lineHint = 0; ///< where it was when recorded
+    std::string hash;         ///< findingHash() of the source line
+    std::size_t count = 1;    ///< identical findings absorbed
+    std::string note;         ///< the rationale for keeping it
+};
+
+/**
+ * Content hash identifying a finding independent of its line
+ * number: FNV-1a over rule, file, and the whitespace-normalized
+ * offending source line.
+ */
+std::string findingHash(const Finding &finding);
+
+/** A loaded (or freshly generated) baseline. */
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+
+    /** Parse the JSON baseline at @p path. */
+    static Result<Baseline> load(const std::string &path);
+
+    /** Aggregate @p findings into entries (identical keys merge
+     * into one entry with a count). Notes start empty — the author
+     * fills in the rationale before committing — except where
+     * @p prior already carries a note for the same (rule, file,
+     * hash) key, which regeneration preserves. */
+    static Baseline fromFindings(const std::vector<Finding> &findings,
+                                 const Baseline *prior = nullptr);
+
+    /** Write the JSON baseline to @p path. */
+    Status save(const std::string &path) const;
+
+    /** Serialize to a JSON string (stable entry order). */
+    std::string toJson() const;
+};
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_BASELINE_H

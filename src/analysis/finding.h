@@ -1,0 +1,43 @@
+/**
+ * @file
+ * One diagnostic produced by a lint rule, addressed the same way the
+ * ingestion diagnostics are (source:line), so editors and the CI log
+ * treat both uniformly.
+ */
+
+#ifndef V10_ANALYSIS_FINDING_H
+#define V10_ANALYSIS_FINDING_H
+
+#include <cstddef>
+#include <string>
+
+namespace v10::analysis {
+
+/** How a finding relates to the committed baseline. */
+enum class FindingStatus {
+    New,       ///< not in the baseline: fails --error-on-new
+    Baselined, ///< grandfathered by a baseline entry
+};
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string rule;    ///< rule name ("error-no-fatal", ...)
+    std::string file;    ///< root-relative path
+    std::size_t line = 0; ///< 1-based
+    std::string message; ///< what is wrong and what to do instead
+    std::string snippet; ///< the offending source line, trimmed
+    FindingStatus status = FindingStatus::New;
+
+    /** "file:line: [rule] message" — the PR 3 diagnostic shape. */
+    std::string
+    toString() const
+    {
+        return file + ":" + std::to_string(line) + ": [" + rule +
+               "] " + message;
+    }
+};
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_FINDING_H

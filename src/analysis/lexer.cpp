@@ -1,0 +1,282 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+
+namespace v10::analysis {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** String-literal prefixes whose next token is a quote. */
+bool
+isStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "LR" || ident == "UR" || ident == "L" ||
+           ident == "u8" || ident == "u" || ident == "U";
+}
+
+bool
+isRawPrefix(const std::string &ident)
+{
+    return !ident.empty() && ident.back() == 'R';
+}
+
+/** Cursor over the source text; tracks the 1-based line. */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+
+    bool done() const { return pos >= text.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    }
+
+    char
+    take()
+    {
+        const char c = text[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+/**
+ * Parse "v10lint:" directives out of one comment's text and record
+ * them against @p line (the line the comment starts on).
+ */
+void
+scanCommentDirectives(const std::string &comment, std::size_t line,
+                      LexedSource &out)
+{
+    std::size_t at = comment.find("v10lint:");
+    while (at != std::string::npos) {
+        std::size_t p = at + 8;
+        while (p < comment.size() && comment[p] == ' ')
+            ++p;
+        bool file_scope = false;
+        if (comment.compare(p, 11, "allow-file(") == 0) {
+            file_scope = true;
+            p += 11;
+        } else if (comment.compare(p, 6, "allow(") == 0) {
+            p += 6;
+        } else {
+            at = comment.find("v10lint:", at + 8);
+            continue;
+        }
+        const std::size_t close = comment.find(')', p);
+        if (close == std::string::npos)
+            break;
+        // Split the comma-separated rule list.
+        std::string name;
+        for (std::size_t i = p; i <= close; ++i) {
+            const char c = i < close ? comment[i] : ',';
+            if (c == ',') {
+                if (!name.empty()) {
+                    if (file_scope)
+                        out.allowFile.insert(name);
+                    else
+                        out.allowByLine[line].insert(name);
+                }
+                name.clear();
+            } else if (c != ' ' && c != '\t') {
+                name += c;
+            }
+        }
+        at = comment.find("v10lint:", close);
+    }
+}
+
+} // namespace
+
+LexedSource
+lexSource(const std::string &text)
+{
+    LexedSource out;
+    Cursor cur{text};
+
+    auto push = [&out](TokenKind kind, std::string tok,
+                       std::size_t line) {
+        out.tokens.push_back(Token{kind, std::move(tok), line});
+    };
+
+    auto lexCooked = [&cur](char quote) {
+        while (!cur.done()) {
+            const char c = cur.take();
+            if (c == '\\' && !cur.done()) {
+                cur.take();
+                continue;
+            }
+            if (c == quote || c == '\n')
+                break;
+        }
+    };
+
+    auto lexRaw = [&cur]() {
+        // At the opening quote of R"delim( ... )delim".
+        cur.take(); // the quote
+        std::string delim;
+        while (!cur.done() && cur.peek() != '(')
+            delim += cur.take();
+        if (!cur.done())
+            cur.take(); // '('
+        const std::string close = ")" + delim + "\"";
+        while (!cur.done()) {
+            if (cur.text.compare(cur.pos, close.size(), close) == 0) {
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    cur.take();
+                return;
+            }
+            cur.take();
+        }
+    };
+
+    bool line_has_token = false;
+    std::size_t token_line = 0;
+
+    while (!cur.done()) {
+        const char c = cur.peek();
+        const std::size_t line = cur.line;
+        if (line != token_line)
+            line_has_token = false;
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' ||
+            c == '\v' || c == '\f') {
+            cur.take();
+            continue;
+        }
+
+        // Preprocessor directive: only when '#' begins the logical
+        // line; consumed whole (backslash continuations included).
+        if (c == '#' && !line_has_token) {
+            while (!cur.done()) {
+                const char d = cur.take();
+                if (d == '\\' && cur.peek() == '\n') {
+                    cur.take();
+                    continue;
+                }
+                if (d == '\n')
+                    break;
+            }
+            continue;
+        }
+
+        if (c == '/' && cur.peek(1) == '/') {
+            std::string comment;
+            while (!cur.done() && cur.peek() != '\n')
+                comment += cur.take();
+            scanCommentDirectives(comment, line, out);
+            continue;
+        }
+
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.take();
+            cur.take();
+            std::string comment;
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.take();
+                    cur.take();
+                    break;
+                }
+                comment += cur.take();
+            }
+            scanCommentDirectives(comment, line, out);
+            continue;
+        }
+
+        if (c == '"') {
+            cur.take();
+            lexCooked('"');
+            push(TokenKind::String, "\"\"", line);
+            line_has_token = true;
+            token_line = line;
+            continue;
+        }
+
+        if (c == '\'') {
+            cur.take();
+            lexCooked('\'');
+            push(TokenKind::CharLit, "''", line);
+            line_has_token = true;
+            token_line = line;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string num;
+            while (!cur.done()) {
+                const char d = cur.peek();
+                if (isIdentChar(d) || d == '.') {
+                    num += cur.take();
+                } else if (d == '\'' && isIdentChar(cur.peek(1))) {
+                    num += cur.take(); // digit separator
+                } else if ((d == '+' || d == '-') && !num.empty() &&
+                           (num.back() == 'e' || num.back() == 'E' ||
+                            num.back() == 'p' || num.back() == 'P')) {
+                    num += cur.take();
+                } else {
+                    break;
+                }
+            }
+            push(TokenKind::Number, std::move(num), line);
+            line_has_token = true;
+            token_line = line;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::string ident;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                ident += cur.take();
+            // String prefix directly abutting a quote: the literal
+            // swallows the "identifier" (R"(...)", L"...", ...).
+            if (cur.peek() == '"' && isStringPrefix(ident)) {
+                if (isRawPrefix(ident)) {
+                    lexRaw();
+                } else {
+                    cur.take();
+                    lexCooked('"');
+                }
+                push(TokenKind::String, "\"\"", line);
+            } else {
+                push(TokenKind::Identifier, std::move(ident), line);
+            }
+            line_has_token = true;
+            token_line = line;
+            continue;
+        }
+
+        // Punctuation; keep "::" and "->" whole (rules walk
+        // qualified-name chains), everything else single-char so the
+        // template-depth scans can count '<' / '>' one at a time.
+        std::string punct(1, cur.take());
+        if ((punct == ":" && cur.peek() == ':') ||
+            (punct == "-" && cur.peek() == '>'))
+            punct += cur.take();
+        push(TokenKind::Punct, std::move(punct), line);
+        line_has_token = true;
+        token_line = line;
+    }
+
+    return out;
+}
+
+} // namespace v10::analysis

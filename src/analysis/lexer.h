@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Comment- and string-aware C++ lexer for v10lint.
+ *
+ * Rules operate on the token stream, never on raw text, so a banned
+ * call inside a comment, a string literal, or a preprocessor line is
+ * not a finding. Comments are still *scanned* (not emitted): they
+ * carry the suppression grammar
+ *
+ *     // v10lint: allow(rule-a, rule-b)       — this line and the next
+ *     // v10lint: allow-file(rule-a)          — the whole file
+ *
+ * optionally followed by free-text rationale after the closing
+ * parenthesis.
+ */
+
+#ifndef V10_ANALYSIS_LEXER_H
+#define V10_ANALYSIS_LEXER_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace v10::analysis {
+
+/** Lexer output: tokens plus the suppressions found in comments. */
+struct LexedSource
+{
+    std::vector<Token> tokens;
+
+    /** allow(...) directives: line of the comment -> rule names.
+     * A suppression covers its own line and the line below it. */
+    std::map<std::size_t, std::set<std::string>> allowByLine;
+
+    /** allow-file(...) directives: rules suppressed everywhere. */
+    std::set<std::string> allowFile;
+};
+
+/**
+ * Lex @p text. Never fails: unterminated constructs lex to their
+ * enclosing end-of-file, which is the forgiving behavior a linter
+ * wants (the compiler will complain about the real problem).
+ */
+LexedSource lexSource(const std::string &text);
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_LEXER_H

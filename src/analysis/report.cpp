@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Report rendering for v10lint. The text form mirrors the PR 3
+ * ingestion diagnostics ("source:line: message"); the JSON form is
+ * the machine contract CI and tests assert on.
+ */
+
+#include <map>
+#include <ostream>
+
+#include "analysis/analyzer.h"
+#include "common/json.h"
+
+namespace v10::analysis {
+
+void
+writeTextReport(const LintReport &report, std::ostream &os)
+{
+    for (const Finding &f : report.findings) {
+        if (f.status == FindingStatus::Baselined)
+            continue;
+        os << f.toString() << "\n";
+        if (!f.snippet.empty())
+            os << "    " << f.snippet << "\n";
+    }
+    for (const BaselineEntry &e : report.stale) {
+        os << e.file << ":" << e.lineHint << ": [" << e.rule
+           << "] stale baseline entry (hash " << e.hash
+           << "): the finding is gone — delete the entry\n";
+    }
+    os << report.filesScanned << " files scanned: "
+       << report.newCount() << " new, "
+       << report.baselinedCount() << " baselined, "
+       << report.suppressedInline << " suppressed, "
+       << report.stale.size() << " stale baseline entr"
+       << (report.stale.size() == 1 ? "y" : "ies") << "\n";
+}
+
+void
+writeJsonReport(const LintReport &report, std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("tool", "v10lint");
+    w.kv("version", 1);
+
+    w.key("counts");
+    w.beginObject();
+    w.kv("files_scanned",
+         static_cast<std::uint64_t>(report.filesScanned));
+    w.kv("total", static_cast<std::uint64_t>(report.findings.size()));
+    w.kv("new", static_cast<std::uint64_t>(report.newCount()));
+    w.kv("baselined",
+         static_cast<std::uint64_t>(report.baselinedCount()));
+    w.kv("suppressed",
+         static_cast<std::uint64_t>(report.suppressedInline));
+    w.kv("stale_baseline",
+         static_cast<std::uint64_t>(report.stale.size()));
+    w.endObject();
+
+    std::map<std::string, std::uint64_t> by_rule;
+    for (const Finding &f : report.findings)
+        ++by_rule[f.rule];
+    w.key("by_rule");
+    w.beginObject();
+    for (const auto &[rule, n] : by_rule)
+        w.kv(rule, n);
+    w.endObject();
+
+    w.key("findings");
+    w.beginArray();
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.kv("rule", f.rule);
+        w.kv("file", f.file);
+        w.kv("line", static_cast<std::uint64_t>(f.line));
+        w.kv("message", f.message);
+        w.kv("snippet", f.snippet);
+        w.kv("status", f.status == FindingStatus::New
+                           ? "new"
+                           : "baselined");
+        w.kv("hash", findingHash(f));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("stale_baseline");
+    w.beginArray();
+    for (const BaselineEntry &e : report.stale) {
+        w.beginObject();
+        w.kv("rule", e.rule);
+        w.kv("file", e.file);
+        w.kv("line_hint", static_cast<std::uint64_t>(e.lineHint));
+        w.kv("hash", e.hash);
+        w.kv("note", e.note);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace v10::analysis

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Rule engine interfaces for v10lint.
+ *
+ * A rule runs in two phases. collect() sees every scanned file and
+ * may record repo-wide facts into the shared RuleContext (e.g. which
+ * function names return Result/Status); check() then runs per file
+ * and emits findings. Rules are path-scoped: a PathFilter decides
+ * which root-relative paths a rule applies to, so e.g. the RNG ban
+ * exempts src/common/rng.h and the CLI timing paths by construction
+ * rather than by suppression.
+ */
+
+#ifndef V10_ANALYSIS_RULE_H
+#define V10_ANALYSIS_RULE_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/source_file.h"
+
+namespace v10::analysis {
+
+/**
+ * Prefix-based include/exclude filter over root-relative paths.
+ * Empty include list = everything; excludes win over includes.
+ */
+struct PathFilter
+{
+    std::vector<std::string> include;
+    std::vector<std::string> exclude;
+
+    bool
+    matches(const std::string &path) const
+    {
+        for (const auto &p : exclude) {
+            if (path.compare(0, p.size(), p) == 0)
+                return false;
+        }
+        if (include.empty())
+            return true;
+        for (const auto &p : include) {
+            if (path.compare(0, p.size(), p) == 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Facts shared between rule phases across the whole scan. */
+struct RuleContext
+{
+    /** Function names declared (anywhere in the scan) to return
+     * Result<T>, Status, or ParseError. */
+    std::set<std::string> resultReturning;
+};
+
+/** One lint rule. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable name used in suppressions, baselines, and reports. */
+    virtual const char *name() const = 0;
+
+    /** One-line rationale shown by --list-rules and the docs. */
+    virtual const char *description() const = 0;
+
+    /** Paths this rule applies to. */
+    virtual const PathFilter &paths() const = 0;
+
+    /** Repo-wide fact gathering; default: nothing to collect.
+     * Runs for every scanned file regardless of paths(). */
+    virtual void
+    collect(const SourceFile &file, RuleContext &ctx)
+    {
+        (void)file;
+        (void)ctx;
+    }
+
+    /** Emit findings for @p file into @p out. */
+    virtual void check(const SourceFile &file, const RuleContext &ctx,
+                       std::vector<Finding> &out) = 0;
+
+  protected:
+    /** Build a finding with the file's source line as snippet. */
+    static Finding
+    finding(const Rule &rule, const SourceFile &file,
+            std::size_t line, std::string message)
+    {
+        Finding f;
+        f.rule = rule.name();
+        f.file = file.path();
+        f.line = line;
+        f.message = std::move(message);
+        f.snippet = file.lineText(line);
+        // Trim leading indentation for compact reports.
+        const std::size_t first =
+            f.snippet.find_first_not_of(" \t");
+        if (first != std::string::npos)
+            f.snippet.erase(0, first);
+        return f;
+    }
+};
+
+/**
+ * The repo's rule pack: determinism, error discipline, and
+ * concurrency hygiene (docs/STATIC_ANALYSIS.md has the catalog).
+ */
+std::vector<std::unique_ptr<Rule>> makeDefaultRules();
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_RULE_H

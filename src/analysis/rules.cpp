@@ -1,0 +1,46 @@
+#include "analysis/rules_internal.h"
+
+namespace v10::analysis {
+
+namespace detail {
+
+std::size_t
+matchForward(const std::vector<Token> &tokens, std::size_t open)
+{
+    const std::string &opener = tokens[open].text;
+    const char close = opener == "(" ? ')'
+                     : opener == "<" ? '>'
+                     : opener == "{" ? '}'
+                                     : ']';
+    const bool angle = opener == "<";
+    std::size_t depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        const std::string &t = tokens[i].text;
+        if (t == opener) {
+            ++depth;
+        } else if (t.size() == 1 && t[0] == close) {
+            if (--depth == 0)
+                return i;
+        } else if (angle && (t == ";" || t == "{")) {
+            return tokens.size(); // comparison, not a template
+        }
+    }
+    return tokens.size();
+}
+
+} // namespace detail
+
+std::vector<std::unique_ptr<Rule>>
+makeDefaultRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    for (auto *maker : {&makeDeterminismRules,
+                        &makeErrorDisciplineRules,
+                        &makeConcurrencyRules}) {
+        for (auto &rule : (*maker)())
+            rules.push_back(std::move(rule));
+    }
+    return rules;
+}
+
+} // namespace v10::analysis

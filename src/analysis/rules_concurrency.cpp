@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Concurrency-hygiene rules. PR 1's ParallelExecutor runs sweep
+ * cells on a fixed pool; the bit-identity proof (serial ==
+ * --jobs N) only holds while cells share no mutable state. Mutable
+ * statics are the easiest way to break that silently — two cells
+ * race on the shared object and TSan only catches it when the
+ * interleaving cooperates.
+ */
+
+#include <set>
+#include <string>
+
+#include "analysis/rules_internal.h"
+
+namespace v10::analysis {
+
+namespace {
+
+using detail::tokenIs;
+
+/**
+ * Flag mutable static-storage declarations (namespace-scope statics,
+ * class statics, and function-local statics alike — all are process
+ * globals shared across ParallelExecutor workers). const/constexpr
+ * statics are fine: initialization is thread-safe and the state
+ * never changes afterwards. thread_local is per-worker and reviewed
+ * under TSan, so it passes here too.
+ */
+class MutableStaticRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "concurrency-mutable-static";
+    }
+
+    const char *
+    description() const override
+    {
+        return "flags mutable static state in code reachable from "
+               "ParallelExecutor workers: shared statics break the "
+               "serial-vs-parallel bit-identity guarantee — make it "
+               "per-run state, const, or suppress with the external "
+               "synchronization spelled out";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/"}, {}};
+        return filter;
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &,
+          std::vector<Finding> &out) override
+    {
+        const auto &toks = file.tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].is("static"))
+                continue;
+            // Scan the declaration head. A '(' before any of
+            // ';' '=' '{' means a function (or a parenthesized
+            // initializer, which we accept missing): skip. const/
+            // constexpr/constinit/thread_local anywhere in the head
+            // clears the declaration.
+            bool immutable = false;
+            bool function_like = false;
+            std::size_t end = i;
+            for (std::size_t j = i + 1;
+                 j < toks.size() && j < i + 48; ++j) {
+                const std::string &t = toks[j].text;
+                if (t == "const" || t == "constexpr" ||
+                    t == "constinit" || t == "thread_local") {
+                    immutable = true;
+                    break;
+                }
+                if (t == "(") {
+                    function_like = true;
+                    break;
+                }
+                if (t == ";" || t == "=" || t == "{") {
+                    end = j;
+                    break;
+                }
+            }
+            if (immutable || function_like || end == i)
+                continue;
+            // The declared name is the identifier just before the
+            // terminator.
+            std::string declared;
+            if (end > 0 && toks[end - 1].isIdent())
+                declared = toks[end - 1].text;
+            out.push_back(finding(
+                *this, file, toks[i].line,
+                "mutable static" +
+                    (declared.empty() ? std::string()
+                                      : " '" + declared + "'") +
+                    " is shared across ParallelExecutor workers; "
+                    "make it per-run state or const"));
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeConcurrencyRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<MutableStaticRule>());
+    return rules;
+}
+
+} // namespace v10::analysis

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Determinism rules. V10's fairness/utilization comparisons (paper
+ * §3.2–3.3) assume a run is bit-identical given its seed, serial or
+ * under --jobs N; anything that samples ambient entropy — wall
+ * clocks, libc RNGs, hash-table iteration order, pointer values used
+ * as keys — silently corrupts a sweep instead of failing it.
+ */
+
+#include <set>
+#include <string>
+
+#include "analysis/rules_internal.h"
+
+namespace v10::analysis {
+
+namespace {
+
+using detail::matchForward;
+using detail::prevText;
+using detail::tokenIs;
+
+/** Ban libc/std RNG entry points outside src/common/rng.h. */
+class RandomRule : public Rule
+{
+  public:
+    const char *name() const override { return "determinism-random"; }
+
+    const char *
+    description() const override
+    {
+        return "bans rand()/std::random_device/mt19937 and friends; "
+               "all randomness must flow through the seeded v10::Rng "
+               "so runs replay bit-for-bit";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/", "tools/"},
+                                       {"src/common/rng.h"}};
+        return filter;
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &,
+          std::vector<Finding> &out) override
+    {
+        static const std::set<std::string> funcs = {
+            "rand", "srand", "rand_r", "random", "srandom",
+            "drand48", "lrand48", "random_shuffle",
+        };
+        static const std::set<std::string> types = {
+            "random_device", "mt19937", "mt19937_64",
+            "minstd_rand", "minstd_rand0", "default_random_engine",
+            "knuth_b", "ranlux24", "ranlux48",
+        };
+        const auto &toks = file.tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].isIdent())
+                continue;
+            const std::string &prev = prevText(toks, i);
+            if (prev == "." || prev == "->")
+                continue; // member access, not the libc symbol
+            const bool call = funcs.count(toks[i].text) &&
+                              tokenIs(toks, i + 1, "(");
+            if (call || types.count(toks[i].text)) {
+                out.push_back(finding(
+                    *this, file, toks[i].line,
+                    "non-deterministic RNG '" + toks[i].text +
+                        "'; draw from the seeded v10::Rng "
+                        "(src/common/rng.h) instead"));
+            }
+        }
+    }
+};
+
+/** Ban wall-clock reads outside the CLI/bench timing paths. */
+class TimeRule : public Rule
+{
+  public:
+    const char *name() const override { return "determinism-time"; }
+
+    const char *
+    description() const override
+    {
+        return "bans *_clock::now(), time(), gettimeofday() in "
+               "simulation code; model time is Simulator::now() — "
+               "wall time belongs to the CLI/bench timing paths only";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/"}, {}};
+        return filter;
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &,
+          std::vector<Finding> &out) override
+    {
+        static const std::set<std::string> funcs = {
+            "time", "clock", "gettimeofday", "clock_gettime",
+            "localtime", "gmtime", "ftime", "timespec_get",
+        };
+        static const std::set<std::string> clocks = {
+            "steady_clock", "system_clock", "high_resolution_clock",
+        };
+        const auto &toks = file.tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].isIdent())
+                continue;
+            const std::string &prev = prevText(toks, i);
+            if (funcs.count(toks[i].text) &&
+                tokenIs(toks, i + 1, "(") && prev != "." &&
+                prev != "->") {
+                out.push_back(finding(
+                    *this, file, toks[i].line,
+                    "wall-clock call '" + toks[i].text +
+                        "()' in simulation code; use the simulated "
+                        "clock (Simulator::now()) or move timing to "
+                        "the CLI layer"));
+            }
+            if (clocks.count(toks[i].text) &&
+                tokenIs(toks, i + 1, "::") &&
+                tokenIs(toks, i + 2, "now")) {
+                out.push_back(finding(
+                    *this, file, toks[i].line,
+                    "wall-clock read '" + toks[i].text +
+                        "::now()' in simulation code; results must "
+                        "not depend on host time"));
+            }
+        }
+    }
+};
+
+/**
+ * Flag unordered containers in result-affecting directories. The
+ * declaration alone is a (weak) finding — someone will eventually
+ * iterate it; iteration (range-for or .begin()) over a name declared
+ * unordered in the same file is a (strong) finding.
+ */
+class UnorderedRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "determinism-unordered";
+    }
+
+    const char *
+    description() const override
+    {
+        return "flags std::unordered_map/set in result-affecting "
+               "code (sched/sim/npu/metrics): iteration order is "
+               "unspecified and varies across libstdc++ versions — "
+               "use std::map or sorted iteration, or suppress with a "
+               "rationale proving the site is order-insensitive";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{
+            {"src/sched/", "src/sim/", "src/npu/", "src/metrics/"},
+            {}};
+        return filter;
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &,
+          std::vector<Finding> &out) override
+    {
+        static const std::set<std::string> unordered = {
+            "unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset",
+        };
+        const auto &toks = file.tokens();
+
+        // Pass 1: flag every unordered type use; remember declared
+        // variable/member names for the iteration pass.
+        std::set<std::string> names;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].isIdent() || !unordered.count(toks[i].text))
+                continue;
+            out.push_back(finding(
+                *this, file, toks[i].line,
+                "'" + toks[i].text +
+                    "' in result-affecting code; its iteration "
+                    "order is unspecified — use std::map or sort "
+                    "before iterating"));
+            if (!tokenIs(toks, i + 1, "<"))
+                continue;
+            const std::size_t close = matchForward(toks, i + 1);
+            if (close + 1 < toks.size() &&
+                toks[close + 1].isIdent()) {
+                const std::string &after =
+                    close + 2 < toks.size() ? toks[close + 2].text
+                                            : std::string(";");
+                if (after == ";" || after == "=" || after == "{" ||
+                    after == ",")
+                    names.insert(toks[close + 1].text);
+            }
+        }
+
+        // Pass 2: iteration over a name declared unordered here.
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].is("for") && tokenIs(toks, i + 1, "(")) {
+                const std::size_t close = matchForward(toks, i + 1);
+                bool seen_colon = false;
+                for (std::size_t j = i + 2; j < close; ++j) {
+                    if (toks[j].is(":"))
+                        seen_colon = true;
+                    else if (seen_colon && toks[j].isIdent() &&
+                             names.count(toks[j].text)) {
+                        out.push_back(finding(
+                            *this, file, toks[i].line,
+                            "range-for over unordered container '" +
+                                toks[j].text +
+                                "' visits elements in unspecified "
+                                "order"));
+                        break;
+                    }
+                }
+            }
+            if (toks[i].isIdent() && names.count(toks[i].text) &&
+                (tokenIs(toks, i + 1, ".") ||
+                 tokenIs(toks, i + 1, "->")) &&
+                i + 2 < toks.size() &&
+                (toks[i + 2].is("begin") || toks[i + 2].is("cbegin"))) {
+                out.push_back(finding(
+                    *this, file, toks[i].line,
+                    "iterator walk over unordered container '" +
+                        toks[i].text +
+                        "' visits elements in unspecified order"));
+            }
+        }
+    }
+};
+
+/**
+ * Flag ordered containers keyed by pointers: the order exists, but
+ * it is allocation-address order, which differs run to run.
+ */
+class PointerKeyRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "determinism-pointer-key";
+    }
+
+    const char *
+    description() const override
+    {
+        return "flags std::map/set/priority_queue keyed by a raw "
+               "pointer: address order changes run to run — key by a "
+               "stable id (WorkloadId, FuId, dense index) instead";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/"}, {}};
+        return filter;
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &,
+          std::vector<Finding> &out) override
+    {
+        static const std::set<std::string> keyed = {
+            "map", "set", "multimap", "multiset", "priority_queue",
+        };
+        const auto &toks = file.tokens();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].isIdent() || !keyed.count(toks[i].text) ||
+                !tokenIs(toks, i + 1, "<"))
+                continue;
+            const std::size_t close = matchForward(toks, i + 1);
+            if (close >= toks.size())
+                continue;
+            // The first template argument ends at a depth-1 comma
+            // (or the closing '>' for set-like containers).
+            std::size_t arg_end = close;
+            std::size_t depth = 0;
+            for (std::size_t j = i + 1; j < close; ++j) {
+                if (toks[j].is("<") || toks[j].is("(")) {
+                    ++depth;
+                } else if (toks[j].is(">") || toks[j].is(")")) {
+                    --depth;
+                } else if (toks[j].is(",") && depth == 1) {
+                    arg_end = j;
+                    break;
+                }
+            }
+            if (arg_end > i + 2 && toks[arg_end - 1].is("*")) {
+                out.push_back(finding(
+                    *this, file, toks[i].line,
+                    "'" + toks[i].text +
+                        "' keyed by a raw pointer orders elements "
+                        "by allocation address; key by a stable id "
+                        "instead"));
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeDeterminismRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<RandomRule>());
+    rules.push_back(std::make_unique<TimeRule>());
+    rules.push_back(std::make_unique<UnorderedRule>());
+    rules.push_back(std::make_unique<PointerKeyRule>());
+    return rules;
+}
+
+} // namespace v10::analysis

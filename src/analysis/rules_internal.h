@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Internal glue for the rule pack: per-category factories assembled
+ * by makeDefaultRules(), plus token-scanning helpers shared by the
+ * rule implementations. Not installed API — include only from
+ * src/analysis.
+ */
+
+#ifndef V10_ANALYSIS_RULES_INTERNAL_H
+#define V10_ANALYSIS_RULES_INTERNAL_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace v10::analysis {
+
+std::vector<std::unique_ptr<Rule>> makeDeterminismRules();
+std::vector<std::unique_ptr<Rule>> makeErrorDisciplineRules();
+std::vector<std::unique_ptr<Rule>> makeConcurrencyRules();
+
+namespace detail {
+
+/**
+ * Index of the token matching the opener at @p open (which must be
+ * "(", "<", "{", or "["), or tokens.size() when unbalanced. For "<"
+ * the scan treats ";" and "{" as hard stops: an unmatched less-than
+ * (a comparison, not a template) never spans a statement.
+ */
+std::size_t matchForward(const std::vector<Token> &tokens,
+                         std::size_t open);
+
+/** True when tokens[i] exists and equals @p text. */
+inline bool
+tokenIs(const std::vector<Token> &tokens, std::size_t i,
+        const char *text)
+{
+    return i < tokens.size() && tokens[i].text == text;
+}
+
+/** Previous token's text, or "" at the start of the stream. */
+inline const std::string &
+prevText(const std::vector<Token> &tokens, std::size_t i)
+{
+    static const std::string none;
+    return i == 0 ? none : tokens[i - 1].text;
+}
+
+} // namespace detail
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_RULES_INTERNAL_H

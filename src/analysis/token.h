@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Token model for the v10lint lexer. The lexer reduces C++ source to
+ * a stream of semantically relevant tokens — identifiers, literals,
+ * and punctuation — with comments, whitespace, and preprocessor
+ * directives stripped, so rules can pattern-match without tripping
+ * over commented-out code or string contents.
+ */
+
+#ifndef V10_ANALYSIS_TOKEN_H
+#define V10_ANALYSIS_TOKEN_H
+
+#include <cstddef>
+#include <string>
+
+namespace v10::analysis {
+
+/** Lexical class of a token. */
+enum class TokenKind {
+    Identifier, ///< identifiers and keywords (the lexer keeps both)
+    Number,     ///< numeric literal, digit separators included
+    String,     ///< string literal (raw or cooked), contents dropped
+    CharLit,    ///< character literal, contents dropped
+    Punct,      ///< punctuation; "::" and "->" are single tokens
+};
+
+/** One lexed token with its 1-based source line. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    std::size_t line = 0;
+
+    bool
+    is(const char *t) const
+    {
+        return text == t;
+    }
+
+    bool isIdent() const { return kind == TokenKind::Identifier; }
+};
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_TOKEN_H

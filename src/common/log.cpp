@@ -19,6 +19,8 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex &
 logMutex()
 {
+    // The log mutex IS the synchronization primitive, not data it
+    // guards. v10lint: allow(concurrency-mutable-static)
     static std::mutex m;
     return m;
 }

@@ -39,7 +39,7 @@ enum ExitCode : int {
  * A structured ingestion diagnostic: what went wrong, where (source
  * name + 1-based line, when known), and the offending token/field.
  */
-struct ParseError
+struct [[nodiscard]] ParseError
 {
     std::string message; ///< human-readable description
     std::string source;  ///< file path or stream label
@@ -90,7 +90,7 @@ parseError(std::string message, std::string source = "",
  * conversion) first.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /* implicit */ Result(T value)
@@ -158,7 +158,7 @@ class Result
  * Result of an operation with no payload: default state is success,
  * constructing from a ParseError marks failure.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     Status() = default;

@@ -11,8 +11,8 @@
 #define V10_METRICS_TIMELINE_H
 
 #include <iosfwd>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -85,7 +85,9 @@ class TimelineTracer
     double cycles_per_us_;
     const IntervalSampler *sampler_ = nullptr;
     std::vector<Slice> slices_;
-    std::unordered_map<std::string, std::size_t> open_; ///< fu -> idx
+    // Ordered map: finish() iterates to close open slices, and the
+    // resulting slice order lands in golden-sequence tests.
+    std::map<std::string, std::size_t> open_; ///< fu -> idx
 };
 
 } // namespace v10

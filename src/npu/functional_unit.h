@@ -15,8 +15,8 @@
 #define V10_NPU_FUNCTIONAL_UNIT_H
 
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -175,8 +175,10 @@ class FunctionalUnit
     Cycles overhead_accum_ = 0;
     std::uint64_t ops_completed_ = 0;
     std::uint64_t preempt_count_ = 0;
-    std::unordered_map<WorkloadId, Cycles> compute_by_workload_;
-    std::unordered_map<WorkloadId, Cycles> overhead_by_workload_;
+    // Ordered maps: per-workload totals feed stat output, so the
+    // iteration order must not depend on hashing.
+    std::map<WorkloadId, Cycles> compute_by_workload_;
+    std::map<WorkloadId, Cycles> overhead_by_workload_;
 
     FuObserver *observer_ = nullptr;
 };

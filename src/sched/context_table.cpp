@@ -28,7 +28,7 @@ ContextRow::activeRateP() const
 ContextTable::ContextTable(std::uint32_t tenants) : rows_(tenants)
 {
     if (tenants == 0)
-        fatal("ContextTable: need at least one tenant");
+        V10_PANIC("ContextTable: need at least one tenant");
 }
 
 ContextRow &

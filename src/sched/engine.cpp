@@ -6,6 +6,7 @@
 
 #include "common/json.h"
 #include "common/log.h"
+#include "common/result.h"
 #include "common/string_util.h"
 
 namespace v10 {
@@ -20,27 +21,43 @@ constexpr Cycles kDefaultWatchdogInterval = 1'000'000;
 
 } // namespace
 
+Status
+SchedulerEngine::validateSpecs(const std::vector<TenantSpec> &tenants)
+{
+    if (tenants.empty())
+        return parseError("SchedulerEngine: need at least one tenant");
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec &spec = tenants[i];
+        const std::string tenant = "tenant " + std::to_string(i);
+        if (spec.workload == nullptr)
+            return parseError(
+                "SchedulerEngine: " + tenant + " has no workload");
+        if (spec.workload->trace().ops.size() < 2)
+            return parseError("SchedulerEngine: trace of " +
+                                  spec.workload->label() +
+                                  " too short",
+                              "", 0, tenant);
+        if (spec.priority <= 0.0)
+            return parseError("SchedulerEngine: non-positive priority",
+                              "", 0, tenant);
+        if (spec.arrivalRps < 0.0)
+            return parseError("SchedulerEngine: negative arrival rate",
+                              "", 0, tenant);
+    }
+    return Status::ok();
+}
+
 SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
                                  std::vector<TenantSpec> tenants,
                                  std::uint64_t seed)
     : sim_(sim), core_(core), rng_(seed), overlap_(sim),
       latency_(static_cast<std::uint32_t>(tenants.size()))
 {
-    if (tenants.empty())
-        fatal("SchedulerEngine: need at least one tenant");
+    validateSpecs(tenants).orDie();
 
     tenants_.reserve(tenants.size());
     for (std::size_t i = 0; i < tenants.size(); ++i) {
         const TenantSpec &spec = tenants[i];
-        if (spec.workload == nullptr)
-            fatal("SchedulerEngine: tenant ", i, " has no workload");
-        if (spec.workload->trace().ops.size() < 2)
-            fatal("SchedulerEngine: trace of ",
-                  spec.workload->label(), " too short");
-        if (spec.priority <= 0.0)
-            fatal("SchedulerEngine: non-positive priority");
-        if (spec.arrivalRps < 0.0)
-            fatal("SchedulerEngine: negative arrival rate");
         Tenant t;
         t.wl = spec.workload;
         t.id = static_cast<WorkloadId>(i);
@@ -56,12 +73,15 @@ SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
         if (core_.hbmRegions().fits(footprint)) {
             core_.hbmRegions().allocate(t.wl->label(), footprint);
         } else if (core_.config().enforceHbmFit) {
-            fatal("SchedulerEngine: ", t.wl->label(), " (",
-                  formatBytes(footprint),
-                  ") does not fit the remaining HBM — ",
-                  formatBytes(core_.hbmRegions().freeBytes()),
-                  " of ", formatBytes(core_.config().hbmBytes),
-                  " free");
+            Status(parseError("SchedulerEngine: " + t.wl->label() +
+                              " (" + formatBytes(footprint) +
+                              ") does not fit the remaining HBM — " +
+                              formatBytes(
+                                  core_.hbmRegions().freeBytes()) +
+                              " of " +
+                              formatBytes(core_.config().hbmBytes) +
+                              " free"))
+                .orDie();
         } else {
             warn("HBM oversubscribed by ", t.wl->label(),
                  " (capacity check disabled)");
@@ -837,7 +857,9 @@ SchedulerEngine::run(std::uint64_t targetRequests,
                      std::uint64_t warmupRequests)
 {
     if (targetRequests == 0)
-        fatal("SchedulerEngine::run: need targetRequests > 0");
+        Status(parseError(
+                   "SchedulerEngine::run: need targetRequests > 0"))
+            .orDie();
     warmup_requests_ = warmupRequests;
     stop_requests_ = targetRequests;
     stopping_ = false;

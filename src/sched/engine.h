@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "metrics/interval_sampler.h"
 #include "metrics/latency_recorder.h"
@@ -121,6 +122,18 @@ class SchedulerEngine
 
     SchedulerEngine(const SchedulerEngine &) = delete;
     SchedulerEngine &operator=(const SchedulerEngine &) = delete;
+
+    /**
+     * Recoverable validation of a tenant deployment: empty tenant
+     * lists, null/too-short workloads, non-positive priorities, and
+     * negative arrival rates are reported as a ParseError instead
+     * of killing the process. Callers that construct engines from
+     * untrusted input (CLI, sweep cells) should validate first; the
+     * constructor enforces the same checks through the legacy
+     * orDie() bridge.
+     */
+    static Status validateSpecs(
+        const std::vector<TenantSpec> &tenants);
 
     /** Display name ("PMT", "V10-Full", ...). */
     virtual const char *name() const = 0;

@@ -6,17 +6,24 @@
 
 namespace v10 {
 
+Status
+PmtScheduler::validateOptions(const Options &options)
+{
+    if (options.taskSlice == 0)
+        return parseError("PmtScheduler: zero task slice");
+    if (options.ctxSwitchMinUs < 0.0 ||
+        options.ctxSwitchMaxUs < options.ctxSwitchMinUs)
+        return parseError("PmtScheduler: bad context-switch bounds");
+    return Status::ok();
+}
+
 PmtScheduler::PmtScheduler(Simulator &sim, NpuCore &core,
                            std::vector<TenantSpec> tenants,
                            Options options, std::uint64_t seed)
     : SchedulerEngine(sim, core, std::move(tenants), seed),
       options_(options)
 {
-    if (options_.taskSlice == 0)
-        fatal("PmtScheduler: zero task slice");
-    if (options_.ctxSwitchMinUs < 0.0 ||
-        options_.ctxSwitchMaxUs < options_.ctxSwitchMinUs)
-        fatal("PmtScheduler: bad context-switch bounds");
+    validateOptions(options_).orDie();
     for (const auto &t : this->tenants())
         priority_sum_ += t.priority;
 }

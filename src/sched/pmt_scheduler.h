@@ -38,6 +38,10 @@ class PmtScheduler : public SchedulerEngine
         double ctxSwitchMaxUs = 40.0;
     };
 
+    /** Recoverable options validation; the constructor enforces the
+     * same checks through the legacy orDie() bridge. */
+    static Status validateOptions(const Options &options);
+
     PmtScheduler(Simulator &sim, NpuCore &core,
                  std::vector<TenantSpec> tenants, Options options,
                  std::uint64_t seed = 1);

@@ -1,6 +1,7 @@
 #include "sched/scheduler_factory.h"
 
 #include "common/log.h"
+#include "common/result.h"
 
 namespace v10 {
 
@@ -35,8 +36,8 @@ schedulerKindFromName(const std::string &name)
     const std::optional<SchedulerKind> kind =
         trySchedulerKindFromName(name);
     if (!kind)
-        fatal("schedulerKindFromName: unknown scheduler '", name,
-              "'");
+        Status(parseError("schedulerKindFromName: unknown "
+                          "scheduler '" + name + "'")).orDie();
     return *kind;
 }
 

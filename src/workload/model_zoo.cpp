@@ -289,6 +289,8 @@ buildZoo()
     zoo.push_back(m);
 
     for (const auto &profile : zoo)
+        // ModelProfile::validate() is void (fatals internally).
+        // v10lint: allow(error-discarded-result)
         profile.validate();
     return zoo;
 }

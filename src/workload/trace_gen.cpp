@@ -76,6 +76,8 @@ RequestTrace
 generateTrace(const ModelProfile &profile, int batch,
               const NpuConfig &config)
 {
+    // ModelProfile::validate() is void (fatals internally).
+    // v10lint: allow(error-discarded-result)
     profile.validate();
     if (batch <= 0)
         fatal("generateTrace: batch must be positive");

@@ -1,0 +1,14 @@
+// fixture-path: src/sim/limits.cpp
+// fixture-expect: 0
+namespace v10 {
+
+static const int kMaxEvents = 1 << 20;
+static constexpr double kEpsilon = 1e-9;
+
+static int
+clampEvents(int n)
+{
+    return n > kMaxEvents ? kMaxEvents : n;
+}
+
+} // namespace v10

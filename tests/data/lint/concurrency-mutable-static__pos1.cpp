@@ -1,0 +1,13 @@
+// fixture-path: src/metrics/counter_cache.cpp
+// fixture-expect: 1
+namespace v10 {
+
+static int hit_count = 0;
+
+int
+countHit()
+{
+    return ++hit_count;
+}
+
+} // namespace v10

@@ -1,0 +1,12 @@
+// fixture-path: src/sim/id_pool.cpp
+// fixture-expect: 1
+namespace v10 {
+
+unsigned
+nextId()
+{
+    static unsigned next = 1;
+    return next++;
+}
+
+} // namespace v10

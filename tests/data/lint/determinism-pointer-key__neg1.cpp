@@ -1,0 +1,12 @@
+// fixture-path: src/sched/by_id.cpp
+// fixture-expect: 0
+#include <cstdint>
+#include <map>
+
+struct Row
+{
+    int value = 0;
+};
+
+// Pointer *values* are fine; pointer *keys* are the hazard.
+using RowsById = std::map<std::uint32_t, Row *>;

@@ -1,0 +1,12 @@
+// fixture-path: src/sched/waiters.cpp
+// fixture-expect: 2
+#include <map>
+#include <set>
+
+struct Tenant;
+
+struct Waiters
+{
+    std::set<Tenant *> parked;
+    std::map<Tenant *, int> priorities;
+};

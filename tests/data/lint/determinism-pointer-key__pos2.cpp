@@ -1,0 +1,7 @@
+// fixture-path: src/sim/ready_queue.cpp
+// fixture-expect: 1
+#include <queue>
+
+struct Event;
+
+using ReadyQueue = std::priority_queue<Event *>;

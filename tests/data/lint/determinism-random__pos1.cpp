@@ -1,0 +1,10 @@
+// fixture-path: src/sched/jitter.cpp
+// fixture-expect: 2
+#include <cstdlib>
+
+int
+jitter()
+{
+    std::srand(42);
+    return std::rand() % 7;
+}

@@ -1,0 +1,11 @@
+// fixture-path: tools/shuffle_helper.cpp
+// fixture-expect: 2
+#include <random>
+
+int
+draw()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<int>(gen());
+}

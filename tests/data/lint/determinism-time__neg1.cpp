@@ -1,0 +1,18 @@
+// fixture-path: src/sim/sim_time.cpp
+// fixture-expect: 0
+namespace v10 {
+
+struct Simulator
+{
+    unsigned long now() const { return now_; }
+    unsigned long now_ = 0;
+};
+
+unsigned long
+modelTime(const Simulator &sim)
+{
+    // Simulated time only: sim.now() is deterministic.
+    return sim.now();
+}
+
+} // namespace v10

@@ -1,0 +1,11 @@
+// fixture-path: src/metrics/stamp.cpp
+// fixture-expect: 2
+#include <ctime>
+
+long
+stamp()
+{
+    std::time_t t = std::time(nullptr);
+    struct tm *parts = std::localtime(&t);
+    return parts ? parts->tm_sec : static_cast<long>(t);
+}

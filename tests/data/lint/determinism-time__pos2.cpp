@@ -1,0 +1,11 @@
+// fixture-path: src/sim/tick_probe.cpp
+// fixture-expect: 2
+#include <chrono>
+
+double
+probe()
+{
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(b - a).count();
+}

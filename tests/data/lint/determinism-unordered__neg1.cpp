@@ -1,0 +1,14 @@
+// fixture-path: src/sched/ordered_histogram.cpp
+// fixture-expect: 0
+#include <map>
+
+int
+total()
+{
+    std::map<int, int> counts;
+    counts[3] = 4;
+    int sum = 0;
+    for (const auto &kv : counts)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,14 @@
+// fixture-path: src/sched/histogram.cpp
+// fixture-expect: 2
+#include <unordered_map>
+
+int
+total()
+{
+    std::unordered_map<int, int> counts;
+    counts[3] = 4;
+    int sum = 0;
+    for (const auto &kv : counts)
+        sum += kv.second;
+    return sum;
+}

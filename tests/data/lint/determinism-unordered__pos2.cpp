@@ -1,0 +1,12 @@
+// fixture-path: src/npu/port_map.cpp
+// fixture-expect: 2
+#include <string>
+#include <unordered_set>
+
+std::string
+pick()
+{
+    std::unordered_set<std::string> live;
+    live.insert("sa0");
+    return live.empty() ? std::string() : *live.begin();
+}

@@ -1,0 +1,15 @@
+// fixture-path: src/workload/store_checked.cpp
+// fixture-expect: 0
+#include "common/result.h"
+
+v10::Status saveIndex(const char *path);
+
+bool
+persist(const char *path)
+{
+    const v10::Status st = saveIndex(path);
+    if (!st.isOk())
+        return false;
+    (void)saveIndex(path); // best-effort retry, explicitly dropped
+    return true;
+}

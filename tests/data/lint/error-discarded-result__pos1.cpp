@@ -1,0 +1,11 @@
+// fixture-path: src/workload/store.cpp
+// fixture-expect: 1
+#include "common/result.h"
+
+v10::Status saveIndex(const char *path);
+
+void
+persist(const char *path)
+{
+    saveIndex(path);
+}

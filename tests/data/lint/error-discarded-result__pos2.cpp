@@ -1,0 +1,16 @@
+// fixture-path: src/workload/table.cpp
+// fixture-expect: 1
+#include <string>
+
+#include "common/result.h"
+
+struct Table
+{
+    v10::Result<int> lookup(const std::string &key);
+};
+
+void
+touch(Table &table, const std::string &key)
+{
+    table.lookup(key);
+}

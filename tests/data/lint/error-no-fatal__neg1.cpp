@@ -1,0 +1,14 @@
+// fixture-path: src/workload/checked_loader.cpp
+// fixture-expect: 0
+#include "common/log.h"
+#include "common/result.h"
+
+v10::Status
+load(int n)
+{
+    if (n < 0)
+        return v10::parseError("loader: negative count");
+    if (n > (1 << 20))
+        panic("loader: impossible count"); // invariant, not input
+    return v10::Status::ok();
+}

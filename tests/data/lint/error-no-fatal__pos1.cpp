@@ -1,0 +1,12 @@
+// fixture-path: src/workload/loader.cpp
+// fixture-expect: 2
+#include "common/log.h"
+
+void
+load(int n)
+{
+    if (n < 0)
+        fatal("loader: negative count");
+    if (n > 1024)
+        V10_FATAL("loader: count too large");
+}

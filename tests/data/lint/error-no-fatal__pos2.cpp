@@ -1,0 +1,11 @@
+// fixture-path: src/npu/guard.cpp
+// fixture-expect: 2
+#include <cstdlib>
+
+void
+guard(bool ok)
+{
+    if (!ok)
+        std::abort();
+    std::exit(3);
+}
