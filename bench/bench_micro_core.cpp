@@ -8,8 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/rng.h"
 #include "npu/hbm.h"
 #include "npu/npu_core.h"
+#include "perf_json_main.h"
 #include "sched/op_scheduler.h"
 #include "sched/priority_policy.h"
 #include "sched/rr_policy.h"
@@ -71,6 +73,7 @@ BM_CollocatedPairRun(benchmark::State &state)
     const NpuConfig config;
     const Workload bert(findModel("BERT"), 32, config);
     const Workload ncf(findModel("NCF"), 32, config);
+    std::uint64_t events = 0;
     for (auto _ : state) {
         Simulator sim;
         NpuCore core(sim, config, 2, true);
@@ -80,9 +83,81 @@ BM_CollocatedPairRun(benchmark::State &state)
                                 OperatorScheduler::Variant::Full);
         const RunStats stats = sched.run(3, 1);
         benchmark::DoNotOptimize(stats.stp());
+        events += sim.eventsRun();
     }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_CollocatedPairRun)->Unit(benchmark::kMillisecond);
+
+/**
+ * The paper-pair event-core bench: replays the measured
+ * scheduling-delta distribution of the BERT+NCF pair run (histogram
+ * of the engine's schedule() deltas, captured with an instrumented
+ * queue) through the per-event stepping path the scheduler engine
+ * uses. Its events/sec is the event-core ceiling of the pair
+ * simulation, with the operator-scheduler logic factored out.
+ */
+void
+BM_PairEventPatternReplay(benchmark::State &state)
+{
+    // (log2 upper bound of delta, weight) — measured BERT+NCF mix.
+    static constexpr struct
+    {
+        int log2;
+        std::uint64_t weight;
+    } kBins[] = {{10, 6910},  {11, 10100}, {12, 8250},  {13, 13390},
+                 {14, 17170}, {15, 22855}, {16, 3305},  {17, 1825},
+                 {18, 1785},  {19, 1525}};
+    std::uint64_t total_weight = 0;
+    for (const auto &bin : kBins)
+        total_weight += bin.weight;
+
+    const auto draw = [&](Rng &rng) -> Cycles {
+        std::uint64_t r = rng.next() % total_weight;
+        for (const auto &bin : kBins) {
+            if (r < bin.weight) {
+                const Cycles lo = Cycles{1} << (bin.log2 - 1);
+                return lo + static_cast<Cycles>(rng.next() % lo);
+            }
+            r -= bin.weight;
+        }
+        return 1; // unreachable
+    };
+
+    constexpr int kLiveEvents = 64;
+    constexpr std::uint64_t kChainLength = 2048;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Simulator sim;
+        Rng rng(0xC0FFEEu);
+        std::uint64_t budget = kLiveEvents * kChainLength;
+        // Self-perpetuating chains: each fired event schedules its
+        // successor at a drawn delta, like DMA-completion and
+        // FU-retire chains do in the real run.
+        struct Chain
+        {
+            Simulator *sim;
+            Rng *rng;
+            std::uint64_t *budget;
+            const decltype(draw) *next_delta;
+            void
+            operator()() const
+            {
+                if (*budget == 0)
+                    return;
+                --*budget;
+                sim->after((*next_delta)(*rng), Chain{*this});
+            }
+        };
+        for (int i = 0; i < kLiveEvents; ++i)
+            sim.after(draw(rng), Chain{&sim, &rng, &budget, &draw});
+        while (sim.step()) {
+        }
+        events += sim.eventsRun();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PairEventPatternReplay);
 
 void
 BM_PolicyDecision(benchmark::State &state)
@@ -126,4 +201,8 @@ BENCHMARK(BM_RoundRobinDecision)->Arg(2)->Arg(32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return v10::bench::perfJsonMain(argc, argv);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark microbench binaries, adding
+ * a `--perf-json=<path>` flag: besides the normal console output, the
+ * run writes a machine-readable summary — per-bench wall-clock,
+ * events/sec where the bench reports items, and the process peak RSS
+ * — for the CI perf-smoke job to diff against the committed baseline
+ * (see docs/PERFORMANCE.md).
+ */
+
+#ifndef V10_BENCH_PERF_JSON_MAIN_H
+#define V10_BENCH_PERF_JSON_MAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace v10::bench {
+
+/** One reported benchmark run (non-aggregate iterations only). */
+struct PerfRow
+{
+    std::string name;
+    double realTimeSec = 0.0;    ///< wall-clock per iteration
+    double eventsPerSec = 0.0;   ///< 0 when the bench reports none
+    std::uint64_t iterations = 0;
+    /** Process peak RSS observed right after this bench (KiB);
+     * monotone across rows, so growth localizes a memory hog. */
+    std::uint64_t peakRssKib = 0;
+};
+
+/** Peak resident set size of this process, in KiB. */
+inline std::uint64_t
+peakRssKib()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // ru_maxrss is KiB on Linux.
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+/** Console reporter that also collects rows for the JSON dump. */
+class PerfCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &run : report) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            PerfRow row;
+            row.name = run.benchmark_name();
+            row.iterations =
+                static_cast<std::uint64_t>(run.iterations);
+            row.realTimeSec =
+                run.iterations > 0
+                    ? run.real_accumulated_time /
+                          static_cast<double>(run.iterations)
+                    : run.real_accumulated_time;
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                row.eventsPerSec = it->second;
+            row.peakRssKib = peakRssKib();
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    std::vector<PerfRow> rows;
+};
+
+/** Write the collected rows as the BENCH_core.json schema. */
+inline bool
+writePerfJson(const std::string &path,
+              const std::vector<PerfRow> &rows)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("perf-json: cannot open '", path, "' for writing");
+        return false;
+    }
+    JsonWriter json(out);
+    json.beginObject();
+    json.kv("schema", "v10-bench-perf-v1");
+    json.key("benches");
+    json.beginArray();
+    for (const PerfRow &row : rows) {
+        json.beginObject();
+        json.kv("name", row.name);
+        json.kv("real_time_sec", row.realTimeSec);
+        json.kv("events_per_sec", row.eventsPerSec);
+        json.kv("iterations", row.iterations);
+        json.kv("peak_rss_kib", row.peakRssKib);
+        json.endObject();
+    }
+    json.endArray();
+    json.kv("peak_rss_kib", peakRssKib());
+    json.endObject();
+    out << "\n";
+    return out.good();
+}
+
+/**
+ * Drop-in replacement for BENCHMARK_MAIN()'s body. Strips
+ * --perf-json=<path> before handing the rest to google-benchmark.
+ */
+inline int
+perfJsonMain(int argc, char **argv)
+{
+    std::string json_path;
+    std::vector<char *> args;
+    const std::string prefix = "--perf-json=";
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            json_path = arg.substr(prefix.size());
+        else
+            args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               args.data()))
+        return 1;
+    PerfCollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty() &&
+        !writePerfJson(json_path, reporter.rows))
+        return 1;
+    return 0;
+}
+
+} // namespace v10::bench
+
+#endif // V10_BENCH_PERF_JSON_MAIN_H

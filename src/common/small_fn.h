@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callable — the event core's
+ * replacement for std::function.
+ *
+ * The common simulator callback captures `this` plus a few words;
+ * SmallFn stores such closures inline (no allocation on schedule or
+ * fire). Oversized captures spill to a slab pool (SmallFnArena) so a
+ * hot loop that occasionally builds a big closure still recycles a
+ * handful of fixed-size blocks instead of hitting the global
+ * allocator per event. SmallFn is move-only: event callbacks are
+ * consumed exactly once, and copyability is what forces std::function
+ * to heap-allocate shared state.
+ */
+
+#ifndef V10_COMMON_SMALL_FN_H
+#define V10_COMMON_SMALL_FN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace v10 {
+
+/**
+ * Size-bucketed free-list pool for SmallFn spill blocks.
+ *
+ * Blocks are never returned to the global allocator while the arena
+ * lives, so steady-state scheduling of oversized closures is
+ * allocation-free after warm-up. Closures larger than the biggest
+ * bucket fall back to plain operator new (header tagged with a null
+ * arena). Single-threaded by design: each Simulator owns one arena,
+ * and parallel sweeps use one Simulator per cell.
+ */
+class SmallFnArena
+{
+  public:
+    /** Block payload sizes; closures above the last go to new. */
+    static constexpr std::size_t kBucketBytes[4] = {64, 128, 256, 512};
+    static constexpr std::size_t kBuckets = 4;
+
+    SmallFnArena() = default;
+
+    SmallFnArena(const SmallFnArena &) = delete;
+    SmallFnArena &operator=(const SmallFnArena &) = delete;
+
+    ~SmallFnArena()
+    {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            void *block = free_[b];
+            while (block != nullptr) {
+                void *next = *static_cast<void **>(payloadOf(block));
+                ::operator delete(block);
+                block = next;
+            }
+        }
+    }
+
+    /**
+     * Allocate a payload of at least @p bytes. The returned pointer
+     * is aligned for any scalar type and must be released with
+     * release() (which routes back to the owning arena, or to
+     * operator delete for oversized payloads). @p arena may be null:
+     * then every payload is a plain heap block.
+     */
+    static void *
+    allocate(std::size_t bytes, SmallFnArena *arena)
+    {
+        std::uint32_t bucket = kBuckets; // sentinel: unpooled
+        if (arena != nullptr) {
+            for (std::uint32_t b = 0; b < kBuckets; ++b) {
+                if (bytes <= kBucketBytes[b]) {
+                    bucket = b;
+                    break;
+                }
+            }
+        }
+        if (bucket < kBuckets && arena->free_[bucket] != nullptr) {
+            void *block = arena->free_[bucket];
+            void *payload = payloadOf(block);
+            arena->free_[bucket] = *static_cast<void **>(payload);
+            headerOf(payload)->arena = arena;
+            headerOf(payload)->bucket = bucket;
+            return payload;
+        }
+        const std::size_t payload_bytes =
+            bucket < kBuckets ? kBucketBytes[bucket] : bytes;
+        void *block = ::operator new(sizeof(Header) + payload_bytes);
+        auto *header = static_cast<Header *>(block);
+        header->arena = bucket < kBuckets ? arena : nullptr;
+        header->bucket = bucket;
+        return payloadOf(block);
+    }
+
+    /** Return a payload obtained from allocate(). */
+    static void
+    release(void *payload) noexcept
+    {
+        Header *header = headerOf(payload);
+        SmallFnArena *arena = header->arena;
+        if (arena == nullptr) {
+            ::operator delete(static_cast<void *>(header));
+            return;
+        }
+        const std::uint32_t bucket = header->bucket;
+        *static_cast<void **>(payload) = arena->free_[bucket];
+        arena->free_[bucket] = static_cast<void *>(header);
+    }
+
+  private:
+    /** Prefix of every block; payload follows, max-aligned. */
+    struct alignas(std::max_align_t) Header
+    {
+        SmallFnArena *arena;
+        std::uint32_t bucket;
+    };
+
+    static void *
+    payloadOf(void *block) noexcept
+    {
+        return static_cast<char *>(block) + sizeof(Header);
+    }
+
+    static Header *
+    headerOf(void *payload) noexcept
+    {
+        return reinterpret_cast<Header *>(
+            static_cast<char *>(payload) - sizeof(Header));
+    }
+
+    void *free_[kBuckets] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+template <typename Sig> class SmallFn;
+
+/**
+ * Move-only type-erased callable with inline storage for small
+ * closures and SmallFnArena spill for large ones.
+ */
+template <typename R, typename... Args> class SmallFn<R(Args...)>
+{
+  public:
+    /** Inline capacity: `this` plus five words of captures. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() = default;
+
+    SmallFn(std::nullptr_t) {}
+
+    /** Wrap @p f; large closures spill to the global allocator. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&f)
+    {
+        init(std::forward<F>(f), nullptr);
+    }
+
+    /** Wrap @p f; large closures spill to @p arena's slab pool. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&f, SmallFnArena &arena)
+    {
+        init(std::forward<F>(f), &arena);
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        if (ops_ == nullptr)
+            panic("SmallFn: calling an empty function");
+        return ops_->invoke(storage_, static_cast<Args &&>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *storage, Args &&...args);
+        void (*relocate)(void *from, void *to) noexcept;
+        void (*destroy)(void *storage) noexcept;
+        /** True when relocation is a plain byte copy (trivially
+         * copyable inline closure, or the heap payload pointer) —
+         * lets moves skip the indirect call, which matters inside
+         * heap sifts that shuffle entries around. */
+        bool trivial_relocate;
+    };
+
+    /** Callable stored directly in the inline buffer. */
+    template <typename T> struct InlineModel
+    {
+        static T *
+        self(void *storage) noexcept
+        {
+            return std::launder(reinterpret_cast<T *>(storage));
+        }
+
+        static R
+        invoke(void *storage, Args &&...args)
+        {
+            return (*self(storage))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *from, void *to) noexcept
+        {
+            ::new (to) T(std::move(*self(from)));
+            self(from)->~T();
+        }
+
+        static void
+        destroy(void *storage) noexcept
+        {
+            self(storage)->~T();
+        }
+
+        static constexpr Ops ops = {
+            &invoke, &relocate, &destroy,
+            std::is_trivially_copyable_v<T>};
+    };
+
+    /** Callable spilled to an arena block; the buffer holds the
+     * payload pointer. */
+    template <typename T> struct HeapModel
+    {
+        static T *
+        self(void *storage) noexcept
+        {
+            return static_cast<T *>(
+                *std::launder(reinterpret_cast<void **>(storage)));
+        }
+
+        static R
+        invoke(void *storage, Args &&...args)
+        {
+            return (*self(storage))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *from, void *to) noexcept
+        {
+            ::new (to) void *(
+                *std::launder(reinterpret_cast<void **>(from)));
+        }
+
+        static void
+        destroy(void *storage) noexcept
+        {
+            T *obj = self(storage);
+            obj->~T();
+            SmallFnArena::release(static_cast<void *>(obj));
+        }
+
+        static constexpr Ops ops = {&invoke, &relocate, &destroy,
+                                    true};
+    };
+
+    template <typename F>
+    void
+    init(F &&f, SmallFnArena *arena)
+    {
+        using T = std::decay_t<F>;
+        static_assert(alignof(T) <= alignof(std::max_align_t),
+                      "over-aligned closures are not supported");
+        if constexpr (sizeof(T) <= kInlineBytes &&
+                      std::is_nothrow_move_constructible_v<T>) {
+            ::new (static_cast<void *>(storage_))
+                T(std::forward<F>(f));
+            ops_ = &InlineModel<T>::ops;
+        } else {
+            void *payload =
+                SmallFnArena::allocate(sizeof(T), arena);
+            ::new (payload) T(std::forward<F>(f));
+            ::new (static_cast<void *>(storage_)) void *(payload);
+            ops_ = &HeapModel<T>::ops;
+        }
+    }
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        if (other.ops_ != nullptr) {
+            if (other.ops_->trivial_relocate)
+                __builtin_memcpy(storage_, other.storage_,
+                                 kInlineBytes);
+            else
+                other.ops_->relocate(other.storage_, storage_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace v10
+
+#endif // V10_COMMON_SMALL_FN_H

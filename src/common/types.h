@@ -39,6 +39,12 @@ inline constexpr WorkloadId kNoWorkload =
     std::numeric_limits<WorkloadId>::max();
 inline constexpr FuId kNoFu = std::numeric_limits<FuId>::max();
 
+/** Handle for a Simulator::every() periodic event. */
+using PeriodicId = std::uint64_t;
+
+/** Sentinel for "no periodic event". */
+inline constexpr PeriodicId kNoPeriodic = 0;
+
 /** Bytes, used for memory capacities and DMA volumes. */
 using Bytes = std::uint64_t;
 

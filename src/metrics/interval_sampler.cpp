@@ -37,7 +37,8 @@ IntervalSampler::start(Simulator &sim)
     stopped_ = false;
     for (auto &entry : probes_)
         entry.prev = entry.probe();
-    sim_->after(interval_, [this] { tick(); });
+    // The kernel re-arms the tick; no per-tick rescheduling here.
+    tick_ = sim_->every(interval_, [this] { tick(); });
 }
 
 void
@@ -46,7 +47,6 @@ IntervalSampler::tick()
     if (stopped_)
         return;
     record(sim_->now());
-    sim_->after(interval_, [this] { tick(); });
 }
 
 void
@@ -55,6 +55,8 @@ IntervalSampler::stop()
     if (!sim_ || stopped_)
         return;
     stopped_ = true;
+    sim_->cancelEvery(tick_);
+    tick_ = kNoPeriodic;
     // Final partial-interval sample, unless a tick already recorded
     // this cycle.
     if (cycles_.empty() || cycles_.back() != sim_->now())

@@ -1,8 +1,8 @@
 /**
  * @file
  * Periodic time-series sampling of simulator state: every N cycles a
- * self-rescheduling event reads a set of registered probes and
- * appends one row to an in-memory table. Rows export as CSV or as
+ * Simulator::every() periodic event reads a set of registered probes
+ * and appends one row to an in-memory table. Rows export as CSV or as
  * Chrome trace-event counter tracks ("ph":"C") that render above the
  * operator slices in Perfetto.
  *
@@ -103,6 +103,7 @@ class IntervalSampler
 
     Cycles interval_;
     Simulator *sim_ = nullptr;
+    PeriodicId tick_ = kNoPeriodic;
     bool stopped_ = false;
     std::vector<ProbeEntry> probes_;
     std::vector<Cycles> cycles_;

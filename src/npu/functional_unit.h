@@ -14,10 +14,10 @@
 #ifndef V10_NPU_FUNCTIONAL_UNIT_H
 #define V10_NPU_FUNCTIONAL_UNIT_H
 
-#include <functional>
 #include <map>
 #include <string>
 
+#include "common/small_fn.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -46,8 +46,10 @@ class FunctionalUnit
     /** Which kind of compute unit this is. */
     enum class Kind { SA, VU };
 
-    /** Invoked when the operator begun with begin() completes. */
-    using CompletionCb = std::function<void(FunctionalUnit &)>;
+    /** Invoked when the operator begun with begin() completes.
+     * Move-only and allocation-free for small captures (SmallFn);
+     * the event hot path must not construct std::function. */
+    using CompletionCb = SmallFn<void(FunctionalUnit &)>;
 
     /**
      * @param sim simulation kernel (not owned)

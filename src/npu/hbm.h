@@ -15,10 +15,10 @@
 #define V10_NPU_HBM_H
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 
+#include "common/small_fn.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -36,7 +36,9 @@ using DmaStreamId = std::uint64_t;
 class HbmModel
 {
   public:
-    using DoneCallback = std::function<void()>;
+    /** Completion callback; SmallFn keeps DMA issue off the global
+     * allocator for ordinary captures. */
+    using DoneCallback = SmallFn<void()>;
 
     /**
      * @param sim the simulation kernel (not owned)

@@ -71,23 +71,27 @@ OperatorScheduler::name() const
 }
 
 void
-OperatorScheduler::syncTable()
+OperatorScheduler::syncRow(const Tenant &t)
 {
     const Cycles now = sim().now();
-    for (auto &t : tenants()) {
-        ContextRow &row = table_.row(t.id);
-        const TensorOperator &op = currentOp(t);
-        row.opId = op.id;
-        row.opType = op.kind;
-        row.active = t.running;
-        row.ready = t.ready && !t.running;
-        row.fuId = t.fu != nullptr ? t.fu->id() : kNoFu;
-        row.activeCycles =
-            t.activeCycles +
-            (t.running ? now - t.lastDispatch : 0);
-        row.totalCycles = now - t.arrivalCycle;
-        row.priority = t.priority;
-    }
+    ContextRow &row = table_.row(t.id);
+    const TensorOperator &op = currentOp(t);
+    row.opId = op.id;
+    row.opType = op.kind;
+    row.active = t.running;
+    row.ready = t.ready && !t.running;
+    row.fuId = t.fu != nullptr ? t.fu->id() : kNoFu;
+    row.activeCycles =
+        t.activeCycles + (t.running ? now - t.lastDispatch : 0);
+    row.totalCycles = now - t.arrivalCycle;
+    row.priority = t.priority;
+}
+
+void
+OperatorScheduler::syncTable()
+{
+    for (auto &t : tenants())
+        syncRow(t);
 }
 
 FunctionalUnit *
@@ -106,18 +110,25 @@ OperatorScheduler::fillIdleFus()
 {
     // Keep the units busy: issue as soon as an operator is ready and
     // a matching FU is idle (§3.2); the policy arbitrates only when
-    // several tenants contend.
+    // several tenants contend. The table is synced once per pass and
+    // then refreshed row-wise: within the pass the clock is frozen,
+    // so only the tenant a dispatch touched can have a stale row.
+    bool synced = false;
     for (OpKind kind : {OpKind::SA, OpKind::VU}) {
         while (true) {
             FunctionalUnit *fu = idleFu(kind);
             if (fu == nullptr)
                 break;
-            syncTable();
+            if (!synced) {
+                syncTable();
+                synced = true;
+            }
             const WorkloadId next = policy_->pickNext(table_, kind);
             if (next == kNoWorkload)
                 break;
             Tenant &t = tenants()[next];
             dispatch(t, *fu, ctxPenaltyFor(t, *fu));
+            syncRow(t);
         }
     }
 }
@@ -138,13 +149,22 @@ OperatorScheduler::onSliceTimer()
 
     // For every busy unit, let the policy decide whether a waiting
     // operator deserves the unit more than the running one (§3.3).
+    // One full table sync per tick (lazily, so a tick with no busy
+    // unit leaves the table residue untouched, exactly as before the
+    // hoist); each preempt/dispatch then refreshes exactly the two
+    // rows it changed — the clock is frozen for the whole tick, so
+    // every other row is already current.
+    bool synced = false;
     for (OpKind op_kind : {OpKind::SA, OpKind::VU}) {
         const auto &fus =
             op_kind == OpKind::SA ? sa_units_ : vu_units_;
         for (auto *fu : fus) {
             if (!fu->busy())
                 continue;
-            syncTable();
+            if (!synced) {
+                syncTable();
+                synced = true;
+            }
             const WorkloadId cand =
                 policy_->pickNext(table_, op_kind);
             if (cand == kNoWorkload)
@@ -152,10 +172,12 @@ OperatorScheduler::onSliceTimer()
             const WorkloadId running = fu->workload();
             if (!policy_->shouldPreempt(table_, running, cand))
                 continue;
-            preemptFu(*fu);
+            Tenant &victim = preemptFu(*fu);
             ++timer_preemptions_;
             Tenant &t = tenants()[cand];
             dispatch(t, *fu, ctxPenaltyFor(t, *fu));
+            syncRow(victim);
+            syncRow(t);
         }
     }
     // Displaced tenants may immediately claim another idle unit.

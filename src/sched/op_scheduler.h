@@ -88,6 +88,11 @@ class OperatorScheduler : public SchedulerEngine
     /** Mirror engine tenant state into the hardware context table. */
     void syncTable();
 
+    /** Refresh one tenant's context row (hoisted resync: after a
+     * dispatch or preemption only the touched tenant's row is
+     * stale — the clock does not move inside a scheduling pass). */
+    void syncRow(const Tenant &tenant);
+
     /** First idle unit of @p kind, or nullptr. */
     FunctionalUnit *idleFu(OpKind kind);
 

@@ -4,21 +4,52 @@
 
 namespace v10 {
 
-EventId
-Simulator::at(Cycles when, EventQueue::Callback cb)
+void
+Simulator::pastPanic(Cycles when) const
 {
-    if (when < now_)
-        V10_PANIC("Simulator::at: scheduling into the past (", when,
-                  " < ", now_, ")");
-    return events_.schedule(when, std::move(cb));
+    V10_PANIC("Simulator::at: scheduling into the past (", when,
+              " < ", now_, ")");
 }
 
-EventId
-Simulator::after(Cycles delta, EventQueue::Callback cb)
+void
+Simulator::overflowPanic() const
 {
-    if (delta > kCycleMax - now_)
-        V10_PANIC("Simulator::after: cycle overflow");
-    return events_.schedule(now_ + delta, std::move(cb));
+    V10_PANIC("Simulator::after: cycle overflow");
+}
+
+void
+Simulator::intervalPanic() const
+{
+    V10_PANIC("Simulator::every: interval must be > 0 cycles");
+}
+
+void
+Simulator::firePeriodic(std::size_t index)
+{
+    Periodic &p = *periodics_[index];
+    p.pending = kNoEvent;
+    p.fn();
+    // Re-arm after the callback (matching a self-rescheduling event
+    // handler's sequence order). The callback may have cancelled
+    // this periodic; then the chain ends here.
+    if (p.active)
+        p.pending = after(p.interval,
+                          [this, index] { firePeriodic(index); });
+}
+
+void
+Simulator::cancelEvery(PeriodicId id)
+{
+    if (id == kNoPeriodic || id > periodics_.size())
+        return;
+    Periodic &p = *periodics_[static_cast<std::size_t>(id - 1)];
+    if (!p.active)
+        return;
+    p.active = false;
+    if (p.pending != kNoEvent) {
+        events_.cancel(p.pending);
+        p.pending = kNoEvent;
+    }
 }
 
 void
@@ -30,21 +61,28 @@ Simulator::cancel(EventId id)
 bool
 Simulator::step()
 {
-    const Cycles next = events_.nextCycle();
+    // Single-pass peek-and-pop: the clock must advance before the
+    // callback runs (it reads now()), so take the event first and
+    // invoke it here.
+    EventQueue::EventFn fn;
+    const Cycles next = events_.takeNext(fn);
     if (next == kCycleMax)
         return false;
     now_ = next;
-    events_.popAndRun();
+    fn();
     ++events_run_;
     return true;
 }
 
 Cycles
-Simulator::run(const std::function<bool()> &stop)
+Simulator::run()
 {
-    while (step()) {
-        if (stop && stop())
+    while (true) {
+        const Cycles next = events_.nextCycle();
+        if (next == kCycleMax)
             break;
+        now_ = next;
+        events_run_ += events_.runCycle(next);
     }
     return now_;
 }
@@ -56,7 +94,8 @@ Simulator::runUntil(Cycles limit)
         const Cycles next = events_.nextCycle();
         if (next == kCycleMax || next > limit)
             break;
-        step();
+        now_ = next;
+        events_run_ += events_.runCycle(next);
     }
     if (now_ < limit)
         now_ = limit;

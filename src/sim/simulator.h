@@ -4,12 +4,21 @@
  * run loop used by every experiment. Components schedule callbacks at
  * absolute or relative cycles; the kernel advances the clock to each
  * event in order.
+ *
+ * Scheduling is allocation-free for the common small closure: at() /
+ * after() / every() are templates that wrap the callback in the
+ * queue's SmallFn-based EventFn directly (oversized captures spill to
+ * the queue's slab pool). run() and runUntil() drain all events of a
+ * cycle in one batched pass; the per-event order is identical to
+ * single-stepping, so results are bit-identical either way.
  */
 
 #ifndef V10_SIM_SIMULATOR_H
 #define V10_SIM_SIMULATOR_H
 
-#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -34,20 +43,76 @@ class Simulator
     Cycles now() const { return now_; }
 
     /** Schedule @p cb at absolute cycle @p when (>= now). */
-    EventId at(Cycles when, EventQueue::Callback cb);
+    template <typename F>
+    EventId
+    at(Cycles when, F &&cb)
+    {
+        if (when < now_)
+            pastPanic(when);
+        return events_.schedule(when, std::forward<F>(cb));
+    }
 
     /** Schedule @p cb @p delta cycles from now. */
-    EventId after(Cycles delta, EventQueue::Callback cb);
+    template <typename F>
+    EventId
+    after(Cycles delta, F &&cb)
+    {
+        if (delta > kCycleMax - now_)
+            overflowPanic();
+        return events_.schedule(now_ + delta, std::forward<F>(cb));
+    }
+
+    /**
+     * Fire @p cb every @p interval cycles (> 0), starting one
+     * interval from now, until cancelEvery(). The callback is stored
+     * once; each tick re-arms with a tiny inline closure, so
+     * periodic sampling is allocation-free.
+     * @return a handle usable with cancelEvery().
+     */
+    template <typename F>
+    PeriodicId
+    every(Cycles interval, F &&cb)
+    {
+        if (interval == 0)
+            intervalPanic();
+        periodics_.push_back(std::make_unique<Periodic>());
+        Periodic &p = *periodics_.back();
+        p.interval = interval;
+        p.fn = EventQueue::EventFn(std::forward<F>(cb),
+                                   events_.arena());
+        p.active = true;
+        const auto id =
+            static_cast<PeriodicId>(periodics_.size());
+        const std::size_t index = periodics_.size() - 1;
+        p.pending = after(interval,
+                          [this, index] { firePeriodic(index); });
+        return id;
+    }
+
+    /** Stop a periodic event (no-op on kNoPeriodic / done ids). */
+    void cancelEvery(PeriodicId id);
 
     /** Cancel a pending event (no-op if already fired). */
     void cancel(EventId id);
+
+    /** Run until the event queue drains. @return the final cycle. */
+    Cycles run();
 
     /**
      * Run until the event queue drains or @p stop returns true
      * (checked after each event).
      * @return the final cycle.
      */
-    Cycles run(const std::function<bool()> &stop = nullptr);
+    template <typename Stop>
+    Cycles
+    run(Stop &&stop)
+    {
+        while (step()) {
+            if (stop())
+                break;
+        }
+        return now_;
+    }
 
     /**
      * Run until the clock reaches @p limit or the queue drains.
@@ -71,7 +136,25 @@ class Simulator
     EventQueue &queue() { return events_; }
 
   private:
+    /** One every() registration; stable address (callbacks may
+     * register further periodics while one is firing). */
+    struct Periodic
+    {
+        Cycles interval = 0;
+        EventQueue::EventFn fn;
+        EventId pending = kNoEvent;
+        bool active = false;
+    };
+
+    [[noreturn]] void pastPanic(Cycles when) const;
+    [[noreturn]] void overflowPanic() const;
+    [[noreturn]] void intervalPanic() const;
+
+    /** Run one periodic tick, then re-arm. */
+    void firePeriodic(std::size_t index);
+
     EventQueue events_;
+    std::vector<std::unique_ptr<Periodic>> periodics_;
     Cycles now_ = 0;
     std::uint64_t events_run_ = 0;
 };

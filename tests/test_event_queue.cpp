@@ -146,5 +146,133 @@ TEST(EventQueue, ManyEventsStressOrdering)
     EXPECT_TRUE(monotonic);
 }
 
+// A cycle beyond the near-horizon ring window lands in the overflow
+// heap; one inside it lands in the ring.
+constexpr Cycles kFar = EventQueue::kRingBuckets + 8192;
+
+TEST(EventQueue, CancelOfHeapTopSkipsToNext)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId top = q.schedule(kFar, [&] { fired = true; });
+    q.schedule(kFar + 100, [] {});
+    q.cancel(top);
+    EXPECT_EQ(q.nextCycle(), kFar + 100);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, SameCycleFifoAcrossRingHeapBoundary)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Scheduled while kFar is beyond the window: overflow heap.
+    q.schedule(kFar, [&] { order.push_back(1); });
+    q.schedule(kFar, [&] { order.push_back(2); });
+    // Advancing past this event pulls kFar into the ring window.
+    q.schedule(8192, [&] { order.push_back(0); });
+    q.popAndRun();
+    // Same cycle again, now ring-resident: must fire AFTER the heap
+    // entries (they were inserted first).
+    q.schedule(kFar, [&] { order.push_back(3); });
+    q.schedule(kFar, [&] { order.push_back(4); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClearFromInsideCallbackStopsPop)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] {
+        ++fired;
+        q.clear();
+    });
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(6, [&] { ++fired; });
+    q.schedule(kFar, [&] { ++fired; });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextCycle(), kCycleMax);
+}
+
+TEST(EventQueue, ClearFromInsideCallbackStopsRunCycle)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] {
+        ++fired;
+        q.clear();
+    });
+    q.schedule(5, [&] { ++fired; });
+    EXPECT_EQ(q.runCycle(5), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleAtCurrentCycleFromCallbackFiresSameCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(7, [&] {
+        order.push_back(1);
+        q.schedule(7, [&] { order.push_back(2); });
+    });
+    EXPECT_EQ(q.runCycle(7), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RingWrapAroundKeepsOrder)
+{
+    EventQueue q;
+    std::vector<Cycles> fired;
+    // Advance the window start so later buckets wrap modulo the ring
+    // size, then schedule across the wrap point.
+    q.schedule(EventQueue::kRingBuckets - 100, [] {});
+    q.popAndRun();
+    const Cycles base = EventQueue::kRingBuckets - 100;
+    std::vector<Cycles> expect;
+    for (Cycles d = 50; d <= 30000; d += 4111) {
+        q.schedule(base + d,
+                   [&fired, c = base + d] { fired.push_back(c); });
+        expect.push_back(base + d);
+    }
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueue, SlotTableBoundedByLiveEvents)
+{
+    EventQueue q;
+    // Schedule-and-fire one event at a time, 100k times: the id slot
+    // table must recycle instead of growing with the total count.
+    for (Cycles i = 0; i < 100000; ++i) {
+        q.schedule(i + 1, [] {});
+        q.popAndRun();
+    }
+    EXPECT_LE(q.slotCount(), 4u);
+    // Same for schedule-and-cancel churn.
+    for (Cycles i = 0; i < 100000; ++i)
+        q.cancel(q.schedule(200000 + i, [] {}));
+    EXPECT_LE(q.slotCount(), 8u);
+}
+
+TEST(EventQueue, CancelRingEntryBetweenLiveOnes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(9, [&] { order.push_back(1); });
+    const EventId mid = q.schedule(9, [&] { order.push_back(2); });
+    q.schedule(9, [&] { order.push_back(3); });
+    q.cancel(mid);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
 } // namespace
 } // namespace v10

@@ -9,16 +9,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <regex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/log.h"
 #include "common/parallel_executor.h"
+#include "metrics/stat_registry.h"
+#include "sim/fault_plan.h"
 #include "v10/sweep.h"
 #include "workload/model_zoo.h"
 
@@ -164,6 +168,21 @@ expectWorkloadStatsEq(const WorkloadRunStats &a,
     EXPECT_EQ(a.ctxOverheadFrac, b.ctxOverheadFrac);
 }
 
+/** Assert two frozen StatRegistry snapshots are byte-identical:
+ * same paths in the same order, exactly equal values. */
+void
+expectSnapshotEq(
+    const std::vector<std::pair<std::string, double>> &a,
+    const std::vector<std::pair<std::string, double>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].first, b[i].first);
+        EXPECT_EQ(a[i].second, b[i].second)
+            << "stat " << a[i].first << " diverged";
+    }
+}
+
 /** Assert two run results are bit-identical (EXPECT_EQ on doubles
  * is exact equality — deliberately, that is the guarantee). */
 void
@@ -183,6 +202,7 @@ expectRunStatsEq(const RunStats &a, const RunStats &b)
     ASSERT_EQ(a.workloads.size(), b.workloads.size());
     for (std::size_t i = 0; i < a.workloads.size(); ++i)
         expectWorkloadStatsEq(a.workloads[i], b.workloads[i]);
+    expectSnapshotEq(a.registrySnapshot, b.registrySnapshot);
 }
 
 /** The sweep grid used by the determinism proof: mixed tenant
@@ -251,6 +271,63 @@ INSTANTIATE_TEST_SUITE_P(
                    name.end());
         return name;
     });
+
+TEST(SweepDeterminism, FaultsAndRegistrySnapshotsBitIdentical)
+{
+    // The strongest cross-check: every scheduler kind, fault
+    // injection armed, and a frozen StatRegistry per cell. Serial
+    // and 8-job runs must agree byte for byte on the RunStats AND
+    // on every (path, value) pair in the registry snapshots.
+    const auto plan_result = FaultPlan::parse(
+        "hbm-stall:rate=0.03,runaway:rate=0.02:mag=4,"
+        "dma-timeout:rate=0.01");
+    ASSERT_TRUE(plan_result.ok()) << plan_result.error().toString();
+    const FaultPlan plan = plan_result.value();
+
+    const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::Pmt, SchedulerKind::Prema,
+        SchedulerKind::V10Base, SchedulerKind::V10Fair,
+        SchedulerKind::V10Full};
+
+    const auto makeCells =
+        [&](std::vector<std::unique_ptr<StatRegistry>> &registries) {
+            std::vector<SweepCell> cells;
+            for (const SchedulerKind kind : kinds) {
+                SweepCell cell;
+                cell.kind = kind;
+                cell.tenants = {TenantRequest{"BERT", 0, 1.0},
+                                TenantRequest{"NCF", 0, 1.0}};
+                cell.requests = 3;
+                cell.warmup = 1;
+                cell.options.resilience.faults = &plan;
+                registries.push_back(
+                    std::make_unique<StatRegistry>());
+                cell.options.stats = registries.back().get();
+                cells.push_back(std::move(cell));
+            }
+            return cells;
+        };
+
+    std::vector<std::unique_ptr<StatRegistry>> serial_registries;
+    ExperimentRunner serial_runner;
+    SweepRunner serial(serial_runner, 1);
+    const std::vector<RunStats> expected =
+        serial.run(makeCells(serial_registries));
+
+    std::vector<std::unique_ptr<StatRegistry>> parallel_registries;
+    ExperimentRunner parallel_runner;
+    SweepRunner parallel(parallel_runner, 8);
+    const std::vector<RunStats> got =
+        parallel.run(makeCells(parallel_registries));
+
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        SCOPED_TRACE(std::string("kind ") +
+                     schedulerKindName(kinds[i]));
+        expectRunStatsEq(expected[i], got[i]);
+        EXPECT_FALSE(expected[i].registrySnapshot.empty());
+    }
+}
 
 TEST(SweepDeterminism, RepeatedParallelRunsAgree)
 {

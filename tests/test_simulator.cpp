@@ -126,5 +126,104 @@ TEST(SimulatorDeath, SchedulingIntoThePastPanics)
     EXPECT_DEATH(sim.at(5, [] {}), "past");
 }
 
+TEST(Simulator, EveryFiresAtEachInterval)
+{
+    Simulator sim;
+    std::vector<Cycles> ticks;
+    sim.every(10, [&] { ticks.push_back(sim.now()); });
+    sim.runUntil(35);
+    EXPECT_EQ(ticks, (std::vector<Cycles>{10, 20, 30}));
+}
+
+TEST(Simulator, CancelEveryStopsTicks)
+{
+    Simulator sim;
+    int ticks = 0;
+    const PeriodicId id = sim.every(5, [&] { ++ticks; });
+    sim.runUntil(12);
+    EXPECT_EQ(ticks, 2);
+    sim.cancelEvery(id);
+    sim.runUntil(100);
+    EXPECT_EQ(ticks, 2);
+    EXPECT_TRUE(sim.idle());
+    sim.cancelEvery(id);          // double cancel: harmless
+    sim.cancelEvery(kNoPeriodic); // unknown ids: harmless
+    sim.cancelEvery(9999);
+}
+
+TEST(Simulator, CancelEveryFromInsideItsOwnCallback)
+{
+    Simulator sim;
+    int ticks = 0;
+    PeriodicId id = kNoPeriodic;
+    id = sim.every(3, [&] {
+        if (++ticks == 2)
+            sim.cancelEvery(id);
+    });
+    sim.run();
+    EXPECT_EQ(ticks, 2);
+    EXPECT_EQ(sim.now(), 6u);
+}
+
+TEST(Simulator, MultiplePeriodicsInterleaveDeterministically)
+{
+    Simulator sim;
+    std::vector<int> order;
+    const PeriodicId a = sim.every(4, [&] { order.push_back(1); });
+    sim.every(6, [&] { order.push_back(2); });
+    sim.runUntil(12);
+    // Cycle 12: both fire; the one whose re-arm was scheduled
+    // earlier (b, at cycle 6) ticks first — pure insertion order.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1}));
+    sim.cancelEvery(a);
+    sim.runUntil(18);
+    EXPECT_EQ(order.back(), 2);
+}
+
+TEST(Simulator, PeriodicRegisteredInsideCallback)
+{
+    Simulator sim;
+    int inner = 0;
+    sim.after(5, [&] {
+        sim.every(2, [&] { ++inner; });
+    });
+    sim.runUntil(11);
+    EXPECT_EQ(inner, 3); // ticks at 7, 9, 11
+}
+
+TEST(SimulatorDeath, ZeroIntervalEveryPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    EXPECT_DEATH(sim.every(0, [] {}), "interval");
+}
+
+TEST(Simulator, BatchedRunMatchesStepping)
+{
+    // The batched run() must replay the exact per-event order that
+    // single-stepping produces, including same-cycle chains.
+    const auto drive = [](Simulator &sim, std::vector<int> &order) {
+        for (int i = 0; i < 8; ++i)
+            sim.after(static_cast<Cycles>(1 + (i * 5) % 7),
+                      [&order, i] { order.push_back(i); });
+        sim.after(3, [&sim, &order] {
+            order.push_back(100);
+            sim.after(0, [&order] { order.push_back(101); });
+        });
+    };
+    Simulator batched;
+    std::vector<int> batched_order;
+    drive(batched, batched_order);
+    batched.run();
+
+    Simulator stepped;
+    std::vector<int> stepped_order;
+    drive(stepped, stepped_order);
+    while (stepped.step()) {
+    }
+    EXPECT_EQ(batched_order, stepped_order);
+    EXPECT_EQ(batched.eventsRun(), stepped.eventsRun());
+}
+
 } // namespace
 } // namespace v10

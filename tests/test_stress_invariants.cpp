@@ -11,7 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.h"
+#include "metrics/stat_registry.h"
+#include "sim/fault_plan.h"
 #include "v10/experiment.h"
 #include "v10/sweep.h"
 #include "workload/model_zoo.h"
@@ -178,6 +182,66 @@ TEST(StressParallel, InvariantsHoldUnderParallelSweep)
             EXPECT_EQ(got[i].workloads[w].normalizedProgress,
                       expected[i].workloads[w].normalizedProgress);
         }
+    }
+}
+
+TEST(StressParallel, FaultInjectionSnapshotsBitIdentical)
+{
+    // Randomized cells with fault injection armed and a frozen
+    // StatRegistry per cell: the serial and parallel snapshots must
+    // match on every (path, value) pair, exactly.
+    const auto plan_result =
+        FaultPlan::parse("hbm-stall:rate=0.05,sa-corrupt:rate=0.02");
+    ASSERT_TRUE(plan_result.ok()) << plan_result.error().toString();
+    const FaultPlan plan = plan_result.value();
+
+    const NpuConfig cfg;
+    Rng rng(0xFA17u);
+    const auto makeCells =
+        [&](std::vector<std::unique_ptr<StatRegistry>> &registries,
+            Rng grid_rng) {
+            std::vector<SweepCell> cells;
+            for (int i = 0; i < 6; ++i) {
+                SweepCell cell;
+                cell.kind = randomKind(grid_rng);
+                cell.tenants = randomTenants(grid_rng);
+                cell.requests = 3;
+                cell.warmup = 1;
+                cell.options.resilience.faults = &plan;
+                registries.push_back(
+                    std::make_unique<StatRegistry>());
+                cell.options.stats = registries.back().get();
+                cells.push_back(std::move(cell));
+            }
+            return cells;
+        };
+
+    std::vector<std::unique_ptr<StatRegistry>> serial_registries;
+    ExperimentRunner serial_runner(cfg);
+    SweepRunner serial(serial_runner, 1);
+    const std::vector<RunStats> expected =
+        serial.run(makeCells(serial_registries, rng));
+
+    std::vector<std::unique_ptr<StatRegistry>> parallel_registries;
+    ExperimentRunner parallel_runner(cfg);
+    SweepRunner parallel(parallel_runner, 4);
+    const std::vector<RunStats> got_parallel =
+        parallel.run(makeCells(parallel_registries, rng));
+
+    ASSERT_EQ(expected.size(), got_parallel.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        const auto &a = expected[i].registrySnapshot;
+        const auto &b = got_parallel[i].registrySnapshot;
+        ASSERT_FALSE(a.empty());
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t s = 0; s < a.size(); ++s) {
+            EXPECT_EQ(a[s].first, b[s].first);
+            EXPECT_EQ(a[s].second, b[s].second)
+                << "stat " << a[s].first << " diverged";
+        }
+        EXPECT_EQ(expected[i].windowCycles,
+                  got_parallel[i].windowCycles);
     }
 }
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --perf-json dump against a committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Fails (exit 1) when any benchmark present in the baseline is missing
+from the current run, or reports events/sec more than the tolerance
+below the baseline. Benches without an events/sec counter (0 in the
+baseline) are reported but never gate, as are new benches: wall-clock
+across different machines is not comparable enough to gate on.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "v10-bench-perf-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {row["name"]: row for row in doc["benches"]}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional events/sec drop")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    for name, brow in sorted(base.items()):
+        crow = cur.get(name)
+        if crow is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        b_eps = brow.get("events_per_sec", 0.0)
+        c_eps = crow.get("events_per_sec", 0.0)
+        if b_eps <= 0.0:
+            print(f"  skip {name}: no events/sec counter")
+            continue
+        ratio = c_eps / b_eps
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {c_eps:.3e} ev/s vs baseline "
+                f"{b_eps:.3e} ({ratio:.2f}x, tolerance "
+                f"{1.0 - args.tolerance:.2f}x)")
+        print(f"  {status:>10} {name}: {ratio:.2f}x baseline "
+              f"({c_eps:.3e} vs {b_eps:.3e} ev/s)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  new bench (not gated): {name}")
+
+    if failures:
+        print("\nperf-smoke FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nperf-smoke OK: all benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
