@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Microbenchmarks of the fleet-scale serving layer: arrival-stream
+ * generation, the stream merge, and end-to-end ClusterManager runs
+ * at the 100-tenant / 100k-request scale the acceptance scenario
+ * uses. Run with --perf-json=<path> to emit the machine-readable
+ * summary the CI perf-smoke job diffs against
+ * bench/baselines/BENCH_serving.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf_json_main.h"
+#include "serve/arrival.h"
+#include "serve/cluster_manager.h"
+
+namespace {
+
+using namespace v10;
+
+/** Generate one 100k-arrival Poisson stream. */
+void
+BM_ArrivalPoisson100k(benchmark::State &state)
+{
+    ArrivalSpec spec;
+    spec.rps = 100000.0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ArrivalProcess process(spec, seed++);
+        arrivals += process.generate(1.0).size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_ArrivalPoisson100k);
+
+/** Thinning pays per candidate: the diurnal generator at 100k. */
+void
+BM_ArrivalDiurnal100k(benchmark::State &state)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Diurnal;
+    spec.rps = 100000.0;
+    spec.amplitude = 0.7;
+    spec.periodSec = 0.1;
+    std::uint64_t arrivals = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ArrivalProcess process(spec, seed++);
+        arrivals += process.generate(1.0).size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_ArrivalDiurnal100k);
+
+/** Merge 100 tenant streams (~100k events) into one feed. */
+void
+BM_MergeStreams100Tenants(benchmark::State &state)
+{
+    std::vector<std::vector<double>> streams;
+    ArrivalSpec spec;
+    spec.rps = 1000.0;
+    for (std::uint64_t t = 0; t < 100; ++t) {
+        ArrivalProcess process(spec, Rng::deriveStream(5, t));
+        streams.push_back(process.generate(1.0));
+    }
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += mergeArrivalStreams(streams).size();
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_MergeStreams100Tenants);
+
+/** The acceptance scenario: 100 tenants, ~100k requests, serial
+ * vs fanned across the executor. */
+void
+serve100k(benchmark::State &state, std::size_t jobs)
+{
+    std::uint64_t completed = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ServeConfig cfg;
+        cfg.numCores = 16;
+        cfg.durationSec = 1.0;
+        cfg.seed = seed++;
+        cfg.queueCapacity = 128;
+        cfg.jobs = jobs;
+        ClusterManager manager(cfg);
+        for (int i = 0; i < 100; ++i) {
+            ServeTenant t;
+            t.model = "BERT";
+            t.name = "t" + std::to_string(i);
+            t.arrival.rps = 1000.0;
+            t.serviceUsOverride = 140.0; // rho ~ 0.875 per core
+            if (!manager.addTenant(std::move(t)))
+                state.SkipWithError("addTenant failed");
+        }
+        auto report = manager.run();
+        if (!report.ok())
+            state.SkipWithError("run failed");
+        else
+            completed += report.value().completed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+
+void
+BM_Serve100kSerial(benchmark::State &state)
+{
+    serve100k(state, 1);
+}
+BENCHMARK(BM_Serve100kSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_Serve100kJobs4(benchmark::State &state)
+{
+    serve100k(state, 4);
+}
+BENCHMARK(BM_Serve100kJobs4)->Unit(benchmark::kMillisecond);
+
+/** Bursty traffic stresses the queue churn worst. */
+void
+BM_ServeBursty(benchmark::State &state)
+{
+    std::uint64_t completed = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ServeConfig cfg;
+        cfg.numCores = 8;
+        cfg.durationSec = 2.0;
+        cfg.seed = seed++;
+        cfg.queueCapacity = 64;
+        ClusterManager manager(cfg);
+        for (int i = 0; i < 32; ++i) {
+            ServeTenant t;
+            t.model = "NCF";
+            t.name = "b" + std::to_string(i);
+            t.arrival.kind = ArrivalKind::Bursty;
+            t.arrival.rps = 1500.0;
+            t.arrival.meanOnSec = 0.05;
+            t.arrival.meanOffSec = 0.15;
+            t.serviceUsOverride = 120.0;
+            if (!manager.addTenant(std::move(t)))
+                state.SkipWithError("addTenant failed");
+        }
+        auto report = manager.run();
+        if (!report.ok())
+            state.SkipWithError("run failed");
+        else
+            completed += report.value().completed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_ServeBursty)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return v10::bench::perfJsonMain(argc, argv);
+}

@@ -154,7 +154,8 @@ class UnorderedRule : public Rule
     description() const override
     {
         return "flags std::unordered_map/set in result-affecting "
-               "code (sched/sim/npu/metrics): iteration order is "
+               "code (sched/sim/npu/metrics/serve): iteration order "
+               "is "
                "unspecified and varies across libstdc++ versions — "
                "use std::map or sorted iteration, or suppress with a "
                "rationale proving the site is order-insensitive";
@@ -164,7 +165,8 @@ class UnorderedRule : public Rule
     paths() const override
     {
         static const PathFilter filter{
-            {"src/sched/", "src/sim/", "src/npu/", "src/metrics/"},
+            {"src/sched/", "src/sim/", "src/npu/", "src/metrics/",
+             "src/serve/"},
             {}};
         return filter;
     }

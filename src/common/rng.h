@@ -70,6 +70,32 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
+    /**
+     * Derive an independent stream seed from a base seed and a
+     * stream index (SplitMix64 finalizer over their combination).
+     * Used by the serving layer to give every tenant and core its
+     * own disjoint deterministic stream: the derived stream depends
+     * only on (seed, stream), never on draw order elsewhere.
+     */
+    static std::uint64_t
+    deriveStream(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t z =
+            seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]).
+     * Always consumes exactly one draw (Markov-modulated arrival
+     * thinning relies on a fixed draw count per candidate). */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
     /** Uniform integer in [0, n). Requires n > 0. */
     std::uint64_t
     uniformInt(std::uint64_t n)

@@ -1,0 +1,610 @@
+#include "serve/cluster_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/log.h"
+#include "common/parallel_executor.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "metrics/stat_registry.h"
+#include "workload/model_zoo.h"
+
+namespace v10 {
+
+namespace {
+
+/** Stream-id space separation: tenants draw arrival streams below
+ * the core salt, cores draw service streams above it. */
+constexpr std::uint64_t kCoreStreamSalt = 1ull << 32;
+
+/** Outcome of one core's serving simulation (local tenant order). */
+struct CoreOutcome
+{
+    std::vector<SampleSet> latencyUs;
+    std::vector<std::uint64_t> completed;
+    std::vector<std::uint64_t> shed;
+    std::vector<std::uint64_t> violations;
+    double busySec = 0.0;
+    double endSec = 0.0; ///< last completion (>= duration horizon)
+    std::uint64_t served = 0;
+};
+
+/** Immutable description of one resident tenant for the core sim. */
+struct ResidentSpec
+{
+    const std::vector<double> *arrivals = nullptr;
+    double serviceMeanSec = 0.0; ///< after the collocation speedup
+    double weight = 1.0;
+    double sloTargetUs = 0.0;
+};
+
+/**
+ * Simulate one core: a single server draining bounded per-tenant
+ * FIFO queues under self-clocked weighted fair queueing. Pure
+ * function of (residents, capacity, dist, cv, seed).
+ */
+CoreOutcome
+simulateCore(const std::vector<ResidentSpec> &residents,
+             std::size_t queueCapacity, ServiceDist dist, double cv,
+             double durationSec, std::uint64_t seed)
+{
+    const std::size_t n = residents.size();
+    CoreOutcome out;
+    out.latencyUs.resize(n);
+    out.completed.assign(n, 0);
+    out.shed.assign(n, 0);
+    out.violations.assign(n, 0);
+    out.endSec = durationSec;
+
+    std::vector<std::vector<double>> streams(n);
+    for (std::size_t i = 0; i < n; ++i)
+        streams[i] = *residents[i].arrivals;
+    const std::vector<ArrivalEvent> feed =
+        mergeArrivalStreams(streams);
+
+    Rng rng(seed);
+    auto draw_service = [&](std::size_t t) {
+        const double mean = residents[t].serviceMeanSec;
+        switch (dist) {
+          case ServiceDist::Deterministic: return mean;
+          case ServiceDist::Exponential:
+            return rng.exponential(mean);
+          case ServiceDist::Lognormal:
+            return rng.lognormal(mean, cv);
+        }
+        panic("simulateCore: bad service distribution");
+    };
+
+    // Waiting requests per tenant: (arrival time) FIFO, bounded.
+    std::vector<std::vector<double>> queue(n);
+    std::vector<std::size_t> head(n, 0);
+    std::vector<double> vtime(n, 0.0); ///< SCFQ virtual finish
+    double vclock = 0.0;
+
+    bool busy = false;
+    double busy_until = 0.0;
+    double served_arrival = 0.0;
+    std::size_t served_tenant = 0;
+    std::size_t next = 0;
+
+    auto queued = [&](std::size_t t) {
+        return queue[t].size() - head[t];
+    };
+    auto start_next = [&](double now) {
+        // Pick the nonempty queue with the least virtual time
+        // (ties to the lowest tenant index — deterministic).
+        std::size_t pick = n;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (queued(t) == 0)
+                continue;
+            if (pick == n || vtime[t] < vtime[pick])
+                pick = t;
+        }
+        if (pick == n)
+            return;
+        served_tenant = pick;
+        served_arrival = queue[pick][head[pick]++];
+        const double service = draw_service(pick);
+        vclock = std::max(vclock, vtime[pick]);
+        vtime[pick] = vclock + service / residents[pick].weight;
+        busy = true;
+        busy_until = now + service;
+        out.busySec += service;
+    };
+    auto finish = [&]() {
+        const double latency_us =
+            (busy_until - served_arrival) * 1e6;
+        out.latencyUs[served_tenant].add(latency_us);
+        ++out.completed[served_tenant];
+        ++out.served;
+        const double target = residents[served_tenant].sloTargetUs;
+        if (target > 0.0 && latency_us > target)
+            ++out.violations[served_tenant];
+        out.endSec = std::max(out.endSec, busy_until);
+        busy = false;
+    };
+
+    while (next < feed.size() || busy) {
+        // Completions fire before arrivals carrying the same
+        // timestamp: the server frees the slot first.
+        if (busy && (next >= feed.size() ||
+                     busy_until <= feed[next].timeSec)) {
+            const double now = busy_until;
+            finish();
+            start_next(now);
+            continue;
+        }
+        const ArrivalEvent &ev = feed[next++];
+        const std::size_t t = ev.tenant;
+        if (queued(t) >= queueCapacity) {
+            ++out.shed[t]; // bounded queue: load-shed the arrival
+        } else {
+            queue[t].push_back(ev.timeSec);
+            if (!busy)
+                start_next(ev.timeSec);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Result<std::vector<SloTier>>
+parseSloSpec(const std::string &spec)
+{
+    std::vector<SloTier> tiers;
+    for (const std::string &part : split(spec, ',')) {
+        if (part.empty())
+            return parseError("slo: empty tier", "", 0, spec);
+        const auto colon = part.find(':');
+        std::string target = part.substr(0, colon);
+        SloTier tier;
+        if (colon != std::string::npos) {
+            const std::string weight = part.substr(colon + 1);
+            const auto w = parseDouble(weight);
+            if (!w || !std::isfinite(*w) || *w <= 0.0)
+                return parseError("slo: weight must be a positive "
+                                  "number",
+                                  "", 0, weight);
+            tier.weight = *w;
+        }
+        if (!target.empty() && target.back() == 'x') {
+            tier.relative = true;
+            target.pop_back();
+        } else {
+            tier.relative = false;
+        }
+        const auto v = parseDouble(target);
+        if (!v || !std::isfinite(*v) || *v <= 0.0)
+            return parseError("slo: target must be a positive "
+                              "number or <mult>x",
+                              "", 0, part);
+        tier.value = *v;
+        tiers.push_back(tier);
+    }
+    if (tiers.empty())
+        return parseError("slo: expected target[:weight][,...]", "",
+                          0, spec);
+    return tiers;
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin:  return "round-robin";
+      case PlacementPolicy::LeastLoaded: return "least-loaded";
+      case PlacementPolicy::Advisor:     return "advisor";
+    }
+    panic("placementPolicyName: bad policy");
+}
+
+std::optional<PlacementPolicy>
+tryPlacementPolicyFromName(const std::string &name)
+{
+    if (name == "round-robin")
+        return PlacementPolicy::RoundRobin;
+    if (name == "least-loaded")
+        return PlacementPolicy::LeastLoaded;
+    if (name == "advisor")
+        return PlacementPolicy::Advisor;
+    return std::nullopt;
+}
+
+const char *
+serviceDistName(ServiceDist dist)
+{
+    switch (dist) {
+      case ServiceDist::Deterministic: return "det";
+      case ServiceDist::Exponential:   return "exp";
+      case ServiceDist::Lognormal:     return "lognormal";
+    }
+    panic("serviceDistName: bad dist");
+}
+
+std::optional<ServiceDist>
+tryServiceDistFromName(const std::string &name)
+{
+    if (name == "det")
+        return ServiceDist::Deterministic;
+    if (name == "exp")
+        return ServiceDist::Exponential;
+    if (name == "lognormal")
+        return ServiceDist::Lognormal;
+    return std::nullopt;
+}
+
+ClusterManager::ClusterManager(ServeConfig config)
+    : config_(config), runner_(config.core)
+{
+}
+
+Status
+ClusterManager::checkConfig() const
+{
+    if (config_.numCores == 0)
+        return parseError("serve: fleet needs at least one core",
+                          "", 0, "numCores");
+    if (!std::isfinite(config_.durationSec) ||
+        config_.durationSec <= 0.0)
+        return parseError("serve: duration must be positive", "", 0,
+                          "durationSec");
+    if (config_.queueCapacity == 0)
+        return parseError("serve: per-tenant queue capacity must "
+                          "be >= 1",
+                          "", 0, "queueCapacity");
+    if (config_.serviceDist == ServiceDist::Lognormal &&
+        (!std::isfinite(config_.serviceCv) ||
+         config_.serviceCv <= 0.0))
+        return parseError("serve: lognormal service cv must be "
+                          "positive",
+                          "", 0, "serviceCv");
+    return Status::ok();
+}
+
+Status
+ClusterManager::addTenant(ServeTenant tenant)
+{
+    if (tenant.name.empty())
+        return parseError("serve: tenant name must be non-empty",
+                          "", 0, "name");
+    for (const ServeTenant &existing : tenants_) {
+        if (existing.name == tenant.name)
+            return parseError("serve: duplicate tenant name", "", 0,
+                              tenant.name);
+    }
+    if (tryFindModel(tenant.model) == nullptr)
+        return parseError("serve: unknown model", "", 0,
+                          tenant.model);
+    if (Status s = tenant.arrival.check("serve: tenant '" +
+                                        tenant.name + "' arrival");
+        !s)
+        return s;
+    if (!std::isfinite(tenant.slo.latencyTargetUs) ||
+        tenant.slo.latencyTargetUs < 0.0)
+        return parseError("serve: SLO latency target must be "
+                          "finite and non-negative",
+                          "", 0, tenant.name);
+    if (!std::isfinite(tenant.slo.weight) ||
+        tenant.slo.weight <= 0.0)
+        return parseError("serve: SLO weight must be positive", "",
+                          0, tenant.name);
+    if (!std::isfinite(tenant.serviceUsOverride) ||
+        tenant.serviceUsOverride < 0.0)
+        return parseError("serve: service override must be finite "
+                          "and non-negative",
+                          "", 0, tenant.name);
+    tenants_.push_back(std::move(tenant));
+    service_us_cache_.push_back(0.0);
+    return Status::ok();
+}
+
+double
+ClusterManager::serviceUs(std::size_t index)
+{
+    if (index >= tenants_.size())
+        panic("ClusterManager::serviceUs: bad tenant index ", index);
+    if (service_us_cache_[index] > 0.0)
+        return service_us_cache_[index];
+    const ServeTenant &t = tenants_[index];
+    double us = t.serviceUsOverride;
+    if (us <= 0.0) {
+        const double rate =
+            runner_.singleTenantRps(t.model, t.batch);
+        if (rate <= 0.0)
+            panic("ClusterManager::serviceUs: non-positive "
+                  "calibrated rate for ",
+                  t.model);
+        us = 1e6 / rate;
+    }
+    service_us_cache_[index] = us;
+    return us;
+}
+
+Result<ServePlacement>
+ClusterManager::placeAdvisor()
+{
+    // Train the §3.4 advisor on the distinct pooled models, then
+    // greedily pair tenants whose models clear the predicted-gain
+    // threshold; pairs serve faster by the predicted gain.
+    if (advisor_fleet_ == nullptr) {
+        ClusterConfig fleet;
+        fleet.core = config_.core;
+        fleet.numCores = config_.numCores;
+        fleet.collocationThreshold = config_.collocationThreshold;
+        fleet.jobs = config_.jobs;
+        auto cluster = std::make_unique<NpuCluster>(fleet);
+        std::vector<std::string> distinct;
+        for (const ServeTenant &t : tenants_) {
+            if (std::find(distinct.begin(), distinct.end(),
+                          t.model) == distinct.end())
+                distinct.push_back(t.model);
+        }
+        for (const std::string &model : distinct) {
+            if (Status s = cluster->tryAddWorkload(model); !s)
+                return s.error();
+        }
+        if (Status s = cluster->tryTrainAdvisor(
+                config_.advisorProfileRequests);
+            !s)
+            return s.error();
+        advisor_fleet_ = std::move(cluster);
+    }
+
+    // Pairwise predicted gain, cached per model pair.
+    std::map<std::pair<std::string, std::string>, double> gains;
+    auto gain_of = [&](const std::string &a, const std::string &b) {
+        auto key = a <= b ? std::make_pair(a, b)
+                          : std::make_pair(b, a);
+        auto it = gains.find(key);
+        if (it == gains.end())
+            it = gains
+                     .emplace(key, advisor_fleet_->predictedGain(
+                                       key.first, key.second))
+                     .first;
+        return it->second;
+    };
+
+    struct Candidate
+    {
+        std::size_t a, b;
+        double gain;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        for (std::size_t j = i + 1; j < tenants_.size(); ++j) {
+            const double g =
+                gain_of(tenants_[i].model, tenants_[j].model);
+            if (g >= config_.collocationThreshold)
+                candidates.push_back(Candidate{i, j, g});
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  if (x.gain != y.gain)
+                      return x.gain > y.gain;
+                  if (x.a != y.a)
+                      return x.a < y.a;
+                  return x.b < y.b;
+              });
+
+    ServePlacement placement;
+    placement.tenantSpeed.assign(tenants_.size(), 1.0);
+    std::vector<bool> paired(tenants_.size(), false);
+    std::vector<std::vector<std::size_t>> groups;
+    for (const Candidate &c : candidates) {
+        if (paired[c.a] || paired[c.b])
+            continue;
+        paired[c.a] = paired[c.b] = true;
+        groups.push_back({c.a, c.b});
+        // The predicted STP gain becomes the pair's service speed
+        // factor (capped at the two-tenant concurrency limit).
+        const double speed = std::min(std::max(c.gain, 1.0), 2.0);
+        placement.tenantSpeed[c.a] = speed;
+        placement.tenantSpeed[c.b] = speed;
+    }
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!paired[i])
+            groups.push_back({i});
+    }
+
+    // Spill groups to the least-loaded core (offered erlangs,
+    // adjusted for the pair speedup).
+    placement.coreTenants.assign(config_.numCores, {});
+    placement.tenantCore.assign(tenants_.size(), 0);
+    std::vector<double> load(config_.numCores, 0.0);
+    for (const auto &group : groups) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < config_.numCores; ++c) {
+            if (load[c] < load[best])
+                best = c;
+        }
+        for (std::size_t idx : group) {
+            placement.coreTenants[best].push_back(idx);
+            placement.tenantCore[idx] = best;
+            load[best] += tenants_[idx].arrival.rps *
+                          (serviceUs(idx) * 1e-6) /
+                          placement.tenantSpeed[idx];
+        }
+    }
+    return placement;
+}
+
+Result<ServePlacement>
+ClusterManager::place()
+{
+    if (Status s = checkConfig(); !s)
+        return s.error();
+    if (tenants_.empty())
+        return parseError("serve: no tenants admitted", "", 0,
+                          "tenants");
+
+    if (config_.policy == PlacementPolicy::Advisor)
+        return placeAdvisor();
+
+    ServePlacement placement;
+    placement.coreTenants.assign(config_.numCores, {});
+    placement.tenantSpeed.assign(tenants_.size(), 1.0);
+    placement.tenantCore.assign(tenants_.size(), 0);
+
+    if (config_.policy == PlacementPolicy::RoundRobin) {
+        for (std::size_t i = 0; i < tenants_.size(); ++i) {
+            const std::size_t core = i % config_.numCores;
+            placement.coreTenants[core].push_back(i);
+            placement.tenantCore[i] = core;
+        }
+        return placement;
+    }
+
+    // LeastLoaded: heaviest tenants first onto the emptiest core.
+    std::vector<std::size_t> order(tenants_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::vector<double> erlangs(tenants_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        erlangs[i] =
+            tenants_[i].arrival.rps * (serviceUs(i) * 1e-6);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (erlangs[a] != erlangs[b])
+                      return erlangs[a] > erlangs[b];
+                  return a < b;
+              });
+    std::vector<double> load(config_.numCores, 0.0);
+    for (std::size_t idx : order) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < config_.numCores; ++c) {
+            if (load[c] < load[best])
+                best = c;
+        }
+        placement.coreTenants[best].push_back(idx);
+        placement.tenantCore[idx] = best;
+        load[best] += erlangs[idx];
+    }
+    // Keep each core's resident list in tenant order so the core
+    // simulation is independent of the placement visit order.
+    for (auto &residents : placement.coreTenants)
+        std::sort(residents.begin(), residents.end());
+    return placement;
+}
+
+Result<ServingReport>
+ClusterManager::run()
+{
+    auto placement_or = place();
+    if (!placement_or.ok())
+        return placement_or.error();
+    const ServePlacement placement = placement_or.take();
+
+    // Per-tenant arrival streams: derived seeds make every stream a
+    // pure function of (run seed, tenant index).
+    std::vector<std::vector<double>> streams(tenants_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        ArrivalProcess process(
+            tenants_[i].arrival,
+            Rng::deriveStream(config_.seed, i));
+        streams[i] = process.generate(config_.durationSec);
+    }
+
+    // Resolve service means up front (cache fills are not
+    // thread-safe, and the fan-out workers read them).
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        (void)serviceUs(i);
+
+    // Fan the independent per-core simulations out; collecting by
+    // core index keeps the fold order serial-identical.
+    ParallelExecutor exec(config_.jobs);
+    std::vector<CoreOutcome> outcomes =
+        exec.map<CoreOutcome>(config_.numCores, [&](std::size_t c) {
+            std::vector<ResidentSpec> residents;
+            residents.reserve(placement.coreTenants[c].size());
+            for (std::size_t idx : placement.coreTenants[c]) {
+                ResidentSpec spec;
+                spec.arrivals = &streams[idx];
+                spec.serviceMeanSec = serviceUs(idx) * 1e-6 /
+                                      placement.tenantSpeed[idx];
+                spec.weight = tenants_[idx].slo.weight;
+                spec.sloTargetUs = tenants_[idx].slo.latencyTargetUs;
+                residents.push_back(spec);
+            }
+            return simulateCore(
+                residents, config_.queueCapacity,
+                config_.serviceDist, config_.serviceCv,
+                config_.durationSec,
+                Rng::deriveStream(config_.seed,
+                                  kCoreStreamSalt + c));
+        });
+
+    ServingReport report;
+    report.policy = placementPolicyName(config_.policy);
+    report.durationSec = config_.durationSec;
+    report.cores = config_.numCores;
+    report.tenants.resize(tenants_.size());
+
+    double util_sum = 0.0;
+    for (std::size_t c = 0; c < config_.numCores; ++c) {
+        const CoreOutcome &out = outcomes[c];
+        const auto &residents = placement.coreTenants[c];
+        CoreServingStats core;
+        core.index = c;
+        core.served = out.served;
+        core.busySec = out.busySec;
+        core.util = out.endSec > 0.0 ? out.busySec / out.endSec
+                                     : 0.0;
+        for (std::size_t local = 0; local < residents.size();
+             ++local) {
+            const std::size_t idx = residents[local];
+            const ServeTenant &t = tenants_[idx];
+            core.tenants.push_back(t.name);
+            core.speedFactor = placement.tenantSpeed[idx];
+
+            TenantServingStats &ts = report.tenants[idx];
+            ts.name = t.name;
+            ts.model = t.model;
+            ts.core = c;
+            ts.offered = streams[idx].size();
+            ts.completed = out.completed[local];
+            ts.shed = out.shed[local];
+            ts.sloViolations = out.violations[local];
+            ts.sloTargetUs = t.slo.latencyTargetUs;
+            ts.weight = t.slo.weight;
+            ts.offeredRps = static_cast<double>(ts.offered) /
+                            config_.durationSec;
+            ts.goodputRps =
+                static_cast<double>(ts.completed -
+                                    ts.sloViolations) /
+                config_.durationSec;
+            const SampleSet &lat = out.latencyUs[local];
+            ts.meanUs = lat.mean();
+            ts.p50Us = lat.percentile(50.0);
+            ts.p99Us = lat.percentile(99.0);
+            ts.p999Us = lat.percentile(99.9);
+            ts.maxUs = lat.max();
+        }
+        if (!residents.empty()) {
+            ++report.coresUsed;
+            util_sum += core.util;
+        }
+        report.coreStats.push_back(std::move(core));
+    }
+    for (const TenantServingStats &ts : report.tenants) {
+        report.offered += ts.offered;
+        report.completed += ts.completed;
+        report.shed += ts.shed;
+        report.sloViolations += ts.sloViolations;
+        report.goodputRps += ts.goodputRps;
+    }
+    report.meanCoreUtil =
+        report.coresUsed > 0
+            ? util_sum / static_cast<double>(report.coresUsed)
+            : 0.0;
+
+    if (stats_ != nullptr)
+        registerServingStats(*stats_, report);
+    return report;
+}
+
+} // namespace v10

@@ -1,0 +1,159 @@
+#include "serve/serving_report.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "metrics/stat_registry.h"
+
+namespace v10 {
+
+double
+TenantServingStats::sloAttainment() const
+{
+    if (completed == 0 || sloTargetUs <= 0.0)
+        return 1.0;
+    return static_cast<double>(completed - sloViolations) /
+           static_cast<double>(completed);
+}
+
+std::string
+ServingReport::summary() const
+{
+    std::ostringstream os;
+    os << policy << ": " << offered << " offered, " << completed
+       << " completed, " << shed << " shed, " << sloViolations
+       << " late over " << formatDouble(durationSec, 2) << "s on "
+       << coresUsed << "/" << cores << " cores; goodput "
+       << formatDouble(goodputRps, 1) << " req/s, mean core util "
+       << formatPct(meanCoreUtil);
+    return os.str();
+}
+
+void
+writeServingReportJson(JsonWriter &w, const ServingReport &report)
+{
+    w.beginObject();
+    w.kv("policy", report.policy);
+    w.kv("duration_sec", report.durationSec);
+    w.kv("cores", static_cast<std::uint64_t>(report.cores));
+    w.kv("cores_used",
+         static_cast<std::uint64_t>(report.coresUsed));
+    w.kv("offered", report.offered);
+    w.kv("completed", report.completed);
+    w.kv("shed", report.shed);
+    w.kv("slo_violations", report.sloViolations);
+    w.kv("goodput_rps", report.goodputRps);
+    w.kv("mean_core_util", report.meanCoreUtil);
+
+    w.key("tenants");
+    w.beginArray();
+    for (const TenantServingStats &t : report.tenants) {
+        w.beginObject();
+        w.kv("name", t.name);
+        w.kv("model", t.model);
+        w.kv("core", static_cast<std::uint64_t>(t.core));
+        w.kv("offered", t.offered);
+        w.kv("completed", t.completed);
+        w.kv("shed", t.shed);
+        w.kv("slo_violations", t.sloViolations);
+        w.kv("offered_rps", t.offeredRps);
+        w.kv("goodput_rps", t.goodputRps);
+        w.kv("mean_us", t.meanUs);
+        w.kv("p50_us", t.p50Us);
+        w.kv("p99_us", t.p99Us);
+        w.kv("p999_us", t.p999Us);
+        w.kv("max_us", t.maxUs);
+        w.kv("slo_target_us", t.sloTargetUs);
+        w.kv("weight", t.weight);
+        w.kv("slo_attainment", t.sloAttainment());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("cores_detail");
+    w.beginArray();
+    for (const CoreServingStats &c : report.coreStats) {
+        w.beginObject();
+        w.kv("index", static_cast<std::uint64_t>(c.index));
+        w.key("tenants");
+        w.beginArray();
+        for (const std::string &name : c.tenants)
+            w.value(name);
+        w.endArray();
+        w.kv("served", c.served);
+        w.kv("busy_sec", c.busySec);
+        w.kv("util", c.util);
+        w.kv("speed_factor", c.speedFactor);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeServingDocumentJson(std::ostream &os,
+                         const ServeManifest &manifest,
+                         const ServingReport &report,
+                         const StatRegistry *registry)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("manifest");
+    w.beginObject();
+    w.kv("tool", manifest.tool);
+    w.kv("policy", manifest.policy);
+    w.kv("arrivals", manifest.arrivals);
+    w.kv("cores", static_cast<std::uint64_t>(manifest.cores));
+    w.kv("tenants", static_cast<std::uint64_t>(manifest.tenants));
+    w.kv("duration_sec", manifest.durationSec);
+    w.kv("seed", manifest.seed);
+    w.endObject();
+    w.key("serving");
+    writeServingReportJson(w, report);
+    w.key("registry");
+    if (registry != nullptr && registry->size() > 0)
+        registry->writeJson(w);
+    else
+        w.valueNull();
+    w.endObject();
+    os << '\n';
+}
+
+void
+registerServingStats(StatRegistry &registry,
+                     const ServingReport &report)
+{
+    registry.addCounter("serve.offered", "generated arrivals")
+        .set(report.offered);
+    registry.addCounter("serve.completed", "served requests")
+        .set(report.completed);
+    registry.addCounter("serve.shed", "admission drops")
+        .set(report.shed);
+    registry
+        .addCounter("serve.slo_violations",
+                    "completed past the latency target")
+        .set(report.sloViolations);
+    registry.addGauge("serve.goodput_rps", "SLO-met throughput")
+        .set(report.goodputRps);
+    registry
+        .addGauge("serve.mean_core_util",
+                  "mean utilization over used cores")
+        .set(report.meanCoreUtil);
+    registry
+        .addGauge("serve.cores_used", "cores with >= 1 tenant")
+        .set(static_cast<double>(report.coresUsed));
+    for (const CoreServingStats &c : report.coreStats) {
+        const std::string prefix =
+            "serve.core" + std::to_string(c.index);
+        registry.addGauge(prefix + ".util", "server busy fraction")
+            .set(c.util);
+        registry.addCounter(prefix + ".served", "completions")
+            .set(c.served);
+        registry
+            .addGauge(prefix + ".tenants", "resident tenants")
+            .set(static_cast<double>(c.tenants.size()));
+    }
+}
+
+} // namespace v10

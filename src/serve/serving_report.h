@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The result record of one open-loop serving run: per-tenant tail
+ * latency (p50/p99/p999), goodput (SLO-met throughput), shed and
+ * violation counts, and per-core occupancy/utilization — the
+ * fleet-scale analogue of RunStats. Rendered as a text summary and
+ * as the `v10sim serve --stats-json` JSON document; every number is
+ * a pure function of (scenario, seed), so the JSON is byte-identical
+ * across repeated runs and across --jobs counts (wall-clock never
+ * enters the document).
+ */
+
+#ifndef V10_SERVE_SERVING_REPORT_H
+#define V10_SERVE_SERVING_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace v10 {
+
+class JsonWriter;
+class StatRegistry;
+
+/** Per-tenant serving outcomes. */
+struct TenantServingStats
+{
+    std::string name;         ///< tenant id ("BERT#17")
+    std::string model;        ///< workload model abbrev
+    std::size_t core = 0;     ///< core the tenant was placed on
+
+    std::uint64_t offered = 0;    ///< generated arrivals
+    std::uint64_t completed = 0;  ///< served to completion
+    std::uint64_t shed = 0;       ///< dropped at admission
+    std::uint64_t sloViolations = 0; ///< completed but late
+
+    double offeredRps = 0.0;  ///< offered / duration
+    double goodputRps = 0.0;  ///< SLO-met completions / duration
+
+    double meanUs = 0.0;   ///< mean sojourn (queue + service)
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double maxUs = 0.0;
+
+    double sloTargetUs = 0.0; ///< 0 = no latency target
+    double weight = 1.0;      ///< fair-share weight
+
+    /** Fraction of completed requests inside the SLO (1 if none
+     * completed or no target). */
+    double sloAttainment() const;
+};
+
+/** Per-core serving outcomes. */
+struct CoreServingStats
+{
+    std::size_t index = 0;
+    std::vector<std::string> tenants; ///< resident tenant names
+    std::uint64_t served = 0;         ///< completions on this core
+    double busySec = 0.0;             ///< server busy time
+    double util = 0.0;                ///< busy / max(duration, drain)
+    double speedFactor = 1.0;         ///< collocation service speedup
+};
+
+/** Whole-run serving outcomes. */
+struct ServingReport
+{
+    std::string policy;       ///< placement policy name
+    double durationSec = 0.0; ///< arrival horizon
+    std::size_t cores = 0;    ///< fleet size
+    std::size_t coresUsed = 0; ///< cores with >= 1 tenant
+
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t sloViolations = 0;
+
+    double goodputRps = 0.0;     ///< fleet SLO-met throughput
+    double meanCoreUtil = 0.0;   ///< mean util over used cores
+
+    std::vector<TenantServingStats> tenants;
+    std::vector<CoreServingStats> coreStats;
+
+    /** One-line fleet summary for logs. */
+    std::string summary() const;
+
+    /** Offered requests that were admitted (offered - shed). */
+    std::uint64_t admitted() const { return offered - shed; }
+};
+
+/** Context of the run for the JSON manifest. */
+struct ServeManifest
+{
+    std::string tool = "v10sim serve";
+    std::string policy;
+    std::string arrivals;      ///< arrival mix label
+    std::size_t cores = 0;
+    std::size_t tenants = 0;
+    double durationSec = 0.0;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Emit the report body as one JSON object (fleet aggregates plus
+ * "tenants" and "cores" arrays) onto an open writer.
+ */
+void writeServingReportJson(JsonWriter &w,
+                            const ServingReport &report);
+
+/**
+ * Write the full serving document: top-level keys "manifest",
+ * "serving", and "registry" (null when @p registry is null).
+ * Deliberately excludes wall-clock so the document is byte-stable.
+ */
+void writeServingDocumentJson(std::ostream &os,
+                              const ServeManifest &manifest,
+                              const ServingReport &report,
+                              const StatRegistry *registry);
+
+/**
+ * Register the report's fleet aggregates and per-core gauges under
+ * "serve.*" in @p registry (idempotent per fresh registry; panics
+ * on path collisions like all StatRegistry misuse).
+ */
+void registerServingStats(StatRegistry &registry,
+                          const ServingReport &report);
+
+} // namespace v10
+
+#endif // V10_SERVE_SERVING_REPORT_H

@@ -31,9 +31,18 @@ void
 NpuCluster::addWorkload(const std::string &model, int batch,
                         double priority)
 {
+    tryAddWorkload(model, batch, priority).orDie();
+}
+
+Status
+NpuCluster::tryAddWorkload(const std::string &model, int batch,
+                           double priority)
+{
     if (!hasModel(model))
-        fatal("NpuCluster: unknown model '", model, "'");
+        return parseError("NpuCluster: unknown model", "", 0,
+                          model);
     pool_.push_back(TenantRequest{model, batch, priority});
+    return Status::ok();
 }
 
 const WorkloadFeatures &
@@ -54,8 +63,16 @@ NpuCluster::features(const std::string &model, int batch)
 void
 NpuCluster::trainAdvisor(std::uint64_t profileRequests)
 {
+    tryTrainAdvisor(profileRequests).orDie();
+}
+
+Status
+NpuCluster::tryTrainAdvisor(std::uint64_t profileRequests)
+{
     if (pool_.empty())
-        fatal("NpuCluster: train after adding workloads");
+        return parseError(
+            "NpuCluster: train after adding workloads", "", 0,
+            "pool");
     profile_requests_ = profileRequests;
 
     // Featurize every distinct pooled workload; bail out to the
@@ -92,14 +109,29 @@ NpuCluster::trainAdvisor(std::uint64_t profileRequests)
         return pmt.stp() > 0.0 ? full.stp() / pmt.stp() : 0.0;
     });
     advisor_ = std::move(advisor);
+    return Status::ok();
 }
 
 double
 NpuCluster::predictedGain(const std::string &modelA,
                           const std::string &modelB)
 {
+    return tryPredictedGain(modelA, modelB).valueOrDie();
+}
+
+Result<double>
+NpuCluster::tryPredictedGain(const std::string &modelA,
+                             const std::string &modelB)
+{
     if (!advisorTrained())
-        fatal("NpuCluster: advisor not trained");
+        return parseError("NpuCluster: advisor not trained", "", 0,
+                          "advisor");
+    if (!hasModel(modelA))
+        return parseError("NpuCluster: unknown model", "", 0,
+                          modelA);
+    if (!hasModel(modelB))
+        return parseError("NpuCluster: unknown model", "", 0,
+                          modelB);
     return advisor_->predictPerf(features(modelA, 0),
                                  features(modelB, 0));
 }
@@ -170,8 +202,21 @@ NpuCluster::pairRandom(std::uint64_t seed)
 ClusterResult
 NpuCluster::dispatchAndRun(DispatchPolicy policy, std::uint64_t seed)
 {
+    return tryDispatchAndRun(policy, seed).valueOrDie();
+}
+
+Result<ClusterResult>
+NpuCluster::tryDispatchAndRun(DispatchPolicy policy,
+                              std::uint64_t seed)
+{
     if (pool_.empty())
-        fatal("NpuCluster: empty workload pool");
+        return parseError("NpuCluster: empty workload pool", "", 0,
+                          "pool");
+    if (policy == DispatchPolicy::ClusteredPairing &&
+        !advisorTrained())
+        return parseError("NpuCluster: ClusteredPairing requires "
+                          "trainAdvisor()",
+                          "", 0, "advisor");
 
     std::vector<std::vector<std::size_t>> groups;
     switch (policy) {
@@ -188,10 +233,14 @@ NpuCluster::dispatchAndRun(DispatchPolicy policy, std::uint64_t seed)
     }
 
     if (groups.size() > config_.numCores)
-        fatal("NpuCluster: ", dispatchPolicyName(policy), " needs ",
-              groups.size(), " cores but the fleet has ",
-              config_.numCores,
-              " — add cores or pool fewer workloads");
+        return parseError(
+            std::string("NpuCluster: ") +
+                dispatchPolicyName(policy) + " needs " +
+                std::to_string(groups.size()) +
+                " cores but the fleet has " +
+                std::to_string(config_.numCores) +
+                " — add cores or pool fewer workloads",
+            "", 0, "numCores");
 
     ClusterResult result;
     result.policy = policy;

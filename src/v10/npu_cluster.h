@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "v10/collocation_advisor.h"
 #include "v10/experiment.h"
 
@@ -80,9 +81,13 @@ class NpuCluster
   public:
     explicit NpuCluster(ClusterConfig config = ClusterConfig{});
 
-    /** Add a workload to the serving pool. */
+    /** Add a workload to the serving pool; fatal on bad input. */
     void addWorkload(const std::string &model, int batch = 0,
                      double priority = 1.0);
+
+    /** Structured-error variant of addWorkload (unknown model). */
+    Status tryAddWorkload(const std::string &model, int batch = 0,
+                          double priority = 1.0);
 
     /** Number of pooled workloads. */
     std::size_t poolSize() const { return pool_.size(); }
@@ -90,9 +95,13 @@ class NpuCluster
     /**
      * Offline training (Fig. 14): profile the pool's distinct
      * workloads, featurize them, and train the clustering
-     * collocator against simulated pair performance.
+     * collocator against simulated pair performance. Fatal on an
+     * empty pool.
      */
     void trainAdvisor(std::uint64_t profileRequests = 6);
+
+    /** Structured-error variant of trainAdvisor (empty pool). */
+    Status tryTrainAdvisor(std::uint64_t profileRequests = 6);
 
     /** True after trainAdvisor(). */
     bool advisorTrained() const { return advisor_ != nullptr; }
@@ -100,14 +109,30 @@ class NpuCluster
     /**
      * Assign the pool to cores under @p policy and simulate every
      * core. ClusteredPairing requires trainAdvisor() first.
+     * Fatal on an empty pool, missing training, or overflow.
      * @param seed randomization seed (RandomPairing shuffle)
      */
     ClusterResult dispatchAndRun(DispatchPolicy policy,
                                  std::uint64_t seed = 1);
 
-    /** The advisor's predicted gain for two pooled workloads. */
+    /**
+     * Structured-error variant of dispatchAndRun: an empty pool, an
+     * untrained advisor under ClusteredPairing, and a fleet smaller
+     * than the grouping needs all return a ParseError instead of
+     * killing the process.
+     */
+    Result<ClusterResult> tryDispatchAndRun(DispatchPolicy policy,
+                                            std::uint64_t seed = 1);
+
+    /** The advisor's predicted gain for two pooled workloads;
+     * fatal when the advisor is untrained. */
     double predictedGain(const std::string &modelA,
                          const std::string &modelB);
+
+    /** Structured-error variant of predictedGain (untrained
+     * advisor, unknown model). */
+    Result<double> tryPredictedGain(const std::string &modelA,
+                                    const std::string &modelB);
 
   private:
     /** Distinct (model, batch) keys in the pool. */

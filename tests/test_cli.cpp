@@ -301,6 +301,74 @@ TEST(Cli, ReportStatsJsonDumpsTheGrid)
         cell.object.front().second.find("tenants")->isArray());
 }
 
+TEST(Cli, ServeReportsFleetSummaryAndTailTable)
+{
+    const auto [rc, out] = runCli(
+        "serve --tenants 8 --cores 4 --duration 0.5 --util 0.6 "
+        "--service-us 400 --seed 3");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("offered"), std::string::npos);
+    EXPECT_NE(out.find("goodput"), std::string::npos);
+    EXPECT_NE(out.find("p99"), std::string::npos);
+}
+
+TEST(Cli, ServeStatsJsonSchemaAndJobsBitIdentity)
+{
+    const std::string serial =
+        ::testing::TempDir() + "/cli_serve_serial.json";
+    const std::string parallel =
+        ::testing::TempDir() + "/cli_serve_jobs.json";
+    const std::string scenario =
+        "serve --tenants 30 --cores 8 --duration 1 --util 0.7 "
+        "--arrivals mixed --slo 25x:1,50x:2 --service-us 300 "
+        "--seed 11 ";
+    const auto [rc1, out1] =
+        runCli(scenario + "--jobs 1 --stats-json " + serial);
+    ASSERT_EQ(rc1, 0);
+    const auto [rc2, out2] =
+        runCli(scenario + "--jobs auto --stats-json " + parallel);
+    ASSERT_EQ(rc2, 0);
+
+    const std::string a = readFile(serial);
+    // Byte-identity across --jobs: same document, byte for byte.
+    EXPECT_EQ(a, readFile(parallel));
+
+    const JsonValue doc =
+        JsonValue::parseOrDie(a, "serve stats json");
+    for (const char *k : {"manifest", "serving", "registry"})
+        EXPECT_TRUE(doc.has(k)) << k;
+    EXPECT_EQ(doc.find("manifest")->find("tool")->str,
+              "v10sim serve");
+    const JsonValue *serving = doc.find("serving");
+    ASSERT_NE(serving, nullptr);
+    const JsonValue *tenants = serving->find("tenants");
+    ASSERT_TRUE(tenants != nullptr && tenants->isArray());
+    ASSERT_EQ(tenants->array.size(), 30u);
+    double offered = 0.0;
+    for (const JsonValue &t : tenants->array) {
+        for (const char *k :
+             {"p50_us", "p99_us", "p999_us", "goodput_rps", "shed",
+              "slo_target_us"})
+            EXPECT_TRUE(t.has(k)) << k;
+        offered += t.find("offered")->number;
+    }
+    // Tenant rows sum to the fleet aggregate, which the registry
+    // mirrors under serve.*.
+    EXPECT_DOUBLE_EQ(serving->find("offered")->number, offered);
+    EXPECT_DOUBLE_EQ(
+        doc.find("registry")->find("serve")->find("offered")->number,
+        offered);
+}
+
+TEST(Cli, ServeUsageErrors)
+{
+    EXPECT_EQ(runCli("serve --policy nope").first, 2);
+    EXPECT_EQ(runCli("serve --arrivals weekly").first, 2);
+    EXPECT_EQ(runCli("serve --slo bogus").first, 2);
+    EXPECT_EQ(runCli("serve --tenants 0").first, 2);
+    EXPECT_EQ(runCli("serve --service uniform").first, 2);
+}
+
 TEST(Cli, UnknownCommandShowsUsage)
 {
     const auto [rc, out] = runCli("frobnicate --x 1");

@@ -105,6 +105,104 @@ TEST(NpuCluster, PredictedGainOrdersPairs)
               cluster.predictedGain("BERT", "RNRS"));
 }
 
+TEST(NpuCluster, RandomPairingIsSeedDeterministic)
+{
+    NpuCluster cluster = makePool(6);
+    const ClusterResult a =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 9);
+    const ClusterResult b =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 9);
+    ASSERT_EQ(a.assignment.size(), b.assignment.size());
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.fleetStp, b.fleetStp);
+
+    // A different seed shuffles differently (6 workloads have 15
+    // pairings; seeds 9 and 10 diverge in practice).
+    const ClusterResult c =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 10);
+    EXPECT_NE(a.assignment, c.assignment);
+}
+
+TEST(NpuCluster, RandomPairingOddPoolLeavesOneSingleton)
+{
+    ClusterConfig cfg = smallFleet(3);
+    NpuCluster cluster(cfg);
+    for (const char *m : {"BERT", "NCF", "DLRM", "RsNt", "MNST"})
+        cluster.addWorkload(m);
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 4);
+    EXPECT_EQ(r.coresUsed, 3u);
+    std::size_t singletons = 0;
+    std::size_t pairs = 0;
+    for (const auto &core : r.assignment) {
+        if (core.size() == 1)
+            ++singletons;
+        else if (core.size() == 2)
+            ++pairs;
+    }
+    EXPECT_EQ(singletons, 1u);
+    EXPECT_EQ(pairs, 2u);
+}
+
+TEST(NpuCluster, SingleWorkloadPoolPairsToItselfAlone)
+{
+    NpuCluster cluster(smallFleet(2));
+    cluster.addWorkload("NCF");
+    const ClusterResult r =
+        cluster.dispatchAndRun(DispatchPolicy::RandomPairing, 1);
+    EXPECT_EQ(r.coresUsed, 1u);
+    ASSERT_EQ(r.assignment.size(), 1u);
+    EXPECT_EQ(r.assignment[0].size(), 1u);
+}
+
+TEST(NpuClusterStatus, StructuredErrorsInsteadOfDeath)
+{
+    // The try* APIs surface the same misuse as ParseError values,
+    // so embedding callers (the serving manager) can recover.
+    NpuCluster empty(smallFleet(2));
+    const auto no_pool =
+        empty.tryDispatchAndRun(DispatchPolicy::NoSharing);
+    ASSERT_FALSE(no_pool.ok());
+    EXPECT_NE(no_pool.error().message.find("empty"),
+              std::string::npos);
+    const Status no_train = empty.tryTrainAdvisor();
+    ASSERT_FALSE(no_train);
+    EXPECT_NE(no_train.error().message.find("adding workloads"),
+              std::string::npos);
+
+    NpuCluster untrained = makePool(6);
+    const auto clustered = untrained.tryDispatchAndRun(
+        DispatchPolicy::ClusteredPairing);
+    ASSERT_FALSE(clustered.ok());
+    EXPECT_NE(clustered.error().message.find("trainAdvisor"),
+              std::string::npos);
+    const auto gain = untrained.tryPredictedGain("BERT", "NCF");
+    ASSERT_FALSE(gain.ok());
+    EXPECT_NE(gain.error().message.find("not trained"),
+              std::string::npos);
+
+    NpuCluster small = makePool(2); // 6 workloads, 2 cores
+    const auto overflow =
+        small.tryDispatchAndRun(DispatchPolicy::NoSharing);
+    ASSERT_FALSE(overflow.ok());
+    EXPECT_NE(overflow.error().message.find("cores"),
+              std::string::npos);
+
+    NpuCluster bad(smallFleet(4));
+    const Status unknown = bad.tryAddWorkload("Nope");
+    ASSERT_FALSE(unknown);
+    EXPECT_NE(unknown.error().message.find("unknown"),
+              std::string::npos);
+    EXPECT_EQ(bad.poolSize(), 0u);
+
+    // After the failures above, a valid sequence still works on the
+    // same objects — errors leave no broken state behind.
+    ASSERT_TRUE(bad.tryAddWorkload("BERT"));
+    const auto ok = bad.tryDispatchAndRun(DispatchPolicy::NoSharing);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().coresUsed, 1u);
+}
+
 TEST(NpuClusterDeath, Misuse)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

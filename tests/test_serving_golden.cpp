@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Golden determinism tests for the serving layer: with a fixed
+ * seed and tenant pool, the full --stats-json document must be
+ * byte-identical across repeated runs and across --jobs counts
+ * (the document deliberately contains no wall-clock).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "metrics/stat_registry.h"
+#include "serve/cluster_manager.h"
+#include "serve/serving_report.h"
+
+namespace v10 {
+namespace {
+
+/** A 24-tenant mixed-arrival scenario with SLO tiers. */
+ClusterManager
+makeScenario(std::size_t jobs)
+{
+    ServeConfig cfg;
+    cfg.numCores = 6;
+    cfg.durationSec = 2.0;
+    cfg.seed = 20260808;
+    cfg.queueCapacity = 32;
+    cfg.policy = PlacementPolicy::LeastLoaded;
+    cfg.serviceDist = ServiceDist::Lognormal;
+    cfg.serviceCv = 0.8;
+    cfg.jobs = jobs;
+    ClusterManager manager(cfg);
+    const char *models[] = {"BERT", "DLRM", "NCF", "RsNt"};
+    for (int i = 0; i < 24; ++i) {
+        ServeTenant t;
+        t.model = models[i % 4];
+        t.name = t.model + std::string("#") + std::to_string(i);
+        t.arrival.kind = static_cast<ArrivalKind>(i % 3);
+        t.arrival.rps = 400.0 + 60.0 * static_cast<double>(i % 5);
+        t.serviceUsOverride = 150.0 + 25.0 * (i % 3);
+        t.slo.latencyTargetUs = (i % 2) ? 4000.0 : 0.0;
+        t.slo.weight = (i % 4 == 0) ? 2.0 : 1.0;
+        EXPECT_TRUE(manager.addTenant(std::move(t)));
+    }
+    return manager;
+}
+
+/** Run the scenario and render the full JSON document. */
+std::string
+renderDocument(std::size_t jobs)
+{
+    ClusterManager manager = makeScenario(jobs);
+    StatRegistry registry;
+    manager.setStats(&registry);
+    auto report = manager.run();
+    EXPECT_TRUE(report.ok());
+    ServeManifest manifest;
+    manifest.policy = placementPolicyName(manager.config().policy);
+    manifest.arrivals = "mixed";
+    manifest.cores = manager.config().numCores;
+    manifest.tenants = manager.tenantCount();
+    manifest.durationSec = manager.config().durationSec;
+    manifest.seed = manager.config().seed;
+    std::ostringstream os;
+    writeServingDocumentJson(os, manifest, report.value(),
+                             &registry);
+    return os.str();
+}
+
+TEST(ServingGolden, DocumentIsByteIdenticalAcrossRepeatedRuns)
+{
+    const std::string first = renderDocument(1);
+    const std::string second = renderDocument(1);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(ServingGolden, DocumentIsByteIdenticalSerialVsParallel)
+{
+    const std::string serial = renderDocument(1);
+    for (std::size_t jobs : {2u, 4u, 8u}) {
+        const std::string parallel = renderDocument(jobs);
+        EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+    }
+}
+
+TEST(ServingGolden, DocumentHasTheContractKeys)
+{
+    const std::string doc = renderDocument(1);
+    for (const char *key :
+         {"\"manifest\"", "\"serving\"", "\"registry\"",
+          "\"tenants\"", "\"cores_detail\"", "\"p50_us\"",
+          "\"p99_us\"", "\"p999_us\"", "\"goodput_rps\"",
+          "\"shed\"", "\"slo_violations\"", "\"serve\""}) {
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    }
+    // No wall-clock: byte-stability depends on it.
+    EXPECT_EQ(doc.find("wall"), std::string::npos);
+}
+
+TEST(ServingGolden, SeedChangesTheDocument)
+{
+    const std::string base = renderDocument(1);
+    ClusterManager manager = makeScenario(1);
+    // Same scenario, different seed: the stream must move.
+    ServeConfig cfg = manager.config();
+    cfg.seed = 1;
+    ClusterManager other(cfg);
+    const char *models[] = {"BERT", "DLRM", "NCF", "RsNt"};
+    for (int i = 0; i < 24; ++i) {
+        ServeTenant t;
+        t.model = models[i % 4];
+        t.name = t.model + std::string("#") + std::to_string(i);
+        t.arrival.kind = static_cast<ArrivalKind>(i % 3);
+        t.arrival.rps = 400.0 + 60.0 * static_cast<double>(i % 5);
+        t.serviceUsOverride = 150.0 + 25.0 * (i % 3);
+        ASSERT_TRUE(other.addTenant(std::move(t)));
+    }
+    auto report = other.run();
+    ASSERT_TRUE(report.ok());
+    std::ostringstream os;
+    writeServingDocumentJson(os, ServeManifest{}, report.value(),
+                             nullptr);
+    EXPECT_NE(base, os.str());
+}
+
+} // namespace
+} // namespace v10

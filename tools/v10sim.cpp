@@ -16,7 +16,9 @@
  * aborted simulation), 2 usage or parse error.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +37,8 @@
 #include "metrics/interval_sampler.h"
 #include "metrics/run_report.h"
 #include "metrics/stat_registry.h"
+#include "serve/cluster_manager.h"
+#include "serve/serving_report.h"
 #include "sim/fault_plan.h"
 #include "v10/multi_tenant_npu.h"
 #include "v10/npu_cluster.h"
@@ -571,6 +575,214 @@ cmdAdvise(const Args &args)
     return 0;
 }
 
+/**
+ * Fleet-scale open-loop serving (docs/SERVING.md): generate a
+ * many-tenant scenario over the model zoo, place it onto simulated
+ * cores, and report per-tenant tail latency / goodput / shedding.
+ */
+int
+cmdServe(const Args &args)
+{
+    ServeConfig cfg;
+    cfg.core = configFromArgs(args);
+    cfg.numCores =
+        static_cast<std::size_t>(args.getUint("cores", "8"));
+    cfg.durationSec = args.getDouble("duration", "1");
+    cfg.seed = args.getUint("seed", "1");
+    cfg.queueCapacity =
+        static_cast<std::size_t>(args.getUint("queue-cap", "64"));
+    cfg.jobs = args.jobs();
+
+    const std::string policy_name =
+        args.get("policy", "least-loaded");
+    const auto policy = tryPlacementPolicyFromName(policy_name);
+    if (!policy)
+        usageError("serve: unknown policy '", policy_name,
+                   "' (expected round-robin|least-loaded|advisor)");
+    cfg.policy = *policy;
+
+    const std::string dist_name = args.get("service", "exp");
+    const auto dist = tryServiceDistFromName(dist_name);
+    if (!dist)
+        usageError("serve: unknown service distribution '",
+                   dist_name, "' (expected det|exp|lognormal)");
+    cfg.serviceDist = *dist;
+    cfg.serviceCv = args.getDouble("cv", "1");
+
+    const auto num_tenants =
+        static_cast<std::size_t>(args.getUint("tenants", "8"));
+    if (num_tenants == 0)
+        usageError("serve: --tenants must be >= 1");
+
+    const std::string arrivals_name =
+        args.get("arrivals", "poisson");
+    const bool mixed = arrivals_name == "mixed";
+    std::optional<ArrivalKind> fixed_kind;
+    if (!mixed) {
+        fixed_kind = tryArrivalKindFromName(arrivals_name);
+        if (!fixed_kind)
+            usageError("serve: unknown arrival kind '",
+                       arrivals_name,
+                       "' (expected poisson|diurnal|bursty|mixed)");
+    }
+
+    // SLO tiers round-robin over the tenant list.
+    std::vector<SloTier> tiers;
+    if (args.has("slo")) {
+        auto parsed = parseSloSpec(args.get("slo", ""));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        tiers = parsed.take();
+    }
+
+    // The tenant pool cycles through the zoo (or an explicit model
+    // list). Mean service time comes from --service-us when given,
+    // else from the cycle-accurate single-tenant calibration — the
+    // same source ClusterManager uses, so relative SLO targets and
+    // offered rates agree with the simulation.
+    std::vector<std::string> models;
+    if (args.has("models")) {
+        for (const std::string &m :
+             split(args.get("models", ""), ','))
+            models.push_back(modelOrUsageError(m).abbrev);
+    } else {
+        for (const ModelProfile &m : modelZoo())
+            models.push_back(m.abbrev);
+    }
+    const double service_override =
+        args.getDouble("service-us", "0");
+    if (service_override < 0.0)
+        usageError("serve: --service-us must be >= 0");
+    ExperimentRunner calibrator(cfg.core);
+    std::map<std::string, double> service_us;
+    for (const std::string &m : models) {
+        if (service_us.count(m))
+            continue;
+        service_us[m] = service_override > 0.0
+                            ? service_override
+                            : 1e6 / calibrator.singleTenantRps(m, 0);
+    }
+
+    // Offered load: --rps fixes every tenant's rate; otherwise
+    // --util splits util*cores erlangs evenly across tenants.
+    const double fixed_rps =
+        args.has("rps") ? args.getDouble("rps", "0") : 0.0;
+    const double util = args.getDouble("util", "0.6");
+    if (!args.has("rps") && (util < 0.0 || !std::isfinite(util)))
+        usageError("serve: --util must be a non-negative number");
+    const double erlangs_per_tenant =
+        util * static_cast<double>(cfg.numCores) /
+        static_cast<double>(num_tenants);
+
+    ClusterManager manager(cfg);
+    for (std::size_t i = 0; i < num_tenants; ++i) {
+        ServeTenant t;
+        t.model = models[i % models.size()];
+        t.name = t.model + "#" + std::to_string(i);
+        t.serviceUsOverride = service_us[t.model];
+        const double service_sec = t.serviceUsOverride * 1e-6;
+        t.arrival.kind =
+            mixed ? static_cast<ArrivalKind>(i % 3) : *fixed_kind;
+        t.arrival.rps = fixed_rps > 0.0
+                            ? fixed_rps
+                            : erlangs_per_tenant / service_sec;
+        if (args.has("amplitude"))
+            t.arrival.amplitude = args.getDouble("amplitude", "0.5");
+        if (args.has("period"))
+            t.arrival.periodSec = args.getDouble("period", "60");
+        if (args.has("on"))
+            t.arrival.meanOnSec = args.getDouble("on", "0.5");
+        if (args.has("off"))
+            t.arrival.meanOffSec = args.getDouble("off", "1");
+        if (!tiers.empty()) {
+            const SloTier &tier = tiers[i % tiers.size()];
+            t.slo.latencyTargetUs =
+                tier.relative ? tier.value * t.serviceUsOverride
+                              : tier.value;
+            t.slo.weight = tier.weight;
+        }
+        if (Status s = manager.addTenant(std::move(t)); !s)
+            usageError(s.error().toString());
+    }
+
+    std::unique_ptr<StatRegistry> registry;
+    if (args.has("stats-json")) {
+        registry = std::make_unique<StatRegistry>();
+        manager.setStats(registry.get());
+    }
+
+    auto report_or = manager.run();
+    if (!report_or.ok())
+        usageError(report_or.error().toString());
+    const ServingReport report = report_or.take();
+
+    std::printf("%s\n", report.summary().c_str());
+    const bool detail = args.get("detail", "0") != "0" ||
+                        report.tenants.size() <= 16;
+    if (detail) {
+        TextTable table({"tenant", "core", "offered", "done", "shed",
+                         "p50 (us)", "p99 (us)", "p999 (us)",
+                         "goodput/s", "slo"});
+        for (const TenantServingStats &t : report.tenants) {
+            table.addRow();
+            table.cell(t.name);
+            table.cell(static_cast<long long>(t.core));
+            table.cell(static_cast<long long>(t.offered));
+            table.cell(static_cast<long long>(t.completed));
+            table.cell(static_cast<long long>(t.shed));
+            table.cell(t.p50Us, 1);
+            table.cell(t.p99Us, 1);
+            table.cell(t.p999Us, 1);
+            table.cell(t.goodputRps, 1);
+            table.cell(formatPct(t.sloAttainment()));
+        }
+        table.print();
+    } else {
+        // Large fleet: show the tail — the five worst p99 tenants.
+        std::vector<std::size_t> order(report.tenants.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (report.tenants[a].p99Us !=
+                          report.tenants[b].p99Us)
+                          return report.tenants[a].p99Us >
+                                 report.tenants[b].p99Us;
+                      return a < b;
+                  });
+        std::printf("worst p99 tenants (of %zu; --detail 1 for "
+                    "all):\n",
+                    report.tenants.size());
+        for (std::size_t i = 0; i < 5 && i < order.size(); ++i) {
+            const TenantServingStats &t = report.tenants[order[i]];
+            std::printf("  %-12s core %zu  p50 %.1f  p99 %.1f  "
+                        "p999 %.1f us  shed %llu\n",
+                        t.name.c_str(), t.core, t.p50Us, t.p99Us,
+                        t.p999Us,
+                        static_cast<unsigned long long>(t.shed));
+        }
+    }
+
+    if (registry) {
+        ServeManifest manifest;
+        manifest.policy = placementPolicyName(cfg.policy);
+        manifest.arrivals = arrivals_name;
+        manifest.cores = cfg.numCores;
+        manifest.tenants = num_tenants;
+        manifest.durationSec = cfg.durationSec;
+        manifest.seed = cfg.seed;
+        const std::string path = args.get("stats-json", "");
+        std::ofstream js(path);
+        if (!js)
+            fatal("serve: cannot open stats JSON path '", path,
+                  "'");
+        writeServingDocumentJson(js, manifest, report,
+                                 registry.get());
+        std::printf("stats JSON written to %s\n", path.c_str());
+    }
+    return kExitOk;
+}
+
 int
 cmdTrace(const Args &args)
 {
@@ -670,6 +882,16 @@ usage()
         "cycles] [--samples-csv out.csv]\n"
         "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4] "
         "[--jobs N] [--stats-json out.json]\n"
+        "  v10sim serve [--tenants 100] [--cores 16] "
+        "[--duration secs] [--util rho | --rps R]\n"
+        "               [--arrivals poisson|diurnal|bursty|mixed] "
+        "[--policy round-robin|least-loaded|advisor]\n"
+        "               [--slo target[:weight][,...]] "
+        "[--queue-cap N] [--service det|exp|lognormal]\n"
+        "               [--service-us U] [--seed N] [--jobs N|auto] "
+        "[--stats-json out.json] [--detail 1]\n"
+        "               (open-loop fleet serving, see "
+        "docs/SERVING.md)\n"
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
         "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
         "  v10sim report [--out report.md] [--requests N] "
@@ -734,6 +956,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "advise")
         return cmdAdvise(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     if (cmd == "trace")
         return cmdTrace(args);
     if (cmd == "gen-traces")
