@@ -154,8 +154,8 @@ class UnorderedRule : public Rule
     description() const override
     {
         return "flags std::unordered_map/set in result-affecting "
-               "code (sched/sim/npu/metrics/serve): iteration order "
-               "is "
+               "code (sched/sim/npu/metrics/serve/trace): iteration "
+               "order is "
                "unspecified and varies across libstdc++ versions — "
                "use std::map or sorted iteration, or suppress with a "
                "rationale proving the site is order-insensitive";
@@ -166,7 +166,7 @@ class UnorderedRule : public Rule
     {
         static const PathFilter filter{
             {"src/sched/", "src/sim/", "src/npu/", "src/metrics/",
-             "src/serve/"},
+             "src/serve/", "src/trace/"},
             {}};
         return filter;
     }

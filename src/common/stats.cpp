@@ -188,6 +188,119 @@ Histogram::summary() const
     return os.str();
 }
 
+LogHistogram::LogHistogram(std::size_t subBuckets) : sub_(subBuckets)
+{
+    if (subBuckets == 0)
+        panic("LogHistogram: need subBuckets > 0");
+}
+
+void
+LogHistogram::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    if (!(x > 0.0)) {
+        ++zero_;
+        return;
+    }
+    int exp = 0;
+    const double mant = std::frexp(x, &exp); // mant in [0.5, 1)
+    auto idx = static_cast<std::int64_t>((mant - 0.5) * 2.0 *
+                                         static_cast<double>(sub_));
+    if (idx >= static_cast<std::int64_t>(sub_))
+        idx = static_cast<std::int64_t>(sub_) - 1;
+    if (idx < 0)
+        idx = 0;
+    const std::int64_t key =
+        static_cast<std::int64_t>(exp) * static_cast<std::int64_t>(sub_) +
+        idx;
+    ++buckets_[key];
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.sub_ != sub_)
+        panic("LogHistogram::merge: resolution mismatch");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    zero_ += other.zero_;
+    for (const auto &[key, n] : other.buckets_)
+        buckets_[key] += n;
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LogHistogram::bucketMid(std::int64_t key) const
+{
+    const auto sub = static_cast<std::int64_t>(sub_);
+    // Floor division so negative keys map back to their octave.
+    std::int64_t exp = key / sub;
+    std::int64_t idx = key % sub;
+    if (idx < 0) {
+        idx += sub;
+        --exp;
+    }
+    const double mant = 0.5 + (static_cast<double>(idx) + 0.5) /
+                                  (2.0 * static_cast<double>(sub_));
+    return std::ldexp(mant, static_cast<int>(exp));
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return min_;
+    if (p >= 100.0)
+        return max_;
+    // Target the same rank convention as SampleSet::percentile.
+    const double rank =
+        p / 100.0 * static_cast<double>(count_ - 1);
+    const auto target = static_cast<std::uint64_t>(rank);
+    std::uint64_t cum = zero_;
+    if (target < cum)
+        return std::clamp(0.0, min_, max_);
+    for (const auto &[key, n] : buckets_) {
+        cum += n;
+        if (target < cum)
+            return std::clamp(bucketMid(key), min_, max_);
+    }
+    return max_;
+}
+
+void
+LogHistogram::reset()
+{
+    buckets_.clear();
+    zero_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
 double
 geomean(const std::vector<double> &xs)
 {

@@ -9,6 +9,8 @@
 #define V10_COMMON_STATS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -152,6 +154,73 @@ class Histogram
     std::size_t underflow_ = 0;
     std::size_t overflow_ = 0;
     std::size_t total_ = 0;
+};
+
+/**
+ * HDR-style log-bucketed histogram with O(1) insertion and bounded
+ * relative quantile error. Positive samples land in a bucket keyed by
+ * (binary octave, linear sub-bucket within the octave); with S
+ * sub-buckets per octave the relative bucket width is 1/(2S), so
+ * quantile estimates are within ~1/(2S) of the exact-sort answer
+ * (under 1% for the default S = 64). Non-positive samples collapse
+ * into a single zero bucket. Exact count/sum/min/max are kept on the
+ * side, and quantile results are clamped to [min, max].
+ *
+ * Merging is plain bucket-count addition, so merged results are
+ * independent of merge order — safe for deterministic parallel
+ * reduction.
+ */
+class LogHistogram
+{
+  public:
+    /** @param subBuckets linear sub-buckets per octave (> 0). */
+    explicit LogHistogram(std::size_t subBuckets = 64);
+
+    /** Add one sample. O(log #octaves). */
+    void add(double x);
+
+    /** Add every bucket of @p other into this histogram. */
+    void merge(const LogHistogram &other);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean from the exact sum; 0 when empty. */
+    double mean() const;
+
+    /** Exact smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Exact largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Exact sum of all samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * Approximate percentile (p in [0, 100]) via cumulative bucket
+     * walk; relative error bounded by the sub-bucket width.
+     */
+    double percentile(double p) const;
+
+    /** Sub-buckets per octave. */
+    std::size_t subBuckets() const { return sub_; }
+
+    /** Reset to the empty state (keeps the bucket resolution). */
+    void reset();
+
+  private:
+    /** Representative value (bucket midpoint) for a bucket key. */
+    double bucketMid(std::int64_t key) const;
+
+    std::size_t sub_;
+    /** bucket key -> count; key = octave * sub_ + subIndex. */
+    std::map<std::int64_t, std::uint64_t> buckets_;
+    std::uint64_t zero_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 /** Geometric mean of a vector; 0 if empty or any element <= 0. */

@@ -29,10 +29,37 @@ IntervalSampler::addProbe(std::string name, Mode mode, Probe probe)
 }
 
 void
+IntervalSampler::addManualColumn(std::string name)
+{
+    if (sim_)
+        V10_PANIC("IntervalSampler: addManualColumn('", name,
+                  "') after start()");
+    probes_.push_back(
+        ProbeEntry{std::move(name), Mode::Level, Probe(), 0.0});
+}
+
+void
+IntervalSampler::appendRow(Cycles cycle,
+                           const std::vector<double> &values)
+{
+    if (sim_)
+        V10_PANIC("IntervalSampler: appendRow() on a started sampler");
+    if (values.size() != probes_.size())
+        V10_PANIC("IntervalSampler: appendRow() with ", values.size(),
+                  " values for ", probes_.size(), " columns");
+    cycles_.push_back(cycle);
+    values_.insert(values_.end(), values.begin(), values.end());
+}
+
+void
 IntervalSampler::start(Simulator &sim)
 {
     if (sim_)
         V10_PANIC("IntervalSampler: start() called twice");
+    for (const auto &entry : probes_)
+        if (!entry.probe)
+            V10_PANIC("IntervalSampler: start() with manual column '",
+                      entry.name, "'");
     sim_ = &sim;
     stopped_ = false;
     for (auto &entry : probes_)

@@ -51,6 +51,22 @@ class IntervalSampler
     void addProbe(std::string name, Mode mode, Probe probe);
 
     /**
+     * Register a column whose rows are supplied externally through
+     * appendRow() — used by layers (e.g. the serving stack) that
+     * sample deterministically inside their own event loop instead of
+     * through simulator ticks. A sampler with manual columns cannot
+     * be start()ed.
+     */
+    void addManualColumn(std::string name);
+
+    /**
+     * Append one externally-sampled row. Only valid on a sampler
+     * that was never start()ed; @p values must cover every column in
+     * registration order.
+     */
+    void appendRow(Cycles cycle, const std::vector<double> &values);
+
+    /**
      * Bind to @p sim and schedule the first tick one interval from
      * now. Also records a baseline reading at the current cycle so
      * Rate/Delta probes have a previous value.

@@ -101,8 +101,12 @@ TimelineTracer::writeChromeTrace(std::ostream &os) const
            << ", \"preempted\": "
            << (slice.preempted ? "true" : "false") << "}}";
     }
+    bool haveEvents = !first;
     if (sampler_)
-        sampler_->writeCounterEvents(os, cycles_per_us_, !first);
+        haveEvents |=
+            sampler_->writeCounterEvents(os, cycles_per_us_, haveEvents);
+    if (spans_)
+        spans_->writeAsyncSpanEvents(os, cycles_per_us_, haveEvents);
     os << "\n]\n";
 }
 

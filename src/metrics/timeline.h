@@ -22,6 +22,29 @@ namespace v10 {
 class IntervalSampler;
 
 /**
+ * Producer of Chrome async span events ("ph":"b"/"e") that merge into
+ * a TimelineTracer's event array alongside the op slices and counter
+ * tracks. Implemented by the request tracer in src/trace; declared
+ * here so metrics does not depend on the trace library.
+ */
+class AsyncSpanSource
+{
+  public:
+    virtual ~AsyncSpanSource() = default;
+
+    /**
+     * Emit async span events onto an open JSON event array.
+     * @param cyclesPerUs converts cycle timestamps (unused by
+     *   sources that record in microseconds already)
+     * @param needComma true when the array already holds events
+     * @return true if any event was written
+     */
+    virtual bool writeAsyncSpanEvents(std::ostream &os,
+                                      double cyclesPerUs,
+                                      bool needComma) const = 0;
+};
+
+/**
  * Collects operator execution slices for offline visualization.
  */
 class TimelineTracer
@@ -64,6 +87,12 @@ class TimelineTracer
         sampler_ = sampler;
     }
 
+    /**
+     * Merge @p spans' request spans into the trace as async
+     * "ph":"b"/"e" events. The source must outlive this tracer.
+     */
+    void attachSpans(const AsyncSpanSource *spans) { spans_ = spans; }
+
     /** Emit Chrome trace-event JSON. */
     void writeChromeTrace(std::ostream &os) const;
 
@@ -84,6 +113,7 @@ class TimelineTracer
 
     double cycles_per_us_;
     const IntervalSampler *sampler_ = nullptr;
+    const AsyncSpanSource *spans_ = nullptr;
     std::vector<Slice> slices_;
     // Ordered map: finish() iterates to close open slices, and the
     // resulting slice order lands in golden-sequence tests.

@@ -34,13 +34,30 @@ HbmModel::advance()
     last_advance_ = now;
     if (streams_.empty())
         return;
-    const double share =
-        peak_ / static_cast<double>(streams_.size());
+    const std::size_t n = streams_.size();
+    const double share = peak_ / static_cast<double>(n);
     const double budget = elapsed * share;
     for (auto &[id, stream] : streams_) {
         const double used = std::min(stream.remaining, budget);
         stream.remaining -= used;
         bytes_moved_ += used;
+        if (observer_ && n > 1 && stream.owner != kNoWorkload &&
+            used > 0.0) {
+            // The stream moved `used` bytes at 1/n of peak; solo it
+            // would have taken used/peak cycles instead of used/share
+            // — the difference is contention stall, split equally
+            // over the co-running streams' owners.
+            const double activeFrac = used / budget;
+            const double lostPerOther =
+                elapsed * activeFrac / static_cast<double>(n);
+            for (const auto &[otherId, other] : streams_) {
+                if (otherId == id || other.owner == kNoWorkload ||
+                    other.owner == stream.owner)
+                    continue;
+                observer_->onHbmContention(stream.owner, other.owner,
+                                           lostPerOther);
+            }
+        }
     }
 }
 
@@ -92,10 +109,17 @@ HbmModel::onCompletionEvent()
 DmaStreamId
 HbmModel::startTransfer(Bytes bytes, DoneCallback done)
 {
+    return startTransfer(bytes, kNoWorkload, std::move(done));
+}
+
+DmaStreamId
+HbmModel::startTransfer(Bytes bytes, WorkloadId owner,
+                        DoneCallback done)
+{
     advance();
     const DmaStreamId id = next_id_++;
-    streams_.emplace(
-        id, Stream{static_cast<double>(bytes), std::move(done)});
+    streams_.emplace(id, Stream{static_cast<double>(bytes), owner,
+                                std::move(done)});
     scheduleNext();
     return id;
 }

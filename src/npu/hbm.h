@@ -31,6 +31,24 @@ class StatRegistry;
 using DmaStreamId = std::uint64_t;
 
 /**
+ * Passive observer of HBM bandwidth contention: whenever streams
+ * share the bus, each stream's owner is told how many cycles of
+ * solo-rate progress it lost to each co-running owner. Implemented by
+ * the interference-attribution collector in src/trace; a plain
+ * virtual interface (not std::function) keeps the DMA hot path
+ * allocation-free, and a null observer costs one branch.
+ */
+class HbmContentionObserver
+{
+  public:
+    virtual ~HbmContentionObserver() = default;
+
+    /** @p owner lost @p cycles of progress to @p other's streams. */
+    virtual void onHbmContention(WorkloadId owner, WorkloadId other,
+                                 double cycles) = 0;
+};
+
+/**
  * Processor-sharing HBM bandwidth model.
  */
 class HbmModel
@@ -55,6 +73,20 @@ class HbmModel
      * @return a handle usable with cancel().
      */
     DmaStreamId startTransfer(Bytes bytes, DoneCallback done);
+
+    /**
+     * Owner-tagged variant: attributes this stream's contention to
+     * @p owner when a contention observer is attached. The untagged
+     * overload records kNoWorkload (excluded from attribution).
+     */
+    DmaStreamId startTransfer(Bytes bytes, WorkloadId owner,
+                              DoneCallback done);
+
+    /** Attach a contention observer (nullptr detaches). */
+    void setContentionObserver(HbmContentionObserver *observer)
+    {
+        observer_ = observer;
+    }
 
     /** Abort an in-flight transfer; its callback never fires. */
     void cancel(DmaStreamId id);
@@ -94,6 +126,7 @@ class HbmModel
     struct Stream
     {
         double remaining = 0.0;
+        WorkloadId owner = kNoWorkload;
         DoneCallback done;
     };
 
@@ -108,6 +141,7 @@ class HbmModel
 
     Simulator &sim_;
     double peak_;
+    HbmContentionObserver *observer_ = nullptr;
     std::map<DmaStreamId, Stream> streams_;
     DmaStreamId next_id_ = 1;
     Cycles last_advance_ = 0;

@@ -8,6 +8,10 @@
 #include "common/log.h"
 #include "common/result.h"
 #include "common/string_util.h"
+#include "trace/attribution.h"
+#include "trace/flight_recorder.h"
+#include "trace/request_tracer.h"
+#include "trace/trace_context.h"
 
 namespace v10 {
 
@@ -51,7 +55,8 @@ SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
                                  std::vector<TenantSpec> tenants,
                                  std::uint64_t seed)
     : sim_(sim), core_(core), rng_(seed), overlap_(sim),
-      latency_(static_cast<std::uint32_t>(tenants.size()))
+      latency_(static_cast<std::uint32_t>(tenants.size())),
+      seed_(seed)
 {
     validateSpecs(tenants).orDie();
 
@@ -93,6 +98,7 @@ SchedulerEngine::SchedulerEngine(Simulator &sim, NpuCore &core,
     for (auto &vu : core_.vus())
         fu_index_.push_back(vu.get());
     fu_last_preempted_.assign(fu_index_.size(), false);
+    fu_last_victim_.assign(fu_index_.size(), kNoWorkload);
 
     core_.observeAll(&overlap_);
 }
@@ -171,6 +177,19 @@ SchedulerEngine::setResilience(const ResilienceOptions &options)
 }
 
 void
+SchedulerEngine::setAttribution(AttributionCollector *attribution)
+{
+    attribution_ = attribution;
+    core_.hbm().setContentionObserver(attribution);
+    if (attribution == nullptr)
+        return;
+    for (const auto &t : tenants_) {
+        if (attribution->tenantCount() <= t.id)
+            (void)attribution->addTenant(t.id, t.wl->label());
+    }
+}
+
+void
 SchedulerEngine::pumpDma(Tenant &tenant)
 {
     if (tenant.quarantined)
@@ -227,8 +246,8 @@ SchedulerEngine::startDmaTransfer(Tenant &tenant, Bytes bytes,
             });
         return;
     }
-    tenant.dma =
-        core_.hbm().startTransfer(bytes, [this, &tenant] {
+    tenant.dma = core_.hbm().startTransfer(
+        bytes, tenant.id, [this, &tenant] {
             tenant.dma = 0;
             tenant.dmaRetries = 0;
             onDmaDone(tenant);
@@ -243,6 +262,11 @@ SchedulerEngine::onDmaTimeout(Tenant &tenant, Bytes bytes)
         return;
     ++tenant.dmaRetries;
     ++dma_retries_total_;
+    if (flight_ != nullptr)
+        flight_->record(sim_.now(), "dma-retry", tenant.wl->label(),
+                        0,
+                        "attempt " +
+                            std::to_string(tenant.dmaRetries));
     injector_->record("dma-retry", tenant.id, sim_.now(),
                       "timed-out transfer reissued (attempt " +
                           std::to_string(tenant.dmaRetries) + ")");
@@ -277,6 +301,9 @@ SchedulerEngine::strike(Tenant &tenant, const char *reason)
     ++tenant.strikes;
     if (injector_)
         injector_->record("strike", tenant.id, sim_.now(), reason);
+    if (flight_ != nullptr)
+        flight_->record(sim_.now(), "fault", tenant.wl->label(), 0,
+                        reason);
     if (resilience_.quarantineThreshold == 0 || tenant.quarantined)
         return;
     if (tenant.strikes >= resilience_.quarantineThreshold)
@@ -304,6 +331,9 @@ SchedulerEngine::quarantineTenant(Tenant &tenant,
          ")");
     if (injector_)
         injector_->record("quarantine", tenant.id, sim_.now(), why);
+    if (flight_ != nullptr)
+        flight_->record(sim_.now(), "quarantine", tenant.wl->label(),
+                        0, why);
 
     bool all = true;
     for (const auto &t : tenants_)
@@ -411,7 +441,29 @@ SchedulerEngine::dispatch(Tenant &tenant, FunctionalUnit &fu,
     if (measuring_)
         tenant.ctxOverheadCycles += ctxPenalty;
 
-    fu_last_preempted_[fuIndex(fu)] = false;
+    const std::size_t fi = fuIndex(fu);
+    fu_last_preempted_[fi] = false;
+
+    if (attribution_ != nullptr) {
+        // The tenant taking an evicted-from FU is the perpetrator of
+        // the victim's stall; a victim's stall closes at its own next
+        // dispatch (on any unit). Purely passive bookkeeping.
+        const WorkloadId victim = fu_last_victim_[fi];
+        if (victim != kNoWorkload && victim != tenant.id &&
+            tenants_[victim].stallPending)
+            tenants_[victim].stallPerp = tenant.id;
+        fu_last_victim_[fi] = kNoWorkload;
+        if (tenant.stallPending) {
+            attribution_->chargePreemptStall(
+                tenant.id, tenant.stallPerp,
+                static_cast<double>(sim_.now() - tenant.stallStart));
+            tenant.stallPending = false;
+            tenant.stallPerp = kNoWorkload;
+        }
+        if (ctxPenalty > 0)
+            attribution_->chargeCtxOverhead(
+                tenant.id, static_cast<double>(ctxPenalty));
+    }
 
     if (timeline_)
         timeline_->opBegin(sim_.now(), fu.name(),
@@ -451,7 +503,17 @@ SchedulerEngine::preemptFu(FunctionalUnit &fu)
     ++lifetime_preemptions_;
     if (measuring_)
         ++tenant->preemptions;
-    fu_last_preempted_[fuIndex(fu)] = true;
+    const std::size_t fi = fuIndex(fu);
+    fu_last_preempted_[fi] = true;
+    if (attribution_ != nullptr) {
+        tenant->stallPending = true;
+        tenant->stallStart = sim_.now();
+        tenant->stallPerp = kNoWorkload;
+        fu_last_victim_[fi] = tenant->id;
+    }
+    if (flight_ != nullptr)
+        flight_->record(sim_.now(), "preempt", tenant->wl->label(),
+                        0, fu.name());
     return *tenant;
 }
 
@@ -511,6 +573,38 @@ SchedulerEngine::advancePastCurrentOp(Tenant &tenant)
             else
                 latency_.record(tenant.id,
                                 sim_.now() - request_start);
+        }
+        if (tracer_ != nullptr || flight_ != nullptr) {
+            // Passive request span: the ID is a pure function of
+            // (engine seed, tenant, request sequence), so traces are
+            // reproducible per seed. Service starts when the previous
+            // request finished (or at arrival, whichever is later).
+            const std::uint64_t seq = tenant.requestsDone - 1;
+            const std::uint64_t traceId =
+                traceIdFor(seed_, tenant.id, seq);
+            if (tracer_ != nullptr &&
+                tracer_->sampler().sampled(traceId)) {
+                const double cyclesPerUs =
+                    core_.config().freqGHz * 1e3;
+                RequestSpan span;
+                span.ctx = TraceContext{traceId, tenant.id, seq};
+                span.tenant = tenant.wl->label();
+                span.arrivalUs =
+                    static_cast<double>(request_start) / cyclesPerUs;
+                span.startUs = std::max(
+                    span.arrivalUs,
+                    static_cast<double>(tenant.requestStart) /
+                        cyclesPerUs);
+                span.endUs =
+                    static_cast<double>(sim_.now()) / cyclesPerUs;
+                span.soloUs = span.serviceUs();
+                tracer_->add(std::move(span));
+            }
+            if (flight_ != nullptr)
+                flight_->record(sim_.now(), "request",
+                                tenant.wl->label(), traceId,
+                                "request " + std::to_string(seq) +
+                                    " completed");
         }
         checkProgressGates();
         tenant.requestStart = sim_.now();
@@ -648,6 +742,8 @@ SchedulerEngine::abortRun(const std::string &reason)
     warn(name(), ": run aborted — ", reason);
     if (injector_)
         injector_->record("abort", kNoWorkload, sim_.now(), reason);
+    if (flight_ != nullptr)
+        flight_->record(sim_.now(), "abort", "", 0, reason);
 }
 
 void
@@ -798,6 +894,9 @@ SchedulerEngine::registerStats()
             "tenant-attributable faults of " + t->wl->label());
     }
 
+    if (attribution_ != nullptr)
+        attribution_->registerStats(reg);
+
     onRegisterStats(reg);
 }
 
@@ -923,6 +1022,19 @@ SchedulerEngine::run(std::uint64_t targetRequests,
         timeline_->finish(sim_.now());
     if (sampler_ != nullptr)
         sampler_->stop();
+    if (attribution_ != nullptr) {
+        // Close stalls still open at run end so the attribution
+        // matrices account for every observed stall cycle.
+        for (auto &t : tenants_) {
+            if (!t.stallPending)
+                continue;
+            attribution_->chargePreemptStall(
+                t.id, t.stallPerp,
+                static_cast<double>(sim_.now() - t.stallStart));
+            t.stallPending = false;
+            t.stallPerp = kNoWorkload;
+        }
+    }
 
     RunStats stats = collectStats();
     if (stats_ != nullptr) {
@@ -989,6 +1101,13 @@ SchedulerEngine::writeDiagnostics(const RunStats &stats) const
         w.beginArray();
         w.endArray();
     }
+    // The flight recorder's last-K event ring: what happened right
+    // before the abort, without re-running the scenario.
+    w.key("flight_recorder");
+    if (flight_ != nullptr)
+        flight_->writeJson(w);
+    else
+        w.valueNull();
     // The frozen registry snapshot: every hardware and scheduler
     // statistic at abort time (the observability layer's view).
     w.key("registry");

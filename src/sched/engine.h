@@ -33,6 +33,10 @@
 
 namespace v10 {
 
+class RequestTracer;
+class AttributionCollector;
+class FlightRecorder;
+
 /**
  * Degradation and fault-tolerance knobs of a run (docs/ROBUSTNESS.md).
  * All default to "off": a default-constructed ResilienceOptions keeps
@@ -179,6 +183,33 @@ class SchedulerEngine
      */
     void setResilience(const ResilienceOptions &options);
 
+    /**
+     * Attach a request tracer (not owned; may be nullptr). Request
+     * boundaries emit head-sampled spans with IDs derived from
+     * (engine seed, tenant, request sequence). Recording is passive
+     * — scheduling stays bit-identical with a tracer attached.
+     */
+    void setRequestTracer(RequestTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach an interference-attribution collector (not owned; may
+     * be nullptr). Registers every tenant into it and installs it as
+     * the HBM contention observer; dispatch/preemption sites then
+     * charge stall, contention, and context-overhead cycles to the
+     * responsible co-runner. Purely passive.
+     */
+    void setAttribution(AttributionCollector *attribution);
+
+    /**
+     * Attach a flight recorder (not owned; may be nullptr). Request
+     * completions, preemptions, faults, quarantines, and aborts land
+     * in its ring; the diagnostics bundle dumps it on abort.
+     */
+    void setFlightRecorder(FlightRecorder *recorder)
+    {
+        flight_ = recorder;
+    }
+
     /** True when the last run() aborted (watchdog, budget, all
      * tenants quarantined, or wedged event queue). */
     bool aborted() const { return aborted_; }
@@ -286,6 +317,14 @@ class SchedulerEngine
 
         /** Pending DMA-timeout event (kNoEvent when disarmed). */
         EventId dmaTimeout = kNoEvent;
+
+        /** Preemption-stall attribution (trace layer; passive).
+         * A stall opens when the tenant is evicted and closes at
+         * its next dispatch; the perpetrator is whoever took the
+         * evicted-from FU in the meantime. */
+        bool stallPending = false;
+        Cycles stallStart = 0;
+        WorkloadId stallPerp = kNoWorkload;
     };
 
     // ------------------------------------------------------------
@@ -458,6 +497,11 @@ class SchedulerEngine
     /** Per-FU flag: last op on this unit ended in a preemption. */
     std::vector<bool> fu_last_preempted_;
 
+    /** Per-FU: the tenant evicted by the last preemption on this
+     * unit (attribution perpetrator lookup); kNoWorkload once the
+     * unit has been re-dispatched. */
+    std::vector<WorkloadId> fu_last_victim_;
+
     /** Compute an in-flight operator had already finished when the
      * measurement window opened; subtracted from the window's
      * busy-cycle accounting (the FU credits the whole operator at
@@ -474,7 +518,13 @@ class SchedulerEngine
     TimelineTracer *timeline_ = nullptr;
     StatRegistry *stats_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
+    RequestTracer *tracer_ = nullptr;
+    AttributionCollector *attribution_ = nullptr;
+    FlightRecorder *flight_ = nullptr;
     bool stats_registered_ = false;
+
+    /** Engine seed (trace-ID derivation; mirrors rng_'s seed). */
+    std::uint64_t seed_ = 1;
 
     ResilienceOptions resilience_{};
     std::unique_ptr<FaultInjector> injector_;

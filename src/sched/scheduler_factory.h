@@ -66,6 +66,19 @@ struct SchedulerOptions
     /** Fault injection and graceful degradation (all off by
      * default); the referenced FaultPlan, if any, is not owned. */
     ResilienceOptions resilience{};
+
+    /** Optional request tracer (not owned); request boundaries emit
+     * head-sampled spans. Passive — scheduling is bit-identical. */
+    RequestTracer *requestTracer = nullptr;
+
+    /** Optional interference-attribution collector (not owned);
+     * charges preemption-stall / HBM-contention / ctx-overhead
+     * cycles to the responsible co-runner. Passive. */
+    AttributionCollector *attribution = nullptr;
+
+    /** Optional flight recorder (not owned); keeps the last K
+     * scheduler events for the abort diagnostics bundle. */
+    FlightRecorder *flightRecorder = nullptr;
 };
 
 /**

@@ -9,7 +9,9 @@
 #include "common/parallel_executor.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "metrics/interval_sampler.h"
 #include "metrics/stat_registry.h"
+#include "trace/request_tracer.h"
 #include "workload/model_zoo.h"
 
 namespace v10 {
@@ -23,10 +25,29 @@ constexpr std::uint64_t kCoreStreamSalt = 1ull << 32;
 /** Outcome of one core's serving simulation (local tenant order). */
 struct CoreOutcome
 {
-    std::vector<SampleSet> latencyUs;
+    std::vector<LogHistogram> latencyUs;
     std::vector<std::uint64_t> completed;
     std::vector<std::uint64_t> shed;
     std::vector<std::uint64_t> violations;
+    /** Sojourn decomposition sums (us) per local tenant:
+     * queue + solo + inflation == sojourn by construction. */
+    std::vector<double> queueUsSum;
+    std::vector<double> serviceUsSum;
+    std::vector<double> soloUsSum;
+    /** SLO-monitor bucket counts, local-tenant-major
+     * (n x SloMonitor::kBuckets). */
+    std::vector<std::uint64_t> sloDone;
+    std::vector<std::uint64_t> sloViol;
+    /** Head-sampled request spans (tenant label/core filled by the
+     * caller). Empty unless tracing was requested. */
+    std::vector<RequestSpan> spans;
+    /** Queue-depth / in-flight series at fixed sim-time ticks
+     * (empty when sampleTicks == 0). */
+    std::vector<double> depthSamples;
+    std::vector<double> inflightSamples;
+    double depthArea = 0.0;  ///< integral of waiting count over time
+    double busyArea = 0.0;   ///< integral of in-service count
+    double depthPeak = 0.0;  ///< max waiting count
     double busySec = 0.0;
     double endSec = 0.0; ///< last completion (>= duration horizon)
     std::uint64_t served = 0;
@@ -37,19 +58,26 @@ struct ResidentSpec
 {
     const std::vector<double> *arrivals = nullptr;
     double serviceMeanSec = 0.0; ///< after the collocation speedup
+    double soloMeanSec = 0.0;    ///< solo-run calibration (no speedup)
     double weight = 1.0;
     double sloTargetUs = 0.0;
+    std::uint32_t tenantIndex = 0; ///< global index (trace IDs)
 };
 
 /**
  * Simulate one core: a single server draining bounded per-tenant
  * FIFO queues under self-clocked weighted fair queueing. Pure
- * function of (residents, capacity, dist, cv, seed).
+ * function of (residents, capacity, dist, cv, duration, seed,
+ * traceSeed, spanSampleN, sampleTicks) — the trace/observability
+ * inputs only *record*; service draws and scheduling never depend
+ * on them, so results are bit-identical with tracing on or off.
  */
 CoreOutcome
 simulateCore(const std::vector<ResidentSpec> &residents,
              std::size_t queueCapacity, ServiceDist dist, double cv,
-             double durationSec, std::uint64_t seed)
+             double durationSec, std::uint64_t seed,
+             std::uint64_t traceSeed, std::uint64_t spanSampleN,
+             std::size_t sampleTicks)
 {
     const std::size_t n = residents.size();
     CoreOutcome out;
@@ -57,6 +85,11 @@ simulateCore(const std::vector<ResidentSpec> &residents,
     out.completed.assign(n, 0);
     out.shed.assign(n, 0);
     out.violations.assign(n, 0);
+    out.queueUsSum.assign(n, 0.0);
+    out.serviceUsSum.assign(n, 0.0);
+    out.soloUsSum.assign(n, 0.0);
+    out.sloDone.assign(n * SloMonitor::kBuckets, 0);
+    out.sloViol.assign(n * SloMonitor::kBuckets, 0);
     out.endSec = durationSec;
 
     std::vector<std::vector<double>> streams(n);
@@ -78,17 +111,52 @@ simulateCore(const std::vector<ResidentSpec> &residents,
         panic("simulateCore: bad service distribution");
     };
 
-    // Waiting requests per tenant: (arrival time) FIFO, bounded.
-    std::vector<std::vector<double>> queue(n);
+    const TraceSampler spanSampler{spanSampleN};
+
+    // Waiting requests per tenant: (arrival time, seq) FIFO, bounded.
+    struct Waiting
+    {
+        double timeSec;
+        std::uint64_t seq;
+    };
+    std::vector<std::vector<Waiting>> queue(n);
     std::vector<std::size_t> head(n, 0);
     std::vector<double> vtime(n, 0.0); ///< SCFQ virtual finish
     double vclock = 0.0;
 
     bool busy = false;
     double busy_until = 0.0;
+    double served_start = 0.0;
     double served_arrival = 0.0;
+    std::uint64_t served_seq = 0;
     std::size_t served_tenant = 0;
     std::size_t next = 0;
+    std::size_t waiting = 0; ///< total queued across tenants
+
+    // Time-weighted occupancy accounting plus the optional fixed
+    // sim-time tick series; advance_time() is called with the state
+    // still describing (last_t, now].
+    const double tickSec =
+        sampleTicks > 0
+            ? durationSec / static_cast<double>(sampleTicks)
+            : 0.0;
+    std::size_t next_tick = 1;
+    double last_t = 0.0;
+    auto advance_time = [&](double now) {
+        if (now < last_t)
+            return;
+        while (sampleTicks > 0 && next_tick <= sampleTicks &&
+               static_cast<double>(next_tick) * tickSec <= now) {
+            out.depthSamples.push_back(
+                static_cast<double>(waiting));
+            out.inflightSamples.push_back(busy ? 1.0 : 0.0);
+            ++next_tick;
+        }
+        out.depthArea +=
+            static_cast<double>(waiting) * (now - last_t);
+        out.busyArea += (busy ? 1.0 : 0.0) * (now - last_t);
+        last_t = now;
+    };
 
     auto queued = [&](std::size_t t) {
         return queue[t].size() - head[t];
@@ -106,23 +174,66 @@ simulateCore(const std::vector<ResidentSpec> &residents,
         if (pick == n)
             return;
         served_tenant = pick;
-        served_arrival = queue[pick][head[pick]++];
+        const Waiting &w = queue[pick][head[pick]++];
+        served_arrival = w.timeSec;
+        served_seq = w.seq;
+        --waiting;
         const double service = draw_service(pick);
         vclock = std::max(vclock, vtime[pick]);
         vtime[pick] = vclock + service / residents[pick].weight;
         busy = true;
+        served_start = now;
         busy_until = now + service;
         out.busySec += service;
     };
     auto finish = [&]() {
+        const std::size_t t = served_tenant;
+        const ResidentSpec &spec = residents[t];
         const double latency_us =
             (busy_until - served_arrival) * 1e6;
-        out.latencyUs[served_tenant].add(latency_us);
-        ++out.completed[served_tenant];
+        const double queue_us =
+            (served_start - served_arrival) * 1e6;
+        const double service_us = (busy_until - served_start) * 1e6;
+        // Solo-equivalent of this draw: the same work at the
+        // tenant's calibrated solo rate.
+        const double speed =
+            spec.serviceMeanSec > 0.0
+                ? spec.soloMeanSec / spec.serviceMeanSec
+                : 1.0;
+        const double solo_us = service_us * speed;
+        out.latencyUs[t].add(latency_us);
+        ++out.completed[t];
         ++out.served;
-        const double target = residents[served_tenant].sloTargetUs;
-        if (target > 0.0 && latency_us > target)
-            ++out.violations[served_tenant];
+        out.queueUsSum[t] += queue_us;
+        out.serviceUsSum[t] += service_us;
+        out.soloUsSum[t] += solo_us;
+        const double target = spec.sloTargetUs;
+        const bool violated = target > 0.0 && latency_us > target;
+        if (violated)
+            ++out.violations[t];
+        // SLO-monitor bucket, keyed by completion time.
+        auto bucket = static_cast<std::size_t>(
+            busy_until / durationSec *
+            static_cast<double>(SloMonitor::kBuckets));
+        bucket = std::min(bucket, SloMonitor::kBuckets - 1);
+        ++out.sloDone[t * SloMonitor::kBuckets + bucket];
+        if (violated)
+            ++out.sloViol[t * SloMonitor::kBuckets + bucket];
+        if (spanSampleN > 0) {
+            const TraceContext ctx = TraceContext::make(
+                traceSeed, spec.tenantIndex, served_seq);
+            if (spanSampler.sampled(ctx.traceId)) {
+                RequestSpan span;
+                span.ctx = ctx;
+                span.arrivalUs = served_arrival * 1e6;
+                span.startUs = served_start * 1e6;
+                span.endUs = busy_until * 1e6;
+                span.soloUs = solo_us;
+                span.sloTargetUs = target;
+                span.violated = violated;
+                out.spans.push_back(std::move(span));
+            }
+        }
         out.endSec = std::max(out.endSec, busy_until);
         busy = false;
     };
@@ -133,19 +244,46 @@ simulateCore(const std::vector<ResidentSpec> &residents,
         if (busy && (next >= feed.size() ||
                      busy_until <= feed[next].timeSec)) {
             const double now = busy_until;
+            advance_time(now);
             finish();
             start_next(now);
             continue;
         }
         const ArrivalEvent &ev = feed[next++];
         const std::size_t t = ev.tenant;
+        advance_time(ev.timeSec);
         if (queued(t) >= queueCapacity) {
             ++out.shed[t]; // bounded queue: load-shed the arrival
+            if (spanSampleN > 0) {
+                const TraceContext ctx = TraceContext::make(
+                    traceSeed, residents[t].tenantIndex, ev.seq);
+                if (spanSampler.sampled(ctx.traceId)) {
+                    RequestSpan span;
+                    span.ctx = ctx;
+                    span.arrivalUs = ev.timeSec * 1e6;
+                    span.startUs = span.arrivalUs;
+                    span.endUs = span.arrivalUs;
+                    span.sloTargetUs = residents[t].sloTargetUs;
+                    span.shed = true;
+                    out.spans.push_back(std::move(span));
+                }
+            }
         } else {
-            queue[t].push_back(ev.timeSec);
+            queue[t].push_back(Waiting{ev.timeSec, ev.seq});
+            ++waiting;
+            out.depthPeak = std::max(
+                out.depthPeak, static_cast<double>(waiting));
             if (!busy)
                 start_next(ev.timeSec);
         }
+    }
+    // Close the occupancy integrals at the drain point and emit any
+    // remaining (idle) ticks.
+    advance_time(std::max(out.endSec, durationSec));
+    while (sampleTicks > 0 && next_tick <= sampleTicks) {
+        out.depthSamples.push_back(0.0);
+        out.inflightSamples.push_back(0.0);
+        ++next_tick;
     }
     return out;
 }
@@ -516,6 +654,8 @@ ClusterManager::run()
 
     // Fan the independent per-core simulations out; collecting by
     // core index keeps the fold order serial-identical.
+    const std::uint64_t spanSampleN =
+        tracer_ != nullptr ? tracer_->sampler().n : 0;
     ParallelExecutor exec(config_.jobs);
     std::vector<CoreOutcome> outcomes =
         exec.map<CoreOutcome>(config_.numCores, [&](std::size_t c) {
@@ -524,10 +664,12 @@ ClusterManager::run()
             for (std::size_t idx : placement.coreTenants[c]) {
                 ResidentSpec spec;
                 spec.arrivals = &streams[idx];
-                spec.serviceMeanSec = serviceUs(idx) * 1e-6 /
+                spec.soloMeanSec = serviceUs(idx) * 1e-6;
+                spec.serviceMeanSec = spec.soloMeanSec /
                                       placement.tenantSpeed[idx];
                 spec.weight = tenants_[idx].slo.weight;
                 spec.sloTargetUs = tenants_[idx].slo.latencyTargetUs;
+                spec.tenantIndex = static_cast<std::uint32_t>(idx);
                 residents.push_back(spec);
             }
             return simulateCore(
@@ -535,7 +677,9 @@ ClusterManager::run()
                 config_.serviceDist, config_.serviceCv,
                 config_.durationSec,
                 Rng::deriveStream(config_.seed,
-                                  kCoreStreamSalt + c));
+                                  kCoreStreamSalt + c),
+                config_.seed, spanSampleN,
+                config_.queueSampleTicks);
         });
 
     ServingReport report;
@@ -543,6 +687,9 @@ ClusterManager::run()
     report.durationSec = config_.durationSec;
     report.cores = config_.numCores;
     report.tenants.resize(tenants_.size());
+
+    SloMonitor monitor(tenants_.size(), config_.durationSec,
+                       config_.sloPolicy);
 
     double util_sum = 0.0;
     for (std::size_t c = 0; c < config_.numCores; ++c) {
@@ -554,6 +701,13 @@ ClusterManager::run()
         core.busySec = out.busySec;
         core.util = out.endSec > 0.0 ? out.busySec / out.endSec
                                      : 0.0;
+        const double horizon =
+            std::max(out.endSec, config_.durationSec);
+        if (horizon > 0.0) {
+            core.queueDepthMean = out.depthArea / horizon;
+            core.inFlightMean = out.busyArea / horizon;
+        }
+        core.queueDepthPeak = out.depthPeak;
         for (std::size_t local = 0; local < residents.size();
              ++local) {
             const std::size_t idx = residents[local];
@@ -577,18 +731,38 @@ ClusterManager::run()
                 static_cast<double>(ts.completed -
                                     ts.sloViolations) /
                 config_.durationSec;
-            const SampleSet &lat = out.latencyUs[local];
+            const LogHistogram &lat = out.latencyUs[local];
             ts.meanUs = lat.mean();
             ts.p50Us = lat.percentile(50.0);
             ts.p99Us = lat.percentile(99.0);
             ts.p999Us = lat.percentile(99.9);
             ts.maxUs = lat.max();
+            ts.attribQueueUs = out.queueUsSum[local];
+            ts.attribServiceUs = out.serviceUsSum[local];
+            ts.attribSoloUs = out.soloUsSum[local];
+            ts.attribInflationUs =
+                out.serviceUsSum[local] - out.soloUsSum[local];
+            ts.attribSojournUs =
+                out.queueUsSum[local] + out.serviceUsSum[local];
+            for (std::size_t b = 0; b < SloMonitor::kBuckets; ++b)
+                monitor.addBucket(
+                    idx, b,
+                    out.sloDone[local * SloMonitor::kBuckets + b],
+                    out.sloViol[local * SloMonitor::kBuckets + b]);
         }
         if (!residents.empty()) {
             ++report.coresUsed;
             util_sum += core.util;
         }
         report.coreStats.push_back(std::move(core));
+    }
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        const BurnRateStatus burn = monitor.status(i);
+        report.tenants[i].burnShort = burn.shortBurn;
+        report.tenants[i].burnLong = burn.longBurn;
+        report.tenants[i].sloAlert = burn.alert;
+        if (burn.alert)
+            ++report.sloAlerts;
     }
     for (const TenantServingStats &ts : report.tenants) {
         report.offered += ts.offered;
@@ -601,6 +775,63 @@ ClusterManager::run()
         report.coresUsed > 0
             ? util_sum / static_cast<double>(report.coresUsed)
             : 0.0;
+
+    if (tracer_ != nullptr) {
+        // Merge per-core span lists into one deterministic total
+        // order: (arrival, tenant, seq) — identical for any jobs
+        // value because the per-core lists themselves are.
+        std::vector<RequestSpan> merged;
+        for (std::size_t c = 0; c < outcomes.size(); ++c) {
+            for (const RequestSpan &s : outcomes[c].spans) {
+                RequestSpan span = s;
+                span.core = c;
+                span.tenant = tenants_[span.ctx.tenant].name;
+                merged.push_back(std::move(span));
+            }
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const RequestSpan &a, const RequestSpan &b) {
+                      if (a.arrivalUs != b.arrivalUs)
+                          return a.arrivalUs < b.arrivalUs;
+                      if (a.ctx.tenant != b.ctx.tenant)
+                          return a.ctx.tenant < b.ctx.tenant;
+                      return a.ctx.seq < b.ctx.seq;
+                  });
+        for (RequestSpan &span : merged)
+            tracer_->add(std::move(span));
+    }
+
+    if (sampler_ != nullptr && config_.queueSampleTicks > 0) {
+        // Per-core occupancy series as sampler columns, one row per
+        // tick; cycle timestamps come from the core clock so the
+        // Chrome counter tracks line up with the rest of the trace.
+        for (std::size_t c = 0; c < config_.numCores; ++c) {
+            const std::string prefix =
+                "core" + std::to_string(c);
+            sampler_->addManualColumn(prefix + ".queue_depth");
+            sampler_->addManualColumn(prefix + ".in_flight");
+        }
+        const double cyclesPerSec = config_.core.freqGHz * 1e9;
+        const double tickSec =
+            config_.durationSec /
+            static_cast<double>(config_.queueSampleTicks);
+        std::vector<double> row(config_.numCores * 2, 0.0);
+        for (std::size_t k = 0; k < config_.queueSampleTicks; ++k) {
+            for (std::size_t c = 0; c < config_.numCores; ++c) {
+                const CoreOutcome &out = outcomes[c];
+                row[c * 2] = k < out.depthSamples.size()
+                                 ? out.depthSamples[k]
+                                 : 0.0;
+                row[c * 2 + 1] = k < out.inflightSamples.size()
+                                     ? out.inflightSamples[k]
+                                     : 0.0;
+            }
+            const auto cycle = static_cast<Cycles>(
+                static_cast<double>(k + 1) * tickSec *
+                cyclesPerSec);
+            sampler_->appendRow(cycle, row);
+        }
+    }
 
     if (stats_ != nullptr)
         registerServingStats(*stats_, report);

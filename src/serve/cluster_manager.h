@@ -38,12 +38,15 @@
 #include "npu/npu_config.h"
 #include "serve/arrival.h"
 #include "serve/serving_report.h"
+#include "trace/slo_monitor.h"
 #include "v10/experiment.h"
 #include "v10/npu_cluster.h"
 
 namespace v10 {
 
 class StatRegistry;
+class RequestTracer;
+class IntervalSampler;
 
 /** Per-tenant service-level objective. */
 struct SloSpec
@@ -143,6 +146,13 @@ struct ServeConfig
     /** Threads for the per-core serving fan-out (and advisor
      * training); results are bit-identical for any value. */
     std::size_t jobs = 1;
+    /** Per-core queue-depth / in-flight samples taken at fixed
+     * sim-time ticks inside the core simulation (0 = off). The
+     * series feed an attached IntervalSampler's columns and the
+     * Chrome-trace counter tracks. */
+    std::size_t queueSampleTicks = 0;
+    /** Burn-rate policy for the online SLO monitor. */
+    SloPolicy sloPolicy{};
 };
 
 /** Placement decision (exposed for tests). */
@@ -203,6 +213,22 @@ class ClusterManager
     /** Optional registry: run() registers "serve.*" aggregates. */
     void setStats(StatRegistry *stats) { stats_ = stats; }
 
+    /**
+     * Optional request tracer: run() records head-sampled request
+     * spans (merged across cores in a deterministic total order).
+     * Recording is passive — scheduling stays bit-identical with a
+     * tracer attached.
+     */
+    void setRequestTracer(RequestTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Optional sampler: run() installs per-core `queue_depth` /
+     * `in_flight` manual columns and appends one row per sample
+     * tick (requires config.queueSampleTicks > 0 and a sampler that
+     * was never start()ed).
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
   private:
     Status checkConfig() const;
     Result<ServePlacement> placeAdvisor();
@@ -214,6 +240,8 @@ class ClusterManager
     /** Advisor fleet (lazy; Advisor policy only). */
     std::unique_ptr<NpuCluster> advisor_fleet_;
     StatRegistry *stats_ = nullptr;
+    RequestTracer *tracer_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
 };
 
 } // namespace v10

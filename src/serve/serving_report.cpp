@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/string_util.h"
 #include "metrics/stat_registry.h"
+#include "trace/attribution.h"
 
 namespace v10 {
 
@@ -45,6 +46,7 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
     w.kv("slo_violations", report.sloViolations);
     w.kv("goodput_rps", report.goodputRps);
     w.kv("mean_core_util", report.meanCoreUtil);
+    w.kv("slo_alerts", report.sloAlerts);
 
     w.key("tenants");
     w.beginArray();
@@ -67,6 +69,17 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
         w.kv("slo_target_us", t.sloTargetUs);
         w.kv("weight", t.weight);
         w.kv("slo_attainment", t.sloAttainment());
+        w.key("attrib");
+        w.beginObject();
+        w.kv("queue_us", t.attribQueueUs);
+        w.kv("service_us", t.attribServiceUs);
+        w.kv("solo_us", t.attribSoloUs);
+        w.kv("inflation_us", t.attribInflationUs);
+        w.kv("sojourn_us", t.attribSojournUs);
+        w.endObject();
+        w.kv("burn_short", t.burnShort);
+        w.kv("burn_long", t.burnLong);
+        w.kv("slo_alert", t.sloAlert);
         w.endObject();
     }
     w.endArray();
@@ -85,6 +98,9 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
         w.kv("busy_sec", c.busySec);
         w.kv("util", c.util);
         w.kv("speed_factor", c.speedFactor);
+        w.kv("queue_depth_mean", c.queueDepthMean);
+        w.kv("queue_depth_peak", c.queueDepthPeak);
+        w.kv("in_flight_mean", c.inFlightMean);
         w.endObject();
     }
     w.endArray();
@@ -143,6 +159,10 @@ registerServingStats(StatRegistry &registry,
     registry
         .addGauge("serve.cores_used", "cores with >= 1 tenant")
         .set(static_cast<double>(report.coresUsed));
+    registry
+        .addCounter("serve.slo_alerts",
+                    "tenants whose burn rate tripped the alert")
+        .set(report.sloAlerts);
     for (const CoreServingStats &c : report.coreStats) {
         const std::string prefix =
             "serve.core" + std::to_string(c.index);
@@ -153,6 +173,65 @@ registerServingStats(StatRegistry &registry,
         registry
             .addGauge(prefix + ".tenants", "resident tenants")
             .set(static_cast<double>(c.tenants.size()));
+        registry
+            .addGauge(prefix + ".queue_depth_mean",
+                      "time-weighted mean waiting requests")
+            .set(c.queueDepthMean);
+        registry
+            .addGauge(prefix + ".queue_depth_peak",
+                      "peak waiting requests")
+            .set(c.queueDepthPeak);
+        registry
+            .addGauge(prefix + ".in_flight_mean",
+                      "time-weighted mean in-service occupancy")
+            .set(c.inFlightMean);
+    }
+    // De-duplicate sanitized tenant slugs by index: names are unique
+    // but sanitization can merge them, and the registry panics on
+    // path collisions.
+    std::vector<std::string> slugs(report.tenants.size());
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        std::string slug =
+            sanitizeStatSegment(report.tenants[i].name);
+        for (std::size_t j = 0; j < i; ++j) {
+            if (slugs[j] == slug) {
+                slug += "_" + std::to_string(i);
+                break;
+            }
+        }
+        slugs[i] = std::move(slug);
+    }
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        const TenantServingStats &t = report.tenants[i];
+        const std::string base = "serve.tenant." + slugs[i];
+        registry
+            .addGauge(base + ".attrib.queue_us",
+                      "total queueing delay")
+            .set(t.attribQueueUs);
+        registry
+            .addGauge(base + ".attrib.service_us",
+                      "total actual service time")
+            .set(t.attribServiceUs);
+        registry
+            .addGauge(base + ".attrib.solo_us",
+                      "total solo-equivalent service time")
+            .set(t.attribSoloUs);
+        registry
+            .addGauge(base + ".attrib.inflation_us",
+                      "service inflation vs solo calibration")
+            .set(t.attribInflationUs);
+        registry
+            .addGauge(base + ".attrib.sojourn_us",
+                      "total sojourn (queue + service)")
+            .set(t.attribSojournUs);
+        registry
+            .addGauge(base + ".burn_short",
+                      "short-window SLO burn rate")
+            .set(t.burnShort);
+        registry
+            .addGauge(base + ".burn_long",
+                      "long-window SLO burn rate")
+            .set(t.burnLong);
     }
 }
 

@@ -47,6 +47,22 @@ struct TenantServingStats
     double sloTargetUs = 0.0; ///< 0 = no latency target
     double weight = 1.0;      ///< fair-share weight
 
+    /** Interference attribution: the tenant's total sojourn time
+     * decomposed into queueing delay, solo-equivalent service, and
+     * service inflation vs the solo-run calibration (negative =
+     * collocation speedup). queue + solo + inflation == sojourn. */
+    double attribQueueUs = 0.0;     ///< sum of queueing delays
+    double attribServiceUs = 0.0;   ///< sum of actual service times
+    double attribSoloUs = 0.0;      ///< sum of solo-equivalents
+    double attribInflationUs = 0.0; ///< service - solo
+    double attribSojournUs = 0.0;   ///< queue + service
+
+    /** Online SLO monitoring: multi-window burn rates (windowed
+     * violation rate / error budget) and the alert decision. */
+    double burnShort = 0.0;
+    double burnLong = 0.0;
+    bool sloAlert = false;
+
     /** Fraction of completed requests inside the SLO (1 if none
      * completed or no target). */
     double sloAttainment() const;
@@ -61,6 +77,11 @@ struct CoreServingStats
     double busySec = 0.0;             ///< server busy time
     double util = 0.0;                ///< busy / max(duration, drain)
     double speedFactor = 1.0;         ///< collocation service speedup
+
+    /** Live-occupancy gauges (time-weighted over the run). */
+    double queueDepthMean = 0.0; ///< mean waiting requests
+    double queueDepthPeak = 0.0; ///< peak waiting requests
+    double inFlightMean = 0.0;   ///< mean in-service occupancy
 };
 
 /** Whole-run serving outcomes. */
@@ -78,6 +99,7 @@ struct ServingReport
 
     double goodputRps = 0.0;     ///< fleet SLO-met throughput
     double meanCoreUtil = 0.0;   ///< mean util over used cores
+    std::uint64_t sloAlerts = 0; ///< tenants with a burn-rate alert
 
     std::vector<TenantServingStats> tenants;
     std::vector<CoreServingStats> coreStats;

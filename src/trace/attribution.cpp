@@ -1,0 +1,178 @@
+#include "trace/attribution.h"
+
+#include "common/log.h"
+#include "metrics/stat_registry.h"
+
+namespace v10 {
+
+std::string
+sanitizeStatSegment(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        const bool ok = (c >= 'A' && c <= 'Z') ||
+                        (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+std::size_t
+AttributionCollector::addTenant(WorkloadId id, std::string label)
+{
+    const std::size_t idx = ids_.size();
+    ids_.push_back(id);
+    labels_.push_back(std::move(label));
+    const std::size_t n = ids_.size();
+    // Grow the victim-major matrices in place.
+    std::vector<double> preempt(n * n, 0.0);
+    std::vector<double> hbm(n * n, 0.0);
+    for (std::size_t v = 0; v + 1 < n; ++v) {
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            preempt[v * n + p] = preempt_[v * (n - 1) + p];
+            hbm[v * n + p] = hbm_[v * (n - 1) + p];
+        }
+    }
+    preempt_ = std::move(preempt);
+    hbm_ = std::move(hbm);
+    ctx_.push_back(0.0);
+    return idx;
+}
+
+std::size_t
+AttributionCollector::indexOf(WorkloadId id) const
+{
+    if (id == kNoWorkload)
+        return static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < ids_.size(); ++i)
+        if (ids_[i] == id)
+            return i;
+    return static_cast<std::size_t>(-1);
+}
+
+void
+AttributionCollector::chargePreemptStall(WorkloadId victim,
+                                         WorkloadId perp,
+                                         double cycles)
+{
+    const std::size_t v = indexOf(victim);
+    const std::size_t p = indexOf(perp);
+    if (v == static_cast<std::size_t>(-1) ||
+        p == static_cast<std::size_t>(-1))
+        return;
+    preempt_[v * ids_.size() + p] += cycles;
+}
+
+void
+AttributionCollector::chargeCtxOverhead(WorkloadId victim,
+                                        double cycles)
+{
+    const std::size_t v = indexOf(victim);
+    if (v == static_cast<std::size_t>(-1))
+        return;
+    ctx_[v] += cycles;
+}
+
+void
+AttributionCollector::onHbmContention(WorkloadId owner,
+                                      WorkloadId other, double cycles)
+{
+    const std::size_t v = indexOf(owner);
+    const std::size_t p = indexOf(other);
+    if (v == static_cast<std::size_t>(-1) ||
+        p == static_cast<std::size_t>(-1))
+        return;
+    hbm_[v * ids_.size() + p] += cycles;
+}
+
+double
+AttributionCollector::preemptStall(std::size_t victim,
+                                   std::size_t perp) const
+{
+    return preempt_[victim * ids_.size() + perp];
+}
+
+double
+AttributionCollector::hbmContention(std::size_t victim,
+                                    std::size_t perp) const
+{
+    return hbm_[victim * ids_.size() + perp];
+}
+
+double
+AttributionCollector::ctxOverhead(std::size_t victim) const
+{
+    return ctx_[victim];
+}
+
+double
+AttributionCollector::totalPreemptStall(std::size_t victim) const
+{
+    double sum = 0.0;
+    for (std::size_t p = 0; p < ids_.size(); ++p)
+        sum += preemptStall(victim, p);
+    return sum;
+}
+
+double
+AttributionCollector::totalHbmContention(std::size_t victim) const
+{
+    double sum = 0.0;
+    for (std::size_t p = 0; p < ids_.size(); ++p)
+        sum += hbmContention(victim, p);
+    return sum;
+}
+
+void
+AttributionCollector::registerStats(StatRegistry &registry) const
+{
+    // Pre-compute slugs, de-duplicating by index: two tenants of the
+    // same workload must not collide in the registry (it panics on
+    // path conflicts).
+    std::vector<std::string> slugs(ids_.size());
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+        std::string slug = sanitizeStatSegment(labels_[i]);
+        for (std::size_t j = 0; j < i; ++j) {
+            if (slugs[j] == slug) {
+                slug += "_" + std::to_string(i);
+                break;
+            }
+        }
+        slugs[i] = std::move(slug);
+    }
+    for (std::size_t v = 0; v < ids_.size(); ++v) {
+        const std::string base =
+            "serve.tenant." + slugs[v] + ".attrib";
+        registry.addFormula(
+            base + ".preempt_stall_cycles",
+            [this, v] { return totalPreemptStall(v); },
+            "cycles stalled waiting to resume after preemption");
+        registry.addFormula(
+            base + ".hbm_contention_cycles",
+            [this, v] { return totalHbmContention(v); },
+            "solo-rate DMA cycles lost to bandwidth sharing");
+        registry.addFormula(
+            base + ".ctx_overhead_cycles",
+            [this, v] { return ctxOverhead(v); },
+            "context-switch overhead charged on dispatch");
+        for (std::size_t p = 0; p < ids_.size(); ++p) {
+            if (p == v)
+                continue;
+            const std::string from = base + ".from." + slugs[p];
+            registry.addFormula(
+                from + ".preempt_stall_cycles",
+                [this, v, p] { return preemptStall(v, p); },
+                "preemption stall charged to this co-runner");
+            registry.addFormula(
+                from + ".hbm_contention_cycles",
+                [this, v, p] { return hbmContention(v, p); },
+                "HBM contention charged to this co-runner");
+        }
+    }
+}
+
+} // namespace v10

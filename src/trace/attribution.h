@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interference attribution for the cycle-accurate path: charges
+ * SA/VU preemption-stall cycles, HBM-contention cycles, and
+ * context-switch overhead cycles to the specific co-runner that
+ * caused them, per (victim, perpetrator) pair. The collector is
+ * purely passive — scheduling sites record into it but never read
+ * from it, so attaching one leaves runs bit-identical.
+ *
+ * Totals surface in the registry under the
+ * `serve.tenant.<slug>.attrib.*` namespace (with a
+ * `.from.<perpetrator>` breakdown), mirroring the serve-layer
+ * sojourn decomposition so both stacks answer "who stole my cycles"
+ * with the same vocabulary.
+ */
+
+#ifndef V10_TRACE_ATTRIBUTION_H
+#define V10_TRACE_ATTRIBUTION_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "npu/hbm.h"
+
+namespace v10 {
+
+class StatRegistry;
+
+/** Sanitize a tenant label into a registry path segment
+ * ([A-Za-z0-9_] only — "BERT#17" becomes "BERT_17"). */
+std::string sanitizeStatSegment(const std::string &label);
+
+/**
+ * Per-(victim, perpetrator) cycle attribution matrices.
+ */
+class AttributionCollector : public HbmContentionObserver
+{
+  public:
+    /**
+     * Register a tenant; call once per tenant before the run.
+     * @return dense index assigned to @p id.
+     */
+    std::size_t addTenant(WorkloadId id, std::string label);
+
+    std::size_t tenantCount() const { return labels_.size(); }
+    const std::string &label(std::size_t idx) const
+    {
+        return labels_[idx];
+    }
+
+    /** Charge preemption-stall cycles to @p perp for @p victim. */
+    void chargePreemptStall(WorkloadId victim, WorkloadId perp,
+                            double cycles);
+
+    /** Charge context-switch overhead cycles (self-attributed). */
+    void chargeCtxOverhead(WorkloadId victim, double cycles);
+
+    /** HbmContentionObserver: @p owner lost @p cycles to @p other. */
+    void onHbmContention(WorkloadId owner, WorkloadId other,
+                         double cycles) override;
+
+    double preemptStall(std::size_t victim, std::size_t perp) const;
+    double hbmContention(std::size_t victim, std::size_t perp) const;
+    double ctxOverhead(std::size_t victim) const;
+
+    /** Row sums over all perpetrators. */
+    double totalPreemptStall(std::size_t victim) const;
+    double totalHbmContention(std::size_t victim) const;
+
+    /**
+     * Register formulas under
+     * `serve.tenant.<slug>.attrib.{preempt_stall_cycles,
+     * hbm_contention_cycles, ctx_overhead_cycles,
+     * from.<perp>.{preempt_stall_cycles, hbm_contention_cycles}}`.
+     * The collector must outlive the registry's freeze().
+     */
+    void registerStats(StatRegistry &registry) const;
+
+  private:
+    /** Dense index for @p id; npos when unknown/kNoWorkload. */
+    std::size_t indexOf(WorkloadId id) const;
+
+    std::vector<WorkloadId> ids_;   ///< dense index -> workload id
+    std::vector<std::string> labels_;
+    std::vector<double> preempt_;   ///< victim-major n x n
+    std::vector<double> hbm_;       ///< victim-major n x n
+    std::vector<double> ctx_;       ///< per victim
+};
+
+} // namespace v10
+
+#endif // V10_TRACE_ATTRIBUTION_H

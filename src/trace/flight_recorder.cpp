@@ -1,0 +1,71 @@
+#include "trace/flight_recorder.h"
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace v10 {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity)
+{
+    if (capacity == 0)
+        panic("FlightRecorder: capacity must be > 0");
+}
+
+void
+FlightRecorder::record(FlightEvent event)
+{
+    if (size_ == capacity_)
+        ++dropped_;
+    else
+        ++size_;
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+}
+
+void
+FlightRecorder::record(Cycles cycle, std::string kind,
+                       std::string tenant, std::uint64_t traceId,
+                       std::string detail)
+{
+    record(FlightEvent{cycle, std::move(kind), std::move(tenant),
+                       traceId, std::move(detail)});
+}
+
+std::vector<FlightEvent>
+FlightRecorder::events() const
+{
+    std::vector<FlightEvent> out;
+    out.reserve(size_);
+    const std::size_t start =
+        (head_ + capacity_ - size_) % capacity_;
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % capacity_]);
+    return out;
+}
+
+void
+FlightRecorder::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("capacity", static_cast<std::uint64_t>(capacity_));
+    w.kv("dropped", dropped_);
+    w.key("events");
+    w.beginArray();
+    for (const auto &e : events()) {
+        w.beginObject();
+        w.kv("cycle", static_cast<std::uint64_t>(e.cycle));
+        w.kv("kind", e.kind);
+        if (!e.tenant.empty())
+            w.kv("tenant", e.tenant);
+        if (e.traceId != 0)
+            w.kv("trace_id", e.traceId);
+        if (!e.detail.empty())
+            w.kv("detail", e.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace v10

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bounded ring-buffer flight recorder: the last K span/scheduler
+ * events (request completions, preemptions, faults, quarantines,
+ * watchdog trips), kept cheaply during the run and dumped into the
+ * `--diag-dir` diagnostics bundle when the engine aborts — so a
+ * tail-latency incident is explainable post-hoc without re-running.
+ *
+ * Timestamps are sim-time only; recording never touches scheduling
+ * state, so an attached recorder leaves runs bit-identical.
+ */
+
+#ifndef V10_TRACE_FLIGHT_RECORDER_H
+#define V10_TRACE_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace v10 {
+
+class JsonWriter;
+
+/** One recorded event. */
+struct FlightEvent
+{
+    Cycles cycle = 0;       ///< sim time of the event
+    std::string kind;       ///< "request" | "preempt" | "fault" | ...
+    std::string tenant;     ///< tenant label ("" = engine-level)
+    std::uint64_t traceId = 0; ///< 0 when not request-scoped
+    std::string detail;     ///< free-form one-liner
+};
+
+/**
+ * Fixed-capacity ring of recent FlightEvents; the oldest entry is
+ * overwritten once full.
+ */
+class FlightRecorder
+{
+  public:
+    /** @param capacity ring size (> 0). */
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    /** Append one event, evicting the oldest when full. */
+    void record(FlightEvent event);
+
+    /** Convenience overload building the event in place. */
+    void record(Cycles cycle, std::string kind, std::string tenant,
+                std::uint64_t traceId = 0, std::string detail = "");
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return size_; }
+    /** Events evicted because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Events oldest-first. */
+    std::vector<FlightEvent> events() const;
+
+    /**
+     * Dump as a JSON object value ({"capacity":..,"dropped":..,
+     * "events":[...]}) — the writer must be positioned after key().
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<FlightEvent> ring_;
+    std::size_t head_ = 0; ///< next write slot
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace v10
+
+#endif // V10_TRACE_FLIGHT_RECORDER_H

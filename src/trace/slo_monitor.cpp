@@ -1,0 +1,96 @@
+#include "trace/slo_monitor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace v10 {
+
+SloMonitor::SloMonitor(std::size_t tenants, double durationSec,
+                       SloPolicy policy)
+    : tenants_(tenants), duration_(durationSec), policy_(policy),
+      done_(tenants * kBuckets, 0), violations_(tenants * kBuckets, 0)
+{
+    if (durationSec <= 0.0)
+        V10_PANIC("SloMonitor: duration must be positive");
+}
+
+std::size_t
+SloMonitor::bucketOf(double timeSec) const
+{
+    if (timeSec <= 0.0)
+        return 0;
+    auto b = static_cast<std::size_t>(timeSec / duration_ *
+                                      static_cast<double>(kBuckets));
+    return std::min(b, kBuckets - 1);
+}
+
+void
+SloMonitor::record(std::size_t tenant, double timeSec, bool violated)
+{
+    if (tenant >= tenants_)
+        V10_PANIC("SloMonitor: tenant ", tenant, " out of range");
+    const std::size_t idx = tenant * kBuckets + bucketOf(timeSec);
+    ++done_[idx];
+    if (violated)
+        ++violations_[idx];
+}
+
+void
+SloMonitor::addBucket(std::size_t tenant, std::size_t bucket,
+                      std::uint64_t done, std::uint64_t violations)
+{
+    if (tenant >= tenants_ || bucket >= kBuckets)
+        V10_PANIC("SloMonitor: addBucket(", tenant, ", ", bucket,
+                  ") out of range");
+    done_[tenant * kBuckets + bucket] += done;
+    violations_[tenant * kBuckets + bucket] += violations;
+}
+
+void
+SloMonitor::merge(const SloMonitor &other)
+{
+    if (other.tenants_ != tenants_ || other.duration_ != duration_)
+        V10_PANIC("SloMonitor: merge shape mismatch");
+    for (std::size_t i = 0; i < done_.size(); ++i) {
+        done_[i] += other.done_[i];
+        violations_[i] += other.violations_[i];
+    }
+}
+
+double
+SloMonitor::violationRate(std::size_t tenant, double windowSec,
+                          double endSec) const
+{
+    if (tenant >= tenants_)
+        V10_PANIC("SloMonitor: tenant ", tenant, " out of range");
+    const std::size_t hi = bucketOf(endSec);
+    const double startSec = std::max(0.0, endSec - windowSec);
+    const std::size_t lo = bucketOf(startSec);
+    std::uint64_t done = 0;
+    std::uint64_t viol = 0;
+    for (std::size_t b = lo; b <= hi; ++b) {
+        done += done_[tenant * kBuckets + b];
+        viol += violations_[tenant * kBuckets + b];
+    }
+    if (done == 0)
+        return 0.0;
+    return static_cast<double>(viol) / static_cast<double>(done);
+}
+
+BurnRateStatus
+SloMonitor::status(std::size_t tenant) const
+{
+    BurnRateStatus out;
+    const double shortWin = duration_ * policy_.shortWindowFrac;
+    const double longWin = duration_ * policy_.longWindowFrac;
+    out.shortBurn = violationRate(tenant, shortWin, duration_) /
+                    policy_.errorBudget;
+    out.longBurn =
+        violationRate(tenant, longWin, duration_) / policy_.errorBudget;
+    out.alert = out.shortBurn > policy_.alertBurnRate &&
+                out.longBurn > policy_.alertBurnRate;
+    return out;
+}
+
+} // namespace v10

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic request-trace identity: every serve request carries a
+ * TraceContext whose ID is a pure function of (run seed, tenant index,
+ * per-tenant arrival sequence) through the same SplitMix64 stream
+ * derivation the RNG layer uses. No wall clocks, no global counters —
+ * the same scenario + seed always yields the same IDs, on any worker
+ * count, which is what makes span output byte-identical across
+ * `--jobs N`.
+ */
+
+#ifndef V10_TRACE_TRACE_CONTEXT_H
+#define V10_TRACE_TRACE_CONTEXT_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace v10 {
+
+/**
+ * Derive the 64-bit trace ID for request @p seq of tenant
+ * @p tenant under run seed @p seed: two chained SplitMix64
+ * finalizer steps (tenant stream, then sequence within it).
+ */
+inline std::uint64_t
+traceIdFor(std::uint64_t seed, std::uint32_t tenant, std::uint64_t seq)
+{
+    return Rng::deriveStream(Rng::deriveStream(seed, tenant), seq);
+}
+
+/** Identity a request carries through the serving stack. */
+struct TraceContext
+{
+    std::uint64_t traceId = 0; ///< traceIdFor(seed, tenant, seq)
+    std::uint32_t tenant = 0;  ///< global tenant index
+    std::uint64_t seq = 0;     ///< per-tenant arrival sequence
+
+    static TraceContext
+    make(std::uint64_t seed, std::uint32_t tenant, std::uint64_t seq)
+    {
+        return TraceContext{traceIdFor(seed, tenant, seq), tenant,
+                            seq};
+    }
+};
+
+/**
+ * Deterministic head sampler: keep request iff its hashed trace ID
+ * falls in the 1/N residue class. n == 0 disables tracing entirely,
+ * n == 1 keeps everything.
+ */
+struct TraceSampler
+{
+    std::uint64_t n = 1;
+
+    bool
+    sampled(std::uint64_t traceId) const
+    {
+        if (n == 0)
+            return false;
+        return n == 1 || traceId % n == 0;
+    }
+};
+
+/**
+ * Parse a `--trace-sample` argument of the form "1/N" (or a bare
+ * "N", meaning the same). N must be a positive integer.
+ */
+inline Result<std::uint64_t>
+parseTraceSample(const std::string &arg)
+{
+    std::string digits = arg;
+    if (digits.rfind("1/", 0) == 0)
+        digits = digits.substr(2);
+    if (digits.empty())
+        return parseError("empty trace-sample spec", "", 0, arg);
+    std::uint64_t n = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return parseError("trace-sample must be 1/N with integer N",
+                              "", 0, arg);
+        const std::uint64_t next = n * 10 + static_cast<std::uint64_t>(c - '0');
+        if (next < n)
+            return parseError("trace-sample overflows", "", 0, arg);
+        n = next;
+    }
+    if (n == 0)
+        return parseError("trace-sample N must be >= 1", "", 0, arg);
+    return n;
+}
+
+} // namespace v10
+
+#endif // V10_TRACE_TRACE_CONTEXT_H

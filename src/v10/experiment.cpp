@@ -108,6 +108,9 @@ ExperimentRunner::run(SchedulerKind kind,
     sched->setStats(options.stats);
     sched->setSampler(options.sampler);
     sched->setResilience(options.resilience);
+    sched->setRequestTracer(options.requestTracer);
+    sched->setAttribution(options.attribution);
+    sched->setFlightRecorder(options.flightRecorder);
     RunStats stats = sched->run(requests, warmup);
 
     for (std::size_t i = 0; i < stats.workloads.size(); ++i) {

@@ -1,0 +1,15 @@
+// fixture-path: src/trace/span_index_ordered.cpp
+// fixture-expect: 0
+#include <cstdint>
+#include <map>
+
+double
+totalSojourn()
+{
+    std::map<std::uint64_t, double> sojourns;
+    sojourns[0x1234] = 17.5;
+    double total = 0.0;
+    for (const auto &kv : sojourns)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,15 @@
+// fixture-path: src/trace/span_index.cpp
+// fixture-expect: 2
+#include <cstdint>
+#include <unordered_map>
+
+double
+totalSojourn()
+{
+    std::unordered_map<std::uint64_t, double> sojourns;
+    sojourns[0x1234] = 17.5;
+    double total = 0.0;
+    for (const auto &kv : sojourns)
+        total += kv.second;
+    return total;
+}

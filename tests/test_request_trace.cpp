@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Unit tests for the request-tracing layer (src/trace): trace-ID
+ * derivation and head sampling, the --trace-sample grammar, the
+ * multi-window SLO burn-rate monitor, the flight-recorder ring, the
+ * attribution collector, and the engine-side guarantees (attribution
+ * is passive, spans and flight events come out of real runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "metrics/run_report.h"
+#include "metrics/stat_registry.h"
+#include "trace/attribution.h"
+#include "trace/flight_recorder.h"
+#include "trace/request_tracer.h"
+#include "trace/slo_monitor.h"
+#include "trace/trace_context.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+// ---------------------------------------------------------------
+// Trace identity and sampling.
+// ---------------------------------------------------------------
+
+TEST(TraceContext, IdsAreDeterministicAndDistinct)
+{
+    const std::uint64_t a = traceIdFor(11, 3, 7);
+    EXPECT_EQ(a, traceIdFor(11, 3, 7));
+    // Moving any coordinate moves the ID.
+    EXPECT_NE(a, traceIdFor(12, 3, 7));
+    EXPECT_NE(a, traceIdFor(11, 4, 7));
+    EXPECT_NE(a, traceIdFor(11, 3, 8));
+
+    // No collisions over a realistic grid (SplitMix64 finalizers).
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t t = 0; t < 64; ++t)
+        for (std::uint64_t s = 0; s < 64; ++s)
+            seen.insert(traceIdFor(1, t, s));
+    EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(TraceContext, MakeFillsEveryField)
+{
+    const TraceContext ctx = TraceContext::make(5, 2, 9);
+    EXPECT_EQ(ctx.traceId, traceIdFor(5, 2, 9));
+    EXPECT_EQ(ctx.tenant, 2u);
+    EXPECT_EQ(ctx.seq, 9u);
+}
+
+TEST(TraceSampler, KeepsTheConfiguredFraction)
+{
+    EXPECT_FALSE(TraceSampler{0}.sampled(123));
+    EXPECT_TRUE(TraceSampler{1}.sampled(123));
+
+    const TraceSampler one_in_8{8};
+    std::size_t kept = 0;
+    const std::size_t total = 20000;
+    for (std::size_t i = 0; i < total; ++i)
+        kept += one_in_8.sampled(traceIdFor(42, 0, i)) ? 1 : 0;
+    // Hashed IDs are uniform: the kept fraction concentrates around
+    // 1/8 (loose 3-sigma-ish band).
+    const double frac =
+        static_cast<double>(kept) / static_cast<double>(total);
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.15);
+}
+
+TEST(TraceSampler, ParseGrammar)
+{
+    EXPECT_EQ(parseTraceSample("1/8").value(), 8u);
+    EXPECT_EQ(parseTraceSample("8").value(), 8u);
+    EXPECT_EQ(parseTraceSample("1/1").value(), 1u);
+    EXPECT_FALSE(parseTraceSample("").ok());
+    EXPECT_FALSE(parseTraceSample("1/").ok());
+    EXPECT_FALSE(parseTraceSample("1/0").ok());
+    EXPECT_FALSE(parseTraceSample("0").ok());
+    EXPECT_FALSE(parseTraceSample("1/abc").ok());
+    EXPECT_FALSE(parseTraceSample("2/4").ok());
+    EXPECT_FALSE(parseTraceSample("99999999999999999999999").ok());
+}
+
+// ---------------------------------------------------------------
+// Request tracer output formats.
+// ---------------------------------------------------------------
+
+RequestSpan
+spanAt(std::uint32_t tenant, std::uint64_t seq, double arrival,
+       double start, double end)
+{
+    RequestSpan s;
+    s.ctx = TraceContext::make(1, tenant, seq);
+    s.tenant = "T#" + std::to_string(tenant);
+    s.arrivalUs = arrival;
+    s.startUs = start;
+    s.endUs = end;
+    s.soloUs = end - start;
+    return s;
+}
+
+TEST(RequestTracer, JsonlLinesParseAndDecompose)
+{
+    RequestTracer tracer;
+    tracer.add(spanAt(0, 0, 1.0, 2.5, 10.0));
+    tracer.add(spanAt(1, 0, 3.0, 3.0, 4.0));
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    std::istringstream in(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        const JsonValue v = JsonValue::parseOrDie(line, "span");
+        ASSERT_TRUE(v.has("trace_id"));
+        // queue + service == sojourn by construction.
+        EXPECT_DOUBLE_EQ(v.find("queue_us")->number +
+                             v.find("service_us")->number,
+                         v.find("sojourn_us")->number);
+        EXPECT_DOUBLE_EQ(v.find("service_us")->number -
+                             v.find("solo_us")->number,
+                         v.find("inflation_us")->number);
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(RequestTracer, AsyncSpanEventsAreBalanced)
+{
+    RequestTracer tracer;
+    tracer.add(spanAt(0, 0, 1.0, 2.0, 5.0));
+    std::ostringstream os;
+    os << "[";
+    tracer.writeAsyncSpanEvents(os, 1.0, false);
+    os << "]";
+    const JsonValue doc = JsonValue::parseOrDie(os.str(), "events");
+    ASSERT_TRUE(doc.isArray());
+    // Request + nested service span: two b/e pairs.
+    ASSERT_EQ(doc.array.size(), 4u);
+    std::size_t b = 0;
+    std::size_t e = 0;
+    for (const JsonValue &ev : doc.array) {
+        const std::string ph = ev.find("ph")->str;
+        b += ph == "b" ? 1 : 0;
+        e += ph == "e" ? 1 : 0;
+    }
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(e, 2u);
+}
+
+// ---------------------------------------------------------------
+// SLO burn-rate monitor.
+// ---------------------------------------------------------------
+
+TEST(SloMonitor, BurnRateIsViolationRateOverBudget)
+{
+    SloPolicy policy;
+    policy.errorBudget = 0.01;
+    policy.shortWindowFrac = 0.125;
+    policy.longWindowFrac = 0.5;
+    policy.alertBurnRate = 2.0;
+    SloMonitor monitor(1, 10.0, policy);
+    // 10% of requests violate, uniformly over the run: both windows
+    // see rate 0.1 -> burn 10x the 1% budget -> alert.
+    for (int i = 0; i < 1000; ++i)
+        monitor.record(0, 0.01 * static_cast<double>(i),
+                       i % 10 == 0);
+    const BurnRateStatus s = monitor.status(0);
+    EXPECT_NEAR(s.shortBurn, 10.0, 1.5);
+    EXPECT_NEAR(s.longBurn, 10.0, 1.5);
+    EXPECT_TRUE(s.alert);
+}
+
+TEST(SloMonitor, StaleBurstDoesNotAlertTheCleanShortWindow)
+{
+    SloPolicy policy;
+    policy.errorBudget = 0.01;
+    SloMonitor monitor(1, 10.0, policy);
+    // Violations burst at t in [5.5, 7.5): inside the trailing long
+    // window (last 5s) but outside the short one (last 1.25s). The
+    // multi-window rule suppresses the stale alert.
+    for (int i = 0; i < 1000; ++i)
+        monitor.record(0, 0.01 * static_cast<double>(i),
+                       i >= 550 && i < 750);
+    const BurnRateStatus s = monitor.status(0);
+    EXPECT_EQ(s.shortBurn, 0.0);
+    EXPECT_GT(s.longBurn, policy.alertBurnRate);
+    EXPECT_FALSE(s.alert);
+}
+
+TEST(SloMonitor, MergeIsOrderIndependent)
+{
+    SloPolicy policy;
+    SloMonitor bulk(2, 4.0, policy);
+    SloMonitor a(2, 4.0, policy);
+    SloMonitor b(2, 4.0, policy);
+    for (int i = 0; i < 400; ++i) {
+        const double t = 0.01 * static_cast<double>(i);
+        const bool bad = i % 7 == 0;
+        bulk.record(i % 2, t, bad);
+        (i % 3 == 0 ? a : b).record(i % 2, t, bad);
+    }
+    SloMonitor ab(2, 4.0, policy);
+    ab.merge(a);
+    ab.merge(b);
+    SloMonitor ba(2, 4.0, policy);
+    ba.merge(b);
+    ba.merge(a);
+    for (std::size_t tenant = 0; tenant < 2; ++tenant) {
+        EXPECT_DOUBLE_EQ(ab.status(tenant).shortBurn,
+                         ba.status(tenant).shortBurn);
+        EXPECT_DOUBLE_EQ(ab.status(tenant).longBurn,
+                         bulk.status(tenant).longBurn);
+    }
+}
+
+// ---------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheLastKEvents)
+{
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; ++i)
+        rec.record(static_cast<Cycles>(i), "request",
+                   "T#" + std::to_string(i));
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    const std::vector<FlightEvent> events = rec.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first: cycles 6..9 survive.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].cycle, 6u + i);
+}
+
+TEST(FlightRecorder, JsonDumpHasTheContractShape)
+{
+    FlightRecorder rec(8);
+    rec.record(5, "preempt", "BERT", 0, "SA0");
+    rec.record(9, "abort", "", 0, "cycle budget");
+    std::ostringstream os;
+    JsonWriter w(os);
+    rec.writeJson(w);
+    const JsonValue doc = JsonValue::parseOrDie(os.str(), "flight");
+    EXPECT_EQ(doc.find("capacity")->number, 8.0);
+    EXPECT_EQ(doc.find("dropped")->number, 0.0);
+    ASSERT_EQ(doc.find("events")->array.size(), 2u);
+    const JsonValue &first = doc.find("events")->array[0];
+    EXPECT_EQ(first.find("cycle")->number, 5.0);
+    EXPECT_EQ(first.find("kind")->str, "preempt");
+}
+
+// ---------------------------------------------------------------
+// Attribution collector.
+// ---------------------------------------------------------------
+
+TEST(Attribution, ChargesLandInTheRightCell)
+{
+    AttributionCollector attrib;
+    const std::size_t a = attrib.addTenant(0, "BERT#0");
+    const std::size_t b = attrib.addTenant(1, "NCF#1");
+    attrib.chargePreemptStall(0, 1, 100.0);
+    attrib.chargePreemptStall(0, 1, 50.0);
+    attrib.onHbmContention(1, 0, 30.0);
+    attrib.chargeCtxOverhead(1, 7.0);
+    EXPECT_DOUBLE_EQ(attrib.preemptStall(a, b), 150.0);
+    EXPECT_DOUBLE_EQ(attrib.preemptStall(b, a), 0.0);
+    EXPECT_DOUBLE_EQ(attrib.hbmContention(b, a), 30.0);
+    EXPECT_DOUBLE_EQ(attrib.ctxOverhead(b), 7.0);
+    EXPECT_DOUBLE_EQ(attrib.totalPreemptStall(a), 150.0);
+    // Charges against unknown ids are silently dropped.
+    attrib.chargePreemptStall(0, kNoWorkload, 99.0);
+    attrib.chargePreemptStall(9, 1, 99.0);
+    EXPECT_DOUBLE_EQ(attrib.totalPreemptStall(a), 150.0);
+}
+
+TEST(Attribution, RegistryPathsAreSanitizedAndComplete)
+{
+    AttributionCollector attrib;
+    attrib.addTenant(0, "BERT#0");
+    attrib.addTenant(1, "NCF#1");
+    attrib.chargePreemptStall(0, 1, 10.0);
+    StatRegistry registry;
+    attrib.registerStats(registry);
+    registry.freeze();
+    const auto snapshot = registry.snapshot();
+    std::set<std::string> paths;
+    for (const auto &[path, value] : snapshot)
+        paths.insert(path);
+    EXPECT_TRUE(paths.count(
+        "serve.tenant.BERT_0.attrib.preempt_stall_cycles"));
+    EXPECT_TRUE(paths.count(
+        "serve.tenant.BERT_0.attrib.from.NCF_1.preempt_stall_cycles"));
+    EXPECT_TRUE(paths.count(
+        "serve.tenant.NCF_1.attrib.hbm_contention_cycles"));
+    EXPECT_TRUE(
+        paths.count("serve.tenant.NCF_1.attrib.ctx_overhead_cycles"));
+}
+
+// ---------------------------------------------------------------
+// Engine integration: spans, attribution, flight recorder.
+// ---------------------------------------------------------------
+
+std::vector<TenantRequest>
+pairTenants()
+{
+    return {TenantRequest{"MNST", 0, 1.0},
+            TenantRequest{"NCF", 0, 1.0}};
+}
+
+std::string
+statsJson(const RunStats &stats)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeRunStatsJson(w, stats);
+    return os.str();
+}
+
+TEST(EngineTrace, AttributionAndTracingArePassive)
+{
+    ExperimentRunner plainRunner{NpuConfig{}};
+    const RunStats plain = plainRunner.run(
+        SchedulerKind::V10Full, pairTenants(), 8, 1,
+        SchedulerOptions{});
+
+    RequestTracer tracer;
+    AttributionCollector attrib;
+    FlightRecorder flight;
+    SchedulerOptions so;
+    so.requestTracer = &tracer;
+    so.attribution = &attrib;
+    so.flightRecorder = &flight;
+    ExperimentRunner tracedRunner{NpuConfig{}};
+    const RunStats traced = tracedRunner.run(
+        SchedulerKind::V10Full, pairTenants(), 8, 1, so);
+
+    // Scheduling is bit-identical with the whole observability
+    // stack attached.
+    EXPECT_EQ(statsJson(plain), statsJson(traced));
+    EXPECT_GT(tracer.spanCount(), 0u);
+    EXPECT_GT(flight.size(), 0u);
+}
+
+TEST(EngineTrace, AttributionChargesContendedCoRunners)
+{
+    RequestTracer tracer;
+    AttributionCollector attrib;
+    SchedulerOptions so;
+    so.requestTracer = &tracer;
+    so.attribution = &attrib;
+    ExperimentRunner runner{NpuConfig{}};
+    const RunStats stats = runner.run(SchedulerKind::V10Full,
+                                      pairTenants(), 8, 1, so);
+    ASSERT_FALSE(stats.aborted);
+    ASSERT_EQ(attrib.tenantCount(), 2u);
+    // A V10-Full pair preempts and shares HBM: someone got charged.
+    double preempt = 0.0;
+    double hbm = 0.0;
+    for (std::size_t v = 0; v < 2; ++v) {
+        preempt += attrib.totalPreemptStall(v);
+        hbm += attrib.totalHbmContention(v);
+    }
+    EXPECT_GT(preempt, 0.0);
+    EXPECT_GT(hbm, 0.0);
+    // Self-contention is impossible by construction.
+    EXPECT_DOUBLE_EQ(attrib.preemptStall(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(attrib.preemptStall(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(attrib.hbmContention(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(attrib.hbmContention(1, 1), 0.0);
+}
+
+TEST(EngineTrace, SpansAreSeededAndSequential)
+{
+    RequestTracer tracer;
+    SchedulerOptions so;
+    so.seed = 77;
+    so.requestTracer = &tracer;
+    ExperimentRunner runner{NpuConfig{}};
+    runner.run(SchedulerKind::V10Full, pairTenants(), 6, 1, so);
+    ASSERT_GT(tracer.spanCount(), 0u);
+    std::vector<std::uint64_t> lastSeq(2, 0);
+    for (const RequestSpan &span : tracer.spans()) {
+        ASSERT_LT(span.ctx.tenant, 2u);
+        EXPECT_EQ(span.ctx.traceId,
+                  traceIdFor(77, span.ctx.tenant, span.ctx.seq));
+        EXPECT_GE(span.endUs, span.startUs);
+        EXPECT_GE(span.startUs, span.arrivalUs);
+        // Per-tenant sequence numbers are monotone in record order.
+        if (span.ctx.seq > 0) {
+            EXPECT_GE(span.ctx.seq, lastSeq[span.ctx.tenant]);
+        }
+        lastSeq[span.ctx.tenant] = span.ctx.seq;
+    }
+}
+
+TEST(EngineTrace, AbortDumpsFlightRecorderIntoDiagnostics)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/v10_flight_bundle";
+    FlightRecorder flight(64);
+    SchedulerOptions so;
+    so.flightRecorder = &flight;
+    so.resilience.cycleBudget = 20'000;
+    so.resilience.watchdogInterval = 10'000;
+    so.resilience.diagnosticDir = dir;
+    ExperimentRunner runner{NpuConfig{}};
+    const RunStats stats = runner.run(SchedulerKind::V10Full,
+                                      pairTenants(), 200, 1, so);
+    ASSERT_TRUE(stats.aborted);
+
+    std::ifstream in(dir + "/diagnostics.json");
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream os;
+    os << in.rdbuf();
+    const JsonValue doc =
+        JsonValue::parseOrDie(os.str(), "diagnostics");
+    ASSERT_TRUE(doc.has("flight_recorder"));
+    const JsonValue *fr = doc.find("flight_recorder");
+    ASSERT_TRUE(fr->isObject());
+    EXPECT_EQ(fr->find("capacity")->number, 64.0);
+    ASSERT_FALSE(fr->find("events")->array.empty());
+    // The abort itself is the last thing the ring saw.
+    const JsonValue &last = fr->find("events")->array.back();
+    EXPECT_EQ(last.find("kind")->str, "abort");
+}
+
+} // namespace
+} // namespace v10

@@ -40,6 +40,10 @@
 #include "serve/cluster_manager.h"
 #include "serve/serving_report.h"
 #include "sim/fault_plan.h"
+#include "trace/attribution.h"
+#include "trace/flight_recorder.h"
+#include "trace/request_tracer.h"
+#include "trace/trace_context.h"
 #include "v10/multi_tenant_npu.h"
 #include "v10/npu_cluster.h"
 #include "v10/profiler.h"
@@ -242,6 +246,39 @@ resilienceFromArgs(const Args &args, FaultPlan &plan)
     return res;
 }
 
+/**
+ * Build the optional request tracer from --trace-out /
+ * --trace-sample (nullptr when neither flag is present). Tracing is
+ * passive: scheduling is bit-identical with a tracer attached.
+ */
+std::unique_ptr<RequestTracer>
+tracerFromArgs(const Args &args)
+{
+    if (!args.has("trace-out") && !args.has("trace-sample"))
+        return nullptr;
+    std::uint64_t sample = 1;
+    if (args.has("trace-sample")) {
+        auto parsed =
+            parseTraceSample(args.get("trace-sample", "1"));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        sample = parsed.take();
+    }
+    return std::make_unique<RequestTracer>(sample);
+}
+
+/** Write the span JSONL to --trace-out and report the count. */
+void
+writeTraceOut(const Args &args, const RequestTracer &tracer)
+{
+    if (!args.has("trace-out"))
+        return;
+    const std::string path = args.get("trace-out", "");
+    tracer.writeJsonlFile(path);
+    std::printf("trace: %zu spans -> %s\n", tracer.spanCount(),
+                path.c_str());
+}
+
 int
 cmdZoo()
 {
@@ -351,9 +388,22 @@ cmdRun(const Args &args)
             timeline->attachSampler(sampler.get());
     }
 
+    // Request tracing + interference attribution + flight recorder
+    // (docs/OBSERVABILITY.md). All passive: the run is bit-identical
+    // with or without them.
+    std::unique_ptr<RequestTracer> tracer = tracerFromArgs(args);
+    if (timeline && tracer)
+        timeline->attachSpans(tracer.get());
+    std::unique_ptr<AttributionCollector> attribution;
+    if (tracer && registry)
+        attribution = std::make_unique<AttributionCollector>();
+    std::unique_ptr<FlightRecorder> flight;
+    if (!resilience.diagnosticDir.empty())
+        flight = std::make_unique<FlightRecorder>();
+
     RunStats stats;
     const auto wall_start = std::chrono::steady_clock::now();
-    if (!rps.empty() || timeline || registry || sampler ||
+    if (!rps.empty() || timeline || registry || sampler || tracer ||
         resilience.enabled()) {
         // Instrumented, open-loop, or fault-injected run through
         // the experiment layer.
@@ -375,7 +425,12 @@ cmdRun(const Args &args)
         so.stats = registry.get();
         so.sampler = sampler.get();
         so.resilience = resilience;
+        so.requestTracer = tracer.get();
+        so.attribution = attribution.get();
+        so.flightRecorder = flight.get();
         stats = runner.run(kind, tenants, requests, 2, so);
+        if (tracer)
+            writeTraceOut(args, *tracer);
         if (timeline) {
             const std::string path = args.get("timeline", "");
             timeline->writeChromeTraceFile(path);
@@ -592,6 +647,11 @@ cmdServe(const Args &args)
     cfg.queueCapacity =
         static_cast<std::size_t>(args.getUint("queue-cap", "64"));
     cfg.jobs = args.jobs();
+    // A Chrome-trace timeline needs the per-core queue-depth /
+    // in-flight counter series; sample them at fixed sim-time ticks.
+    if (args.has("timeline") || args.has("queue-sample-ticks"))
+        cfg.queueSampleTicks = static_cast<std::size_t>(
+            args.getUint("queue-sample-ticks", "64"));
 
     const std::string policy_name =
         args.get("policy", "least-loaded");
@@ -711,6 +771,25 @@ cmdServe(const Args &args)
         manager.setStats(registry.get());
     }
 
+    // Request tracing (--trace-out spans.jsonl, --trace-sample 1/N)
+    // and the Chrome-trace timeline with counter tracks + async
+    // request spans. Passive: the report is byte-identical with or
+    // without them, for any --jobs value.
+    std::unique_ptr<RequestTracer> tracer = tracerFromArgs(args);
+    if (tracer)
+        manager.setRequestTracer(tracer.get());
+    std::unique_ptr<TimelineTracer> timeline;
+    std::unique_ptr<IntervalSampler> sampler;
+    if (args.has("timeline")) {
+        timeline = std::make_unique<TimelineTracer>(
+            cfg.core.freqGHz * 1e3);
+        sampler = std::make_unique<IntervalSampler>(10'000);
+        manager.setSampler(sampler.get());
+        timeline->attachSampler(sampler.get());
+        if (tracer)
+            timeline->attachSpans(tracer.get());
+    }
+
     auto report_or = manager.run();
     if (!report_or.ok())
         usageError(report_or.error().toString());
@@ -761,6 +840,17 @@ cmdServe(const Args &args)
                         t.p999Us,
                         static_cast<unsigned long long>(t.shed));
         }
+    }
+
+    if (tracer)
+        writeTraceOut(args, *tracer);
+    if (timeline) {
+        const std::string path = args.get("timeline", "");
+        timeline->writeChromeTraceFile(path);
+        std::printf("timeline: %zu spans, %zu sample rows -> %s "
+                    "(open in chrome://tracing)\n",
+                    tracer ? tracer->spanCount() : 0,
+                    sampler ? sampler->rowCount() : 0, path.c_str());
     }
 
     if (registry) {
@@ -880,6 +970,8 @@ usage()
         "[--vmem-mb MB]\n"
         "             [--stats-json out.json] [--sample-interval "
         "cycles] [--samples-csv out.csv]\n"
+        "             [--trace-out spans.jsonl] [--trace-sample "
+        "1/N]\n"
         "  v10sim advise --models BERT,NCF,RsNt,DLRM [--cores 4] "
         "[--jobs N] [--stats-json out.json]\n"
         "  v10sim serve [--tenants 100] [--cores 16] "
@@ -890,6 +982,9 @@ usage()
         "[--queue-cap N] [--service det|exp|lognormal]\n"
         "               [--service-us U] [--seed N] [--jobs N|auto] "
         "[--stats-json out.json] [--detail 1]\n"
+        "               [--trace-out spans.jsonl] [--trace-sample "
+        "1/N] [--timeline out.json]\n"
+        "               [--queue-sample-ticks N]\n"
         "               (open-loop fleet serving, see "
         "docs/SERVING.md)\n"
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
@@ -924,6 +1019,10 @@ usage()
         "RunStats, statistics\nregistry, interval samples); "
         "--sample-interval records utilization time-series\nthat "
         "also render as counter tracks in the --timeline trace.\n\n"
+        "--trace-out records deterministic request spans (one JSON "
+        "object per line);\n--trace-sample 1/N keeps every Nth "
+        "request by hashed trace ID. Tracing is\npassive and "
+        "byte-identical across --jobs (docs/OBSERVABILITY.md).\n\n"
         "--jobs fans independent simulations over a thread pool; "
         "results are\nbit-identical for any value (default 1).\n");
 }
