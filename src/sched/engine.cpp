@@ -26,6 +26,30 @@ constexpr Cycles kDefaultWatchdogInterval = 1'000'000;
 } // namespace
 
 Status
+QuarantineLadder::check() const
+{
+    if (throttleStrikes == 0)
+        return parseError("quarantine: throttle strikes must be >= 1",
+                          "", 0, "throttleStrikes");
+    if (isolateStrikes <= throttleStrikes)
+        return parseError("quarantine: isolate strikes must exceed "
+                          "throttle strikes",
+                          "", 0, "isolateStrikes");
+    if (evictStrikes <= isolateStrikes)
+        return parseError("quarantine: evict strikes must exceed "
+                          "isolate strikes",
+                          "", 0, "evictStrikes");
+    if (!(throttleFactor > 0.0) || throttleFactor > 1.0)
+        return parseError("quarantine: throttle factor must be in "
+                          "(0, 1]",
+                          "", 0, "throttleFactor");
+    if (recoveryEpochs == 0)
+        return parseError("quarantine: recovery epochs must be >= 1",
+                          "", 0, "recoveryEpochs");
+    return Status::ok();
+}
+
+Status
 SchedulerEngine::validateSpecs(const std::vector<TenantSpec> &tenants)
 {
     if (tenants.empty())

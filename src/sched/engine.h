@@ -87,6 +87,37 @@ struct ResilienceOptions
 };
 
 /**
+ * K-strike quarantine escalation ladder (docs/RESILIENCE.md),
+ * shared by the cycle-accurate engine's fault quarantine and the
+ * serve layer's antagonist controller: strikes accumulate while a
+ * tenant misbehaves, crossing each threshold escalates the response
+ * (throttle -> isolate to a dedicated core -> evict), and sustained
+ * clean epochs step the tenant back down one rung (eviction is
+ * terminal).
+ */
+struct QuarantineLadder
+{
+    /** Strikes before the tenant's admission rate is throttled. */
+    std::uint32_t throttleStrikes = 2;
+
+    /** Strikes before the tenant is migrated to a dedicated core. */
+    std::uint32_t isolateStrikes = 4;
+
+    /** Strikes before the tenant is evicted (terminal). */
+    std::uint32_t evictStrikes = 8;
+
+    /** Admission-rate multiplier applied while throttled/isolated. */
+    double throttleFactor = 0.25;
+
+    /** Consecutive clean epochs before stepping down one rung. */
+    std::uint32_t recoveryEpochs = 4;
+
+    /** Thresholds must be positive and strictly increasing; the
+     * throttle factor must be in (0, 1]. */
+    Status check() const;
+};
+
+/**
  * One tenant's deployment parameters.
  */
 struct TenantSpec

@@ -1,0 +1,155 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v10 {
+
+Status
+AdmissionPolicy::check() const
+{
+    if (!std::isfinite(headroom) || headroom < 1.0)
+        return parseError("admission: headroom must be >= 1", "", 0,
+                          "headroom");
+    if (!std::isfinite(decrease) || decrease <= 0.0 ||
+        decrease >= 1.0)
+        return parseError("admission: decrease must be in (0, 1)",
+                          "", 0, "decrease");
+    if (!std::isfinite(increase) || increase <= 0.0)
+        return parseError("admission: increase must be positive", "",
+                          0, "increase");
+    if (!std::isfinite(minRateFrac) || minRateFrac <= 0.0 ||
+        minRateFrac > 1.0)
+        return parseError("admission: rate floor must be in (0, 1]",
+                          "", 0, "minRateFrac");
+    if (!std::isfinite(burstSec) || burstSec <= 0.0)
+        return parseError("admission: burst depth must be positive",
+                          "", 0, "burstSec");
+    return Status::ok();
+}
+
+TokenBucket::TokenBucket(double ratePerSec, double burstSec,
+                         double nowSec)
+    : rate_(ratePerSec), burstSec_(burstSec), lastSec_(nowSec)
+{
+    capacity_ = std::max(1.0, rate_ * burstSec_);
+    tokens_ = capacity_; // start full: no cold-start rejections
+}
+
+void
+TokenBucket::setRate(double ratePerSec)
+{
+    rate_ = ratePerSec;
+    capacity_ = std::max(1.0, rate_ * burstSec_);
+    tokens_ = std::min(tokens_, capacity_);
+}
+
+void
+TokenBucket::refill(double nowSec)
+{
+    if (nowSec <= lastSec_)
+        return;
+    tokens_ = std::min(capacity_,
+                       tokens_ + rate_ * (nowSec - lastSec_));
+    lastSec_ = nowSec;
+}
+
+bool
+TokenBucket::tryAdmit(double nowSec)
+{
+    refill(nowSec);
+    if (tokens_ < 1.0)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+AdmissionGate::AdmissionGate(std::size_t tenants,
+                             AdmissionPolicy policy)
+    : policy_(policy), buckets_(tenants), base_(tenants, 0.0),
+      adaptive_(tenants, 0.0), cap_(tenants, 1.0),
+      blocked_(tenants, false), decreases_(tenants, 0),
+      increases_(tenants, 0)
+{
+}
+
+void
+AdmissionGate::configure(std::size_t t, double offeredRps)
+{
+    base_[t] = offeredRps * policy_.headroom;
+    adaptive_[t] = base_[t];
+    buckets_[t] = TokenBucket(base_[t], policy_.burstSec, 0.0);
+}
+
+TokenBucket *
+AdmissionGate::bucket(std::size_t t)
+{
+    // A quarantine cap (or eviction) forces the bucket into the
+    // arrival path even when adaptive admission itself is off.
+    if (!policy_.enabled && cap_[t] >= 1.0 && !blocked_[t])
+        return nullptr;
+    return &buckets_[t];
+}
+
+double
+AdmissionGate::rateRps(std::size_t t) const
+{
+    if (blocked_[t])
+        return 0.0;
+    return adaptive_[t] * cap_[t];
+}
+
+void
+AdmissionGate::push(std::size_t t)
+{
+    buckets_[t].setRate(rateRps(t));
+}
+
+AdmissionGate::Change
+AdmissionGate::adapt(std::size_t t, bool alert)
+{
+    if (blocked_[t] || base_[t] <= 0.0)
+        return Change::Held;
+    const double floor = base_[t] * policy_.minRateFrac;
+    const double before = adaptive_[t];
+    if (alert) {
+        adaptive_[t] = std::max(floor, before * policy_.decrease);
+        if (adaptive_[t] < before) {
+            ++decreases_[t];
+            push(t);
+            return Change::Decreased;
+        }
+        return Change::Held;
+    }
+    adaptive_[t] =
+        std::min(base_[t], before + base_[t] * policy_.increase);
+    if (adaptive_[t] > before) {
+        ++increases_[t];
+        push(t);
+        return Change::Increased;
+    }
+    return Change::Held;
+}
+
+void
+AdmissionGate::throttle(std::size_t t, double factor)
+{
+    cap_[t] = factor;
+    push(t);
+}
+
+void
+AdmissionGate::release(std::size_t t)
+{
+    cap_[t] = 1.0;
+    push(t);
+}
+
+void
+AdmissionGate::block(std::size_t t)
+{
+    blocked_[t] = true;
+    push(t);
+}
+
+} // namespace v10

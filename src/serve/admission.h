@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Online admission control for the serving layer
+ * (docs/RESILIENCE.md): a per-tenant token bucket sits in front of
+ * the SCFQ queues and rejects arrivals that exceed the tenant's
+ * current admitted rate, so overload sheds at admission instead of
+ * inflating co-runners. The rate adapts once per SLO-monitor bucket
+ * (the serve control epoch) from the multi-window burn-rate signal:
+ * multiplicative decrease while the dual-window alert fires,
+ * additive recovery toward the base rate when the burn clears —
+ * AIMD, so a misbehaving tenant backs off fast and recovers slowly.
+ *
+ * Determinism: buckets refill from sim time only (no RNG draws),
+ * each tenant lives on exactly one core per epoch so the owning core
+ * simulation is the only writer, and all rate adaptations happen in
+ * the serial control step at epoch boundaries.
+ */
+
+#ifndef V10_SERVE_ADMISSION_H
+#define V10_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace v10 {
+
+/** Admission-gate knobs; disabled by default. */
+struct AdmissionPolicy
+{
+    /** Master switch; false keeps the serve path byte-identical to
+     * a gate-less run. */
+    bool enabled = false;
+
+    /** Initial admitted rate as a multiple of the tenant's offered
+     * rate (> 1 leaves burst headroom above the mean). */
+    double headroom = 1.25;
+
+    /** Multiplicative rate cut applied while the burn alert fires. */
+    double decrease = 0.5;
+
+    /** Additive recovery per clean epoch, as a fraction of the
+     * tenant's base admitted rate. */
+    double increase = 0.1;
+
+    /** Rate floor as a fraction of the base admitted rate (keeps a
+     * throttled tenant probing instead of starving forever). */
+    double minRateFrac = 0.05;
+
+    /** Token-bucket depth in seconds of the current rate. */
+    double burstSec = 0.25;
+
+    Status check() const;
+};
+
+/**
+ * Deterministic token bucket: refills continuously from sim time at
+ * the current rate, capped at the burst capacity.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+    TokenBucket(double ratePerSec, double burstSec, double nowSec);
+
+    /** Change the refill rate; capacity follows, tokens clamp. */
+    void setRate(double ratePerSec);
+
+    /** Refill to @p nowSec, then admit iff a whole token remains. */
+    bool tryAdmit(double nowSec);
+
+    double rate() const { return rate_; }
+    double tokens() const { return tokens_; }
+
+  private:
+    void refill(double nowSec);
+
+    double rate_ = 0.0;
+    double burstSec_ = 0.25;
+    double capacity_ = 1.0;
+    double tokens_ = 1.0;
+    double lastSec_ = 0.0;
+};
+
+/**
+ * The per-tenant admission gate: owns every tenant's bucket and the
+ * AIMD adaptation state. The ClusterManager adapts rates in the
+ * serial control step; core simulations only call tryAdmit() on
+ * their residents' buckets.
+ */
+class AdmissionGate
+{
+  public:
+    AdmissionGate(std::size_t tenants, AdmissionPolicy policy);
+
+    bool enabled() const { return policy_.enabled; }
+
+    /** Set tenant @p t's base admitted rate from its offered rate
+     * (call once before the run; applies the headroom factor). */
+    void configure(std::size_t t, double offeredRps);
+
+    /** The tenant's bucket; nullptr when the gate is disabled and
+     * no quarantine cap or eviction applies to the tenant. */
+    TokenBucket *bucket(std::size_t t);
+
+    /** Outcome of one epoch-boundary adaptation. */
+    enum class Change { Held, Decreased, Increased };
+
+    /** AIMD step from the burn-rate alert at an epoch boundary. */
+    Change adapt(std::size_t t, bool alert);
+
+    /** Cap the tenant's effective rate (quarantine throttle). */
+    void throttle(std::size_t t, double factor);
+
+    /** Remove the quarantine cap. */
+    void release(std::size_t t);
+
+    /** Evict: the tenant admits nothing from now on. */
+    void block(std::size_t t);
+
+    double baseRps(std::size_t t) const { return base_[t]; }
+
+    /** Current effective admitted rate (after any quarantine cap). */
+    double rateRps(std::size_t t) const;
+
+    std::uint64_t decreases(std::size_t t) const
+    {
+        return decreases_[t];
+    }
+    std::uint64_t increases(std::size_t t) const
+    {
+        return increases_[t];
+    }
+
+  private:
+    void push(std::size_t t); ///< propagate rate into the bucket
+
+    AdmissionPolicy policy_;
+    std::vector<TokenBucket> buckets_;
+    std::vector<double> base_;     ///< base admitted rate (rps)
+    std::vector<double> adaptive_; ///< AIMD value in [floor, base]
+    std::vector<double> cap_;      ///< quarantine factor (1 = none)
+    std::vector<bool> blocked_;
+    std::vector<std::uint64_t> decreases_;
+    std::vector<std::uint64_t> increases_;
+};
+
+} // namespace v10
+
+#endif // V10_SERVE_ADMISSION_H

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Serve-layer antagonist modeling, detection, and quarantine
+ * (docs/RESILIENCE.md). An AntagonistPlan injects tenant misbehavior
+ * into the request-level serving simulation — arrival floods
+ * (bursts appended to the seeded arrival stream), HBM-hog service
+ * inflation (drawn service times multiplied while active), and
+ * preemption thrashing (per-service-start overhead inflicted on
+ * co-runners with the thrasher queued) — mirroring the PR 3 fault
+ * kinds at request granularity.
+ *
+ * Detection reads the AttributionCollector's victim-major queue-wait
+ * matrix: a tenant's per-epoch perpetrator score is the queue-wait
+ * it inflicted on co-runners normalized by the epoch length (i.e.
+ * mean co-runner requests stalled behind it). A hysteresis pair of
+ * thresholds turns scores into strikes (above hi) and clean epochs
+ * (below lo), and the shared QuarantineLadder escalates strikes
+ * through throttle -> isolate -> evict, stepping back down after
+ * sustained clean behaviour.
+ *
+ * Spec grammar:
+ *
+ *   spec := profile ("," profile)*
+ *   profile := kind ":tenant=" index [":rate=" p] [":mag=" m]
+ *              [":after=" sec] [":until=" sec]
+ *   kind := "flood" | "hbm-hog" | "thrash"
+ */
+
+#ifndef V10_SERVE_ANTAGONIST_H
+#define V10_SERVE_ANTAGONIST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sched/engine.h"
+
+namespace v10 {
+
+/** Antagonist behaviour kinds. */
+enum class AntagonistKind {
+    Flood,  ///< bursts of extra arrivals on the seeded stream
+    HbmHog, ///< drawn service times inflated by `mag`
+    Thrash, ///< overhead inflicted on co-runners' service starts
+};
+
+/** Spec-grammar name of an antagonist kind ("flood", ...). */
+const char *antagonistKindName(AntagonistKind kind);
+
+/** One antagonist behaviour profile. */
+struct AntagonistProfile
+{
+    AntagonistKind kind = AntagonistKind::Flood;
+
+    /** Misbehaving tenant index (required, >= 0). */
+    int tenant = -1;
+
+    /** Flood: burst probability per base arrival; unused otherwise. */
+    double rate = 1.0;
+
+    /** Kind-specific magnitude; 0 selects the kind's default
+     * (flood burst size, hog inflation factor, thrash overhead as a
+     * fraction of the victim's mean service time). */
+    double magnitude = 0.0;
+
+    /** Behaviour is dormant before this sim time. */
+    double afterSec = 0.0;
+
+    /** Behaviour stops at this sim time; 0 = never (drift is
+     * modeled by a finite window: the tenant's observed behaviour
+     * returns to its envelope after `until`). */
+    double untilSec = 0.0;
+
+    /** Magnitude with the kind default applied. */
+    double effectiveMagnitude() const;
+
+    /** True when the behaviour is live at @p timeSec. */
+    bool activeAt(double timeSec) const;
+
+    /** Round-trippable spec fragment. */
+    std::string spec() const;
+};
+
+/** A parsed, validated set of antagonist profiles. */
+class AntagonistPlan
+{
+  public:
+    /** Parse the CLI spec grammar; errors name the bad token. */
+    static Result<AntagonistPlan> parse(const std::string &spec,
+                                        const std::string &source =
+                                            "--antagonist");
+
+    /**
+     * Parse the JSON form: {"antagonists": [{"kind": "flood",
+     * "tenant": 3, "rate": 0.2, "mag": 8, "after": 0.25,
+     * "until": 0.75}]}.
+     */
+    static Result<AntagonistPlan>
+    fromJson(const std::string &text, const std::string &source);
+
+    /** fromJson() over a file's contents. */
+    static Result<AntagonistPlan>
+    fromJsonFile(const std::string &path);
+
+    /** Append a profile (programmatic construction in tests). */
+    void add(AntagonistProfile profile)
+    {
+        profiles_.push_back(profile);
+    }
+
+    bool empty() const { return profiles_.empty(); }
+    const std::vector<AntagonistProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /** Tenant indices must exist; windows must be ordered. */
+    Status check(std::size_t tenantCount, double durationSec) const;
+
+    /** Round-trippable spec string of the whole plan. */
+    std::string summary() const;
+
+  private:
+    std::vector<AntagonistProfile> profiles_;
+};
+
+/** Hysteresis thresholds for the per-epoch perpetrator score. */
+struct DetectorPolicy
+{
+    /** Score above this is a strike (mean co-runner requests
+     * stalled behind the tenant during the epoch). */
+    double hiScore = 0.75;
+
+    /** Score below this is a clean epoch; between the two the
+     * tenant holds (hysteresis keeps borderline drift from
+     * flapping). */
+    double loScore = 0.25;
+
+    Status check() const;
+};
+
+/** Quarantine escalation stages, in ladder order. */
+enum class QuarantineStage {
+    Healthy,
+    Throttled, ///< admission rate capped by the ladder factor
+    Isolated,  ///< migrated to a dedicated core (still throttled)
+    Evicted,   ///< admits nothing; queue dropped (terminal)
+};
+
+/** Printable stage name ("healthy", ...). */
+const char *quarantineStageName(QuarantineStage stage);
+
+/**
+ * The per-tenant strike/recovery state machine: hysteresis scoring
+ * feeds strikes, the shared QuarantineLadder maps strike counts to
+ * stages, and sustained clean epochs step one rung back down
+ * (eviction is terminal). Purely deterministic — the ClusterManager
+ * applies the returned transitions (throttle/migrate/evict/re-pair)
+ * in its serial control step.
+ */
+class QuarantineController
+{
+  public:
+    QuarantineController(std::size_t tenants, DetectorPolicy policy,
+                         QuarantineLadder ladder);
+
+    /** One stage change decided at an epoch boundary. */
+    struct Transition
+    {
+        std::size_t tenant = 0;
+        QuarantineStage from = QuarantineStage::Healthy;
+        QuarantineStage to = QuarantineStage::Healthy;
+        std::uint32_t strikes = 0;
+        double score = 0.0; ///< the epoch score that decided it
+    };
+
+    /**
+     * Feed one tenant's epoch score (inflicted queue-wait us /
+     * epoch us). Returns true and fills @p out when the stage
+     * changed.
+     */
+    bool observe(std::size_t tenant, double score, Transition *out);
+
+    QuarantineStage stage(std::size_t tenant) const
+    {
+        return stage_[tenant];
+    }
+    std::uint32_t strikes(std::size_t tenant) const
+    {
+        return strikes_[tenant];
+    }
+    double peakScore(std::size_t tenant) const
+    {
+        return peak_[tenant];
+    }
+
+    const QuarantineLadder &ladder() const { return ladder_; }
+
+  private:
+    DetectorPolicy policy_;
+    QuarantineLadder ladder_;
+    std::vector<QuarantineStage> stage_;
+    std::vector<std::uint32_t> strikes_;
+    std::vector<std::uint32_t> clean_;
+    std::vector<double> peak_;
+};
+
+} // namespace v10
+
+#endif // V10_SERVE_ANTAGONIST_H

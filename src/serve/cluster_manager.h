@@ -36,8 +36,12 @@
 
 #include "common/result.h"
 #include "npu/npu_config.h"
+#include "serve/admission.h"
+#include "serve/antagonist.h"
 #include "serve/arrival.h"
+#include "serve/churn_plan.h"
 #include "serve/serving_report.h"
+#include "sim/fault_plan.h"
 #include "trace/slo_monitor.h"
 #include "v10/experiment.h"
 #include "v10/npu_cluster.h"
@@ -47,6 +51,7 @@ namespace v10 {
 class StatRegistry;
 class RequestTracer;
 class IntervalSampler;
+class AttributionCollector;
 
 /** Per-tenant service-level objective. */
 struct SloSpec
@@ -153,6 +158,33 @@ struct ServeConfig
     std::size_t queueSampleTicks = 0;
     /** Burn-rate policy for the online SLO monitor. */
     SloPolicy sloPolicy{};
+
+    /**
+     * Serve-layer resilience loop (docs/RESILIENCE.md). With every
+     * feature at its default the run is the classic single-pass
+     * simulation, byte-identical to earlier releases; enabling any
+     * of them splits the run into SloMonitor::kBuckets control
+     * epochs with a deterministic serial control step per boundary.
+     */
+    AdmissionPolicy admission{};   ///< token-bucket gate + AIMD
+    ChurnPlan churn{};             ///< join/leave/migrate schedule
+    AntagonistPlan antagonists{};  ///< injected misbehaviour
+    DetectorPolicy detector{};     ///< hysteresis score thresholds
+    QuarantineLadder ladder{};     ///< strike escalation ladder
+    /** Serve-granularity fault injection: `flood` sites become
+     * arrival bursts (cycle fields converted to sim seconds via the
+     * core clock); cycle-level kinds have no serve-layer analogue
+     * and are ignored. Not owned; nullptr = none. */
+    const FaultPlan *faults = nullptr;
+
+    /** True when any resilience feature needs the epoch loop. */
+    bool
+    resilienceActive() const
+    {
+        return admission.enabled || !churn.empty() ||
+               !antagonists.empty() ||
+               (faults != nullptr && !faults->empty());
+    }
 };
 
 /** Placement decision (exposed for tests). */
@@ -229,9 +261,27 @@ class ClusterManager
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Optional external attribution collector: run() registers
+     * every tenant and fills the queue-wait matrix the antagonist
+     * detector reads (an internal collector is used when unset).
+     * Must outlive any registry the caller registers it with.
+     */
+    void setAttribution(AttributionCollector *collector)
+    {
+        attribution_ = collector;
+    }
+
   private:
     Status checkConfig() const;
     Result<ServePlacement> placeAdvisor();
+
+    /** Re-pair target core for a recovering tenant (advisor gain
+     * when trained, else fewest residents); @p residents lists the
+     * current tenants per core. */
+    std::size_t
+    repairCore(std::size_t tenant, std::size_t current,
+               const std::vector<std::vector<std::size_t>> &residents);
 
     ServeConfig config_;
     ExperimentRunner runner_;
@@ -242,6 +292,7 @@ class ClusterManager
     StatRegistry *stats_ = nullptr;
     RequestTracer *tracer_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
+    AttributionCollector *attribution_ = nullptr;
 };
 
 } // namespace v10

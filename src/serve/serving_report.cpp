@@ -23,12 +23,35 @@ ServingReport::summary() const
 {
     std::ostringstream os;
     os << policy << ": " << offered << " offered, " << completed
-       << " completed, " << shed << " shed, " << sloViolations
-       << " late over " << formatDouble(durationSec, 2) << "s on "
-       << coresUsed << "/" << cores << " cores; goodput "
-       << formatDouble(goodputRps, 1) << " req/s, mean core util "
-       << formatPct(meanCoreUtil);
+       << " completed, " << shed << " shed, ";
+    if (rejected > 0)
+        os << rejected << " rejected, ";
+    os << sloViolations << " late over "
+       << formatDouble(durationSec, 2) << "s on " << coresUsed << "/"
+       << cores << " cores; goodput " << formatDouble(goodputRps, 1)
+       << " req/s, mean core util " << formatPct(meanCoreUtil);
     return os.str();
+}
+
+Status
+ServingReport::checkConservation() const
+{
+    for (const TenantServingStats &t : tenants) {
+        if (!t.conserved())
+            return parseError(
+                "serving conservation violated: offered " +
+                    std::to_string(t.offered) + " != completed " +
+                    std::to_string(t.completed) + " + shed " +
+                    std::to_string(t.shed) + " + rejected " +
+                    std::to_string(t.rejected) + " + in-flight " +
+                    std::to_string(t.inFlightAtEnd),
+                "", 0, t.name);
+    }
+    if (offered != completed + shed + rejected + inFlightAtEnd)
+        return parseError("serving conservation violated at the "
+                          "fleet level",
+                          "", 0, "fleet");
+    return Status::ok();
 }
 
 void
@@ -43,10 +66,14 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
     w.kv("offered", report.offered);
     w.kv("completed", report.completed);
     w.kv("shed", report.shed);
+    w.kv("rejected", report.rejected);
+    w.kv("in_flight_at_end", report.inFlightAtEnd);
     w.kv("slo_violations", report.sloViolations);
     w.kv("goodput_rps", report.goodputRps);
     w.kv("mean_core_util", report.meanCoreUtil);
     w.kv("slo_alerts", report.sloAlerts);
+    w.kv("control_epochs",
+         static_cast<std::uint64_t>(report.controlEpochs));
 
     w.key("tenants");
     w.beginArray();
@@ -58,6 +85,8 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
         w.kv("offered", t.offered);
         w.kv("completed", t.completed);
         w.kv("shed", t.shed);
+        w.kv("rejected", t.rejected);
+        w.kv("in_flight_at_end", t.inFlightAtEnd);
         w.kv("slo_violations", t.sloViolations);
         w.kv("offered_rps", t.offeredRps);
         w.kv("goodput_rps", t.goodputRps);
@@ -80,9 +109,79 @@ writeServingReportJson(JsonWriter &w, const ServingReport &report)
         w.kv("burn_short", t.burnShort);
         w.kv("burn_long", t.burnLong);
         w.kv("slo_alert", t.sloAlert);
+        w.key("admission");
+        w.beginObject();
+        w.kv("base_rps", t.admitRpsBase);
+        w.kv("final_rps", t.admitRpsFinal);
+        w.kv("decreases", t.admitDecreases);
+        w.kv("increases", t.admitIncreases);
+        w.endObject();
+        w.key("quarantine");
+        w.beginObject();
+        w.kv("stage", t.quarantineStage);
+        w.kv("strikes", static_cast<std::uint64_t>(t.strikes));
+        w.kv("peak_score", t.peakAntagonistScore);
+        w.endObject();
+        w.key("churn");
+        w.beginObject();
+        w.kv("join_sec", t.joinSec);
+        w.kv("leave_sec", t.leaveSec);
+        w.kv("migrations", t.migrations);
+        w.endObject();
         w.endObject();
     }
     w.endArray();
+
+    w.key("admission");
+    w.beginObject();
+    w.kv("enabled", report.admissionEnabled);
+    w.key("events");
+    w.beginArray();
+    for (const AdmissionRecord &r : report.admissionEvents) {
+        w.beginObject();
+        w.kv("time_sec", r.timeSec);
+        w.kv("epoch", static_cast<std::uint64_t>(r.epoch));
+        w.kv("tenant", r.tenant);
+        w.kv("action", r.action);
+        w.kv("rate_rps", r.rateRps);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("quarantine");
+    w.beginObject();
+    w.key("events");
+    w.beginArray();
+    for (const QuarantineRecord &r : report.quarantineEvents) {
+        w.beginObject();
+        w.kv("time_sec", r.timeSec);
+        w.kv("epoch", static_cast<std::uint64_t>(r.epoch));
+        w.kv("tenant", r.tenant);
+        w.kv("from", r.from);
+        w.kv("to", r.to);
+        w.kv("strikes", static_cast<std::uint64_t>(r.strikes));
+        w.kv("score", r.score);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("churn");
+    w.beginObject();
+    w.key("events");
+    w.beginArray();
+    for (const ChurnRecord &r : report.churnEvents) {
+        w.beginObject();
+        w.kv("time_sec", r.timeSec);
+        w.kv("action", r.action);
+        w.kv("tenant", r.tenant);
+        w.kv("from_core", static_cast<std::uint64_t>(r.fromCore));
+        w.kv("to_core", static_cast<std::uint64_t>(r.toCore));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
 
     w.key("cores_detail");
     w.beginArray();
@@ -144,8 +243,22 @@ registerServingStats(StatRegistry &registry,
         .set(report.offered);
     registry.addCounter("serve.completed", "served requests")
         .set(report.completed);
-    registry.addCounter("serve.shed", "admission drops")
+    registry.addCounter("serve.shed", "queue-full drops")
         .set(report.shed);
+    registry
+        .addCounter("serve.rejected", "admission-gate refusals")
+        .set(report.rejected);
+    registry
+        .addCounter("serve.in_flight_at_end",
+                    "requests still queued after the drain")
+        .set(report.inFlightAtEnd);
+    registry
+        .addCounter("serve.quarantine_events",
+                    "quarantine-ladder transitions")
+        .set(report.quarantineEvents.size());
+    registry
+        .addCounter("serve.churn_events", "applied churn transitions")
+        .set(report.churnEvents.size());
     registry
         .addCounter("serve.slo_violations",
                     "completed past the latency target")

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+
 namespace v10 {
 
 class JsonWriter;
@@ -30,9 +32,11 @@ struct TenantServingStats
     std::string model;        ///< workload model abbrev
     std::size_t core = 0;     ///< core the tenant was placed on
 
-    std::uint64_t offered = 0;    ///< generated arrivals
+    std::uint64_t offered = 0;    ///< arrivals while active
     std::uint64_t completed = 0;  ///< served to completion
-    std::uint64_t shed = 0;       ///< dropped at admission
+    std::uint64_t shed = 0;       ///< dropped at a full queue
+    std::uint64_t rejected = 0;   ///< refused by the admission gate
+    std::uint64_t inFlightAtEnd = 0; ///< still queued after drain
     std::uint64_t sloViolations = 0; ///< completed but late
 
     double offeredRps = 0.0;  ///< offered / duration
@@ -63,9 +67,66 @@ struct TenantServingStats
     double burnLong = 0.0;
     bool sloAlert = false;
 
+    /** Admission-gate state at end of run (zeros when disabled). */
+    double admitRpsBase = 0.0;  ///< initial admitted rate
+    double admitRpsFinal = 0.0; ///< adapted rate at end of run
+    std::uint64_t admitDecreases = 0; ///< AIMD rate cuts
+    std::uint64_t admitIncreases = 0; ///< AIMD recoveries
+
+    /** Quarantine state at end of run. */
+    std::string quarantineStage = "healthy";
+    std::uint32_t strikes = 0;
+    double peakAntagonistScore = 0.0;
+
+    /** Churn outcome: activity window and migration count.
+     * leaveSec == 0 means the tenant stayed until the end. */
+    double joinSec = 0.0;
+    double leaveSec = 0.0;
+    std::uint64_t migrations = 0;
+
     /** Fraction of completed requests inside the SLO (1 if none
      * completed or no target). */
     double sloAttainment() const;
+
+    /** Per-tenant conservation: offered == completed + shed +
+     * rejected + in-flight-at-end. */
+    bool conserved() const
+    {
+        return offered ==
+               completed + shed + rejected + inFlightAtEnd;
+    }
+};
+
+/** One applied churn transition (report log). */
+struct ChurnRecord
+{
+    double timeSec = 0.0; ///< epoch boundary the event snapped to
+    std::string action;   ///< churnActionName()
+    std::string tenant;
+    std::size_t fromCore = 0;
+    std::size_t toCore = 0; ///< == fromCore except for migrate
+};
+
+/** One quarantine-ladder transition (report log). */
+struct QuarantineRecord
+{
+    double timeSec = 0.0;
+    std::size_t epoch = 0;
+    std::string tenant;
+    std::string from; ///< quarantineStageName()
+    std::string to;
+    std::uint32_t strikes = 0;
+    double score = 0.0; ///< perpetrator score that decided it
+};
+
+/** One admission-gate rate change (report log). */
+struct AdmissionRecord
+{
+    double timeSec = 0.0;
+    std::size_t epoch = 0;
+    std::string tenant;
+    std::string action; ///< "decrease" | "recover"
+    double rateRps = 0.0;
 };
 
 /** Per-core serving outcomes. */
@@ -95,20 +156,44 @@ struct ServingReport
     std::uint64_t offered = 0;
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;      ///< admission-gate refusals
+    std::uint64_t inFlightAtEnd = 0; ///< queued after the drain
     std::uint64_t sloViolations = 0;
 
     double goodputRps = 0.0;     ///< fleet SLO-met throughput
     double meanCoreUtil = 0.0;   ///< mean util over used cores
     std::uint64_t sloAlerts = 0; ///< tenants with a burn-rate alert
 
+    /** Resilience-loop context: 1 control epoch when every feature
+     * is off (the classic single-pass core simulation). */
+    std::size_t controlEpochs = 1;
+    bool admissionEnabled = false;
+
     std::vector<TenantServingStats> tenants;
     std::vector<CoreServingStats> coreStats;
+
+    /** Applied resilience events, in deterministic sim-time order. */
+    std::vector<ChurnRecord> churnEvents;
+    std::vector<QuarantineRecord> quarantineEvents;
+    std::vector<AdmissionRecord> admissionEvents;
 
     /** One-line fleet summary for logs. */
     std::string summary() const;
 
-    /** Offered requests that were admitted (offered - shed). */
-    std::uint64_t admitted() const { return offered - shed; }
+    /** Offered requests that were admitted past the gate and the
+     * queue bound (offered - rejected - shed). */
+    std::uint64_t admitted() const
+    {
+        return offered - shed - rejected;
+    }
+
+    /**
+     * Conservation self-check: every tenant (and the fleet sums)
+     * must satisfy offered == completed + shed + rejected +
+     * in_flight_at_end, so new shed/reject paths cannot silently
+     * leak requests. Returns the first offending tenant.
+     */
+    Status checkConservation() const;
 };
 
 /** Context of the run for the JSON manifest. */

@@ -85,6 +85,33 @@ checkSite(const FaultSite &site, const std::string &source,
 
 } // namespace
 
+Result<std::vector<SpecSite>>
+parseSpecSites(const std::string &spec, const std::string &source)
+{
+    const std::string trimmed = trim(spec);
+    if (trimmed.empty())
+        return parseError("empty spec", source);
+    std::vector<SpecSite> sites;
+    for (const std::string &raw : split(trimmed, ',')) {
+        const std::vector<std::string> fields =
+            split(trim(raw), ':');
+        if (fields.empty() || trim(fields[0]).empty())
+            return parseError("empty spec site", source, 0, raw);
+        SpecSite site;
+        site.kind = trim(fields[0]);
+        for (std::size_t f = 1; f < fields.size(); ++f) {
+            const std::vector<std::string> kv =
+                split(trim(fields[f]), '=');
+            if (kv.size() != 2 || trim(kv[0]).empty())
+                return parseError("expected key=value", source, 0,
+                                  fields[f]);
+            site.fields.emplace_back(trim(kv[0]), trim(kv[1]));
+        }
+        sites.push_back(std::move(site));
+    }
+    return sites;
+}
+
 const char *
 faultKindName(FaultKind kind)
 {
@@ -121,29 +148,17 @@ Result<FaultPlan>
 FaultPlan::parse(const std::string &spec, const std::string &source)
 {
     FaultPlan plan;
-    const std::string trimmed = trim(spec);
-    if (trimmed.empty())
-        return parseError("empty fault spec", source);
-
-    const std::vector<std::string> site_specs = split(trimmed, ',');
+    auto sites_or = parseSpecSites(spec, source);
+    if (!sites_or.ok())
+        return sites_or.error();
+    const std::vector<SpecSite> site_specs = sites_or.take();
     for (std::size_t i = 0; i < site_specs.size(); ++i) {
-        const std::vector<std::string> fields =
-            split(trim(site_specs[i]), ':');
-        if (fields.empty() || trim(fields[0]).empty())
-            return parseError("empty fault site", source, 0,
-                              site_specs[i]);
+        const SpecSite &parsed = site_specs[i];
         FaultSite site;
-        if (!kindFromName(trim(fields[0]), &site.kind))
+        if (!kindFromName(parsed.kind, &site.kind))
             return parseError("unknown fault kind", source, 0,
-                              trim(fields[0]));
-        for (std::size_t f = 1; f < fields.size(); ++f) {
-            const std::vector<std::string> kv =
-                split(trim(fields[f]), '=');
-            if (kv.size() != 2)
-                return parseError("expected key=value", source, 0,
-                                  fields[f]);
-            const std::string key = trim(kv[0]);
-            const std::string val = trim(kv[1]);
+                              parsed.kind);
+        for (const auto &[key, val] : parsed.fields) {
             if (key == "rate") {
                 const auto v = parseDouble(val);
                 if (!v)

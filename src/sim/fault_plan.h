@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -37,6 +38,26 @@
 namespace v10 {
 
 class JsonWriter;
+
+/**
+ * One element of a compact "kind:key=value:..." spec list — the
+ * shared surface syntax of `--faults`, `--churn`, and
+ * `--antagonist` (docs/ROBUSTNESS.md, docs/RESILIENCE.md). Values
+ * stay raw strings; each consumer validates its own keys.
+ */
+struct SpecSite
+{
+    std::string kind;
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/**
+ * Split a comma-separated spec into sites and key=value fields.
+ * Structured errors name the offending token; empty specs, empty
+ * sites, and malformed fields all fail.
+ */
+Result<std::vector<SpecSite>>
+parseSpecSites(const std::string &spec, const std::string &source);
 
 /** Injection-site kinds. */
 enum class FaultKind {

@@ -31,14 +31,17 @@ AttributionCollector::addTenant(WorkloadId id, std::string label)
     // Grow the victim-major matrices in place.
     std::vector<double> preempt(n * n, 0.0);
     std::vector<double> hbm(n * n, 0.0);
+    std::vector<double> wait(n * n, 0.0);
     for (std::size_t v = 0; v + 1 < n; ++v) {
         for (std::size_t p = 0; p + 1 < n; ++p) {
             preempt[v * n + p] = preempt_[v * (n - 1) + p];
             hbm[v * n + p] = hbm_[v * (n - 1) + p];
+            wait[v * n + p] = wait_[v * (n - 1) + p];
         }
     }
     preempt_ = std::move(preempt);
     hbm_ = std::move(hbm);
+    wait_ = std::move(wait);
     ctx_.push_back(0.0);
     return idx;
 }
@@ -65,6 +68,18 @@ AttributionCollector::chargePreemptStall(WorkloadId victim,
         p == static_cast<std::size_t>(-1))
         return;
     preempt_[v * ids_.size() + p] += cycles;
+}
+
+void
+AttributionCollector::chargeQueueWait(WorkloadId victim,
+                                      WorkloadId perp, double us)
+{
+    const std::size_t v = indexOf(victim);
+    const std::size_t p = indexOf(perp);
+    if (v == static_cast<std::size_t>(-1) ||
+        p == static_cast<std::size_t>(-1))
+        return;
+    wait_[v * ids_.size() + p] += us;
 }
 
 void
@@ -127,6 +142,33 @@ AttributionCollector::totalHbmContention(std::size_t victim) const
     return sum;
 }
 
+double
+AttributionCollector::queueWait(std::size_t victim,
+                                std::size_t perp) const
+{
+    return wait_[victim * ids_.size() + perp];
+}
+
+double
+AttributionCollector::totalQueueWait(std::size_t victim) const
+{
+    double sum = 0.0;
+    for (std::size_t p = 0; p < ids_.size(); ++p)
+        sum += queueWait(victim, p);
+    return sum;
+}
+
+double
+AttributionCollector::chargedUs(std::size_t perp) const
+{
+    double sum = 0.0;
+    for (std::size_t v = 0; v < ids_.size(); ++v) {
+        if (v != perp)
+            sum += queueWait(v, perp);
+    }
+    return sum;
+}
+
 void
 AttributionCollector::registerStats(StatRegistry &registry) const
 {
@@ -159,6 +201,14 @@ AttributionCollector::registerStats(StatRegistry &registry) const
             base + ".ctx_overhead_cycles",
             [this, v] { return ctxOverhead(v); },
             "context-switch overhead charged on dispatch");
+        registry.addFormula(
+            base + ".queue_wait_us",
+            [this, v] { return totalQueueWait(v); },
+            "serve-layer waiting charged to co-runners in service");
+        registry.addFormula(
+            base + ".charged_us",
+            [this, v] { return chargedUs(v); },
+            "queue-wait us this tenant inflicted on co-runners");
         for (std::size_t p = 0; p < ids_.size(); ++p) {
             if (p == v)
                 continue;
@@ -171,6 +221,10 @@ AttributionCollector::registerStats(StatRegistry &registry) const
                 from + ".hbm_contention_cycles",
                 [this, v, p] { return hbmContention(v, p); },
                 "HBM contention charged to this co-runner");
+            registry.addFormula(
+                from + ".queue_wait_us",
+                [this, v, p] { return queueWait(v, p); },
+                "serve-layer waiting charged to this co-runner");
         }
     }
 }

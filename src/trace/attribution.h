@@ -53,6 +53,15 @@ class AttributionCollector : public HbmContentionObserver
     void chargePreemptStall(WorkloadId victim, WorkloadId perp,
                             double cycles);
 
+    /**
+     * Serve-layer charge: @p victim had requests queued for @p us
+     * microseconds while @p perp held the server (head-of-line
+     * blocking and thrash overhead). Feeds the antagonist
+     * detector's perpetrator score (column sums via chargedUs()).
+     */
+    void chargeQueueWait(WorkloadId victim, WorkloadId perp,
+                         double us);
+
     /** Charge context-switch overhead cycles (self-attributed). */
     void chargeCtxOverhead(WorkloadId victim, double cycles);
 
@@ -64,9 +73,19 @@ class AttributionCollector : public HbmContentionObserver
     double hbmContention(std::size_t victim, std::size_t perp) const;
     double ctxOverhead(std::size_t victim) const;
 
+    double queueWait(std::size_t victim, std::size_t perp) const;
+
     /** Row sums over all perpetrators. */
     double totalPreemptStall(std::size_t victim) const;
     double totalHbmContention(std::size_t victim) const;
+    double totalQueueWait(std::size_t victim) const;
+
+    /**
+     * Column sum: total queue-wait us charged TO @p perp across all
+     * other victims — the serve-layer antagonist score numerator
+     * (self-inflicted waiting is excluded).
+     */
+    double chargedUs(std::size_t perp) const;
 
     /**
      * Register formulas under
@@ -85,6 +104,7 @@ class AttributionCollector : public HbmContentionObserver
     std::vector<std::string> labels_;
     std::vector<double> preempt_;   ///< victim-major n x n
     std::vector<double> hbm_;       ///< victim-major n x n
+    std::vector<double> wait_;      ///< victim-major n x n (us)
     std::vector<double> ctx_;       ///< per victim
 };
 

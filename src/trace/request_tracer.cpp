@@ -40,7 +40,9 @@ RequestTracer::writeJsonl(std::ostream &os) const
            << ",\"sojourn_us\":" << jsonNumber(s.sojournUs())
            << ",\"slo_target_us\":" << jsonNumber(s.sloTargetUs)
            << ",\"violated\":" << (s.violated ? "true" : "false")
-           << ",\"shed\":" << (s.shed ? "true" : "false") << "}\n";
+           << ",\"shed\":" << (s.shed ? "true" : "false")
+           << ",\"rejected\":" << (s.rejected ? "true" : "false")
+           << "}\n";
     }
 }
 

@@ -38,7 +38,8 @@ struct RequestSpan
     double endUs = 0.0;       ///< completion (or shed decision)
     double soloUs = 0.0;      ///< solo-equivalent service time
     double sloTargetUs = 0.0; ///< 0 = no SLO target
-    bool shed = false;        ///< rejected at admission (full queue)
+    bool shed = false;        ///< dropped at a full queue
+    bool rejected = false;    ///< refused by the admission gate
     bool violated = false;    ///< completed past its SLO target
 
     double queueUs() const { return startUs - arrivalUs; }

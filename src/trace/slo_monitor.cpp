@@ -81,13 +81,19 @@ SloMonitor::violationRate(std::size_t tenant, double windowSec,
 BurnRateStatus
 SloMonitor::status(std::size_t tenant) const
 {
+    return statusAt(tenant, duration_);
+}
+
+BurnRateStatus
+SloMonitor::statusAt(std::size_t tenant, double endSec) const
+{
     BurnRateStatus out;
     const double shortWin = duration_ * policy_.shortWindowFrac;
     const double longWin = duration_ * policy_.longWindowFrac;
-    out.shortBurn = violationRate(tenant, shortWin, duration_) /
+    out.shortBurn = violationRate(tenant, shortWin, endSec) /
                     policy_.errorBudget;
     out.longBurn =
-        violationRate(tenant, longWin, duration_) / policy_.errorBudget;
+        violationRate(tenant, longWin, endSec) / policy_.errorBudget;
     out.alert = out.shortBurn > policy_.alertBurnRate &&
                 out.longBurn > policy_.alertBurnRate;
     return out;

@@ -90,6 +90,14 @@ class SloMonitor
     /** Multi-window burn-rate status for @p tenant at end of run. */
     BurnRateStatus status(std::size_t tenant) const;
 
+    /**
+     * Online feedback hook: burn-rate status with both windows
+     * ending at @p endSec instead of end-of-run, so mid-run control
+     * loops (the serve-layer admission gate) can read the alert on
+     * the deterministic bucket grid while the run is in flight.
+     */
+    BurnRateStatus statusAt(std::size_t tenant, double endSec) const;
+
     std::size_t tenants() const { return tenants_; }
     double durationSec() const { return duration_; }
     const SloPolicy &policy() const { return policy_; }

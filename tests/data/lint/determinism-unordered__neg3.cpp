@@ -1,0 +1,19 @@
+// fixture-path: src/serve/quarantine_index_ordered.cpp
+// fixture-expect: 0
+#include <map>
+#include <string>
+#include <vector>
+
+// The ordered mirror of the unordered fixture: std::map iteration
+// is deterministic, so the emitted event order is reproducible.
+std::vector<std::string>
+quarantinedTenants()
+{
+    std::map<std::string, int> strikes;
+    strikes["BERT#11"] = 3;
+    std::vector<std::string> out;
+    for (const auto &kv : strikes)
+        if (kv.second > 0)
+            out.push_back(kv.first);
+    return out;
+}

@@ -1,0 +1,20 @@
+// fixture-path: src/serve/quarantine_index.cpp
+// fixture-expect: 2
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Emitting report events by walking an unordered container would
+// make the quarantine log ordering depend on the hash seed — the
+// serial vs --jobs byte-identity guarantee forbids exactly this.
+std::vector<std::string>
+quarantinedTenants()
+{
+    std::unordered_map<std::string, int> strikes;
+    strikes["BERT#11"] = 3;
+    std::vector<std::string> out;
+    for (const auto &kv : strikes)
+        if (kv.second > 0)
+            out.push_back(kv.first);
+    return out;
+}

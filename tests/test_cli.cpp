@@ -369,6 +369,37 @@ TEST(Cli, ServeUsageErrors)
     EXPECT_EQ(runCli("serve --service uniform").first, 2);
 }
 
+TEST(Cli, ServeNumericFlagsRejectGarbageAndNonPositives)
+{
+    // Rates and utilizations must be strictly positive and parsed
+    // strictly: zero, negatives, and trailing garbage are usage
+    // errors, never silent truncation to a nonsense admitted rate.
+    EXPECT_EQ(runCli("serve --util 0").first, 2);
+    EXPECT_EQ(runCli("serve --util -0.5").first, 2);
+    EXPECT_EQ(runCli("serve --util 0.6x").first, 2);
+    EXPECT_EQ(runCli("serve --rps 0").first, 2);
+    EXPECT_EQ(runCli("serve --rps -3").first, 2);
+    EXPECT_EQ(runCli("serve --rps 10abc").first, 2);
+    // Resilience knobs go through the same strict parse...
+    EXPECT_EQ(runCli("serve --admission 1 --admit-headroom 0").first,
+              2);
+    EXPECT_EQ(
+        runCli("serve --admission 1 --admit-decrease 1.5x").first,
+        2);
+    EXPECT_EQ(runCli("serve --admission 1 --admit-burst -1").first,
+              2);
+    EXPECT_EQ(runCli("serve --detect-hi 0").first, 2);
+    // ...and structured plan errors exit with the usage code too.
+    EXPECT_EQ(runCli("serve --churn join:tenant=x").first, 2);
+    EXPECT_EQ(runCli("serve --antagonist gremlin:tenant=0").first,
+              2);
+    // Positive control: the same flags with sane values run fine.
+    EXPECT_EQ(runCli("serve --tenants 2 --cores 2 --duration 0.05 "
+                     "--util 0.4 --admission 1")
+                  .first,
+              0);
+}
+
 TEST(Cli, UnknownCommandShowsUsage)
 {
     const auto [rc, out] = runCli("frobnicate --x 1");

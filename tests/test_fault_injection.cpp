@@ -16,6 +16,7 @@
 #include "common/json.h"
 #include "metrics/run_report.h"
 #include "metrics/stat_registry.h"
+#include "serve/cluster_manager.h"
 #include "sim/fault_plan.h"
 #include "v10/sweep.h"
 
@@ -381,6 +382,101 @@ TEST(EngineFaults, HbmFaultsSlowTheRunButItCompletes)
     EXPECT_FALSE(hurt.aborted);
     EXPECT_GT(hurt.faultsInjected, 0u);
     EXPECT_GT(hurt.windowCycles, base.windowCycles);
+}
+
+// ---------------------------------------------------------------
+// Serve-layer fault injection.
+// ---------------------------------------------------------------
+
+/**
+ * Serve-granularity faults plus an antagonist under quarantine: a
+ * flood fault bursts one tenant's arrivals while an hbm-hog drifts
+ * mid-run. The resilience loop must contain the blast radius —
+ * every well-behaved tenant's p99 stays within 1.2x of the same
+ * faulted scenario without the antagonist, and the quarantine log
+ * names exactly the hog.
+ */
+ServingReport
+runServeFaultScenario(const FaultPlan *faults, bool withAntagonist)
+{
+    ServeConfig cfg;
+    cfg.numCores = 4;
+    cfg.durationSec = 2.0;
+    cfg.seed = 3;
+    cfg.policy = PlacementPolicy::RoundRobin;
+    cfg.serviceDist = ServiceDist::Exponential;
+    cfg.admission.enabled = true;
+    cfg.admission.headroom = 4.0;
+    cfg.detector.hiScore = 0.6;
+    cfg.detector.loScore = 0.3;
+    cfg.ladder.throttleStrikes = 1;
+    cfg.ladder.isolateStrikes = 8;
+    cfg.ladder.evictStrikes = 16;
+    cfg.ladder.throttleFactor = 0.2;
+    cfg.ladder.recoveryEpochs = 16;
+    cfg.faults = faults;
+    if (withAntagonist) {
+        auto plan = AntagonistPlan::parse(
+            "hbm-hog:tenant=2:mag=3:after=0.6:until=0.8");
+        EXPECT_TRUE(plan.ok());
+        cfg.antagonists = plan.take();
+    }
+    ClusterManager manager(cfg);
+    for (int i = 0; i < 12; ++i) {
+        ServeTenant t;
+        t.name = "t" + std::to_string(i);
+        t.model = "BERT";
+        t.arrival.rps = 417.0;
+        t.serviceUsOverride = 400.0;
+        t.slo.latencyTargetUs = 10'000.0;
+        EXPECT_TRUE(manager.addTenant(std::move(t)));
+    }
+    auto report = manager.run();
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().checkConservation());
+    return report.take();
+}
+
+TEST(ServeFaults, QuarantineBoundsBlastRadiusUnderFaults)
+{
+    const FaultPlan faults =
+        planOrDie("flood:rate=0.5:mag=3:tenant=5:count=4");
+
+    // The flood fault deterministically injects extra arrivals for
+    // its target tenant on top of the seeded stream.
+    const ServingReport unfaulted =
+        runServeFaultScenario(nullptr, false);
+    const ServingReport base =
+        runServeFaultScenario(&faults, false);
+    EXPECT_GT(base.tenants[5].offered, unfaulted.tenants[5].offered);
+    EXPECT_TRUE(base.quarantineEvents.empty());
+
+    // Same faulted fleet plus a drifting hbm-hog on tenant 2.
+    const ServingReport chaos = runServeFaultScenario(&faults, true);
+    ASSERT_FALSE(chaos.quarantineEvents.empty());
+    for (const QuarantineRecord &rec : chaos.quarantineEvents)
+        EXPECT_EQ(rec.tenant, "t2");
+    EXPECT_EQ(chaos.quarantineEvents.front().to, "throttled");
+    EXPECT_GT(chaos.quarantineEvents.front().score, 0.6);
+    // The drift ends mid-run, so the hog recovers to healthy.
+    EXPECT_EQ(chaos.tenants[2].quarantineStage, "healthy");
+    // Attribution separates the hog from everyone else.
+    EXPECT_GT(chaos.tenants[2].peakAntagonistScore, 0.6);
+    for (std::size_t i = 0; i < chaos.tenants.size(); ++i)
+        if (i != 2)
+            EXPECT_LT(chaos.tenants[i].peakAntagonistScore, 0.6)
+                << chaos.tenants[i].name;
+
+    // Healthy tenants ride out the storm inside the 1.2x envelope
+    // of the antagonist-free (but still faulted) baseline.
+    for (std::size_t i = 0; i < chaos.tenants.size(); ++i) {
+        if (i == 2)
+            continue;
+        ASSERT_GT(base.tenants[i].p99Us, 0.0);
+        EXPECT_LE(chaos.tenants[i].p99Us,
+                  1.2 * base.tenants[i].p99Us)
+            << chaos.tenants[i].name;
+    }
 }
 
 // ---------------------------------------------------------------

@@ -145,11 +145,20 @@ TEST(ClusterManagerRun, ConservationAndCompletionInvariants)
     ASSERT_TRUE(report_or.ok());
     const ServingReport &report = report_or.value();
 
-    // Every offered request is either completed or shed — admitted
-    // work drains past the horizon, nothing is lost.
-    EXPECT_EQ(report.offered, report.completed + report.shed);
-    for (const TenantServingStats &t : report.tenants)
-        EXPECT_EQ(t.offered, t.completed + t.shed);
+    // Every offered request is completed, shed, rejected, or still
+    // in flight — admitted work drains past the horizon, nothing is
+    // lost. The report carries the same identity as a self-check.
+    ASSERT_TRUE(report.checkConservation());
+    EXPECT_EQ(report.offered, report.completed + report.shed +
+                                  report.rejected +
+                                  report.inFlightAtEnd);
+    for (const TenantServingStats &t : report.tenants) {
+        EXPECT_TRUE(t.conserved()) << t.name;
+        // No admission gate and full drain in this scenario: the
+        // reject and in-flight terms are zero.
+        EXPECT_EQ(t.rejected, 0u);
+        EXPECT_EQ(t.inFlightAtEnd, 0u);
+    }
 
     // The overload tenant sheds; the light one does not.
     EXPECT_GT(report.tenants[0].shed, 0u);
@@ -177,6 +186,7 @@ TEST(ClusterManagerRun, WeightsShapeLatencyUnderContention)
     const auto report_or = manager.run();
     ASSERT_TRUE(report_or.ok());
     const ServingReport &report = report_or.value();
+    ASSERT_TRUE(report.checkConservation());
     EXPECT_LT(report.tenants[0].meanUs, report.tenants[1].meanUs);
     EXPECT_LT(report.tenants[0].p99Us, report.tenants[1].p99Us);
 }
@@ -191,6 +201,7 @@ TEST(ClusterManagerRun, SloTargetsCountViolationsAndGoodput)
     ASSERT_TRUE(manager.addTenant(t));
     const auto report_or = manager.run();
     ASSERT_TRUE(report_or.ok());
+    ASSERT_TRUE(report_or.value().checkConservation());
     const TenantServingStats &ts = report_or.value().tenants[0];
     EXPECT_GT(ts.sloViolations, 0u);
     EXPECT_LT(ts.sloViolations, ts.completed);
@@ -215,6 +226,7 @@ TEST(ClusterManagerRun, ReportIsIdenticalAcrossJobs)
         }
         auto report = manager.run();
         EXPECT_TRUE(report.ok());
+        EXPECT_TRUE(report.value().checkConservation());
         return report.take();
     };
     const ServingReport serial = run_with_jobs(1);
@@ -244,6 +256,7 @@ TEST(ClusterManagerRun, RegistersServeStats)
     const auto report_or = manager.run();
     ASSERT_TRUE(report_or.ok());
     const ServingReport &report = report_or.value();
+    ASSERT_TRUE(report.checkConservation());
     ASSERT_TRUE(registry.has("serve.offered"));
     EXPECT_EQ(registry.value("serve.offered"),
               static_cast<double>(report.offered));
@@ -296,6 +309,7 @@ TEST(ClusterManagerAdvisor, PairsCompatibleModelsAboveThreshold)
     // The run end-to-end also works and completes requests.
     const auto report_or = manager.run();
     ASSERT_TRUE(report_or.ok());
+    ASSERT_TRUE(report_or.value().checkConservation());
     EXPECT_GT(report_or.value().completed, 0u);
 }
 

@@ -138,6 +138,23 @@ struct Args
         return *v;
     }
 
+    /**
+     * Strictly positive finite number — rates, utilizations, and
+     * anything that lands in a denominator. Zero and negatives are
+     * usage errors with the flag named, same as trailing garbage.
+     */
+    double
+    getPositiveDouble(const std::string &key,
+                      const std::string &fallback) const
+    {
+        const double v = getDouble(key, fallback);
+        if (!std::isfinite(v) || v <= 0.0)
+            usageError("--", key,
+                       " expects a positive number, got '",
+                       get(key, fallback), "'");
+        return v;
+    }
+
     /** --jobs N | auto (default 1 = serial). */
     std::size_t
     jobs() const
@@ -244,6 +261,95 @@ resilienceFromArgs(const Args &args, FaultPlan &plan)
         args.getUint("max-dma-retries", "3"));
     res.diagnosticDir = args.get("diag-dir", "");
     return res;
+}
+
+/**
+ * Serve-layer resilience flags (docs/RESILIENCE.md): the churn
+ * schedule, injected antagonists, the adaptive admission gate, and
+ * the detector / quarantine-ladder knobs. Reuses the --faults /
+ * --fault-plan grammar for serve-granularity fault injection; the
+ * plan parsed into @p faults must stay alive while @p cfg is in use.
+ */
+void
+serveResilienceFromArgs(const Args &args, ServeConfig &cfg,
+                        FaultPlan &faults)
+{
+    if (args.has("churn-plan")) {
+        auto loaded =
+            ChurnPlan::fromJsonFile(args.get("churn-plan", ""));
+        if (!loaded.ok())
+            usageError(loaded.error().toString());
+        cfg.churn = loaded.take();
+    }
+    if (args.has("churn")) {
+        auto parsed = ChurnPlan::parse(args.get("churn", ""));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        for (const ChurnEvent &event : parsed.value().events())
+            cfg.churn.add(event);
+    }
+
+    if (args.has("antagonist-plan")) {
+        auto loaded = AntagonistPlan::fromJsonFile(
+            args.get("antagonist-plan", ""));
+        if (!loaded.ok())
+            usageError(loaded.error().toString());
+        cfg.antagonists = loaded.take();
+    }
+    if (args.has("antagonist")) {
+        auto parsed =
+            AntagonistPlan::parse(args.get("antagonist", ""));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        for (const AntagonistProfile &p : parsed.value().profiles())
+            cfg.antagonists.add(p);
+    }
+
+    if (args.get("admission", "0") != "0") {
+        cfg.admission.enabled = true;
+        cfg.admission.headroom =
+            args.getPositiveDouble("admit-headroom", "1.25");
+        cfg.admission.decrease =
+            args.getPositiveDouble("admit-decrease", "0.5");
+        cfg.admission.increase =
+            args.getPositiveDouble("admit-increase", "0.1");
+        cfg.admission.minRateFrac =
+            args.getPositiveDouble("admit-floor", "0.05");
+        cfg.admission.burstSec =
+            args.getPositiveDouble("admit-burst", "0.25");
+    }
+
+    cfg.detector.hiScore =
+        args.getPositiveDouble("detect-hi", "0.75");
+    cfg.detector.loScore =
+        args.getPositiveDouble("detect-lo", "0.25");
+    cfg.ladder.throttleStrikes = static_cast<std::uint32_t>(
+        args.getUint("strikes-throttle", "2"));
+    cfg.ladder.isolateStrikes = static_cast<std::uint32_t>(
+        args.getUint("strikes-isolate", "4"));
+    cfg.ladder.evictStrikes = static_cast<std::uint32_t>(
+        args.getUint("strikes-evict", "8"));
+    cfg.ladder.throttleFactor =
+        args.getPositiveDouble("throttle-factor", "0.25");
+    cfg.ladder.recoveryEpochs = static_cast<std::uint32_t>(
+        args.getUint("recovery-epochs", "4"));
+
+    if (args.has("fault-plan")) {
+        auto loaded =
+            FaultPlan::fromJsonFile(args.get("fault-plan", ""));
+        if (!loaded.ok())
+            usageError(loaded.error().toString());
+        faults = loaded.take();
+    }
+    if (args.has("faults")) {
+        auto parsed = FaultPlan::parse(args.get("faults", ""));
+        if (!parsed.ok())
+            usageError(parsed.error().toString());
+        for (const FaultSite &site : parsed.value().sites())
+            faults.add(site);
+    }
+    if (!faults.empty())
+        cfg.faults = &faults;
 }
 
 /**
@@ -724,15 +830,21 @@ cmdServe(const Args &args)
     }
 
     // Offered load: --rps fixes every tenant's rate; otherwise
-    // --util splits util*cores erlangs evenly across tenants.
+    // --util splits util*cores erlangs evenly across tenants. Both
+    // are strictly positive — a zero or negative rate would put a
+    // nonsense value in the admission gate's base-rate denominator.
     const double fixed_rps =
-        args.has("rps") ? args.getDouble("rps", "0") : 0.0;
-    const double util = args.getDouble("util", "0.6");
-    if (!args.has("rps") && (util < 0.0 || !std::isfinite(util)))
-        usageError("serve: --util must be a non-negative number");
+        args.has("rps") ? args.getPositiveDouble("rps", "1") : 0.0;
+    const double util = args.getPositiveDouble("util", "0.6");
     const double erlangs_per_tenant =
         util * static_cast<double>(cfg.numCores) /
         static_cast<double>(num_tenants);
+
+    // Resilience loop: churn, antagonists, admission control, and
+    // serve-granularity fault injection. The fault plan must outlive
+    // manager.run(), so it lives in this scope.
+    FaultPlan faults;
+    serveResilienceFromArgs(args, cfg, faults);
 
     ClusterManager manager(cfg);
     for (std::size_t i = 0; i < num_tenants; ++i) {
@@ -771,6 +883,15 @@ cmdServe(const Args &args)
         manager.setStats(registry.get());
     }
 
+    // Interference attribution: always collected when the resilience
+    // loop is active (the antagonist detector reads it); exported to
+    // the registry so the blame matrix lands in --stats-json.
+    std::unique_ptr<AttributionCollector> attribution;
+    if (registry && cfg.resilienceActive()) {
+        attribution = std::make_unique<AttributionCollector>();
+        manager.setAttribution(attribution.get());
+    }
+
     // Request tracing (--trace-out spans.jsonl, --trace-sample 1/N)
     // and the Chrome-trace timeline with counter tracks + async
     // request spans. Passive: the report is byte-identical with or
@@ -794,6 +915,8 @@ cmdServe(const Args &args)
     if (!report_or.ok())
         usageError(report_or.error().toString());
     const ServingReport report = report_or.take();
+    if (attribution)
+        attribution->registerStats(*registry);
 
     std::printf("%s\n", report.summary().c_str());
     const bool detail = args.get("detail", "0") != "0" ||
@@ -985,8 +1108,20 @@ usage()
         "               [--trace-out spans.jsonl] [--trace-sample "
         "1/N] [--timeline out.json]\n"
         "               [--queue-sample-ticks N]\n"
+        "               [--churn spec | --churn-plan plan.json] "
+        "[--antagonist spec | --antagonist-plan plan.json]\n"
+        "               [--admission 1] [--admit-headroom F] "
+        "[--admit-decrease F] [--admit-increase F]\n"
+        "               [--admit-floor F] [--admit-burst secs] "
+        "[--detect-hi S] [--detect-lo S]\n"
+        "               [--strikes-throttle N] [--strikes-isolate N] "
+        "[--strikes-evict N]\n"
+        "               [--throttle-factor F] [--recovery-epochs N] "
+        "[--faults spec | --fault-plan plan.json]\n"
         "               (open-loop fleet serving, see "
-        "docs/SERVING.md)\n"
+        "docs/SERVING.md; churn / admission control /\n"
+        "               antagonist quarantine in "
+        "docs/RESILIENCE.md)\n"
         "  v10sim trace --model DLRM [--batch 32] [--out file]\n"
         "  v10sim gen-traces [--out dir]   (all Table 4 traces)\n"
         "  v10sim report [--out report.md] [--requests N] "
@@ -998,7 +1133,9 @@ usage()
         "(default warn)\n\n"
         "Fault injection / degradation (run only, see "
         "docs/ROBUSTNESS.md):\n"
-        "  --faults kind@rate[@mag][,...]   inject faults "
+        "  --faults kind:rate=R[:mag=M][:tenant=T][:after=C]"
+        "[:count=N][,...]\n"
+        "                                   inject faults "
         "(hbm-stall|hbm-droop|dma-timeout|\n"
         "                                   sa-corrupt|runaway|"
         "flood)\n"
