@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <tuple>
 #include <utility>
+
+#include "analysis/cache.h"
 
 namespace v10::analysis {
 
@@ -89,6 +93,40 @@ selectRules(const LintOptions &options)
     return selected;
 }
 
+/** Baseline matching: each entry absorbs up to `count` findings
+ * with its (rule, file, hash) key; leftovers are new, unmatched
+ * entries are stale. Shared by the cold path and cache replay. */
+void
+applyBaseline(LintReport &report, const Baseline &baseline)
+{
+    std::map<std::tuple<std::string, std::string, std::string>,
+             std::pair<std::size_t, const BaselineEntry *>>
+        remaining;
+    for (const BaselineEntry &e : baseline.entries) {
+        auto &slot =
+            remaining[std::make_tuple(e.rule, e.file, e.hash)];
+        slot.first += e.count;
+        slot.second = &e;
+    }
+    for (Finding &f : report.findings) {
+        auto it = remaining.find(
+            std::make_tuple(f.rule, f.file, findingHash(f)));
+        if (it != remaining.end() && it->second.first > 0) {
+            --it->second.first;
+            f.status = FindingStatus::Baselined;
+        }
+    }
+    for (const BaselineEntry &e : baseline.entries) {
+        auto it = remaining.find(
+            std::make_tuple(e.rule, e.file, e.hash));
+        if (it != remaining.end() && it->second.first >= e.count) {
+            // Nothing consumed any of this entry's budget.
+            report.stale.push_back(e);
+            it->second.first -= e.count;
+        }
+    }
+}
+
 } // namespace
 
 LintReport
@@ -127,38 +165,8 @@ lintSources(const std::vector<SourceFile> &files,
         }
     }
 
-    // Baseline matching: each entry absorbs up to `count` findings
-    // with its (rule, file, hash) key; leftovers are new, unmatched
-    // entries are stale.
-    if (baseline != nullptr) {
-        std::map<std::tuple<std::string, std::string, std::string>,
-                 std::pair<std::size_t, const BaselineEntry *>>
-            remaining;
-        for (const BaselineEntry &e : baseline->entries) {
-            auto &slot =
-                remaining[std::make_tuple(e.rule, e.file, e.hash)];
-            slot.first += e.count;
-            slot.second = &e;
-        }
-        for (Finding &f : report.findings) {
-            auto it = remaining.find(
-                std::make_tuple(f.rule, f.file, findingHash(f)));
-            if (it != remaining.end() && it->second.first > 0) {
-                --it->second.first;
-                f.status = FindingStatus::Baselined;
-            }
-        }
-        for (const BaselineEntry &e : baseline->entries) {
-            auto it = remaining.find(
-                std::make_tuple(e.rule, e.file, e.hash));
-            if (it != remaining.end() &&
-                it->second.first >= e.count) {
-                // Nothing consumed any of this entry's budget.
-                report.stale.push_back(e);
-                it->second.first -= e.count;
-            }
-        }
-    }
+    if (baseline != nullptr)
+        applyBaseline(report, *baseline);
     return report;
 }
 
@@ -174,13 +182,17 @@ runLint(const LintOptions &options)
     if (!files_or.ok())
         return files_or.error();
 
-    std::vector<SourceFile> sources;
-    sources.reserve(files_or.value().size());
+    // Read raw bytes up front; lexing is deferred so a cache hit
+    // below can skip it for every file.
+    std::vector<std::pair<std::string, std::string>> texts;
+    texts.reserve(files_or.value().size());
     for (const auto &[rel, abs] : files_or.value()) {
-        auto file_or = SourceFile::load(rel, abs);
-        if (!file_or.ok())
-            return file_or.error();
-        sources.push_back(file_or.take());
+        std::ifstream is(abs, std::ios::binary);
+        if (!is)
+            return parseError("cannot open source file", abs);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        texts.emplace_back(rel, buf.str());
     }
 
     Baseline baseline;
@@ -190,6 +202,36 @@ runLint(const LintOptions &options)
         if (!baseline_or.ok())
             return baseline_or.error();
         baseline = baseline_or.take();
+    }
+
+    // Incremental cache: replay an exact content-hash match, else
+    // run cold and refresh the cache for the next run.
+    std::string key;
+    if (!options.cacheDir.empty()) {
+        std::vector<std::pair<std::string, std::uint64_t>> hashes;
+        hashes.reserve(texts.size());
+        for (const auto &[rel, text] : texts)
+            hashes.emplace_back(rel, lintContentHash(text));
+        key = lintCacheKey(hashes, options);
+        LintReport cached;
+        if (loadLintCache(options.cacheDir, key, &cached)) {
+            if (have_baseline)
+                applyBaseline(cached, baseline);
+            return cached;
+        }
+    }
+
+    std::vector<SourceFile> sources;
+    sources.reserve(texts.size());
+    for (const auto &[rel, text] : texts)
+        sources.push_back(SourceFile::fromString(rel, text));
+
+    if (!options.cacheDir.empty()) {
+        LintReport report = lintSources(sources, options, nullptr);
+        storeLintCache(options.cacheDir, key, report);
+        if (have_baseline)
+            applyBaseline(report, baseline);
+        return report;
     }
 
     return lintSources(sources, options,

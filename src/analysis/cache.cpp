@@ -1,0 +1,151 @@
+#include "analysis/cache.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace v10::analysis {
+
+namespace {
+
+std::uint64_t
+fnv1a(const std::string &data, std::uint64_t h)
+{
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::string
+cachePath(const std::string &cacheDir)
+{
+    return (std::filesystem::path(cacheDir) / "v10lint-cache.json")
+        .string();
+}
+
+} // namespace
+
+std::uint64_t
+lintContentHash(const std::string &text)
+{
+    return fnv1a(text, 0xCBF29CE484222325ull);
+}
+
+std::string
+lintCacheKey(
+    const std::vector<std::pair<std::string, std::uint64_t>>
+        &fileHashes,
+    const LintOptions &options)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    h = fnv1a(std::to_string(kLintCacheVersion), h);
+    for (const std::string &rule : options.ruleFilter)
+        h = fnv1a("|rule=" + rule, h);
+    for (const auto &[path, hash] : fileHashes) {
+        h = fnv1a("|" + path + "=", h);
+        std::ostringstream fh;
+        fh << std::hex << hash;
+        h = fnv1a(fh.str(), h);
+    }
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+bool
+loadLintCache(const std::string &cacheDir, const std::string &key,
+              LintReport *out)
+{
+    std::ifstream is(cachePath(cacheDir), std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    JsonValue doc;
+    if (!JsonValue::parse(buf.str(), &doc))
+        return false;
+    const JsonValue *version = doc.find("version");
+    const JsonValue *cached_key = doc.find("key");
+    const JsonValue *findings = doc.find("findings");
+    const JsonValue *scanned = doc.find("files_scanned");
+    const JsonValue *suppressed = doc.find("suppressed_inline");
+    if (version == nullptr || !version->isNumber() ||
+        static_cast<int>(version->number) != kLintCacheVersion ||
+        cached_key == nullptr || !cached_key->isString() ||
+        cached_key->str != key || findings == nullptr ||
+        !findings->isArray() || scanned == nullptr ||
+        !scanned->isNumber() || suppressed == nullptr ||
+        !suppressed->isNumber())
+        return false;
+
+    LintReport report;
+    report.filesScanned =
+        static_cast<std::size_t>(scanned->number);
+    report.suppressedInline =
+        static_cast<std::size_t>(suppressed->number);
+    for (const JsonValue &e : findings->array) {
+        const JsonValue *rule = e.find("rule");
+        const JsonValue *file = e.find("file");
+        const JsonValue *line = e.find("line");
+        const JsonValue *message = e.find("message");
+        const JsonValue *snippet = e.find("snippet");
+        if (rule == nullptr || !rule->isString() ||
+            file == nullptr || !file->isString() ||
+            line == nullptr || !line->isNumber() ||
+            message == nullptr || !message->isString() ||
+            snippet == nullptr || !snippet->isString())
+            return false;
+        Finding f;
+        f.rule = rule->str;
+        f.file = file->str;
+        f.line = static_cast<std::size_t>(line->number);
+        f.message = message->str;
+        f.snippet = snippet->str;
+        report.findings.push_back(std::move(f));
+    }
+    report.cacheHit = true;
+    *out = std::move(report);
+    return true;
+}
+
+void
+storeLintCache(const std::string &cacheDir, const std::string &key,
+               const LintReport &report)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cacheDir, ec);
+    std::ofstream os(cachePath(cacheDir), std::ios::binary);
+    if (!os)
+        return;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("tool", "v10lint-cache");
+    w.kv("version", kLintCacheVersion);
+    w.kv("key", key);
+    w.kv("files_scanned",
+         static_cast<std::uint64_t>(report.filesScanned));
+    w.kv("suppressed_inline",
+         static_cast<std::uint64_t>(report.suppressedInline));
+    w.key("findings");
+    w.beginArray();
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.kv("rule", f.rule);
+        w.kv("file", f.file);
+        w.kv("line", static_cast<std::uint64_t>(f.line));
+        w.kv("message", f.message);
+        w.kv("snippet", f.snippet);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace v10::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Content-hash incremental cache for v10lint (--cache-dir).
+ *
+ * The cache key folds together every scanned file's (path, FNV-1a
+ * content hash) pair, the selected rule names, and the cache format
+ * version. Because the semantic rule pack is repo-global — one
+ * file's annotations change what every other file's reachability
+ * means — any source edit invalidates the whole key; an unchanged
+ * tree hits and skips lexing, symbol extraction, and the graph
+ * phase entirely. The cached payload is the post-suppression,
+ * pre-baseline finding list, so a warm run replays it and applies
+ * the baseline exactly as a cold run would: findings are
+ * byte-identical by construction.
+ */
+
+#ifndef V10_ANALYSIS_CACHE_H
+#define V10_ANALYSIS_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace v10::analysis {
+
+/** Bump when the rule pack or the payload schema changes. */
+inline constexpr int kLintCacheVersion = 1;
+
+/** FNV-1a over @p text; same function SourceFile::contentHash
+ * uses, so a key built from raw bytes (before any lexing) matches
+ * one built from loaded sources. */
+std::uint64_t lintContentHash(const std::string &text);
+
+/** The run key: (path, content hash) pairs + rule selection +
+ * format version. Taking raw hashes instead of SourceFile lets a
+ * warm run probe the cache without lexing anything. */
+std::string lintCacheKey(
+    const std::vector<std::pair<std::string, std::uint64_t>>
+        &fileHashes,
+    const LintOptions &options);
+
+/**
+ * Load the cached report for @p key from @p cacheDir. Returns true
+ * and fills @p out (all findings FindingStatus::New, baseline not
+ * yet applied) only on an exact key match; any mismatch, parse
+ * error, or missing file is a miss, never an error.
+ */
+bool loadLintCache(const std::string &cacheDir,
+                   const std::string &key, LintReport *out);
+
+/**
+ * Store @p report (pre-baseline) under @p key. Best-effort: an
+ * unwritable cache directory degrades to cold runs.
+ */
+void storeLintCache(const std::string &cacheDir,
+                    const std::string &key,
+                    const LintReport &report);
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_CACHE_H

@@ -127,14 +127,40 @@ lexSource(const std::string &text)
         }
     };
 
-    auto lexRaw = [&cur]() {
-        // At the opening quote of R"delim( ... )delim".
-        cur.take(); // the quote
+    auto lexRaw = [&cur, &lexCooked]() {
+        // At the opening quote of R"delim( ... )delim". The d-char
+        // sequence is at most 16 characters and may not contain
+        // space, parentheses, backslash, quotes, or control
+        // whitespace ([lex.string]). Validate the opener by lookahead
+        // *before* consuming anything: a malformed opener (e.g. R"";)
+        // is not a raw string, and treating it as one used to swallow
+        // arbitrary trailing source — hiding real findings — while
+        // hunting for a closer that never comes.
         std::string delim;
-        while (!cur.done() && cur.peek() != '(')
-            delim += cur.take();
-        if (!cur.done())
-            cur.take(); // '('
+        bool valid = false;
+        for (std::size_t i = 0; i <= 16; ++i) {
+            const char d = cur.peek(1 + i);
+            if (d == '(') {
+                valid = true;
+                break;
+            }
+            const bool dchar =
+                i < 16 && d != '\0' && d != ' ' && d != ')' &&
+                d != '\\' && d != '"' && d != '\t' && d != '\v' &&
+                d != '\f' && d != '\n' && d != '\r';
+            if (!dchar)
+                break;
+            delim += d;
+        }
+        cur.take(); // the quote
+        if (!valid) {
+            // Lex the opener as a cooked literal and resynchronize.
+            lexCooked('"');
+            return;
+        }
+        for (std::size_t i = 0; i < delim.size(); ++i)
+            cur.take();
+        cur.take(); // '('
         const std::string close = ")" + delim + "\"";
         while (!cur.done()) {
             if (cur.text.compare(cur.pos, close.size(), close) == 0) {

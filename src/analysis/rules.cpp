@@ -36,7 +36,8 @@ makeDefaultRules()
     std::vector<std::unique_ptr<Rule>> rules;
     for (auto *maker : {&makeDeterminismRules,
                         &makeErrorDisciplineRules,
-                        &makeConcurrencyRules}) {
+                        &makeConcurrencyRules,
+                        &makeSemanticRules}) {
         for (auto &rule : (*maker)())
             rules.push_back(std::move(rule));
     }

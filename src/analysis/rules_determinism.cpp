@@ -166,7 +166,8 @@ class UnorderedRule : public Rule
     {
         static const PathFilter filter{
             {"src/sched/", "src/sim/", "src/npu/", "src/metrics/",
-             "src/serve/", "src/trace/"},
+             "src/serve/", "src/trace/", "src/workload/",
+             "src/collocate/"},
             {}};
         return filter;
     }

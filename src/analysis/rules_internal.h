@@ -20,6 +20,7 @@ namespace v10::analysis {
 std::vector<std::unique_ptr<Rule>> makeDeterminismRules();
 std::vector<std::unique_ptr<Rule>> makeErrorDisciplineRules();
 std::vector<std::unique_ptr<Rule>> makeConcurrencyRules();
+std::vector<std::unique_ptr<Rule>> makeSemanticRules();
 
 namespace detail {
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The semantic rule pack: four rules sharing one SemanticEngine.
+ * Each rule's collect() feeds the engine a file summary; the first
+ * check() finalizes the repo-wide model and every rule then filters
+ * the precomputed violations down to the file being checked. The
+ * engine is created per makeSemanticRules() call, so fixture corpora
+ * and repo scans never share state.
+ */
+
+#include <memory>
+
+#include "analysis/rules_internal.h"
+#include "analysis/semantic_model.h"
+
+namespace v10::analysis {
+
+namespace {
+
+class SemanticRuleBase : public Rule
+{
+  public:
+    SemanticRuleBase(std::shared_ptr<SemanticEngine> engine,
+                     SemanticRule id)
+        : engine_(std::move(engine)), id_(id)
+    {
+    }
+
+    void
+    collect(const SourceFile &file, RuleContext &ctx) override
+    {
+        (void)ctx;
+        engine_->addFile(file);
+    }
+
+    void
+    check(const SourceFile &file, const RuleContext &ctx,
+          std::vector<Finding> &out) override
+    {
+        (void)ctx;
+        for (const SemanticViolation &v :
+             engine_->violations(id_)) {
+            if (v.file == file.path())
+                out.push_back(
+                    finding(*this, file, v.line, v.message));
+        }
+    }
+
+  private:
+    std::shared_ptr<SemanticEngine> engine_;
+    SemanticRule id_;
+};
+
+/** Shared-state reachability: the domain-isolation contract. */
+class SharedStateRule final : public SemanticRuleBase
+{
+  public:
+    explicit SharedStateRule(std::shared_ptr<SemanticEngine> e)
+        : SemanticRuleBase(std::move(e),
+                           SemanticRule::SharedState)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "semantic-shared-state";
+    }
+
+    const char *
+    description() const override
+    {
+        return "mutable state reachable from EventFn/"
+               "ParallelExecutor contexts must carry a V10_* "
+               "domain annotation (src/common/annotations.h)";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        // The parallel-in-run refactor's blast radius: the event
+        // core, the schedulers, the serving layer, and the shared
+        // infrastructure they reach into.
+        static const PathFilter filter{
+            {"src/sim/", "src/sched/", "src/serve/", "src/npu/",
+             "src/metrics/", "src/common/"},
+            {}};
+        return filter;
+    }
+};
+
+/** Lock discipline over V10_GUARDED_BY members. */
+class LockDisciplineRule final : public SemanticRuleBase
+{
+  public:
+    explicit LockDisciplineRule(std::shared_ptr<SemanticEngine> e)
+        : SemanticRuleBase(std::move(e),
+                           SemanticRule::LockDiscipline)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "semantic-lock-discipline";
+    }
+
+    const char *
+    description() const override
+    {
+        return "V10_GUARDED_BY members must be accessed under "
+               "the named mutex; nested acquisitions must keep "
+               "one global order";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/", "tools/"}, {}};
+        return filter;
+    }
+};
+
+/** Cross-thread floating-point reduction order. */
+class FpOrderRule final : public SemanticRuleBase
+{
+  public:
+    explicit FpOrderRule(std::shared_ptr<SemanticEngine> e)
+        : SemanticRuleBase(std::move(e), SemanticRule::FpOrder)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "semantic-fp-order";
+    }
+
+    const char *
+    description() const override
+    {
+        return "floating-point accumulation into shared state "
+               "from parallel contexts is order-dependent; use "
+               "per-domain partials with a serial reduction";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        static const PathFilter filter{{"src/", "tools/"}, {}};
+        return filter;
+    }
+};
+
+/** Cycle-arithmetic overflow/narrowing. */
+class CycleOverflowRule final : public SemanticRuleBase
+{
+  public:
+    explicit CycleOverflowRule(std::shared_ptr<SemanticEngine> e)
+        : SemanticRuleBase(std::move(e),
+                           SemanticRule::CycleOverflow)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "semantic-cycle-overflow";
+    }
+
+    const char *
+    description() const override
+    {
+        return "cycle values must not flow into narrow or signed "
+               "integer types; keep them in Cycles or CycleDelta "
+               "(src/common/types.h)";
+    }
+
+    const PathFilter &
+    paths() const override
+    {
+        // The cycle-accurate hot paths.
+        static const PathFilter filter{
+            {"src/sim/", "src/sched/", "src/serve/", "src/npu/"},
+            {}};
+        return filter;
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeSemanticRules()
+{
+    auto engine = std::make_shared<SemanticEngine>();
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<SharedStateRule>(engine));
+    rules.push_back(std::make_unique<LockDisciplineRule>(engine));
+    rules.push_back(std::make_unique<FpOrderRule>(engine));
+    rules.push_back(std::make_unique<CycleOverflowRule>(engine));
+    return rules;
+}
+
+} // namespace v10::analysis

@@ -1,0 +1,103 @@
+#include "analysis/sarif.h"
+
+#include <map>
+#include <ostream>
+
+#include "analysis/baseline.h"
+#include "common/json.h"
+
+namespace v10::analysis {
+
+void
+writeSarifReport(const LintReport &report, std::ostream &os)
+{
+    // The catalog, with indices for ruleIndex back-references.
+    std::map<std::string, std::size_t> rule_index;
+    const auto rules = makeDefaultRules();
+    for (const auto &rule : rules)
+        rule_index.emplace(rule->name(), rule_index.size());
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("$schema",
+         "https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json");
+    w.kv("version", "2.1.0");
+    w.key("runs");
+    w.beginArray();
+    w.beginObject();
+
+    w.key("tool");
+    w.beginObject();
+    w.key("driver");
+    w.beginObject();
+    w.kv("name", "v10lint");
+    w.kv("informationUri",
+         "https://example.invalid/v10/docs/STATIC_ANALYSIS.md");
+    w.kv("version", "2.0.0");
+    w.key("rules");
+    w.beginArray();
+    for (const auto &rule : rules) {
+        w.beginObject();
+        w.kv("id", rule->name());
+        w.key("shortDescription");
+        w.beginObject();
+        w.kv("text", rule->description());
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject(); // driver
+    w.endObject(); // tool
+
+    w.key("results");
+    w.beginArray();
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.kv("ruleId", f.rule);
+        const auto it = rule_index.find(f.rule);
+        if (it != rule_index.end())
+            w.kv("ruleIndex",
+                 static_cast<std::uint64_t>(it->second));
+        w.kv("level", f.status == FindingStatus::New ? "warning"
+                                                     : "note");
+        w.key("message");
+        w.beginObject();
+        w.kv("text", f.message);
+        w.endObject();
+        w.key("locations");
+        w.beginArray();
+        w.beginObject();
+        w.key("physicalLocation");
+        w.beginObject();
+        w.key("artifactLocation");
+        w.beginObject();
+        w.kv("uri", f.file);
+        w.kv("uriBaseId", "SRCROOT");
+        w.endObject();
+        w.key("region");
+        w.beginObject();
+        w.kv("startLine", static_cast<std::uint64_t>(f.line));
+        w.key("snippet");
+        w.beginObject();
+        w.kv("text", f.snippet);
+        w.endObject();
+        w.endObject(); // region
+        w.endObject(); // physicalLocation
+        w.endObject(); // location
+        w.endArray();  // locations
+        w.key("partialFingerprints");
+        w.beginObject();
+        w.kv("v10lintFindingHash/v1", findingHash(f));
+        w.endObject();
+        w.endObject(); // result
+    }
+    w.endArray(); // results
+
+    w.endObject(); // run
+    w.endArray();  // runs
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace v10::analysis

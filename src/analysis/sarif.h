@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for v10lint, so CI can upload findings as a
+ * code-scanning artifact and editors can ingest them natively. One
+ * run, one tool (the rule catalog embedded as reportingDescriptors),
+ * one result per finding: new findings map to level "warning",
+ * baselined ones to "note", and findingHash() rides along as a
+ * partialFingerprint so downstream dedup survives line drift the
+ * same way the baseline does.
+ */
+
+#ifndef V10_ANALYSIS_SARIF_H
+#define V10_ANALYSIS_SARIF_H
+
+#include <iosfwd>
+
+#include "analysis/analyzer.h"
+
+namespace v10::analysis {
+
+/** Render @p report as a SARIF 2.1.0 document. */
+void writeSarifReport(const LintReport &report, std::ostream &os);
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_SARIF_H

@@ -1,0 +1,450 @@
+#include "analysis/semantic_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <tuple>
+
+namespace v10::analysis {
+
+namespace {
+
+bool
+holds(const std::vector<std::string> &locks,
+      const std::string &mutex)
+{
+    return std::find(locks.begin(), locks.end(), mutex) !=
+           locks.end();
+}
+
+std::string
+contextName(int mask)
+{
+    if ((mask & 1) != 0 && (mask & 2) != 0)
+        return "event and parallel contexts";
+    if ((mask & 2) != 0)
+        return "a ParallelExecutor task";
+    return "an EventFn callback";
+}
+
+void
+sortViolations(std::vector<SemanticViolation> &v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const SemanticViolation &a,
+                 const SemanticViolation &b) {
+                  return std::tie(a.file, a.line, a.message) <
+                         std::tie(b.file, b.line, b.message);
+              });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](const SemanticViolation &a,
+                           const SemanticViolation &b) {
+                            return a.file == b.file &&
+                                   a.line == b.line &&
+                                   a.message == b.message;
+                        }),
+            v.end());
+}
+
+} // namespace
+
+void
+SemanticEngine::addFile(const SourceFile &file)
+{
+    if (finalized_ || files_.count(file.path()) > 0)
+        return;
+    files_.emplace(file.path(), summarizeFile(file));
+}
+
+void
+SemanticEngine::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    buildIndexes();
+    runReachability();
+    checkSharedState();
+    checkLockDiscipline();
+    checkFpOrder();
+    checkCycleOverflow();
+    for (auto &[rule, v] : violations_)
+        sortViolations(v);
+}
+
+const std::vector<SemanticViolation> &
+SemanticEngine::violations(SemanticRule rule)
+{
+    finalize();
+    return violations_[rule];
+}
+
+void
+SemanticEngine::buildIndexes()
+{
+    for (const auto &[path, summary] : files_) {
+        for (const ClassSym &cls : summary.classes)
+            classesByName_[cls.name].emplace_back(&cls, &summary);
+        for (const FunctionSym &fn : summary.functions) {
+            fnsByKey_[{fn.ownerClass, fn.name}].push_back(
+                {&fn, &summary});
+            allFns_.push_back({&fn, &summary});
+        }
+        for (const GlobalSym &g : summary.globals)
+            globalsByName_[g.name].emplace_back(&g, &summary);
+    }
+}
+
+SemanticEngine::MemberRef
+SemanticEngine::memberOf(const std::string &className,
+                         const std::string &memberName) const
+{
+    const auto it = classesByName_.find(className);
+    if (it == classesByName_.end())
+        return {};
+    for (const auto &[cls, in] : it->second) {
+        if (const MemberSym *m = cls->member(memberName))
+            return {m, cls, in};
+    }
+    return {};
+}
+
+std::string
+SemanticEngine::typeClassOf(const std::string &type) const
+{
+    // The type string is space/::-joined tokens; any word that names
+    // a known class wins (covers T, T*, unique_ptr<T>, vector<T>).
+    std::string word;
+    for (std::size_t i = 0; i <= type.size(); ++i) {
+        const char c = i < type.size() ? type[i] : ' ';
+        if (std::isalnum(static_cast<unsigned char>(c)) ||
+            c == '_') {
+            word += c;
+            continue;
+        }
+        if (!word.empty() && classesByName_.count(word) > 0)
+            return word;
+        word.clear();
+    }
+    return "";
+}
+
+std::vector<SemanticEngine::FnRef>
+SemanticEngine::callTargets(const FnRef &from,
+                            const CallSite &call) const
+{
+    std::vector<FnRef> targets;
+    auto append = [&](const std::string &owner) {
+        const auto it = fnsByKey_.find({owner, call.callee});
+        if (it != fnsByKey_.end())
+            targets.insert(targets.end(), it->second.begin(),
+                           it->second.end());
+    };
+    if (call.receiver.empty()) {
+        if (!from.fn->ownerClass.empty())
+            append(from.fn->ownerClass);
+        append("");
+        return targets;
+    }
+    // Receiver is a member of the calling function's class: resolve
+    // its declared type to a known class.
+    const MemberRef recv =
+        memberOf(from.fn->ownerClass, call.receiver);
+    if (recv.member == nullptr || recv.member->isFunction)
+        return targets;
+    const std::string cls = typeClassOf(recv.member->type);
+    if (!cls.empty())
+        append(cls);
+    return targets;
+}
+
+bool
+SemanticEngine::calleeReturnsCycles(const std::string &owner,
+                                    const std::string &callee) const
+{
+    for (const std::string &o :
+         {owner, std::string()}) {
+        const auto it = fnsByKey_.find({o, callee});
+        if (it == fnsByKey_.end())
+            continue;
+        for (const FnRef &ref : it->second) {
+            if (ref.fn->returnsCycles)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+SemanticEngine::runReachability()
+{
+    std::deque<FnRef> work;
+    for (const FnRef &ref : allFns_) {
+        if (ref.fn->entry == EntryKind::None)
+            continue;
+        const int mask = ref.fn->entry == EntryKind::Event
+                             ? kFromEvent
+                             : kFromParallel;
+        reach_[ref.fn] |= mask;
+        work.push_back(ref);
+    }
+    while (!work.empty()) {
+        const FnRef cur = work.front();
+        work.pop_front();
+        const int mask = reach_[cur.fn];
+        for (const CallSite &call : cur.fn->calls) {
+            for (const FnRef &next : callTargets(cur, call)) {
+                const int had = reach_[next.fn];
+                if ((had | mask) == had)
+                    continue;
+                reach_[next.fn] = had | mask;
+                work.push_back(next);
+            }
+        }
+    }
+}
+
+void
+SemanticEngine::checkSharedState()
+{
+    auto &out = violations_[SemanticRule::SharedState];
+    // Accumulate the reaching flavor per declaration site so the
+    // message names every context that can reach it.
+    std::map<std::pair<std::string, std::size_t>,
+             std::pair<int, std::string>>
+        sites;
+    for (const FnRef &ref : allFns_) {
+        const auto rit = reach_.find(ref.fn);
+        if (rit == reach_.end() || rit->second == 0)
+            continue;
+        const int mask = rit->second;
+        for (const AccessSite &a : ref.fn->accesses) {
+            std::string ownerForBare = ref.fn->ownerClass;
+            MemberRef m;
+            if (a.object.empty()) {
+                m = memberOf(ownerForBare, a.member);
+            } else {
+                const MemberRef recv =
+                    memberOf(ownerForBare, a.object);
+                if (recv.member != nullptr &&
+                    !recv.member->isFunction)
+                    m = memberOf(typeClassOf(recv.member->type),
+                                 a.member);
+            }
+            if (m.member != nullptr) {
+                const MemberSym &mem = *m.member;
+                if (mem.isFunction || mem.isConst ||
+                    mem.isStatic || mem.isReference ||
+                    mem.isMutex ||
+                    mem.type.find("atomic") !=
+                        std::string::npos)
+                    continue;
+                Annotations anno = mem.anno;
+                anno.merge(m.cls->anno);
+                if (anno.any())
+                    continue;
+                auto &slot = sites[{m.in->path, mem.line}];
+                slot.first |= mask;
+                slot.second = "mutable member '" + m.cls->name +
+                              "::" + mem.name + "'";
+                continue;
+            }
+            if (!a.object.empty())
+                continue;
+            const auto git = globalsByName_.find(a.member);
+            if (git == globalsByName_.end())
+                continue;
+            for (const auto &[g, in] : git->second) {
+                // std::atomic globals synchronize themselves; the
+                // annotation vocabulary documents *unsynchronized*
+                // state.
+                if (g->anno.any() ||
+                    g->type.find("atomic") != std::string::npos)
+                    continue;
+                auto &slot = sites[{in->path, g->line}];
+                slot.first |= mask;
+                slot.second = "mutable global '" + g->name + "'";
+            }
+        }
+    }
+    for (const auto &[site, info] : sites) {
+        out.push_back(
+            {site.first, site.second,
+             info.second + " is reachable from " +
+                 contextName(info.first) +
+                 " but carries no domain annotation; mark it "
+                 "V10_DOMAIN_LOCAL, V10_SHARED_STATE, "
+                 "V10_GUARDED_BY(m), or V10_COUPLING_POINT "
+                 "(src/common/annotations.h)"});
+    }
+}
+
+void
+SemanticEngine::checkLockDiscipline()
+{
+    auto &out = violations_[SemanticRule::LockDiscipline];
+    for (const FnRef &ref : allFns_) {
+        if (ref.fn->isCtorDtor)
+            continue;
+        for (const AccessSite &a : ref.fn->accesses) {
+            MemberRef m;
+            if (a.object.empty()) {
+                m = memberOf(ref.fn->ownerClass, a.member);
+            } else {
+                const MemberRef recv =
+                    memberOf(ref.fn->ownerClass, a.object);
+                if (recv.member != nullptr &&
+                    !recv.member->isFunction)
+                    m = memberOf(typeClassOf(recv.member->type),
+                                 a.member);
+            }
+            if (m.member == nullptr || m.member->isFunction ||
+                m.member->isMutex)
+                continue;
+            std::string guard = m.member->anno.guardedBy;
+            if (guard.empty())
+                guard = m.cls->anno.guardedBy;
+            if (guard.empty() || holds(a.locksHeld, guard))
+                continue;
+            out.push_back(
+                {ref.in->path, a.line,
+                 "'" + m.cls->name + "::" + m.member->name +
+                     "' is V10_GUARDED_BY(" + guard +
+                     ") but this access does not hold '" + guard +
+                     "' (wrap it in std::lock_guard/"
+                     "scoped_lock/unique_lock)"});
+        }
+    }
+    // Lock-order inversions: the same two mutexes acquired nested
+    // in both orders anywhere in the repo.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<std::string, std::size_t>>
+        first_site;
+    for (const FnRef &ref : allFns_) {
+        for (const LockPair &p : ref.fn->lockPairs) {
+            auto key = std::make_pair(p.first, p.second);
+            auto site = std::make_pair(ref.in->path, p.line);
+            auto it = first_site.find(key);
+            if (it == first_site.end() || site < it->second)
+                first_site[key] = site;
+        }
+    }
+    for (const auto &[key, site] : first_site) {
+        const auto rev =
+            first_site.find({key.second, key.first});
+        if (rev == first_site.end())
+            continue;
+        out.push_back(
+            {site.first, site.second,
+             "lock-order inversion: '" + key.first + "' then '" +
+                 key.second + "' here, but '" + key.second +
+                 "' then '" + key.first + "' at " +
+                 rev->second.first + ":" +
+                 std::to_string(rev->second.second)});
+    }
+}
+
+void
+SemanticEngine::checkFpOrder()
+{
+    auto &out = violations_[SemanticRule::FpOrder];
+    for (const FnRef &ref : allFns_) {
+        const auto rit = reach_.find(ref.fn);
+        if (rit == reach_.end() ||
+            (rit->second & kFromParallel) == 0)
+            continue;
+        for (const AccessSite &a : ref.fn->accesses) {
+            if (!a.fpAccumulate)
+                continue;
+            MemberRef m;
+            if (a.object.empty()) {
+                m = memberOf(ref.fn->ownerClass, a.member);
+            } else {
+                const MemberRef recv =
+                    memberOf(ref.fn->ownerClass, a.object);
+                if (recv.member != nullptr &&
+                    !recv.member->isFunction)
+                    m = memberOf(typeClassOf(recv.member->type),
+                                 a.member);
+            }
+            bool is_float = false;
+            bool domain_local = false;
+            std::string what;
+            if (m.member != nullptr && !m.member->isFunction) {
+                Annotations anno = m.member->anno;
+                anno.merge(m.cls->anno);
+                is_float = m.member->isFloat;
+                domain_local = anno.domainLocal;
+                what = m.cls->name + "::" + m.member->name;
+            } else if (a.object.empty()) {
+                const auto git = globalsByName_.find(a.member);
+                if (git != globalsByName_.end()) {
+                    is_float = git->second.front().first->isFloat;
+                    domain_local = git->second.front()
+                                       .first->anno.domainLocal;
+                    what = a.member;
+                }
+            }
+            if (!is_float || domain_local)
+                continue;
+            out.push_back(
+                {ref.in->path, a.line,
+                 "floating-point accumulation into '" + what +
+                     "' from a parallel context is "
+                     "order-dependent; accumulate into "
+                     "V10_DOMAIN_LOCAL partials and reduce in a "
+                     "deterministic serial order"});
+        }
+    }
+}
+
+void
+SemanticEngine::checkCycleOverflow()
+{
+    auto &out = violations_[SemanticRule::CycleOverflow];
+    for (const FnRef &ref : allFns_) {
+        std::set<std::string> cycle_members;
+        const auto cit = classesByName_.find(ref.fn->ownerClass);
+        if (cit != classesByName_.end()) {
+            for (const auto &[cls, in] : cit->second) {
+                for (const MemberSym &mem : cls->members) {
+                    if (mem.isCycles && !mem.isFunction)
+                        cycle_members.insert(mem.name);
+                }
+            }
+        }
+        for (const CastSite &cs : ref.fn->casts) {
+            bool involved = false;
+            for (const std::string &id : cs.idents) {
+                if (ref.fn->cycleLocals.count(id) > 0 ||
+                    cycle_members.count(id) > 0) {
+                    involved = true;
+                    break;
+                }
+            }
+            if (!involved) {
+                for (const std::string &callee : cs.callees) {
+                    if (calleeReturnsCycles(ref.fn->ownerClass,
+                                            callee)) {
+                        involved = true;
+                        break;
+                    }
+                }
+            }
+            if (!involved)
+                continue;
+            out.push_back(
+                {ref.in->path, cs.line,
+                 std::string(cs.fromCast
+                                 ? "narrowing cast of a cycle "
+                                   "value to '"
+                                 : "cycle value stored into "
+                                   "narrow/signed '") +
+                     cs.target +
+                     "'; cycle arithmetic must stay in Cycles "
+                     "(uint64) or the sanctioned CycleDelta"});
+        }
+    }
+}
+
+} // namespace v10::analysis

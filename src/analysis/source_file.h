@@ -9,6 +9,7 @@
 #ifndef V10_ANALYSIS_SOURCE_FILE_H
 #define V10_ANALYSIS_SOURCE_FILE_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ class SourceFile
     /** Root-relative path with forward slashes. */
     const std::string &path() const { return path_; }
 
+    /** FNV-1a of the raw text; the incremental cache's file key. */
+    std::uint64_t contentHash() const { return content_hash_; }
+
     const std::vector<Token> &tokens() const { return lexed_.tokens; }
 
     /** Verbatim source line (1-based), for finding snippets. */
@@ -52,6 +56,7 @@ class SourceFile
     std::string path_;
     LexedSource lexed_;
     std::vector<std::string> lines_;
+    std::uint64_t content_hash_ = 0;
 };
 
 } // namespace v10::analysis

@@ -1,0 +1,1023 @@
+#include "analysis/symbols.h"
+
+#include <algorithm>
+
+#include "analysis/rules_internal.h"
+
+namespace v10::analysis {
+
+namespace {
+
+using detail::matchForward;
+
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> kw = {
+        "alignas",      "alignof",     "asm",
+        "auto",         "bool",        "break",
+        "case",         "catch",       "char",
+        "char16_t",     "char32_t",    "char8_t",
+        "class",        "co_await",    "co_return",
+        "co_yield",     "concept",     "const",
+        "const_cast",   "consteval",   "constexpr",
+        "constinit",    "continue",    "decltype",
+        "default",      "delete",      "do",
+        "double",       "dynamic_cast","else",
+        "enum",         "explicit",    "export",
+        "extern",       "false",       "final",
+        "float",        "for",         "friend",
+        "goto",         "if",          "inline",
+        "int",          "long",        "mutable",
+        "namespace",    "new",         "noexcept",
+        "nullptr",      "operator",    "override",
+        "private",      "protected",   "public",
+        "register",     "reinterpret_cast",
+        "requires",     "return",      "short",
+        "signed",       "sizeof",      "static",
+        "static_assert","static_cast", "struct",
+        "switch",       "template",    "this",
+        "thread_local", "throw",       "true",
+        "try",          "typedef",     "typeid",
+        "typename",     "union",       "unsigned",
+        "using",        "virtual",     "void",
+        "volatile",     "wchar_t",     "while",
+    };
+    return kw;
+}
+
+bool
+isKeyword(const std::string &s)
+{
+    return keywords().count(s) > 0;
+}
+
+/** The scheduling verbs whose lambda argument is an entry point. */
+EntryKind
+entryKindOfCall(const std::string &callee)
+{
+    if (callee == "at" || callee == "after" || callee == "every" ||
+        callee == "schedule")
+        return EntryKind::Event;
+    if (callee == "forEach" || callee == "map")
+        return EntryKind::Parallel;
+    return EntryKind::None;
+}
+
+bool
+isRaiiLock(const std::string &name)
+{
+    return name == "lock_guard" || name == "scoped_lock" ||
+           name == "unique_lock" || name == "shared_lock";
+}
+
+/** Integer types too small (or wrongly signed) to hold a Cycles
+ * value; CycleDelta is the sanctioned signed cycle type. */
+bool
+isNarrowCycleTarget(const std::vector<std::string> &target)
+{
+    static const std::set<std::string> narrow = {
+        "int",      "short",    "signed",   "unsigned",
+        "int8_t",   "int16_t",  "int32_t",  "int64_t",
+        "uint8_t",  "uint16_t", "uint32_t", "long",
+        "ptrdiff_t",
+    };
+    bool hit = false;
+    for (const std::string &t : target) {
+        if (t == "CycleDelta" || t == "Cycles" || t == "uint64_t" ||
+            t == "size_t" || t == "uintmax_t")
+            return false;
+        if (narrow.count(t) > 0)
+            hit = true;
+    }
+    return hit;
+}
+
+/** The extractor: one pass, recursive over brace scopes. */
+class Extractor
+{
+  public:
+    explicit Extractor(const SourceFile &file)
+        : toks_(file.tokens())
+    {
+        out_.path = file.path();
+    }
+
+    FileSummary
+    run()
+    {
+        parseNamespaceScope(0, toks_.size(), nullptr);
+        return std::move(out_);
+    }
+
+  private:
+    const std::vector<Token> &toks_;
+    FileSummary out_;
+
+    const std::string &
+    text(std::size_t i) const
+    {
+        static const std::string none;
+        return i < toks_.size() ? toks_[i].text : none;
+    }
+
+    bool
+    is(std::size_t i, const char *t) const
+    {
+        return i < toks_.size() && toks_[i].text == t;
+    }
+
+    std::size_t
+    lineOf(std::size_t i) const
+    {
+        return i < toks_.size() ? toks_[i].line : 0;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return i < toks_.size() && toks_[i].isIdent();
+    }
+
+    /** matchForward clamped to the stream end. */
+    std::size_t
+    closeOf(std::size_t open) const
+    {
+        const std::size_t c = matchForward(toks_, open);
+        return c < toks_.size() ? c : toks_.size() - 1;
+    }
+
+    // ----------------------------------------------------------
+    // Statement scanning shared by namespace and class scope.
+    // ----------------------------------------------------------
+
+    struct Statement
+    {
+        /** Token indices with V10_* annotations stripped out. */
+        std::vector<std::size_t> idx;
+        Annotations anno;
+        bool hasTopParen = false;
+        bool sawEq = false;
+        /** Position in idx where '=' / brace-init starts (idx.size()
+         * when none): the declarator name sits before it. */
+        std::size_t declEnd = 0;
+        /** Token index of a function body's '{', or npos. */
+        std::size_t bodyBrace = static_cast<std::size_t>(-1);
+        /** First token index after the statement. */
+        std::size_t next = 0;
+    };
+
+    /** True when the '{' at @p brace ends a function header: the
+     * statement had a top-level paren group and everything between
+     * the last group and the brace is header trivia. */
+    bool
+    looksLikeBody(const Statement &st) const
+    {
+        if (!st.hasTopParen || st.sawEq)
+            return false;
+        // Walk idx backwards to the last ')' and vet the tail.
+        std::size_t last = st.idx.size();
+        while (last > 0 && text(st.idx[last - 1]) != ")")
+            --last;
+        if (last == 0)
+            return false;
+        for (std::size_t k = last; k < st.idx.size(); ++k) {
+            const std::string &t = text(st.idx[k]);
+            if (t == "const" || t == "noexcept" || t == "override" ||
+                t == "final" || t == "->" || t == "::" || t == "<" ||
+                t == ">" || t == "," || t == "&" || t == "*" ||
+                toks_[st.idx[k]].isIdent())
+                continue;
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Scan one declaration-ish statement starting at @p i: collect
+     * its tokens (jumping over balanced (), <>, [] groups and
+     * initializers), strip V10_* annotations into st.anno, and stop
+     * at ';' or at a function body's '{'.
+     */
+    Statement
+    scanStatement(std::size_t i, std::size_t end)
+    {
+        Statement st;
+        std::size_t j = i;
+        bool decl_end_set = false;
+        while (j < end) {
+            const std::string &t = text(j);
+            if (isIdent(j) && t.rfind("V10_", 0) == 0) {
+                st.anno.domainLocal |= t == "V10_DOMAIN_LOCAL";
+                st.anno.sharedState |= t == "V10_SHARED_STATE";
+                st.anno.couplingPoint |= t == "V10_COUPLING_POINT";
+                if (t == "V10_GUARDED_BY" && is(j + 1, "(")) {
+                    const std::size_t close = closeOf(j + 1);
+                    // The mutex name: last identifier in the args.
+                    for (std::size_t k = j + 2; k < close; ++k) {
+                        if (isIdent(k))
+                            st.anno.guardedBy = text(k);
+                    }
+                    j = close + 1;
+                } else {
+                    ++j;
+                }
+                continue;
+            }
+            if (t == "(") {
+                if (!st.sawEq)
+                    st.hasTopParen = true;
+                const std::size_t close = closeOf(j);
+                for (std::size_t k = j; k <= close; ++k)
+                    st.idx.push_back(k);
+                j = close + 1;
+                continue;
+            }
+            if (t == "<") {
+                const std::size_t close = matchForward(toks_, j);
+                if (close < toks_.size() && close < end) {
+                    for (std::size_t k = j; k <= close; ++k)
+                        st.idx.push_back(k);
+                    j = close + 1;
+                } else {
+                    st.idx.push_back(j++);
+                }
+                continue;
+            }
+            if (t == "[") {
+                j = closeOf(j) + 1; // attribute or array extent
+                continue;
+            }
+            if (t == "=") {
+                if (!decl_end_set) {
+                    st.declEnd = st.idx.size();
+                    decl_end_set = true;
+                }
+                st.sawEq = true;
+                st.idx.push_back(j++);
+                continue;
+            }
+            if (t == "{") {
+                if (looksLikeBody(st)) {
+                    st.bodyBrace = j;
+                    st.next = j;
+                    if (!decl_end_set)
+                        st.declEnd = st.idx.size();
+                    return st;
+                }
+                // Brace initializer (member init or = { ... }).
+                if (!decl_end_set) {
+                    st.declEnd = st.idx.size();
+                    decl_end_set = true;
+                }
+                j = closeOf(j) + 1;
+                continue;
+            }
+            if (t == ";") {
+                st.next = j + 1;
+                if (!decl_end_set)
+                    st.declEnd = st.idx.size();
+                return st;
+            }
+            if (t == "}") {
+                // Malformed statement (we over-ran the scope).
+                st.next = j;
+                if (!decl_end_set)
+                    st.declEnd = st.idx.size();
+                return st;
+            }
+            st.idx.push_back(j++);
+        }
+        st.next = j;
+        if (!decl_end_set)
+            st.declEnd = st.idx.size();
+        return st;
+    }
+
+    /** The declarator: last identifier in idx[0, declEnd). */
+    std::size_t
+    declaratorOf(const Statement &st) const
+    {
+        for (std::size_t k = st.declEnd; k > 0; --k) {
+            if (isIdent(st.idx[k - 1]) &&
+                !isKeyword(text(st.idx[k - 1])))
+                return st.idx[k - 1];
+        }
+        return static_cast<std::size_t>(-1);
+    }
+
+    /** Name token directly before the first top-level '(': the
+     * function declarator (param contents excluded by walking the
+     * raw indices and skipping the group bodies). */
+    std::size_t
+    functionNameOf(const Statement &st, std::size_t *paren) const
+    {
+        std::size_t last_ident = static_cast<std::size_t>(-1);
+        for (std::size_t k = 0; k < st.idx.size(); ++k) {
+            const std::size_t ti = st.idx[k];
+            const std::string &t = text(ti);
+            if (t == "(") {
+                if (paren != nullptr)
+                    *paren = ti;
+                return last_ident;
+            }
+            if (isIdent(ti) && !isKeyword(t))
+                last_ident = ti;
+        }
+        return static_cast<std::size_t>(-1);
+    }
+
+    // ----------------------------------------------------------
+    // Scope parsers.
+    // ----------------------------------------------------------
+
+    void
+    parseNamespaceScope(std::size_t i, std::size_t end,
+                        const ClassSym *unused)
+    {
+        (void)unused;
+        while (i < end) {
+            const std::string &t = text(i);
+            if (t == ";" || t == "}") {
+                ++i;
+                continue;
+            }
+            if (t == "namespace") {
+                std::size_t j = i + 1;
+                while (j < end && !is(j, "{") && !is(j, ";"))
+                    ++j;
+                if (is(j, "{")) {
+                    const std::size_t close = closeOf(j);
+                    parseNamespaceScope(j + 1, close, nullptr);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (t == "template") {
+                i = is(i + 1, "<") ? closeOf(i + 1) + 1 : i + 1;
+                continue;
+            }
+            if (t == "using" || t == "typedef" ||
+                t == "static_assert" || t == "friend") {
+                while (i < end && !is(i, ";"))
+                    ++i;
+                continue;
+            }
+            if (t == "enum") {
+                i = skipEnum(i, end);
+                continue;
+            }
+            if (t == "class" || t == "struct" || t == "union") {
+                if (classDefAt(i, end)) {
+                    i = parseClass(i, end);
+                } else {
+                    // Forward declaration or a specialization head
+                    // (`class SmallFn<R(Args...)>`); not a variable.
+                    while (i < end && !is(i, ";") && !is(i, "{"))
+                        ++i;
+                    i = is(i, "{") ? closeOf(i) + 1 : i + 1;
+                }
+                continue;
+            }
+            // Generic: free-function definition, declaration, or a
+            // namespace-scope variable.
+            Statement st = scanStatement(i, end);
+            if (st.bodyBrace != static_cast<std::size_t>(-1)) {
+                i = parseFunctionFromStatement(st, "");
+                continue;
+            }
+            if (!st.hasTopParen && !st.idx.empty())
+                recordGlobal(st);
+            i = std::max(st.next, i + 1);
+        }
+    }
+
+    /** True when the class-key at @p i opens a definition (not a
+     * forward declaration or a template parameter). */
+    bool
+    classDefAt(std::size_t i, std::size_t end) const
+    {
+        std::size_t j = i + 1;
+        // Skip annotations and attributes in the class head.
+        while (j < end) {
+            const std::string &t = text(j);
+            if (isIdent(j) && t.rfind("V10_", 0) == 0) {
+                j = is(j + 1, "(") ? closeOf(j + 1) + 1 : j + 1;
+                continue;
+            }
+            if (t == "[") {
+                j = closeOf(j) + 1;
+                continue;
+            }
+            break;
+        }
+        if (!isIdent(j) || isKeyword(text(j)))
+            return false;
+        const std::string &after = text(j + 1);
+        return after == "{" || after == ":" || after == "final";
+    }
+
+    std::size_t
+    parseClass(std::size_t i, std::size_t end)
+    {
+        ClassSym cls;
+        cls.line = lineOf(i);
+        std::size_t j = i + 1;
+        while (j < end) {
+            const std::string &t = text(j);
+            if (isIdent(j) && t.rfind("V10_", 0) == 0) {
+                cls.anno.domainLocal |= t == "V10_DOMAIN_LOCAL";
+                cls.anno.sharedState |= t == "V10_SHARED_STATE";
+                cls.anno.couplingPoint |= t == "V10_COUPLING_POINT";
+                j = is(j + 1, "(") ? closeOf(j + 1) + 1 : j + 1;
+                continue;
+            }
+            if (t == "[") {
+                j = closeOf(j) + 1;
+                continue;
+            }
+            break;
+        }
+        if (isIdent(j))
+            cls.name = text(j);
+        // Skip the base-clause to the body brace.
+        while (j < end && !is(j, "{") && !is(j, ";")) {
+            if (is(j, "<")) {
+                const std::size_t close = matchForward(toks_, j);
+                j = close < end ? close + 1 : j + 1;
+            } else {
+                ++j;
+            }
+        }
+        if (!is(j, "{"))
+            return j + 1; // forward declaration after all
+        const std::size_t close = closeOf(j);
+        const std::size_t cls_index = out_.classes.size();
+        out_.classes.push_back(std::move(cls));
+        parseClassBody(cls_index, j + 1, close);
+        return close + 1;
+    }
+
+    void
+    parseClassBody(std::size_t clsIndex, std::size_t i,
+                   std::size_t end)
+    {
+        while (i < end) {
+            const std::string &t = text(i);
+            if (t == ";" || t == "}") {
+                ++i;
+                continue;
+            }
+            if ((t == "public" || t == "private" ||
+                 t == "protected") &&
+                is(i + 1, ":")) {
+                i += 2;
+                continue;
+            }
+            if (t == "template") {
+                i = is(i + 1, "<") ? closeOf(i + 1) + 1 : i + 1;
+                continue;
+            }
+            if (t == "using" || t == "typedef" ||
+                t == "static_assert" || t == "friend") {
+                while (i < end && !is(i, ";"))
+                    ++i;
+                continue;
+            }
+            if (t == "enum") {
+                i = skipEnum(i, end);
+                continue;
+            }
+            if (t == "class" || t == "struct" || t == "union") {
+                if (classDefAt(i, end)) {
+                    i = parseClass(i, end);
+                } else {
+                    while (i < end && !is(i, ";") && !is(i, "{"))
+                        ++i;
+                    i = is(i, "{") ? closeOf(i) + 1 : i + 1;
+                }
+                continue;
+            }
+            Statement st = scanStatement(i, end);
+            const std::string owner = out_.classes[clsIndex].name;
+            if (st.bodyBrace != static_cast<std::size_t>(-1)) {
+                i = parseFunctionFromStatement(st, owner);
+                continue;
+            }
+            if (!st.idx.empty())
+                recordMember(clsIndex, st);
+            i = std::max(st.next, i + 1);
+        }
+    }
+
+    std::size_t
+    skipEnum(std::size_t i, std::size_t end) const
+    {
+        std::size_t j = i;
+        while (j < end && !is(j, "{") && !is(j, ";"))
+            ++j;
+        if (is(j, "{"))
+            j = closeOf(j) + 1;
+        while (j < end && !is(j, ";"))
+            ++j;
+        return j + 1;
+    }
+
+    // ----------------------------------------------------------
+    // Declaration recording.
+    // ----------------------------------------------------------
+
+    /** Head classification shared by members and globals. */
+    struct HeadInfo
+    {
+        std::string type;
+        bool isStatic = false;
+        bool isConst = false;
+        bool isReference = false;
+        bool isMutex = false;
+        bool isFloat = false;
+        bool isCycles = false;
+    };
+
+    HeadInfo
+    classifyHead(const Statement &st, std::size_t declTok) const
+    {
+        HeadInfo h;
+        for (std::size_t k = 0; k < st.declEnd; ++k) {
+            const std::size_t ti = st.idx[k];
+            if (ti == declTok)
+                break;
+            const std::string &t = text(ti);
+            if (t == "static") {
+                h.isStatic = true;
+                continue;
+            }
+            if (t == "const" || t == "constexpr" ||
+                t == "constinit") {
+                h.isConst = true;
+                continue;
+            }
+            if (t == "mutable" || t == "inline" ||
+                t == "thread_local")
+                continue;
+            if (t == "&") {
+                h.isReference = true;
+                continue;
+            }
+            if (t.find("mutex") != std::string::npos)
+                h.isMutex = true;
+            if (t == "double" || t == "float")
+                h.isFloat = true;
+            if (t == "Cycles")
+                h.isCycles = true;
+            if (!h.type.empty())
+                h.type += ' ';
+            h.type += t;
+        }
+        return h;
+    }
+
+    void
+    recordMember(std::size_t clsIndex, const Statement &st)
+    {
+        MemberSym m;
+        m.anno = st.anno;
+        if (st.hasTopParen) {
+            // A method declaration (definitions took the body path).
+            std::size_t paren = 0;
+            const std::size_t name = functionNameOf(st, &paren);
+            if (name == static_cast<std::size_t>(-1))
+                return;
+            m.isFunction = true;
+            m.name = text(name);
+            m.line = lineOf(name);
+            out_.classes[clsIndex].members.push_back(std::move(m));
+            return;
+        }
+        const std::size_t decl = declaratorOf(st);
+        if (decl == static_cast<std::size_t>(-1))
+            return;
+        const HeadInfo h = classifyHead(st, decl);
+        if (h.type.empty())
+            return; // a lone identifier is not a declaration
+        m.name = text(decl);
+        m.line = lineOf(decl);
+        m.type = h.type;
+        m.isStatic = h.isStatic;
+        m.isConst = h.isConst;
+        m.isReference = h.isReference;
+        m.isMutex = h.isMutex;
+        m.isFloat = h.isFloat;
+        m.isCycles = h.isCycles;
+        out_.classes[clsIndex].members.push_back(std::move(m));
+    }
+
+    void
+    recordGlobal(const Statement &st)
+    {
+        const std::size_t decl = declaratorOf(st);
+        if (decl == static_cast<std::size_t>(-1))
+            return;
+        const HeadInfo h = classifyHead(st, decl);
+        // Only mutable variables matter; consts and types we cannot
+        // classify are dropped.
+        if (h.type.empty() || h.isConst || h.isReference)
+            return;
+        GlobalSym g;
+        g.name = text(decl);
+        g.type = h.type;
+        g.line = lineOf(decl);
+        g.isFloat = h.isFloat;
+        g.anno = st.anno;
+        out_.globals.push_back(std::move(g));
+    }
+
+    // ----------------------------------------------------------
+    // Function bodies.
+    // ----------------------------------------------------------
+
+    /** Parse the header in @p st, then its body; returns the index
+     * after the body's closing brace. */
+    std::size_t
+    parseFunctionFromStatement(const Statement &st,
+                               const std::string &enclosingClass)
+    {
+        FunctionSym fn;
+        fn.anno = st.anno;
+        std::size_t paren = 0;
+        const std::size_t name = functionNameOf(st, &paren);
+        if (name == static_cast<std::size_t>(-1)) {
+            // Unclassifiable header; still walk the braces so the
+            // scan resynchronizes.
+            return closeOf(st.bodyBrace) + 1;
+        }
+        fn.name = text(name);
+        fn.line = lineOf(name);
+        fn.ownerClass = enclosingClass;
+        // Out-of-class definition: Class :: name.
+        if (text(name - 1) == "::" && isIdent(name - 2))
+            fn.ownerClass = text(name - 2);
+        if (text(name - 1) == "~" ||
+            (!fn.ownerClass.empty() && fn.name == fn.ownerClass))
+            fn.isCtorDtor = true;
+        // Return type: any Cycles token before the declarator.
+        for (std::size_t k = 0; k < st.idx.size(); ++k) {
+            if (st.idx[k] >= name)
+                break;
+            if (text(st.idx[k]) == "Cycles")
+                fn.returnsCycles = true;
+        }
+        // Cycle-typed parameters.
+        const std::size_t paren_close = closeOf(paren);
+        for (std::size_t k = paren + 1; k < paren_close; ++k) {
+            const std::string &t = text(k);
+            if (t != "Cycles" && t != "CycleDelta")
+                continue;
+            std::size_t p = k + 1;
+            while (is(p, "&") || is(p, "*") || is(p, "const"))
+                ++p;
+            if (isIdent(p) && !isKeyword(text(p))) {
+                if (t == "Cycles")
+                    fn.cycleLocals.insert(text(p));
+                else
+                    fn.sanctionedLocals.insert(text(p));
+            }
+        }
+        const std::size_t body_close = closeOf(st.bodyBrace);
+        std::vector<std::string> locks;
+        parseBody(fn, st.bodyBrace + 1, body_close, locks);
+        out_.functions.push_back(std::move(fn));
+        return body_close + 1;
+    }
+
+    /** Last identifier inside [begin, end): the mutex a lock
+     * argument names (`other.mu_` -> "mu_"). */
+    std::string
+    lastIdentIn(std::size_t begin, std::size_t end) const
+    {
+        std::string last;
+        for (std::size_t k = begin; k < end; ++k) {
+            if (isIdent(k) && !isKeyword(text(k)))
+                last = text(k);
+        }
+        return last;
+    }
+
+    /**
+     * Scan a function (or lambda) body in [i, end).
+     * @p locks is the RAII-guard stack shared with enclosing scopes
+     * (a lambda executed inline inherits the guards of its parent).
+     */
+    void
+    parseBody(FunctionSym &fn, std::size_t i, std::size_t end,
+              std::vector<std::string> &locks)
+    {
+        struct EnclosingCall
+        {
+            std::string callee;
+            std::size_t close;
+        };
+        std::vector<EnclosingCall> call_stack;
+        // Each nested '{' remembers how many guards were alive when
+        // it opened, so '}' can drop the guards it introduced.
+        std::vector<std::size_t> brace_marks;
+
+        while (i < end) {
+            const std::string &t = text(i);
+            while (!call_stack.empty() && i > call_stack.back().close)
+                call_stack.pop_back();
+
+            if (t == "{") {
+                brace_marks.push_back(locks.size());
+                ++i;
+                continue;
+            }
+            if (t == "}") {
+                if (!brace_marks.empty()) {
+                    locks.resize(brace_marks.back());
+                    brace_marks.pop_back();
+                }
+                ++i;
+                continue;
+            }
+
+            // Lambda introducer?
+            if (t == "[") {
+                const std::string &prev = text(i - 1);
+                const bool intro = prev == "(" || prev == "," ||
+                                   prev == "=" || prev == "return" ||
+                                   prev == "{" || prev == ";";
+                if (!intro) {
+                    ++i; // subscript or attribute: just punctuation
+                    continue;
+                }
+                std::size_t j = closeOf(i) + 1; // past the capture
+                if (is(j, "("))
+                    j = closeOf(j) + 1; // past the parameter list
+                while (is(j, "mutable") || is(j, "noexcept") ||
+                       is(j, "->") || is(j, "::") ||
+                       (isIdent(j) && !isKeyword(text(j))) ||
+                       is(j, "<") || is(j, ">") || is(j, "&") ||
+                       is(j, "*"))
+                    ++j; // specifiers / trailing return type
+                if (!is(j, "{")) {
+                    ++i;
+                    continue;
+                }
+                const std::size_t body_close = closeOf(j);
+                const EntryKind kind =
+                    call_stack.empty()
+                        ? EntryKind::None
+                        : entryKindOfCall(call_stack.back().callee);
+                if (kind == EntryKind::None) {
+                    // Synchronous helper lambda: fold its body into
+                    // the enclosing function.
+                    parseBody(fn, j + 1, body_close, locks);
+                } else {
+                    FunctionSym lam;
+                    lam.ownerClass = fn.ownerClass;
+                    lam.name = fn.name + "::<lambda>";
+                    lam.line = lineOf(i);
+                    lam.entry = kind;
+                    lam.cycleLocals = fn.cycleLocals;
+                    lam.sanctionedLocals = fn.sanctionedLocals;
+                    std::vector<std::string> fresh_locks;
+                    parseBody(lam, j + 1, body_close, fresh_locks);
+                    out_.functions.push_back(std::move(lam));
+                }
+                i = body_close + 1;
+                continue;
+            }
+
+            if (!isIdent(i)) {
+                ++i;
+                continue;
+            }
+
+            // RAII guard declaration:
+            //   [std::]lock_guard[<...>] name (args);   (or {args})
+            if (isRaiiLock(t)) {
+                std::size_t j = i + 1;
+                if (is(j, "<"))
+                    j = closeOf(j) + 1;
+                if (isIdent(j) &&
+                    (is(j + 1, "(") || is(j + 1, "{"))) {
+                    const std::size_t open = j + 1;
+                    const std::size_t close = closeOf(open);
+                    std::size_t arg_begin = open + 1;
+                    std::vector<std::string> acquired;
+                    for (std::size_t k = open + 1; k <= close; ++k) {
+                        if (k == close || is(k, ",")) {
+                            const std::string mx =
+                                lastIdentIn(arg_begin, k);
+                            if (!mx.empty())
+                                acquired.push_back(mx);
+                            arg_begin = k + 1;
+                        } else if (is(k, "(") || is(k, "<")) {
+                            k = closeOf(k);
+                        }
+                    }
+                    for (const std::string &mx : acquired) {
+                        for (const std::string &held : locks) {
+                            if (held != mx)
+                                fn.lockPairs.push_back(
+                                    {held, mx, lineOf(open)});
+                        }
+                        locks.push_back(mx);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                ++i;
+                continue;
+            }
+
+            // static_cast<T>(expr): record cycle-narrowing hazards.
+            if (t == "static_cast" && is(i + 1, "<")) {
+                const std::size_t tclose = closeOf(i + 1);
+                CastSite cs;
+                cs.line = lineOf(i);
+                std::vector<std::string> target;
+                for (std::size_t k = i + 2; k < tclose; ++k)
+                    target.push_back(text(k));
+                cs.target = joinTokens(target);
+                if (is(tclose + 1, "(") &&
+                    isNarrowCycleTarget(target)) {
+                    const std::size_t eclose = closeOf(tclose + 1);
+                    collectExpr(tclose + 2, eclose, cs);
+                    fn.casts.push_back(std::move(cs));
+                }
+                i = tclose + 1; // the expr still scans as accesses
+                continue;
+            }
+
+            if (isKeyword(t)) {
+                // Narrow-typed local initialized from an expression:
+                //   int x = <expr>;   (a cycle value must not flow
+                // in). The initializer still scans as accesses on
+                // the following iterations.
+                narrowLocalDeclAt(i, end, fn);
+                ++i;
+                continue;
+            }
+            if (t == "Cycles" || t == "CycleDelta") {
+                std::size_t p = i + 1;
+                while (is(p, "&") || is(p, "*") || is(p, "const"))
+                    ++p;
+                if (isIdent(p) && !isKeyword(text(p))) {
+                    if (t == "Cycles")
+                        fn.cycleLocals.insert(text(p));
+                    else
+                        fn.sanctionedLocals.insert(text(p));
+                }
+                ++i;
+                continue;
+            }
+            if (text(i - 1) == "::") {
+                // Qualified tail (std::foo, Class::statics): not a
+                // member access; still track the call context so a
+                // lambda argument resolves its enclosing call.
+                if (is(i + 1, "("))
+                    call_stack.push_back({t, closeOf(i + 1)});
+                ++i;
+                continue;
+            }
+
+            const std::string &prev = text(i - 1);
+            std::string object;
+            bool qualified = false;
+            if (prev == "." || prev == "->") {
+                qualified = true;
+                if (text(i - 2) == "this")
+                    object.clear();
+                else if (isIdent(i - 2) && !isKeyword(text(i - 2)))
+                    object = text(i - 2);
+                else
+                    object = "<expr>";
+            }
+
+            if (is(i + 1, "(")) {
+                call_stack.push_back({t, closeOf(i + 1)});
+                if (object != "<expr>")
+                    fn.calls.push_back({t, object, lineOf(i)});
+                ++i;
+                continue;
+            }
+
+            if (qualified && object == "<expr>") {
+                ++i;
+                continue;
+            }
+            if (!qualified && is(i + 1, "::")) {
+                ++i; // qualifier head (std, v10, Class::)
+                continue;
+            }
+
+            AccessSite a;
+            a.object = object;
+            a.member = t;
+            a.line = lineOf(i);
+            a.locksHeld = locks;
+            const std::string &n1 = text(i + 1);
+            const std::string &n2 = text(i + 2);
+            if (n1 == "=" && n2 != "=")
+                a.isWrite = true;
+            else if ((n1 == "+" || n1 == "-" || n1 == "*" ||
+                      n1 == "/" || n1 == "%" || n1 == "&" ||
+                      n1 == "|" || n1 == "^") &&
+                     n2 == "=") {
+                a.isWrite = true;
+                a.fpAccumulate = n1 == "+" || n1 == "-" ||
+                                 n1 == "*" || n1 == "/";
+            } else if ((n1 == "+" && n2 == "+") ||
+                       (n1 == "-" && n2 == "-")) {
+                a.isWrite = true;
+            } else if ((prev == "+" && text(i - 2) == "+") ||
+                       (prev == "-" && text(i - 2) == "-")) {
+                a.isWrite = true;
+            }
+            fn.accesses.push_back(std::move(a));
+            ++i;
+        }
+    }
+
+    /** At a keyword @p i: if it opens `narrow x = expr;`, record the
+     * init expression as a CastSite. */
+    bool
+    narrowLocalDeclAt(std::size_t i, std::size_t end,
+                      FunctionSym &fn)
+    {
+        std::vector<std::string> target;
+        std::size_t j = i;
+        while (j < end && isIdent(j) && isKeyword(text(j)) &&
+               text(j) != "return" && text(j) != "sizeof")
+            target.push_back(text(j++));
+        if (target.empty() || !isNarrowCycleTarget(target))
+            return false;
+        if (!isIdent(j) || isKeyword(text(j)))
+            return false;
+        if (!is(j + 1, "="))
+            return false;
+        CastSite cs;
+        cs.fromCast = false;
+        cs.target = joinTokens(target);
+        cs.line = lineOf(j);
+        std::size_t k = j + 2;
+        while (k < end && !is(k, ";")) {
+            if (is(k, "(") || is(k, "{"))
+                k = collectExpr(k + 1, closeOf(k), cs);
+            else
+                collectExprToken(k, cs);
+            ++k;
+        }
+        fn.casts.push_back(std::move(cs));
+        return true;
+    }
+
+    void
+    collectExprToken(std::size_t k, CastSite &cs)
+    {
+        if (!isIdent(k) || isKeyword(text(k)))
+            return;
+        if (text(k - 1) == "::")
+            return;
+        if (is(k + 1, "("))
+            cs.callees.push_back(text(k));
+        else if (!is(k + 1, "::"))
+            cs.idents.push_back(text(k));
+    }
+
+    /** Record every identifier/call in [begin, end); returns end. */
+    std::size_t
+    collectExpr(std::size_t begin, std::size_t end, CastSite &cs)
+    {
+        for (std::size_t k = begin; k < end; ++k)
+            collectExprToken(k, cs);
+        return end;
+    }
+
+    static std::string
+    joinTokens(const std::vector<std::string> &ts)
+    {
+        std::string s;
+        for (const std::string &t : ts) {
+            if (!s.empty() && t != "::" &&
+                (s.size() < 2 || s.compare(s.size() - 2, 2, "::") != 0))
+                s += ' ';
+            s += t;
+        }
+        return s;
+    }
+};
+
+} // namespace
+
+FileSummary
+summarizeFile(const SourceFile &file)
+{
+    return Extractor(file).run();
+}
+
+} // namespace v10::analysis

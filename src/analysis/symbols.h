@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-file symbol extraction for the v10lint semantic rule pack.
+ *
+ * summarizeFile() runs a lightweight declaration parser over the
+ * token stream and produces a FileSummary: the classes (with their
+ * data members, mutexes, and V10_* annotations), free and member
+ * function bodies (with their call sites, member-access sites,
+ * RAII-lock scopes, and cycle-arithmetic sites), and mutable
+ * globals. The SemanticModel stitches summaries from every scanned
+ * file into a repo-wide call/containment graph.
+ *
+ * This is a heuristic C++ parser, deliberately so: it must never
+ * fail, it tolerates everything the lexer tolerates, and when a
+ * construct is too exotic to classify it drops the construct rather
+ * than guessing (a lint pass prefers a missed edge over a false
+ * one). The shapes it does understand — classes with trailing-
+ * annotated members, in-class and out-of-class method definitions,
+ * lambdas passed to the Simulator/ParallelExecutor scheduling
+ * verbs, lock_guard/scoped_lock/unique_lock declarations — are the
+ * shapes this repository is written in, and the fixture corpus
+ * pins them.
+ */
+
+#ifndef V10_ANALYSIS_SYMBOLS_H
+#define V10_ANALYSIS_SYMBOLS_H
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+
+namespace v10::analysis {
+
+/** Claims parsed from the src/common/annotations.h vocabulary. */
+struct Annotations
+{
+    bool domainLocal = false;   ///< V10_DOMAIN_LOCAL
+    bool sharedState = false;   ///< V10_SHARED_STATE
+    bool couplingPoint = false; ///< V10_COUPLING_POINT
+    std::string guardedBy;      ///< mutex named by V10_GUARDED_BY(m)
+
+    bool
+    any() const
+    {
+        return domainLocal || sharedState || couplingPoint ||
+               !guardedBy.empty();
+    }
+
+    void
+    merge(const Annotations &other)
+    {
+        domainLocal = domainLocal || other.domainLocal;
+        sharedState = sharedState || other.sharedState;
+        couplingPoint = couplingPoint || other.couplingPoint;
+        if (guardedBy.empty())
+            guardedBy = other.guardedBy;
+    }
+};
+
+/** One class member: a data field or the name of a method. */
+struct MemberSym
+{
+    std::string name;
+    std::string type;     ///< joined declaration-head tokens
+    std::size_t line = 0;
+    bool isFunction = false;
+    bool isStatic = false;
+    bool isConst = false;     ///< const / constexpr / constinit
+    bool isReference = false; ///< reference members cannot be reseated
+    bool isMutex = false;     ///< *mutex-typed (the lock, not data)
+    bool isFloat = false;     ///< float / double
+    bool isCycles = false;    ///< Cycles-typed (CycleDelta is exempt)
+    Annotations anno;
+};
+
+/** One class or struct definition. */
+struct ClassSym
+{
+    std::string name; ///< unqualified
+    std::size_t line = 0;
+    Annotations anno; ///< a class-level claim covers every member
+    std::vector<MemberSym> members;
+
+    const MemberSym *
+    member(const std::string &memberName) const
+    {
+        for (const MemberSym &m : members) {
+            if (m.name == memberName)
+                return &m;
+        }
+        return nullptr;
+    }
+};
+
+/** Why a function body seeds the reachability analysis. */
+enum class EntryKind {
+    None,     ///< reached only through calls
+    Event,    ///< lambda passed to at/after/every/schedule
+    Parallel, ///< lambda passed to ParallelExecutor forEach/map
+};
+
+/** One call inside a function body. */
+struct CallSite
+{
+    std::string callee;
+    /** "" = bare or this-> call (resolves against the enclosing
+     * class, then free functions); otherwise the receiver object's
+     * name when it is a simple identifier. Unresolvable receivers
+     * (chained expressions) are dropped at extraction. */
+    std::string receiver;
+    std::size_t line = 0;
+};
+
+/** One member/global access inside a function body. */
+struct AccessSite
+{
+    std::string object; ///< "" = bare or this->; else object name
+    std::string member;
+    std::size_t line = 0;
+    bool isWrite = false;
+    bool fpAccumulate = false; ///< += -= *= /= compound assignment
+    /** Mutex names (final identifier of each lock argument) of the
+     * RAII guards alive at this access. */
+    std::vector<std::string> locksHeld;
+};
+
+/** Two mutexes acquired nested, outer first. */
+struct LockPair
+{
+    std::string first;
+    std::string second;
+    std::size_t line = 0;
+};
+
+/** A narrowing cast or narrow-typed init a cycle value flows into. */
+struct CastSite
+{
+    std::string target;  ///< e.g. "int", "std::uint32_t"
+    bool fromCast = true; ///< static_cast<> vs narrow-typed init
+    std::size_t line = 0;
+    std::vector<std::string> idents;  ///< bare identifiers in expr
+    std::vector<std::string> callees; ///< called names in expr
+};
+
+/** One function body (free, member, or scheduling lambda). */
+struct FunctionSym
+{
+    std::string ownerClass; ///< "" = free function
+    std::string name;       ///< "<lambda>" suffix for entry lambdas
+    std::size_t line = 0;
+    EntryKind entry = EntryKind::None;
+    bool isCtorDtor = false; ///< exempt from lock discipline
+    bool returnsCycles = false;
+    Annotations anno; ///< e.g. V10_COUPLING_POINT on the function
+    std::vector<CallSite> calls;
+    std::vector<AccessSite> accesses;
+    std::vector<LockPair> lockPairs;
+    std::vector<CastSite> casts;
+    std::set<std::string> cycleLocals;      ///< Cycles locals/params
+    std::set<std::string> sanctionedLocals; ///< CycleDelta-typed
+};
+
+/** A mutable namespace-scope variable. */
+struct GlobalSym
+{
+    std::string name;
+    std::string type;
+    std::size_t line = 0;
+    bool isFloat = false;
+    Annotations anno;
+};
+
+/** Everything extracted from one file. */
+struct FileSummary
+{
+    std::string path;
+    std::vector<ClassSym> classes;
+    std::vector<FunctionSym> functions;
+    std::vector<GlobalSym> globals;
+};
+
+/** Extract the summary of @p file. Never fails. */
+FileSummary summarizeFile(const SourceFile &file);
+
+} // namespace v10::analysis
+
+#endif // V10_ANALYSIS_SYMBOLS_H

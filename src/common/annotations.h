@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Domain-isolation annotation vocabulary for the parallel-in-run
+ * refactor (ROADMAP "Deterministic parallel-in-run simulation").
+ *
+ * The future multi-core engine partitions per-core event queues onto
+ * worker threads; the correctness contract is that no event callback
+ * touches cross-domain mutable state outside the sanctioned coupling
+ * interfaces. These macros let a declaration state which side of
+ * that contract it is on, and v10lint's semantic rule pack
+ * (docs/STATIC_ANALYSIS.md) enforces the claims mechanically:
+ *
+ *  - V10_DOMAIN_LOCAL      — owned by one simulation domain (one
+ *                            run, one core, one ParallelExecutor
+ *                            cell); never observed concurrently.
+ *  - V10_SHARED_STATE      — deliberately visible to more than one
+ *                            domain/worker; every access needs
+ *                            external synchronization or a merge
+ *                            protocol spelled out at the decl.
+ *  - V10_GUARDED_BY(m)     — shared, and every access must hold the
+ *                            named mutex member (lock_guard /
+ *                            scoped_lock / unique_lock recognized;
+ *                            constructors and destructors are exempt
+ *                            as single-threaded).
+ *  - V10_COUPLING_POINT    — a declared cross-domain coupling
+ *                            interface (e.g. shared-HBM bandwidth
+ *                            arbitration): the sanctioned place
+ *                            where domains are allowed to interact.
+ *
+ * Placement: on a class (`class V10_DOMAIN_LOCAL Simulator`) the
+ * annotation covers every member; on a member it goes after the
+ * declarator, before the initializer (`double moved_
+ * V10_SHARED_STATE = 0;`), clang-attribute style; on a function it
+ * precedes the declaration and marks the body as a sanctioned
+ * coupling interface.
+ *
+ * The macros expand to nothing: they are a lint-time contract, not a
+ * compile-time one, so no toolchain has to understand them. v10lint
+ * reads them straight from the token stream (it does not run the
+ * preprocessor), which is also why they must not be spelled through
+ * further macro indirection.
+ */
+
+#ifndef V10_COMMON_ANNOTATIONS_H
+#define V10_COMMON_ANNOTATIONS_H
+
+/** State owned by exactly one simulation domain. */
+#define V10_DOMAIN_LOCAL
+
+/** State deliberately shared across domains/workers. */
+#define V10_SHARED_STATE
+
+/** Shared state whose every access must hold mutex member @p m. */
+#define V10_GUARDED_BY(m)
+
+/** A sanctioned cross-domain coupling interface or its state. */
+#define V10_COUPLING_POINT
+
+#endif // V10_COMMON_ANNOTATIONS_H

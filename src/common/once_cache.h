@@ -22,6 +22,8 @@
 #include <string>
 #include <utility>
 
+#include "common/annotations.h"
+
 namespace v10 {
 
 /**
@@ -125,8 +127,8 @@ class OnceCache
 
   private:
     mutable std::mutex mu_;
-    std::map<std::string, std::shared_future<const Value *>> slots_;
-    std::map<std::string, std::unique_ptr<Value>> values_;
+    std::map<std::string, std::shared_future<const Value *>> slots_ V10_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Value>> values_ V10_GUARDED_BY(mu_);
 };
 
 } // namespace v10

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace v10 {
 
 /**
@@ -91,8 +93,8 @@ class ParallelExecutor
 
     std::mutex mu_;
     std::condition_variable task_cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stop_ = false;
+    std::deque<std::function<void()>> queue_ V10_GUARDED_BY(mu_);
+    bool stop_ V10_GUARDED_BY(mu_) = false;
 };
 
 } // namespace v10

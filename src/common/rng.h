@@ -16,6 +16,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/annotations.h"
+
 namespace v10 {
 
 /**
@@ -24,7 +26,7 @@ namespace v10 {
  * Public-domain algorithm by Blackman & Vigna. Deterministic across
  * platforms; all derived distributions are implemented locally.
  */
-class Rng
+class V10_DOMAIN_LOCAL Rng
 {
   public:
     /** Seed the generator; identical seeds yield identical streams. */

@@ -20,13 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace v10 {
 
 class Simulator;
 
-class IntervalSampler
+class V10_DOMAIN_LOCAL IntervalSampler
 {
   public:
     /**

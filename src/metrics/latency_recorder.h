@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -17,7 +18,7 @@ namespace v10 {
 /**
  * Records per-request latencies for a fixed set of tenants.
  */
-class LatencyRecorder
+class V10_DOMAIN_LOCAL LatencyRecorder
 {
   public:
     /** @param tenants number of collocated workloads */

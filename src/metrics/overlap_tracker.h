@@ -9,6 +9,7 @@
 #ifndef V10_METRICS_OVERLAP_TRACKER_H
 #define V10_METRICS_OVERLAP_TRACKER_H
 
+#include "common/annotations.h"
 #include "npu/functional_unit.h"
 #include "sim/simulator.h"
 
@@ -18,7 +19,7 @@ namespace v10 {
  * Observes busy/idle transitions on every functional unit and
  * accumulates window time into four mutually exclusive buckets.
  */
-class OverlapTracker : public FuObserver
+class V10_DOMAIN_LOCAL OverlapTracker : public FuObserver
 {
   public:
     /** Time-bucket classification of an instant. */

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace v10 {
 
 class JsonWriter;
@@ -34,7 +36,7 @@ class JsonWriter;
  * The registry. Not thread-safe: each run is single-threaded and
  * owns its own registry (parallel sweeps use one per cell).
  */
-class StatRegistry
+class V10_DOMAIN_LOCAL StatRegistry
 {
   public:
     /** Monotonic integer statistic (event counts, cycle sums). */

@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/small_fn.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -40,7 +41,7 @@ class FuObserver
 /**
  * One compute unit executing operators at phase granularity.
  */
-class FunctionalUnit
+class V10_DOMAIN_LOCAL FunctionalUnit
 {
   public:
     /** Which kind of compute unit this is. */

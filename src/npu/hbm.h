@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/small_fn.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -51,7 +52,7 @@ class HbmContentionObserver
 /**
  * Processor-sharing HBM bandwidth model.
  */
-class HbmModel
+class V10_COUPLING_POINT HbmModel
 {
   public:
     /** Completion callback; SmallFn keeps DMA issue off the global

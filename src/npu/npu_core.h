@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.h"
 #include "npu/hbm.h"
 #include "npu/hbm_regions.h"
 #include "npu/npu_config.h"
@@ -24,7 +25,7 @@ namespace v10 {
 /**
  * Hardware assembly of one simulated NPU core.
  */
-class NpuCore
+class V10_DOMAIN_LOCAL NpuCore
 {
   public:
     /**

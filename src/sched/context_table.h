@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "workload/operator.h"
 
@@ -65,7 +66,7 @@ struct ContextRow
 /**
  * The full table: one row per tenant.
  */
-class ContextTable
+class V10_DOMAIN_LOCAL ContextTable
 {
   public:
     /** @param tenants number of collocated workloads */

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "metrics/interval_sampler.h"
@@ -43,7 +44,7 @@ class FlightRecorder;
  * the engine's historical behavior bit-for-bit (no injector draws, no
  * watchdog events, panic on event-queue drain).
  */
-struct ResilienceOptions
+struct V10_DOMAIN_LOCAL ResilienceOptions
 {
     /** Fault plan to inject (not owned); nullptr = no injection. */
     const FaultPlan *faults = nullptr;
@@ -140,7 +141,7 @@ struct TenantSpec
  * Base scheduler engine: owns per-tenant execution state and the run
  * loop; subclasses decide who runs where and when.
  */
-class SchedulerEngine
+class V10_DOMAIN_LOCAL SchedulerEngine
 {
   public:
     /**

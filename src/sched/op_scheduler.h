@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "common/annotations.h"
 #include "sched/context_table.h"
 #include "sched/engine.h"
 #include "sched/policy.h"
@@ -27,7 +28,7 @@ namespace v10 {
 /**
  * The hardware operator scheduler, at simulation granularity.
  */
-class OperatorScheduler : public SchedulerEngine
+class V10_DOMAIN_LOCAL OperatorScheduler : public SchedulerEngine
 {
   public:
     /** Paper design points (§5.1). */

@@ -16,6 +16,7 @@
 #ifndef V10_SCHED_PMT_SCHEDULER_H
 #define V10_SCHED_PMT_SCHEDULER_H
 
+#include "common/annotations.h"
 #include "sched/engine.h"
 
 namespace v10 {
@@ -23,11 +24,11 @@ namespace v10 {
 /**
  * Task-level preemptive multitasking baseline.
  */
-class PmtScheduler : public SchedulerEngine
+class V10_DOMAIN_LOCAL PmtScheduler : public SchedulerEngine
 {
   public:
     /** Baseline tuning knobs. */
-    struct Options
+    struct V10_DOMAIN_LOCAL Options
     {
         /** Base task slice in cycles (coarse, to amortize the heavy
          * switch; ~1.5 ms at 700 MHz). */

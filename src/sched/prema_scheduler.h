@@ -22,6 +22,7 @@
 #ifndef V10_SCHED_PREMA_SCHEDULER_H
 #define V10_SCHED_PREMA_SCHEDULER_H
 
+#include "common/annotations.h"
 #include "sched/engine.h"
 
 namespace v10 {
@@ -29,11 +30,11 @@ namespace v10 {
 /**
  * Token-based predictive multi-task scheduling baseline.
  */
-class PremaScheduler : public SchedulerEngine
+class V10_DOMAIN_LOCAL PremaScheduler : public SchedulerEngine
 {
   public:
     /** PREMA tuning knobs. */
-    struct Options
+    struct V10_DOMAIN_LOCAL Options
     {
         /** Checkpoint period: how often the token scheduler runs
          * (task-level granularity; ~0.4 ms at 700 MHz). */

@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/log.h"
 #include "common/parallel_executor.h"
 #include "common/stats.h"
@@ -70,7 +71,7 @@ struct Waiting
  * SCFQ virtual time reset); the in-flight request, if any, finishes
  * on the old core from captured parameters.
  */
-struct TenantFlow
+struct V10_DOMAIN_LOCAL TenantFlow
 {
     std::uint32_t tenant = 0; ///< global index (trace IDs)
     const std::vector<double> *arrivals = nullptr;
@@ -100,7 +101,7 @@ struct TenantFlow
  * stay byte-identical. Trace/observability inputs only *record*;
  * service draws and scheduling never depend on them.
  */
-class CoreSim
+class V10_DOMAIN_LOCAL CoreSim
 {
   public:
     // --- immutable run context -------------------------------------

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/small_fn.h"
 #include "common/types.h"
 
@@ -50,7 +51,7 @@ inline constexpr EventId kNoEvent = 0;
  * amortized schedule/pop for near-horizon events and slot-recycled
  * cancellation.
  */
-class EventQueue
+class V10_DOMAIN_LOCAL EventQueue
 {
   public:
     /** Allocation-free (for small closures) event callback. */

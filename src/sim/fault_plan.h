@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -157,7 +158,7 @@ struct FaultEvent
  * fault log. Not thread-safe — one injector per simulated run, with
  * all queries made from the (single-threaded) simulation loop.
  */
-class FaultInjector
+class V10_DOMAIN_LOCAL FaultInjector
 {
   public:
     FaultInjector(const FaultPlan &plan, std::uint64_t seed);

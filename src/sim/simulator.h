@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -31,7 +32,7 @@ namespace v10 {
  * Single-threaded, deterministic. The clock only moves inside run()
  * / runUntil() / step(); callbacks observe a consistent now().
  */
-class Simulator
+class V10_DOMAIN_LOCAL Simulator
 {
   public:
     Simulator() = default;

@@ -1,0 +1,8 @@
+// fixture-path: src/sched/raw.cpp
+// fixture-expect: 0
+// Raw strings with custom delimiters are opaque: rand() inside the
+// literal is text, not a call. Regression for the lexer's d-char
+// handling.
+
+const char *kDoc = R"v10(call rand() here says the doc)v10";
+const char *kAlt = R"~~(srand(1); rand();)~~";

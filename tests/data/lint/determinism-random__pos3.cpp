@@ -1,0 +1,8 @@
+// fixture-path: src/sched/raw.cpp
+// fixture-expect: 1
+// A malformed raw-string opener (delimiter over 16 chars) falls
+// back to a cooked string ending at the next quote, so the rand()
+// after it is live code and must still be flagged.
+
+const char *kBad = R"0123456789abcdefgh()";
+int noise() { return rand(); }

@@ -1,0 +1,19 @@
+// fixture-path: src/sim/budget.h
+// fixture-expect: 0
+// Sanctioned cycle arithmetic: 64-bit locals and the CycleDelta
+// alias hold any reachable simulated timestamp.
+
+class Budget
+{
+  public:
+    void
+    snapshot()
+    {
+        std::uint64_t wide = deadline_;
+        CycleDelta delta = static_cast<CycleDelta>(deadline_);
+        use(wide, delta);
+    }
+
+  private:
+    Cycles deadline_ = 0;
+};

@@ -1,0 +1,17 @@
+// fixture-path: src/sim/budget.h
+// fixture-expect: 1
+// Cycle-typed member narrowed by static_cast<int>: at 1 GHz an int
+// overflows after ~2 seconds of simulated time.
+
+class Budget
+{
+  public:
+    int
+    spendRemaining()
+    {
+        return static_cast<int>(deadline_);
+    }
+
+  private:
+    Cycles deadline_ = 0;
+};

@@ -1,0 +1,24 @@
+// fixture-path: src/sched/clock.h
+// fixture-expect: 1
+// A narrow local initialized from a Cycles-returning call narrows
+// implicitly; no cast spelling required.
+
+class Clock
+{
+  public:
+    Cycles
+    now() const
+    {
+        return t_;
+    }
+
+    void
+    tick()
+    {
+        int snapshot = now();
+        use(snapshot);
+    }
+
+  private:
+    Cycles t_ = 0;
+};

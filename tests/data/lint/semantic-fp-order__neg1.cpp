@@ -1,0 +1,21 @@
+// fixture-path: src/metrics/agg.h
+// fixture-expect: 0
+// V10_DOMAIN_LOCAL partials are the sanctioned pattern: each task
+// owns its shard and a serial pass reduces them deterministically.
+// Integer accumulation from parallel tasks is order-safe as well.
+
+class Agg
+{
+  public:
+    void
+    run()
+    {
+        exec_.forEach(8, [this](int i) { sum_ += 1.0; });
+        exec_.forEach(8, [this](int i) { hits_ += 1; });
+    }
+
+  private:
+    ParallelExecutor exec_;
+    double sum_ V10_DOMAIN_LOCAL = 0.0;
+    long hits_ V10_SHARED_STATE = 0;
+};

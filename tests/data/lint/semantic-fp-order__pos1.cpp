@@ -1,0 +1,18 @@
+// fixture-path: src/metrics/agg.h
+// fixture-expect: 1
+// Floating-point accumulation into a member from a ParallelExecutor
+// task: the reduction order depends on thread interleaving.
+
+class Agg
+{
+  public:
+    void
+    run()
+    {
+        exec_.forEach(8, [this](int i) { sum_ += 1.0; });
+    }
+
+  private:
+    ParallelExecutor exec_;
+    double sum_ V10_SHARED_STATE = 0.0;
+};

@@ -1,0 +1,24 @@
+// fixture-path: src/metrics/agg.h
+// fixture-expect: 1
+// Same order-dependence through a helper called from the parallel
+// task; compound float accumulate via operator*= counts too.
+
+class Agg
+{
+  public:
+    void
+    run()
+    {
+        exec_.map(8, [this](int i) { scale(); });
+    }
+
+    void
+    scale()
+    {
+        product_ *= 0.5;
+    }
+
+  private:
+    ParallelExecutor exec_;
+    double product_ V10_SHARED_STATE = 1.0;
+};

@@ -1,0 +1,36 @@
+// fixture-path: src/common/cache.h
+// fixture-expect: 0
+// Every access to the guarded member holds its mutex, and both
+// functions acquire the two locks in the same order.
+
+class Cache
+{
+  public:
+    int
+    get()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return table_;
+    }
+
+    void
+    put(int v)
+    {
+        std::lock_guard<std::mutex> outer(mu_);
+        std::lock_guard<std::mutex> inner(aux_);
+        table_ = v;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> outer(mu_);
+        std::lock_guard<std::mutex> inner(aux_);
+        table_ = 0;
+    }
+
+  private:
+    std::mutex mu_;
+    std::mutex aux_;
+    int table_ V10_GUARDED_BY(mu_) = 0;
+};

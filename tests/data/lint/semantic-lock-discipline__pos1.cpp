@@ -1,0 +1,24 @@
+// fixture-path: src/common/cache.h
+// fixture-expect: 1
+// A V10_GUARDED_BY member read without its mutex held.
+
+class Cache
+{
+  public:
+    int
+    get()
+    {
+        return table_;
+    }
+
+    void
+    put(int v)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        table_ = v;
+    }
+
+  private:
+    std::mutex mu_;
+    int table_ V10_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,29 @@
+// fixture-path: src/common/transfer.h
+// fixture-expect: 2
+// Lock-order inversion: mu_a_ then mu_b_ in debit(), mu_b_ then
+// mu_a_ in credit(). Both acquisition orders are reported.
+
+class Transfer
+{
+  public:
+    void
+    debit()
+    {
+        std::lock_guard<std::mutex> a(mu_a_);
+        std::lock_guard<std::mutex> b(mu_b_);
+        balance_ = balance_ - 1;
+    }
+
+    void
+    credit()
+    {
+        std::lock_guard<std::mutex> b(mu_b_);
+        std::lock_guard<std::mutex> a(mu_a_);
+        balance_ = balance_ + 1;
+    }
+
+  private:
+    std::mutex mu_a_;
+    std::mutex mu_b_;
+    int balance_ V10_GUARDED_BY(mu_a_) = 0;
+};

@@ -1,0 +1,18 @@
+// fixture-path: src/sim/widget.h
+// fixture-expect: 0
+// Same shape as pos1, but the member carries a trailing
+// V10_DOMAIN_LOCAL annotation: the domain statement is explicit.
+
+class Widget
+{
+  public:
+    void
+    arm()
+    {
+        sim_.at(5, [this] { count_ = count_ + 1; });
+    }
+
+  private:
+    Simulator sim_;
+    int count_ V10_DOMAIN_LOCAL = 0;
+};

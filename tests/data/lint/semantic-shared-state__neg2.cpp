@@ -1,0 +1,19 @@
+// fixture-path: src/serve/pool.h
+// fixture-expect: 0
+// A class-key annotation covers every member; const, static,
+// reference, mutex, and std::atomic members are exempt anyway.
+
+class V10_SHARED_STATE Pool
+{
+  public:
+    void
+    run()
+    {
+        exec_.forEach(4, [this](int i) { total_ += i; });
+    }
+
+  private:
+    ParallelExecutor exec_;
+    long total_ = 0;
+    std::atomic<int> ticks_{0};
+};

@@ -1,0 +1,19 @@
+// fixture-path: src/sim/widget.h
+// fixture-expect: 1
+// Mutable member written from an EventFn callback with no domain
+// annotation: the parallel-in-run refactor cannot prove it stays
+// inside one simulation domain.
+
+class Widget
+{
+  public:
+    void
+    arm()
+    {
+        sim_.at(5, [this] { count_ = count_ + 1; });
+    }
+
+  private:
+    Simulator sim_;
+    int count_ = 0;
+};

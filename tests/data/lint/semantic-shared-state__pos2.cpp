@@ -1,0 +1,18 @@
+// fixture-path: src/serve/pool.h
+// fixture-expect: 1
+// Mutable member accumulated from a ParallelExecutor task without
+// an annotation: genuinely cross-thread, must be marked.
+
+class Pool
+{
+  public:
+    void
+    run()
+    {
+        exec_.forEach(4, [this](int i) { total_ += i; });
+    }
+
+  private:
+    ParallelExecutor exec_;
+    long total_ = 0;
+};

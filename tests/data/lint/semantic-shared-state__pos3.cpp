@@ -1,0 +1,24 @@
+// fixture-path: src/sched/relay.h
+// fixture-expect: 1
+// Reachability is transitive: the event callback calls a helper,
+// and the helper's write is what escapes the annotation net.
+
+class Relay
+{
+  public:
+    void
+    arm()
+    {
+        sim_.after(3, [this] { bump(); });
+    }
+
+    void
+    bump()
+    {
+        hops_ = hops_ + 1;
+    }
+
+  private:
+    Simulator sim_;
+    int hops_ = 0;
+};

@@ -19,6 +19,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/baseline.h"
 #include "analysis/rule.h"
+#include "analysis/sarif.h"
 #include "analysis/source_file.h"
 #include "common/json.h"
 
@@ -399,8 +400,179 @@ TEST(LintRules, CatalogIsStable)
         "determinism-unordered",   "determinism-pointer-key",
         "error-no-fatal",          "error-discarded-result",
         "concurrency-mutable-static",
+        "semantic-shared-state",   "semantic-lock-discipline",
+        "semantic-fp-order",       "semantic-cycle-overflow",
     };
     EXPECT_EQ(names, expected);
+}
+
+TEST(LintLexer, RawStringCustomDelimiterIsOpaque)
+{
+    const std::string text =
+        "const char *s = R\"v10(rand(); srand(1);)v10\";\n";
+    const LintReport report =
+        lintOne("determinism-random", "src/npu/x.cpp", text);
+    EXPECT_EQ(report.newCount(), 0u);
+}
+
+TEST(LintLexer, MalformedRawOpenerFallsBackToCookedString)
+{
+    // A >16-char delimiter is not a raw-string opener; the quote
+    // lexes as a cooked string ending at the next quote, so code
+    // after it stays visible to the rules.
+    const std::string text =
+        "const char *s = R\"0123456789abcdefgh()\";\n"
+        "int noise() { return rand(); }\n";
+    const LintReport report =
+        lintOne("determinism-random", "src/npu/x.cpp", text);
+    ASSERT_EQ(report.newCount(), 1u);
+    EXPECT_EQ(report.findings[0].line, 2u);
+}
+
+TEST(LintSemantic, GuardedByNamesTheMutexItExpects)
+{
+    // V10_GUARDED_BY(mu_) is satisfied only by holding that mutex;
+    // holding a different one still violates the discipline.
+    const std::string text =
+        "class Box\n"
+        "{\n"
+        "  public:\n"
+        "    void\n"
+        "    put(int v)\n"
+        "    {\n"
+        "        std::lock_guard<std::mutex> lock(other_);\n"
+        "        v_ = v;\n"
+        "    }\n"
+        "\n"
+        "  private:\n"
+        "    std::mutex mu_;\n"
+        "    std::mutex other_;\n"
+        "    int v_ V10_GUARDED_BY(mu_) = 0;\n"
+        "};\n";
+    const LintReport report =
+        lintOne("semantic-lock-discipline", "src/common/box.h", text);
+    ASSERT_EQ(report.newCount(), 1u);
+    EXPECT_NE(report.findings[0].message.find("mu_"),
+              std::string::npos);
+}
+
+TEST(LintSarif, ReportShapeIsValid)
+{
+    const std::string text = "#include <cstdlib>\n"
+                             "void f() { abort(); }\n";
+    const LintReport report =
+        lintOne("error-no-fatal", "src/npu/x.cpp", text);
+
+    std::ostringstream os;
+    writeSarifReport(report, os);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc, &err)) << err;
+    EXPECT_EQ(doc.find("version")->str, "2.1.0");
+    EXPECT_NE(doc.find("$schema")->str.find("sarif-schema-2.1.0"),
+              std::string::npos);
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_TRUE(runs != nullptr && runs->isArray());
+    ASSERT_EQ(runs->array.size(), 1u);
+    const JsonValue &run = runs->array[0];
+    const JsonValue *driver = run.find("tool")->find("driver");
+    EXPECT_EQ(driver->find("name")->str, "v10lint");
+    ASSERT_TRUE(driver->find("rules")->isArray());
+    EXPECT_FALSE(driver->find("rules")->array.empty());
+
+    const JsonValue *results = run.find("results");
+    ASSERT_TRUE(results != nullptr && results->isArray());
+    ASSERT_EQ(results->array.size(), 1u);
+    const JsonValue &r = results->array[0];
+    EXPECT_EQ(r.find("ruleId")->str, "error-no-fatal");
+    EXPECT_EQ(r.find("level")->str, "warning");
+    EXPECT_FALSE(r.find("message")->find("text")->str.empty());
+    const JsonValue &loc =
+        r.find("locations")->array[0];
+    const JsonValue *phys = loc.find("physicalLocation");
+    EXPECT_EQ(phys->find("artifactLocation")->find("uri")->str,
+              "src/npu/x.cpp");
+    EXPECT_EQ(phys->find("region")->find("startLine")->number, 2.0);
+    ASSERT_TRUE(r.has("partialFingerprints"));
+    EXPECT_TRUE(r.find("partialFingerprints")
+                    ->has("v10lintFindingHash/v1"));
+}
+
+/** Scratch repo layout for the cache tests. */
+class LintCache : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() / "v10lint_cache_test";
+        fs::remove_all(root_);
+        fs::create_directories(root_ / "src" / "npu");
+        writeSource("#include <cstdlib>\n"
+                    "void f() { abort(); }\n");
+        options_.root = root_.string();
+        options_.paths = {"src"};
+        options_.cacheDir = (root_ / "cache").string();
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(root_);
+    }
+
+    void
+    writeSource(const std::string &text)
+    {
+        std::ofstream os(root_ / "src" / "npu" / "x.cpp",
+                         std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+
+    fs::path root_;
+    LintOptions options_;
+};
+
+TEST_F(LintCache, WarmRunReplaysByteIdenticalFindings)
+{
+    auto cold_or = runLint(options_);
+    ASSERT_TRUE(cold_or.ok()) << cold_or.error().toString();
+    EXPECT_FALSE(cold_or.value().cacheHit);
+    EXPECT_EQ(cold_or.value().newCount(), 1u);
+
+    auto warm_or = runLint(options_);
+    ASSERT_TRUE(warm_or.ok()) << warm_or.error().toString();
+    EXPECT_TRUE(warm_or.value().cacheHit);
+
+    std::ostringstream cold, warm;
+    writeTextReport(cold_or.value(), cold);
+    writeTextReport(warm_or.value(), warm);
+    EXPECT_EQ(cold.str(), warm.str());
+}
+
+TEST_F(LintCache, ContentChangeInvalidatesTheCache)
+{
+    ASSERT_TRUE(runLint(options_).ok());
+    writeSource("#include <cstdlib>\n"
+                "void f() { abort(); }\n"
+                "void g() { abort(); }\n");
+    auto rerun_or = runLint(options_);
+    ASSERT_TRUE(rerun_or.ok()) << rerun_or.error().toString();
+    EXPECT_FALSE(rerun_or.value().cacheHit);
+    EXPECT_EQ(rerun_or.value().newCount(), 2u);
+}
+
+TEST_F(LintCache, RuleFilterIsPartOfTheCacheKey)
+{
+    ASSERT_TRUE(runLint(options_).ok());
+    LintOptions narrowed = options_;
+    narrowed.ruleFilter = {"determinism-random"};
+    auto narrow_or = runLint(narrowed);
+    ASSERT_TRUE(narrow_or.ok()) << narrow_or.error().toString();
+    EXPECT_FALSE(narrow_or.value().cacheHit);
+    EXPECT_EQ(narrow_or.value().newCount(), 0u);
 }
 
 TEST(LintRunner, WholeRepoIsClean)

@@ -29,6 +29,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/rule.h"
+#include "analysis/sarif.h"
 #include "common/result.h"
 
 namespace {
@@ -56,6 +57,11 @@ usage(std::FILE *to)
         "  --format F        report format: text (default) or json\n"
         "  --out FILE        write the report to FILE instead of "
         "stdout\n"
+        "  --sarif FILE      also write a SARIF 2.1.0 report to "
+        "FILE\n"
+        "  --cache-dir DIR   content-hash incremental cache: replay "
+        "findings when\n"
+        "                    no scanned file changed\n"
         "  --error-on-new    exit 1 when new findings exist (the "
         "default; kept for CI clarity)\n"
         "  --list-rules      print the rule catalog and exit\n");
@@ -89,6 +95,7 @@ main(int argc, char **argv)
 
     std::string format = "text";
     std::string out_path;
+    std::string sarif_path;
     bool write_baseline = false;
     bool no_baseline = false;
     bool baseline_given = false;
@@ -130,6 +137,10 @@ main(int argc, char **argv)
             }
         } else if (arg == "--out") {
             out_path = value(i, "--out");
+        } else if (arg == "--sarif") {
+            sarif_path = value(i, "--sarif");
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value(i, "--cache-dir");
         } else if (arg == "--error-on-new") {
             // The default; accepted so CI invocations self-document.
         } else if (!arg.empty() && arg[0] == '-') {
@@ -222,6 +233,17 @@ main(int argc, char **argv)
             return kExitUsage;
         }
         os << rendered.str();
+    }
+
+    if (!sarif_path.empty()) {
+        std::ofstream os(sarif_path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr,
+                         "v10lint: cannot open --sarif path '%s'\n",
+                         sarif_path.c_str());
+            return kExitUsage;
+        }
+        writeSarifReport(report, os);
     }
 
     return report.newCount() > 0 ? kExitRuntime : kExitOk;
