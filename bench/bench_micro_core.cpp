@@ -89,41 +89,48 @@ BM_CollocatedPairRun(benchmark::State &state)
 }
 BENCHMARK(BM_CollocatedPairRun)->Unit(benchmark::kMillisecond);
 
+/** (log2 upper bound of delta, weight) — the measured BERT+NCF
+ * scheduling-delta histogram (captured with an instrumented queue);
+ * both pair-replay benches draw successor deltas from it. */
+struct DeltaBin
+{
+    int log2;
+    std::uint64_t weight;
+};
+constexpr DeltaBin kPairDeltaBins[] = {
+    {10, 6910},  {11, 10100}, {12, 8250}, {13, 13390}, {14, 17170},
+    {15, 22855}, {16, 3305},  {17, 1825}, {18, 1785},  {19, 1525}};
+
+Cycles
+drawPairDelta(Rng &rng)
+{
+    static const std::uint64_t total_weight = [] {
+        std::uint64_t total = 0;
+        for (const auto &bin : kPairDeltaBins)
+            total += bin.weight;
+        return total;
+    }();
+    std::uint64_t r = rng.next() % total_weight;
+    for (const auto &bin : kPairDeltaBins) {
+        if (r < bin.weight) {
+            const Cycles lo = Cycles{1} << (bin.log2 - 1);
+            return lo + static_cast<Cycles>(rng.next() % lo);
+        }
+        r -= bin.weight;
+    }
+    return 1; // unreachable
+}
+
 /**
  * The paper-pair event-core bench: replays the measured
- * scheduling-delta distribution of the BERT+NCF pair run (histogram
- * of the engine's schedule() deltas, captured with an instrumented
- * queue) through the per-event stepping path the scheduler engine
- * uses. Its events/sec is the event-core ceiling of the pair
- * simulation, with the operator-scheduler logic factored out.
+ * scheduling-delta distribution of the BERT+NCF pair run through
+ * the per-event stepping path the scheduler engine uses. Its
+ * events/sec is the event-core ceiling of the pair simulation, with
+ * the operator-scheduler logic factored out.
  */
 void
 BM_PairEventPatternReplay(benchmark::State &state)
 {
-    // (log2 upper bound of delta, weight) — measured BERT+NCF mix.
-    static constexpr struct
-    {
-        int log2;
-        std::uint64_t weight;
-    } kBins[] = {{10, 6910},  {11, 10100}, {12, 8250},  {13, 13390},
-                 {14, 17170}, {15, 22855}, {16, 3305},  {17, 1825},
-                 {18, 1785},  {19, 1525}};
-    std::uint64_t total_weight = 0;
-    for (const auto &bin : kBins)
-        total_weight += bin.weight;
-
-    const auto draw = [&](Rng &rng) -> Cycles {
-        std::uint64_t r = rng.next() % total_weight;
-        for (const auto &bin : kBins) {
-            if (r < bin.weight) {
-                const Cycles lo = Cycles{1} << (bin.log2 - 1);
-                return lo + static_cast<Cycles>(rng.next() % lo);
-            }
-            r -= bin.weight;
-        }
-        return 1; // unreachable
-    };
-
     constexpr int kLiveEvents = 64;
     constexpr std::uint64_t kChainLength = 2048;
     std::uint64_t events = 0;
@@ -139,18 +146,18 @@ BM_PairEventPatternReplay(benchmark::State &state)
             Simulator *sim;
             Rng *rng;
             std::uint64_t *budget;
-            const decltype(draw) *next_delta;
             void
             operator()() const
             {
                 if (*budget == 0)
                     return;
                 --*budget;
-                sim->after((*next_delta)(*rng), Chain{*this});
+                sim->after(drawPairDelta(*rng), Chain{*this});
             }
         };
         for (int i = 0; i < kLiveEvents; ++i)
-            sim.after(draw(rng), Chain{&sim, &rng, &budget, &draw});
+            sim.after(drawPairDelta(rng),
+                      Chain{&sim, &rng, &budget});
         while (sim.step()) {
         }
         events += sim.eventsRun();
@@ -158,6 +165,115 @@ BM_PairEventPatternReplay(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_PairEventPatternReplay);
+
+/**
+ * The domain-partitioned pair replay: the same measured BERT+NCF
+ * delta distribution, but with the event streams partitioned onto
+ * the four simulation domains (control, SA, VU, DMA/HBM) the way
+ * the multi-core model shards per-core streams — every hardware
+ * domain coupled to the DMA/HBM domain (the shared-bandwidth
+ * arbitration point) with a declared lookahead, and a periodic
+ * cross-domain ping exercising the outbox/barrier path. Run at
+ * --engine-jobs 1/2/4 this measures the conservative windowed
+ * engine's scaling; the per-domain checksums are identical for
+ * every job count (test_domain_engine proves bit-identity, this
+ * bench measures the speedup).
+ */
+void
+BM_PairReplayEngineJobs(benchmark::State &state)
+{
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    // Lookahead chosen from the histogram: the minimum drawn delta
+    // is 512 cycles, so windows of 8192 cycles hold ~10^2 events
+    // per domain and barriers amortize (see docs/PERFORMANCE.md).
+    static constexpr Cycles kLookahead = 8192;
+    static constexpr int kChainsPerDomain = 192;
+    static constexpr std::uint64_t kChainLength = 512;
+    static constexpr std::uint64_t kPingPeriod = 32;
+    static constexpr SimDomain kHwDomains[] = {
+        SimDomain::Control, SimDomain::Sa, SimDomain::Vu};
+
+    struct DomainState
+    {
+        Rng rng{1};
+        std::uint64_t budget = 0;
+        std::uint64_t hops = 0;
+        std::uint64_t pings = 0;
+    };
+
+    std::uint64_t events = 0;
+    std::uint64_t checksum = 0;
+    for (auto _ : state) {
+        Simulator sim;
+        for (SimDomain d : kHwDomains) {
+            sim.couple(d, SimDomain::DmaHbm, kLookahead);
+            sim.couple(SimDomain::DmaHbm, d, kLookahead);
+        }
+        sim.setEngineJobs(jobs);
+
+        std::array<DomainState, kNumSimDomains> domains;
+        for (std::size_t r = 0; r < kNumSimDomains; ++r) {
+            domains[r].rng = Rng(0xC0FFEEu + 0x9E37u * (r + 1));
+            domains[r].budget = kChainsPerDomain * kChainLength;
+        }
+
+        struct Chain
+        {
+            Simulator *sim;
+            DomainState *ds;
+            DomainState *peer; ///< ping sink across the coupling
+            SimDomain domain;
+            SimDomain peer_domain;
+            void
+            operator()() const
+            {
+                if (ds->budget == 0)
+                    return;
+                --ds->budget;
+                const Cycles delta = drawPairDelta(ds->rng);
+                if (++ds->hops % kPingPeriod == 0) {
+                    // Cross-domain message along the declared HBM
+                    // coupling; must respect the lookahead.
+                    DomainState *sink = peer;
+                    const Cycles hop =
+                        delta < kLookahead ? kLookahead : delta;
+                    sim->at(peer_domain, sim->now() + hop,
+                            [sink] { ++sink->pings; });
+                }
+                sim->after(domain, delta, Chain{*this});
+            }
+        };
+
+        for (std::size_t r = 0; r < kNumSimDomains; ++r) {
+            const auto domain = static_cast<SimDomain>(r);
+            // Hardware domains ping DMA/HBM; DMA/HBM pings control.
+            const SimDomain peer = domain == SimDomain::DmaHbm
+                                       ? SimDomain::Control
+                                       : SimDomain::DmaHbm;
+            DomainState &ds = domains[r];
+            DomainState &sink = domains[simDomainRank(peer)];
+            for (int i = 0; i < kChainsPerDomain; ++i)
+                sim.after(domain, drawPairDelta(ds.rng),
+                          Chain{&sim, &ds, &sink, domain, peer});
+        }
+        sim.run();
+        events += sim.eventsRun();
+        // Identical for every job count: per-domain event order is
+        // window-isolated and pings commute (pure counters).
+        for (const DomainState &ds : domains)
+            checksum ^= ds.hops + 0x1000 * ds.pings;
+        checksum ^= sim.now();
+    }
+    benchmark::DoNotOptimize(checksum);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PairReplayEngineJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_PolicyDecision(benchmark::State &state)

@@ -1,0 +1,21 @@
+#include "sim/domain.h"
+
+namespace v10 {
+
+const char *
+simDomainName(SimDomain domain)
+{
+    switch (domain) {
+    case SimDomain::Control:
+        return "control";
+    case SimDomain::Sa:
+        return "sa";
+    case SimDomain::Vu:
+        return "vu";
+    case SimDomain::DmaHbm:
+        return "dma-hbm";
+    }
+    return "unknown";
+}
+
+} // namespace v10

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulation domains for the domain-partitioned event engine.
+ *
+ * A domain is an independently clocked event stream inside one run:
+ * the systolic-array pipeline, the vector unit, the DMA/HBM memory
+ * system, and the scheduler/control plane each own one. The
+ * Simulator keeps one event queue per domain and merges them
+ * deterministically by (cycle, epoch, domain-rank, sequence); the
+ * conservative parallel engine (docs/ARCHITECTURE.md,
+ * "Domain-partitioned engine") runs decoupled domains on worker
+ * threads between HBM-coupled barrier windows.
+ *
+ * Domain rank is the enum value: when two domains are advanced in
+ * the same synchronization window, their barrier-committed
+ * cross-domain messages are ordered control-first, then SA, VU,
+ * DMA/HBM. The rank never reorders events against the global
+ * serial order — it only breaks ties that serial execution cannot
+ * produce (two messages emitted concurrently by different worker
+ * threads in one window).
+ */
+
+#ifndef V10_SIM_DOMAIN_H
+#define V10_SIM_DOMAIN_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace v10 {
+
+/** One independently clocked event stream of a simulation. */
+enum class SimDomain : std::uint8_t {
+    /** Scheduler/control plane: dispatch decisions, arrivals,
+     * watchdogs, samplers — everything that reads or writes the
+     * shared scheduling state. */
+    Control = 0,
+
+    /** Systolic-array pipeline events (SA operator retires). */
+    Sa = 1,
+
+    /** Vector-unit pipeline events (VU operator retires). */
+    Vu = 2,
+
+    /** DMA engine and HBM bandwidth-arbitration events. This is the
+     * only domain other domains couple through in the multi-core
+     * model: shared-HBM arbitration is the sanctioned
+     * V10_COUPLING_POINT. */
+    DmaHbm = 3,
+};
+
+/** Number of simulation domains (fixed; rank fits in two bits). */
+inline constexpr std::size_t kNumSimDomains = 4;
+
+/** Dense index of a domain (its merge rank). */
+constexpr std::size_t
+simDomainRank(SimDomain domain)
+{
+    return static_cast<std::size_t>(domain);
+}
+
+/** Short stable name ("control", "sa", "vu", "dma-hbm"). */
+const char *simDomainName(SimDomain domain);
+
+/**
+ * One declared edge of the domain coupling graph: events may travel
+ * src -> dst only with at least @p lookahead cycles of latency. The
+ * minimum lookahead over all declared edges is the conservative
+ * synchronization window width (see Simulator::couple()).
+ */
+struct DomainCoupling
+{
+    SimDomain src = SimDomain::Control;
+    SimDomain dst = SimDomain::Control;
+    Cycles lookahead = 0;
+};
+
+} // namespace v10
+
+#endif // V10_SIM_DOMAIN_H

@@ -80,14 +80,17 @@ class SweepRunner
     runPairs(const std::vector<std::pair<std::string, std::string>>
                  &pairs,
              const std::vector<SchedulerKind> &kinds,
-             std::uint64_t requests);
+             std::uint64_t requests,
+             const SchedulerOptions &base = SchedulerOptions{});
 
-    /** Build the cells runPairs() executes (exposed for tests). */
+    /** Build the cells runPairs() executes (exposed for tests);
+     * every cell inherits @p base (per-run engine knobs). */
     static std::vector<SweepCell> pairGrid(
         const std::vector<std::pair<std::string, std::string>>
             &pairs,
         const std::vector<SchedulerKind> &kinds,
-        std::uint64_t requests);
+        std::uint64_t requests,
+        const SchedulerOptions &base = SchedulerOptions{});
 
   private:
     ExperimentRunner &runner_;

@@ -1,0 +1,20 @@
+// fixture-path: src/sim/lane_stats.h
+// fixture-expect: 0
+// The annotated twin of pos4: the lane counter written from a
+// domain-scheduled event callback carries V10_SHARED_STATE, so the
+// domain-partitioned engine's ownership contract is explicit.
+
+class LaneStats
+{
+  public:
+    void
+    arm()
+    {
+        sim_.at(SimDomain::DmaHbm, 64,
+                [this] { drained_ = drained_ + 1; });
+    }
+
+  private:
+    Simulator sim_;
+    long drained_ V10_SHARED_STATE = 0;
+};

@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Tests for the domain-partitioned simulation engine: serial merged
+ * order vs the monolithic queue, bit-identity of parallel windows
+ * across engine job counts (including under fault injection for all
+ * scheduler designs), lookahead-window boundary cases at the
+ * ring/heap seam, cross-domain cancel routing, and the coupling
+ * contract panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "metrics/run_report.h"
+#include "metrics/stat_registry.h"
+#include "sched/scheduler_factory.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "v10/experiment.h"
+
+namespace v10 {
+namespace {
+
+constexpr std::array<SimDomain, kNumSimDomains> kAllDomains = {
+    SimDomain::Control, SimDomain::Sa, SimDomain::Vu,
+    SimDomain::DmaHbm};
+
+/** Declare the star coupling every engine test uses: each hardware
+ * domain <-> DMA/HBM (the shared arbitration point). */
+void
+coupleStar(Simulator &sim, Cycles lookahead)
+{
+    for (SimDomain d :
+         {SimDomain::Control, SimDomain::Sa, SimDomain::Vu}) {
+        sim.couple(d, SimDomain::DmaHbm, lookahead);
+        sim.couple(SimDomain::DmaHbm, d, lookahead);
+    }
+}
+
+// ---------------------------------------------------------------
+// Serial merged order: multiple domains, one timeline.
+// ---------------------------------------------------------------
+
+TEST(DomainEngine, MergedOrderMatchesInsertionOrderAcrossDomains)
+{
+    // The monolithic queue fired same-cycle events in insertion
+    // order; the merged multi-queue loop must reproduce that even
+    // when the insertions alternate between domains.
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(SimDomain::Sa, 10, [&] { order.push_back(1); });
+    sim.at(SimDomain::Vu, 10, [&] { order.push_back(2); });
+    sim.at(SimDomain::Sa, 10, [&] { order.push_back(3); });
+    sim.at(SimDomain::Control, 10, [&] { order.push_back(4); });
+    sim.at(SimDomain::DmaHbm, 5, [&] { order.push_back(0); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(sim.eventsRun(), 5u);
+}
+
+TEST(DomainEngine, MergedStepMatchesRun)
+{
+    // Single-stepping and the batched run loop must execute the
+    // identical sequence.
+    const auto program = [](Simulator &sim,
+                            std::vector<int> &order) {
+        Rng rng(7);
+        for (int i = 0; i < 64; ++i) {
+            const auto d = kAllDomains[rng.next() % 4];
+            const auto when =
+                static_cast<Cycles>(rng.next() % 50);
+            sim.at(d, when, [&order, i] { order.push_back(i); });
+        }
+    };
+    std::vector<int> stepped;
+    {
+        Simulator sim;
+        program(sim, stepped);
+        while (sim.step()) {
+        }
+    }
+    std::vector<int> ran;
+    {
+        Simulator sim;
+        program(sim, ran);
+        sim.run();
+    }
+    EXPECT_EQ(stepped, ran);
+    EXPECT_EQ(ran.size(), 64u);
+}
+
+TEST(DomainEngine, SameCycleCrossDomainScheduleKeepsGlobalOrder)
+{
+    // An event that schedules a same-cycle event into ANOTHER
+    // domain exercises the merged loop's mid-cycle fallback: the
+    // new event must still fire after everything inserted before
+    // it, exactly like the monolithic queue.
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(SimDomain::Sa, 10, [&] {
+        order.push_back(1);
+        sim.at(SimDomain::Vu, 10, [&] { order.push_back(4); });
+    });
+    sim.at(SimDomain::Sa, 10, [&] { order.push_back(2); });
+    sim.at(SimDomain::Vu, 10, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(DomainEngine, SameCycleSameDomainScheduleStaysBatched)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(SimDomain::Vu, 10, [&] {
+        order.push_back(1);
+        sim.at(SimDomain::Vu, 10, [&] { order.push_back(3); });
+    });
+    sim.at(SimDomain::Vu, 10, [&] { order.push_back(2); });
+    // An unrelated earlier event in another domain must not
+    // perturb the Vu cycle.
+    sim.at(SimDomain::DmaHbm, 4, [&] { order.push_back(0); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DomainEngine, DomainNamesAndRanksAreStable)
+{
+    EXPECT_EQ(simDomainRank(SimDomain::Control), 0u);
+    EXPECT_EQ(simDomainRank(SimDomain::Sa), 1u);
+    EXPECT_EQ(simDomainRank(SimDomain::Vu), 2u);
+    EXPECT_EQ(simDomainRank(SimDomain::DmaHbm), 3u);
+    EXPECT_STREQ(simDomainName(SimDomain::Control), "control");
+    EXPECT_STREQ(simDomainName(SimDomain::Sa), "sa");
+    EXPECT_STREQ(simDomainName(SimDomain::Vu), "vu");
+    EXPECT_STREQ(simDomainName(SimDomain::DmaHbm), "dma-hbm");
+}
+
+TEST(DomainEngine, CancelRoutesToOwningDomain)
+{
+    Simulator sim;
+    bool sa_fired = false;
+    bool vu_fired = false;
+    bool ctl_fired = false;
+    const EventId sa =
+        sim.at(SimDomain::Sa, 20, [&] { sa_fired = true; });
+    const EventId vu =
+        sim.at(SimDomain::Vu, 20, [&] { vu_fired = true; });
+    sim.at(30, [&] { ctl_fired = true; });
+    sim.cancel(sa);
+    sim.cancel(vu);
+    sim.run();
+    EXPECT_FALSE(sa_fired);
+    EXPECT_FALSE(vu_fired);
+    EXPECT_TRUE(ctl_fired);
+    EXPECT_EQ(sim.eventsRun(), 1u);
+}
+
+TEST(DomainEngine, RunUntilMergedAdvancesClockToLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.at(SimDomain::Sa, 10, [&] { ++fired; });
+    sim.at(SimDomain::DmaHbm, 40, [&] { ++fired; });
+    sim.runUntil(25);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 25u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 40u);
+}
+
+// ---------------------------------------------------------------
+// Parallel windows: bit-identity across engine job counts.
+// ---------------------------------------------------------------
+
+/** Per-domain firing log of one windowed scenario run. Each entry
+ * is recorded by the domain that executed it, so logging is
+ * race-free by the engine's own lane-partitioning contract. */
+struct ScenarioResult
+{
+    std::array<std::vector<std::pair<Cycles, int>>, kNumSimDomains>
+        perDomain;
+    std::array<std::uint64_t, kNumSimDomains> pings{};
+    Cycles finalCycle = 0;
+    std::uint64_t eventsRun = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t barriers = 0;
+
+    bool
+    operator==(const ScenarioResult &o) const
+    {
+        return perDomain == o.perDomain && pings == o.pings &&
+               finalCycle == o.finalCycle &&
+               eventsRun == o.eventsRun;
+    }
+};
+
+/**
+ * Self-perpetuating per-domain chains with periodic cross-domain
+ * pings along the declared couplings — a miniature of the
+ * multi-core replay bench, instrumented to capture the exact
+ * per-domain event sequence.
+ */
+ScenarioResult
+runChainScenario(std::size_t jobs, Cycles lookahead, int chains,
+                 int hops, std::uint64_t delta_salt)
+{
+    Simulator sim;
+    coupleStar(sim, lookahead);
+    sim.setEngineJobs(jobs);
+
+    ScenarioResult result;
+    struct DomainCtx
+    {
+        Rng rng{1};
+        std::uint64_t budget = 0;
+        std::uint64_t hops = 0;
+    };
+    std::array<DomainCtx, kNumSimDomains> ctx;
+    for (std::size_t r = 0; r < kNumSimDomains; ++r) {
+        ctx[r].rng = Rng(0xD0D0 + 131 * r + delta_salt);
+        ctx[r].budget =
+            static_cast<std::uint64_t>(chains) * hops;
+    }
+
+    struct Chain
+    {
+        Simulator *sim;
+        ScenarioResult *result;
+        DomainCtx *ctx;
+        std::size_t rank;
+        SimDomain domain;
+        Cycles lookahead;
+        int label;
+        void
+        operator()() const
+        {
+            result->perDomain[rank].push_back(
+                {sim->now(), label});
+            if (ctx->budget == 0)
+                return;
+            --ctx->budget;
+            // Deltas straddle the lookahead so some hops stay in
+            // the current window and some cross it.
+            const Cycles delta =
+                1 + static_cast<Cycles>(ctx->rng.next() % 2048);
+            if (++ctx->hops % 16 == 0) {
+                const SimDomain peer =
+                    domain == SimDomain::DmaHbm
+                        ? SimDomain::Vu
+                        : SimDomain::DmaHbm;
+                ScenarioResult *res = result;
+                const std::size_t pr = simDomainRank(peer);
+                // Lookahead is the minimum legal cross-domain
+                // latency.
+                sim->at(peer, sim->now() + lookahead + delta,
+                        [res, pr] { ++res->pings[pr]; });
+            }
+            sim->after(domain, delta, Chain{*this});
+        }
+    };
+
+    for (std::size_t r = 0; r < kNumSimDomains; ++r) {
+        const SimDomain d = kAllDomains[r];
+        for (int i = 0; i < chains; ++i)
+            sim.at(d, 1 + static_cast<Cycles>(ctx[r].rng.next() %
+                                              lookahead),
+                   Chain{&sim, &result, &ctx[r], r, d, lookahead,
+                         static_cast<int>(r * 1000) + i});
+    }
+    sim.run();
+    result.finalCycle = sim.now();
+    result.eventsRun = sim.eventsRun();
+    result.windows = sim.windows();
+    result.barriers = sim.barriers();
+    return result;
+}
+
+TEST(DomainEngineWindowed, BitIdenticalAcrossJobCounts)
+{
+    const ScenarioResult ref =
+        runChainScenario(1, 512, 6, 40, 0);
+    // The scenario actually exercised the windowed engine.
+    EXPECT_GT(ref.windows, 0u);
+    EXPECT_GT(ref.barriers, 0u);
+    EXPECT_GT(ref.eventsRun, 4u * 6u * 40u);
+    for (const std::size_t jobs : {2u, 4u, 8u}) {
+        const ScenarioResult got =
+            runChainScenario(jobs, 512, 6, 40, 0);
+        EXPECT_EQ(got, ref) << "jobs=" << jobs;
+        // The window/barrier schedule itself is deterministic too.
+        EXPECT_EQ(got.windows, ref.windows) << "jobs=" << jobs;
+        EXPECT_EQ(got.barriers, ref.barriers) << "jobs=" << jobs;
+    }
+}
+
+TEST(DomainEngineWindowed, SerialMergedAgreesOnAggregates)
+{
+    // jobs=0 runs the same program through the serial merged loop;
+    // every event fires at the same cycle, so the per-domain logs
+    // and aggregates must match the windowed run exactly.
+    const ScenarioResult windowed =
+        runChainScenario(2, 768, 4, 32, 7);
+    const ScenarioResult merged =
+        runChainScenario(0, 768, 4, 32, 7);
+    EXPECT_EQ(merged.perDomain, windowed.perDomain);
+    EXPECT_EQ(merged.pings, windowed.pings);
+    EXPECT_EQ(merged.finalCycle, windowed.finalCycle);
+    EXPECT_EQ(merged.eventsRun, windowed.eventsRun);
+    // The merged loop never opens windows.
+    EXPECT_EQ(merged.windows, 0u);
+    EXPECT_GT(windowed.windows, 0u);
+}
+
+TEST(DomainEngineWindowed, LookaheadSpansRingHeapSeam)
+{
+    // kRingBuckets = 32768: a lookahead above the calendar ring
+    // makes every window straddle the ring/heap seam, and deltas
+    // near 32768 land events on both sides of it. The result must
+    // still be bit-identical for every job count.
+    const ScenarioResult ref =
+        runChainScenario(1, 40000, 3, 24, 3);
+    EXPECT_GT(ref.windows, 0u);
+    for (const std::size_t jobs : {2u, 8u}) {
+        EXPECT_EQ(runChainScenario(jobs, 40000, 3, 24, 3), ref)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(DomainEngineWindowed, EventAtExactHorizonFiresInNextWindow)
+{
+    // A cross-domain send at exactly clock + lookahead is the
+    // closest legal hop; it must land in a later window, never the
+    // current one.
+    Simulator sim;
+    coupleStar(sim, 100);
+    sim.setEngineJobs(2);
+    std::vector<Cycles> fired;
+    std::uint64_t windows_at_fire = 0;
+    sim.at(SimDomain::Sa, 10, [&] {
+        sim.at(SimDomain::DmaHbm, sim.now() + 100, [&] {
+            fired.push_back(sim.now());
+            windows_at_fire = sim.windows();
+        });
+    });
+    sim.run();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 110u);
+    EXPECT_GE(windows_at_fire, 2u);
+    EXPECT_EQ(sim.domainEventsRun(SimDomain::DmaHbm), 1u);
+    EXPECT_EQ(sim.domainEventsRun(SimDomain::Sa), 1u);
+}
+
+TEST(DomainEngineWindowed, BarrierHookSeesMonotoneHorizons)
+{
+    Simulator sim;
+    coupleStar(sim, 256);
+    sim.setEngineJobs(4);
+    std::vector<Cycles> horizons;
+    sim.onWindowBarrier(
+        [&](Cycles horizon) { horizons.push_back(horizon); });
+    int live = 0;
+    struct Hop
+    {
+        Simulator *sim;
+        int *live;
+        int left;
+        void
+        operator()() const
+        {
+            if (left > 0) {
+                ++*live;
+                sim->after(SimDomain::Vu, 100,
+                           Hop{sim, live, left - 1});
+            }
+        }
+    };
+    sim.at(SimDomain::Vu, 1, Hop{&sim, &live, 20});
+    sim.run();
+    EXPECT_EQ(live, 20);
+    ASSERT_EQ(horizons.size(), sim.barriers());
+    ASSERT_GT(horizons.size(), 1u);
+    for (std::size_t i = 1; i < horizons.size(); ++i)
+        EXPECT_LT(horizons[i - 1], horizons[i]);
+}
+
+TEST(DomainEngineWindowed, RunUntilStopsAtLimitMidWindow)
+{
+    Simulator sim;
+    coupleStar(sim, 1000);
+    sim.setEngineJobs(2);
+    int fired = 0;
+    for (Cycles c = 100; c <= 2000; c += 100)
+        sim.at(SimDomain::Sa, c, [&] { ++fired; });
+    sim.runUntil(950);
+    EXPECT_EQ(fired, 9); // 100..900
+    EXPECT_EQ(sim.now(), 950u);
+    sim.run();
+    EXPECT_EQ(fired, 20);
+}
+
+TEST(DomainEngineWindowed, PeriodicsTickUnderWindowedRuns)
+{
+    Simulator sim;
+    coupleStar(sim, 64);
+    sim.setEngineJobs(2);
+    std::vector<Cycles> ticks;
+    sim.every(50, [&] { ticks.push_back(sim.now()); });
+    // Keep another domain busy so windows actually open.
+    struct Hop
+    {
+        Simulator *sim;
+        int left;
+        void
+        operator()() const
+        {
+            if (left > 0)
+                sim->after(SimDomain::DmaHbm, 30,
+                           Hop{sim, left - 1});
+        }
+    };
+    sim.at(SimDomain::DmaHbm, 10, Hop{&sim, 12});
+    sim.runUntil(220);
+    EXPECT_EQ(ticks, (std::vector<Cycles>{50, 100, 150, 200}));
+}
+
+// ---------------------------------------------------------------
+// Coupling contract.
+// ---------------------------------------------------------------
+
+TEST(DomainEngine, MinLookaheadTracksSmallestEdge)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.minLookahead(), kCycleMax);
+    sim.couple(SimDomain::Sa, SimDomain::DmaHbm, 500);
+    EXPECT_EQ(sim.minLookahead(), 500u);
+    sim.couple(SimDomain::Vu, SimDomain::DmaHbm, 200);
+    EXPECT_EQ(sim.minLookahead(), 200u);
+    // Redeclaring keeps the smaller bound.
+    sim.couple(SimDomain::Sa, SimDomain::DmaHbm, 900);
+    EXPECT_EQ(sim.minLookahead(), 200u);
+}
+
+TEST(DomainEngineDeath, SelfCouplingPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    EXPECT_DEATH(sim.couple(SimDomain::Sa, SimDomain::Sa, 100),
+                 "self");
+}
+
+TEST(DomainEngineDeath, UndeclaredCrossDomainSendPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    // Only Sa -> DmaHbm is declared; Sa -> Vu is not an edge.
+    sim.couple(SimDomain::Sa, SimDomain::DmaHbm, 100);
+    sim.couple(SimDomain::DmaHbm, SimDomain::Sa, 100);
+    sim.setEngineJobs(2);
+    sim.at(SimDomain::Sa, 10,
+           [&] { sim.at(SimDomain::Vu, sim.now() + 500, [] {}); });
+    EXPECT_DEATH(sim.run(), "coupling");
+}
+
+TEST(DomainEngineDeath, BelowLookaheadSendPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    coupleStar(sim, 100);
+    sim.setEngineJobs(2);
+    sim.at(SimDomain::Sa, 10, [&] {
+        sim.at(SimDomain::DmaHbm, sim.now() + 99, [] {});
+    });
+    EXPECT_DEATH(sim.run(), "lookahead");
+}
+
+// ---------------------------------------------------------------
+// Property: full engine runs are invariant in --engine-jobs, for
+// every scheduler design, with and without fault injection.
+// ---------------------------------------------------------------
+
+std::string
+statsJson(const RunStats &stats)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeRunStatsJson(w, stats);
+    return os.str();
+}
+
+std::vector<TenantRequest>
+pairTenants()
+{
+    return {TenantRequest{"MNST", 0, 1.0},
+            TenantRequest{"NCF", 0, 1.0}};
+}
+
+TEST(DomainEngineProperty, EngineJobsInvariantAcrossSchedulers)
+{
+    ExperimentRunner runner{NpuConfig{}};
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        SchedulerOptions serial;
+        StatRegistry serial_reg;
+        serial.stats = &serial_reg;
+        const RunStats base = runner.run(kind, pairTenants(), 4,
+                                         1, serial);
+        serial_reg.freeze();
+        const std::string base_json = statsJson(base);
+        for (const std::size_t jobs : {1u, 2u, 8u}) {
+            SchedulerOptions par;
+            StatRegistry par_reg;
+            par.stats = &par_reg;
+            par.engineJobs = jobs;
+            const RunStats got = runner.run(kind, pairTenants(),
+                                            4, 1, par);
+            par_reg.freeze();
+            EXPECT_EQ(statsJson(got), base_json)
+                << schedulerKindName(kind) << " jobs=" << jobs;
+            EXPECT_EQ(par_reg.snapshot(), serial_reg.snapshot())
+                << schedulerKindName(kind) << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(DomainEngineProperty, EngineJobsInvariantUnderFaults)
+{
+    const Result<FaultPlan> plan = FaultPlan::parse(
+        "hbm-stall:rate=0.2:mag=2000,runaway:rate=0.1:mag=4,"
+        "dma-timeout:rate=0.05,sa-corrupt:rate=0.2");
+    ASSERT_TRUE(plan.ok());
+    ExperimentRunner runner{NpuConfig{}};
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        SchedulerOptions serial;
+        serial.resilience.faults = &plan.value();
+        const RunStats base = runner.run(kind, pairTenants(), 4,
+                                         1, serial);
+        const std::string base_json = statsJson(base);
+        for (const std::size_t jobs : {1u, 4u}) {
+            SchedulerOptions par;
+            par.resilience.faults = &plan.value();
+            par.engineJobs = jobs;
+            const RunStats got = runner.run(kind, pairTenants(),
+                                            4, 1, par);
+            EXPECT_EQ(statsJson(got), base_json)
+                << schedulerKindName(kind) << " jobs=" << jobs;
+        }
+    }
+    // The faulted runs really injected faults.
+    SchedulerOptions check;
+    check.resilience.faults = &plan.value();
+    EXPECT_GT(runner
+                  .run(SchedulerKind::V10Full, pairTenants(), 4, 1,
+                       check)
+                  .faultsInjected,
+              0u);
+}
+
+} // namespace
+} // namespace v10
